@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the cryptographic substrate (real wall-clock).
+
+Not a paper figure; quantifies the primitives the protocol is built from
+(AD lookups/updates, aggregated proofs, Merkle paths, statement proving)
+so regressions in the crypto layer are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.authdict import AuthenticatedDictionary
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.poe import prove_exponentiation, verify_exponentiation
+from repro.crypto.rsa_group import default_group
+
+PRIME_BITS = 64
+
+
+@pytest.fixture(scope="module")
+def group():
+    return default_group(bits=512)
+
+
+@pytest.fixture(scope="module")
+def ad(group):
+    return AuthenticatedDictionary(
+        group, initial={("row", i): i for i in range(64)}, prime_bits=PRIME_BITS
+    )
+
+
+def test_ad_single_lookup_prove_verify(benchmark, ad):
+    def run():
+        proof = ad.prove_lookup([("row", 3)])
+        assert ad.ver_lookup(ad.digest, {("row", 3): 3}, proof)
+
+    benchmark(run)
+
+
+def test_ad_aggregated_lookup_16_keys(benchmark, ad):
+    keys = [("row", i) for i in range(16)]
+    values = {("row", i): i for i in range(16)}
+
+    def run():
+        proof = ad.prove_lookup(keys)
+        assert ad.ver_lookup(ad.digest, values, proof)
+
+    benchmark(run)
+
+
+def test_ad_nonexistence_proof(benchmark, ad):
+    def run():
+        proof = ad.prove_no_key([("ghost", 1)])
+        assert ad.ver_no_key(ad.digest, [("ghost", 1)], proof)
+
+    benchmark(run)
+
+
+def test_ad_update_roll_forward(benchmark, group):
+    def run():
+        fresh = AuthenticatedDictionary(
+            group, initial={("row", i): i for i in range(16)}, prime_bits=PRIME_BITS
+        )
+        new_digest, proof = fresh.update({("row", 3): 99})
+        assert fresh.digest_after_update(proof, {("row", 3): 99}) == new_digest
+
+    benchmark(run)
+
+
+def test_poe_prove_and_verify(benchmark, group):
+    exponent = 1
+    for i in range(16):
+        exponent *= (1 << 63) + 2 * i + 1
+
+    def run():
+        result, proof = prove_exponentiation(group, group.generator, exponent)
+        assert verify_exponentiation(group, group.generator, exponent, result, proof)
+
+    benchmark(run)
+
+
+def test_merkle_path_prove_verify(benchmark):
+    tree = MerkleTree(1024, fill=0)
+    tree.update(17, 42)
+
+    def run():
+        path = tree.prove(17)
+        assert MerkleTree.verify(tree.root, path, 42)
+
+    benchmark(run)

@@ -1,0 +1,38 @@
+"""Figure 6: Litmus-DRM throughput and latency vs number of prover threads.
+
+Expected shape (paper): throughput scales well up to ~40 threads and
+plateaus beyond ~60 (the serial trace-processing prefix bounds the
+speedup); average latency drops steeply (514.3 s at few threads to ~100 s
+past 40) and then flattens.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig6_prover_threads, format_table
+
+THREADS = (1, 10, 20, 40, 60, 80)
+NUM_TXNS = 2_621_440
+SCALE = 800
+
+
+def test_fig6_prover_threads(benchmark):
+    rows = benchmark.pedantic(
+        fig6_prover_threads,
+        kwargs={"thread_counts": THREADS, "num_txns": NUM_TXNS, "scale": SCALE},
+        iterations=1,
+        rounds=1,
+    )
+    print("\nFigure 6 — Litmus-DRM vs prover threads")
+    print(format_table(rows))
+
+    throughput = [r["throughput"] for r in rows]
+    latency = [r["latency"] for r in rows]
+    # Monotone scaling with diminishing returns.
+    assert all(b >= a for a, b in zip(throughput, throughput[1:]))
+    gain_low = throughput[2] / throughput[0]  # 1 -> 20 threads
+    gain_high = throughput[-1] / throughput[-2]  # 60 -> 80 threads
+    assert gain_low > 4, "early scaling should be near-linear"
+    assert gain_high < 1.5, "the curve must plateau past ~60 threads"
+    # Latency drops sharply and flattens.
+    assert latency[0] > 3 * latency[-1]
+    assert latency[-2] / latency[-1] < 1.8

@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper: the
+benchmarked callable performs the *real* scaled execution (CC runs, circuit
+compilation, crypto), and the printed table shows the modeled paper-scale
+numbers next to the expected shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+pytest captures stdout, so every test's printed figure is also persisted
+under ``benchmarks/results/<test-name>.txt`` by the autouse fixture below —
+those files are the regenerated paper figures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def persist_figure_output(request, capsys):
+    """Save whatever a benchmark prints (the figure table) to results/."""
+    yield
+    captured = capsys.readouterr()
+    if not captured.out.strip():
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("/", "_")
+    (RESULTS_DIR / f"{name}.txt").write_text(captured.out)
+    # Re-emit so `pytest -s` users still see it live.
+    print(captured.out)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Trace-based auditing with the Elle-style checker (Section 8.3).
+
+Runs a YCSB workload, converts the committed schedule into a list-append
+history, and checks serializability by dependency inference — then shows
+the same checker catching a fabricated anomaly, and contrasts the trust
+model with Litmus's constant-size proof.
+
+Run:  python examples/elle_audit.py
+"""
+
+from repro import Database, ElleChecker, YCSBWorkload, history_from_execution
+from repro.verify.history import History, Observation, ObservedTxn
+
+
+def main() -> None:
+    print("== Elle-style serializability audit ==")
+    workload = YCSBWorkload(num_rows=256, theta=0.8, seed=5)
+    txns = workload.generate(300)
+    db = Database(initial=workload.initial_data(), cc="dr", processing_batch_size=64)
+    report = db.run(txns)
+    history = history_from_execution(report, txns)
+    verdict = ElleChecker().check(history)
+    print(
+        f"audited {verdict.num_txns} transactions in "
+        f"{verdict.analysis_seconds * 1e3:.1f} ms "
+        f"({verdict.txns_per_second:,.0f} txn/s)"
+    )
+    print(f"serializable: {verdict.serializable}")
+    assert verdict.serializable
+
+    # Fabricate a G1c anomaly: two transactions that each observed the
+    # other's append — impossible under any serial order.
+    print("\ninjecting a fabricated read-cycle history...")
+    forged = History()
+    forged.add(
+        ObservedTxn(
+            txn_id=1,
+            appends=((("x",), 10),),
+            observations=(Observation(key=("y",), elements=(20,)),),
+        )
+    )
+    forged.add(
+        ObservedTxn(
+            txn_id=2,
+            appends=((("y",), 20),),
+            observations=(Observation(key=("x",), elements=(10,)),),
+        )
+    )
+    forged.final_lists = {("x",): (10,), ("y",): (20,)}
+    bad = ElleChecker().check(forged)
+    print(f"serializable: {bad.serializable}")
+    for anomaly in bad.anomalies:
+        print(f"anomaly: {anomaly.kind} involving txns {anomaly.txn_ids}")
+    assert not bad.serializable
+
+    print(
+        "\nnote: Elle requires the full execution trace and a trusted\n"
+        "analyzer whose cost grows with the history; the Litmus client\n"
+        "verifies one constant-size proof in constant time (Section 8.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: a verifiable YCSB session against an untrusted server.
+
+Runs the full Litmus protocol end to end with real cryptography:
+
+1. server and client agree on an RSA group and an initial database digest;
+2. the client submits a verification batch of YCSB transactions;
+3. the server executes them under deterministic reservation, aggregates the
+   memory-integrity proofs per non-conflicting batch, and proves every
+   circuit piece;
+4. the client matches the circuits, verifies the proofs and the digest
+   chain, and accepts the outputs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LitmusClient, LitmusConfig, LitmusServer, YCSBWorkload
+from repro.crypto import RSAGroup
+
+
+def main() -> None:
+    print("== Litmus quickstart ==")
+    group = RSAGroup.generate(bits=512, seed=b"quickstart")
+
+    workload = YCSBWorkload(num_rows=512, theta=0.6, seed=1)
+    config = LitmusConfig(
+        cc="dr",
+        processing_batch_size=32,
+        batches_per_piece=4,
+        num_provers=4,
+        prime_bits=64,
+    )
+    server = LitmusServer(initial=workload.initial_data(), config=config, group=group)
+    client = LitmusClient(group, server.digest, config=config)
+    print(f"agreed initial digest: {hex(server.digest)[:18]}...")
+
+    txns = workload.generate(60)
+    print(f"submitting a verification batch of {len(txns)} transactions")
+    response = server.execute_batch(txns)
+    print(
+        f"server returned {len(response.pieces)} proof piece(s), "
+        f"{response.timing.total_constraints:,} constraints total, "
+        f"{response.timing.proof_bytes} proof bytes"
+    )
+
+    verdict = client.verify_response(txns, response)
+    if not verdict.accepted:
+        raise SystemExit(f"client REJECTED the batch: {verdict.reason}")
+    print("client verified: circuits matched, proofs valid, digest chain intact")
+    print(f"new digest: {hex(verdict.new_digest)[:18]}...")
+    sample = dict(list(verdict.outputs.items())[:3])
+    print(f"sample outputs: {sample}")
+    print(
+        f"modeled server throughput at this scale: "
+        f"{response.timing.throughput:,.1f} txn/s "
+        f"(the paper's full-scale DRM configuration reaches ~17.6k txn/s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""SQL stored procedures through the verifiable pipeline.
+
+Defines an inventory application in SQL, compiles the procedures to
+circuit-ready stored procedures, and runs them through the full Litmus
+protocol — parsing, planning, circuit compilation, proof generation and
+client verification all in one flow.
+
+Run:  python examples/sql_frontend.py
+"""
+
+from repro import LitmusClient, LitmusConfig, LitmusServer
+from repro.crypto import RSAGroup
+from repro.db import Transaction
+from repro.sql import SqlCatalog, compile_procedure
+
+
+def main() -> None:
+    print("== SQL front-end ==")
+    catalog = SqlCatalog()
+    catalog.create_table("inventory", key=("sku",), columns=("qty", "reserved"))
+    catalog.create_table("orders", key=("order_id",), columns=("sku", "amount"))
+
+    place_order = compile_procedure(
+        "place_order",
+        """
+        UPDATE inventory
+            SET qty = CASE WHEN qty < :amount THEN qty ELSE qty - :amount END,
+                reserved = reserved + CASE WHEN qty < :amount THEN 0 ELSE :amount END
+            WHERE sku = :sku;
+        INSERT INTO orders (sku, amount) VALUES (:sku, :amount)
+            WHERE order_id = :order_id;
+        SELECT qty FROM inventory WHERE sku = :sku;
+        """,
+        catalog,
+    )
+    print(f"compiled procedure {place_order.name!r}: params {place_order.params}")
+
+    initial = {}
+    for sku in range(3):
+        initial.update(catalog.initial_row("inventory", (sku,), qty=50, reserved=0))
+
+    group = RSAGroup.generate(bits=512, seed=b"sql")
+    config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=64)
+    server = LitmusServer(initial=initial, config=config, group=group)
+    client = LitmusClient(group, server.digest, config=config)
+
+    txns = [
+        Transaction(i, place_order, {"sku": i % 3, "amount": 5, "order_id": 1000 + i})
+        for i in range(1, 10)
+    ]
+    response = server.execute_batch(txns)
+    verdict = client.verify_response(txns, response)
+    print(f"verified batch of {len(txns)} SQL transactions: accepted={verdict.accepted}")
+    assert verdict.accepted, verdict.reason
+    for sku in range(3):
+        print(
+            f"sku {sku}: qty={server.db.get(('inventory.qty', sku))}, "
+            f"reserved={server.db.get(('inventory.reserved', sku))}"
+        )
+    print(f"order 1001 -> sku {server.db.get(('orders.sku', 1001))}, "
+          f"amount {server.db.get(('orders.amount', 1001))}")
+
+
+if __name__ == "__main__":
+    main()

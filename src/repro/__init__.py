@@ -1,0 +1,81 @@
+"""Litmus: a verifiable DBMS with provable ACID properties.
+
+Reproduction of Xia, Yu, Butrovich, Pavlo & Devadas,
+"Litmus: Towards a Practical Database Management System with Verifiable
+ACID Properties and Transaction Correctness" (SIGMOD 2022).
+
+Quickstart::
+
+    from repro import LitmusServer, LitmusClient, LitmusConfig, YCSBWorkload
+    from repro.crypto import RSAGroup
+
+    group = RSAGroup.generate(bits=512, seed=b"demo")
+    workload = YCSBWorkload(num_rows=1000)
+    server = LitmusServer(initial=workload.initial_data(), group=group)
+    client = LitmusClient(group, server.digest)
+
+    txns = workload.generate(100)
+    response = server.execute_batch(txns)
+    verdict = client.verify_response(txns, response)
+    assert verdict.accepted
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from .core import (
+    ClientVerdict,
+    HybridLitmus,
+    InteractiveServerClient,
+    LitmusClient,
+    LitmusConfig,
+    LitmusServer,
+    MerkleServerClient,
+    ServerResponse,
+    SumInvariant,
+)
+from .crypto import AuthenticatedDictionary, MerkleTree, RSAGroup
+from .db import Database, Transaction, TxnResult
+from .sim import CostModel
+from .sql import SqlCatalog, compile_procedure
+from .vc import (
+    CircuitCompiler,
+    Groth16Simulator,
+    Program,
+    SpotCheckBackend,
+)
+from .verify import ElleChecker, history_from_execution
+from .workloads import TPCCWorkload, YCSBWorkload, ZipfSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticatedDictionary",
+    "CircuitCompiler",
+    "ClientVerdict",
+    "CostModel",
+    "Database",
+    "ElleChecker",
+    "Groth16Simulator",
+    "HybridLitmus",
+    "InteractiveServerClient",
+    "LitmusClient",
+    "LitmusConfig",
+    "LitmusServer",
+    "MerkleServerClient",
+    "MerkleTree",
+    "Program",
+    "RSAGroup",
+    "ServerResponse",
+    "SpotCheckBackend",
+    "SqlCatalog",
+    "compile_procedure",
+    "SumInvariant",
+    "TPCCWorkload",
+    "Transaction",
+    "TxnResult",
+    "YCSBWorkload",
+    "ZipfSampler",
+    "history_from_execution",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Terminal formatting of benchmark results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_number"]
+
+
+def format_number(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[format_number(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_series(
+    rows: Sequence[Mapping],
+    x: str,
+    y: str,
+    series: str = "baseline",
+) -> str:
+    """Pivot long-form rows into one column per series (paper-figure style)."""
+    if not rows:
+        return "(no data)"
+    xs: list = []
+    names: list = []
+    table: dict = {}
+    for row in rows:
+        if row[x] not in xs:
+            xs.append(row[x])
+        if row[series] not in names:
+            names.append(row[series])
+        table[(row[x], row[series])] = row[y]
+    pivoted = [
+        {x: value, **{name: table.get((value, name), "") for name in names}}
+        for value in xs
+    ]
+    return format_table(pivoted, columns=[x] + names)

@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate paper experiments from the terminal.
+
+Usage::
+
+    python -m repro fig3 [--scale N]
+    python -m repro fig4 | fig5 | fig6 | fig7 | fig8 | fig9
+    python -m repro constants
+    python -m repro elle
+    python -m repro all [--scale N]
+
+Each command prints the corresponding paper figure/table; ``all`` runs the
+whole evaluation section (this is what EXPERIMENTS.md is built from).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    elle_comparison,
+    fig3_ycsb_throughput_latency,
+    fig4_tpcc_throughput,
+    fig5_processing_batch,
+    fig6_prover_threads,
+    fig7_time_breakdown,
+    fig8_contention,
+    fig9_table_size,
+    format_series,
+    format_table,
+    reference_constants,
+)
+
+__all__ = ["main"]
+
+
+def _fig3(scale: int) -> str:
+    rows = fig3_ycsb_throughput_latency(
+        batch_sizes=(320, 5_120, 81_920, 1_310_720, 2_621_440), scale=scale
+    )
+    return (
+        "Figure 3a — YCSB throughput (txn/s) vs verification batch size\n"
+        + format_series(rows, x="batch_size", y="throughput")
+        + "\n\nFigure 3b — YCSB mean latency (s) vs verification batch size\n"
+        + format_series(rows, x="batch_size", y="latency")
+    )
+
+
+def _fig4(scale: int) -> str:
+    rows = fig4_tpcc_throughput(batch_sizes=(320, 5_120, 81_920), scale=max(150, scale // 4))
+    new_order = [r for r in rows if r["transaction"] == "new_order"]
+    payment = [r for r in rows if r["transaction"] == "payment"]
+    return (
+        "Figure 4a — TPC-C New Order throughput (txn/s)\n"
+        + format_series(new_order, x="batch_size", y="throughput")
+        + "\n\nFigure 4b — TPC-C Payment throughput (txn/s)\n"
+        + format_series(payment, x="batch_size", y="throughput")
+    )
+
+
+def _fig5(scale: int) -> str:
+    rows = fig5_processing_batch(
+        processing_batch_sizes=(32, 3_200, 320_000, 1_000_000),
+        num_txns=1_310_720,
+        scale=scale,
+    )
+    return (
+        "Figure 5a — throughput (txn/s) vs DR processing batch size\n"
+        + format_series(rows, x="processing_batch", y="throughput")
+        + "\n\nFigure 5b — latency (s) vs DR processing batch size\n"
+        + format_series(rows, x="processing_batch", y="latency")
+    )
+
+
+def _fig6(scale: int) -> str:
+    rows = fig6_prover_threads(scale=scale)
+    return "Figure 6 — Litmus-DRM vs prover threads\n" + format_table(rows)
+
+
+def _fig7(scale: int) -> str:
+    rows = fig7_time_breakdown(scale=scale)
+    return "Figure 7 — time breakdown (shares) vs prover threads\n" + format_table(rows)
+
+
+def _fig8(scale: int) -> str:
+    rows = fig8_contention(
+        thetas=(0.0, 0.4, 0.8, 1.2, 1.6), num_txns=163_840, scale=scale
+    )
+    return "Figure 8 — throughput (txn/s) vs Zipfian theta\n" + format_series(
+        rows, x="theta", y="throughput"
+    )
+
+
+def _fig9(scale: int) -> str:
+    rows = fig9_table_size(scale=scale)
+    return "Figure 9 — Litmus-DRM throughput vs table size\n" + format_table(rows)
+
+
+def _constants(scale: int) -> str:
+    ref = reference_constants(scale=scale)
+    rows = [
+        {"metric": name, "ours": entry.get("ours", ""), "paper": entry.get("paper", "")}
+        for name, entry in ref.items()
+        if isinstance(entry, dict) and "ours" in entry
+    ]
+    return "Section 8 constants — paper vs reproduction\n" + format_table(rows)
+
+
+def _elle(scale: int) -> str:
+    result = elle_comparison(scale=max(500, scale))
+    rows = [{"metric": key, "value": value} for key, value in result.items()]
+    return "Section 8.3 — Elle vs Litmus\n" + format_table(rows)
+
+
+_COMMANDS = {
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "constants": _constants,
+    "elle": _elle,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Litmus paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=800,
+        help="size of the real scaled executions feeding the model",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("constants", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "elle"):
+            print(f"\n{'=' * 72}")
+            print(_COMMANDS[name](args.scale))
+    else:
+        print(_COMMANDS[args.experiment](args.scale))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Litmus core: the verifiable DBMS of the paper.
+
+Wires the substrates together exactly as Figure 1 describes:
+
+- :mod:`repro.core.memory_integrity` — the provider (server, Algorithm 1)
+  and the checker (in-circuit, Algorithm 2);
+- :mod:`repro.core.wrapper` — the transaction wrapper (Algorithm 3), with
+  per-transaction units under 2PL and aggregated units under deterministic
+  reservation;
+- :mod:`repro.core.server` — the server workflow (Algorithm 4) including
+  the piece dispatcher and prover-pipelining timing model (Section 7.2);
+- :mod:`repro.core.client` — digest keeping, circuit matching, proof and
+  digest-chain verification (Section 6.2);
+- :mod:`repro.core.interactive` / :mod:`repro.core.merkle_server` — the
+  AD-Interact and Merkle-tree baselines of Section 8;
+- :mod:`repro.core.hybrid`, :mod:`repro.core.consistency` — the Section 9
+  extensions (real-time hybrid mode; verifiable consistency invariants).
+"""
+
+from .audit import AuditRecord, AuditTrail
+from .checkpoint import DigestLog
+from .client import ClientVerdict, LitmusClient
+from .config import LitmusConfig
+from .consistency import InvariantViolation, SumInvariant
+from .hybrid import HybridLitmus
+from .interactive import InteractiveServerClient
+from .memory_integrity import (
+    MemoryIntegrityChecker,
+    MemoryIntegrityProvider,
+    ReadCertificate,
+    WriteCertificate,
+)
+from .merkle_server import MerkleServerClient
+from .protocol import PieceResult, ServerResponse, TimingReport
+from .proxy import ClientProxy, UserTicket
+from .server import LitmusServer
+from .snapshot import restore_server, snapshot_server
+
+__all__ = [
+    "AuditRecord",
+    "AuditTrail",
+    "ClientProxy",
+    "ClientVerdict",
+    "DigestLog",
+    "HybridLitmus",
+    "InteractiveServerClient",
+    "InvariantViolation",
+    "LitmusClient",
+    "LitmusConfig",
+    "LitmusServer",
+    "MemoryIntegrityChecker",
+    "MemoryIntegrityProvider",
+    "MerkleServerClient",
+    "PieceResult",
+    "restore_server",
+    "snapshot_server",
+    "ReadCertificate",
+    "ServerResponse",
+    "SumInvariant",
+    "TimingReport",
+    "UserTicket",
+    "WriteCertificate",
+]

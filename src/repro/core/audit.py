@@ -1,0 +1,112 @@
+"""Audit trails for verified sessions.
+
+Compliance-oriented record keeping on top of the protocol: every verified
+batch appends one :class:`AuditRecord` tying together the digest transition,
+the batch composition, and proof metadata.  The trail is what an
+organization shows its auditor — "between digest X and digest Y, exactly
+these transactions ran, verifiably" — and it cross-links with the
+hash-chained :class:`~repro.core.checkpoint.DigestLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..db.txn import Transaction
+from ..errors import ReproError
+from .checkpoint import DigestLog
+from .client import ClientVerdict
+from .protocol import ServerResponse
+
+__all__ = ["AuditRecord", "AuditTrail"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One verified batch, as an auditor sees it."""
+
+    batch_number: int
+    accepted: bool
+    num_txns: int
+    txn_ids: tuple[int, ...]
+    programs: tuple[str, ...]  # distinct stored-procedure names
+    old_digest: int
+    new_digest: int
+    proof_bytes: int
+    pieces: int
+    reject_reason: str = ""
+
+
+class AuditTrail:
+    """Accumulates audit records and renders the session report."""
+
+    def __init__(self, initial_digest: int):
+        self._log = DigestLog(initial_digest)
+        self._records: list[AuditRecord] = []
+
+    @property
+    def records(self) -> tuple[AuditRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def digest_log(self) -> DigestLog:
+        return self._log
+
+    def observe(
+        self,
+        txns: Sequence[Transaction],
+        response: ServerResponse,
+        verdict: ClientVerdict,
+    ) -> AuditRecord:
+        """Record one batch outcome (accepted batches advance the log)."""
+        if response.initial_digest != self._log.latest_digest and verdict.accepted:
+            raise ReproError("audit trail out of sync with the digest chain")
+        record = AuditRecord(
+            batch_number=len(self._records) + 1,
+            accepted=verdict.accepted,
+            num_txns=len(txns),
+            txn_ids=tuple(t.txn_id for t in txns),
+            programs=tuple(sorted({t.program.name for t in txns})),
+            old_digest=response.initial_digest,
+            new_digest=response.final_digest,
+            proof_bytes=sum(
+                getattr(p.proof, "size_bytes", 0) for p in response.pieces
+            ),
+            pieces=len(response.pieces),
+            reject_reason=verdict.reason,
+        )
+        self._records.append(record)
+        if verdict.accepted:
+            self._log.record(response.final_digest, num_txns=len(txns))
+        return record
+
+    def render(self) -> str:
+        """A human-readable session report."""
+        lines = ["Litmus audit trail", "=" * 60]
+        accepted = sum(1 for r in self._records if r.accepted)
+        lines.append(
+            f"batches: {len(self._records)} ({accepted} verified, "
+            f"{len(self._records) - accepted} rejected)"
+        )
+        total_txns = sum(r.num_txns for r in self._records if r.accepted)
+        lines.append(f"verified transactions: {total_txns}")
+        lines.append(f"final digest: {hex(self._log.latest_digest)[:20]}...")
+        lines.append("")
+        for record in self._records:
+            status = "VERIFIED" if record.accepted else "REJECTED"
+            lines.append(
+                f"#{record.batch_number:>3} {status:<9} {record.num_txns:>5} txns  "
+                f"{', '.join(record.programs)}"
+            )
+            lines.append(
+                f"     {hex(record.old_digest)[:14]}... -> "
+                f"{hex(record.new_digest)[:14]}...  "
+                f"({record.pieces} piece(s), {record.proof_bytes} proof bytes)"
+            )
+            if not record.accepted:
+                lines.append(f"     reason: {record.reject_reason}")
+        self._log.verify_chain()
+        lines.append("")
+        lines.append("digest log hash chain: OK")
+        return "\n".join(lines)

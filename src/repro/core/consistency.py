@@ -1,0 +1,74 @@
+"""Verifiable consistency (paper Section 9).
+
+"To verify consistency, we apply similar methods, but specializing the
+memory integrity checker into customized checkers."  An :class:`Invariant`
+is such a customized checker: it inspects each write certificate (which
+authenticates both the old and the new values of every written key) and
+decides whether the transition preserves the application's semantic
+invariant.  Invariants participate in the wrapped-transaction replay — a
+violated invariant zeroes the AllCommit bit exactly like a failed memory
+check — and in the circuit structure (their names are part of the label the
+circuit matcher compares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from ..errors import ReproError
+from .memory_integrity import WriteCertificate
+
+__all__ = ["Invariant", "SumInvariant", "InvariantViolation", "check_invariants"]
+
+
+class InvariantViolation(ReproError):
+    """A semantic (consistency) invariant was violated by a transition."""
+
+
+@runtime_checkable
+class Invariant(Protocol):
+    """A consistency predicate over authenticated write transitions."""
+
+    name: str
+
+    def check_unit(self, certificate: WriteCertificate) -> bool:
+        """True iff the transition old-values -> new-values is allowed."""
+        ...
+
+
+@dataclass(frozen=True)
+class SumInvariant:
+    """The classic bank invariant: the sum over a key family is preserved.
+
+    ``prefixes`` selects the keys covered (a key participates when its first
+    component is in the set).  A transfer transaction moves value between
+    covered keys; anything that mints or destroys value is rejected.
+    """
+
+    prefixes: frozenset[str]
+    name: str = "sum-preserving"
+
+    @classmethod
+    def over(cls, *prefixes: str) -> "SumInvariant":
+        return cls(prefixes=frozenset(prefixes))
+
+    def _covered(self, key: tuple) -> bool:
+        return bool(key) and key[0] in self.prefixes
+
+    def check_unit(self, certificate: WriteCertificate) -> bool:
+        old_values = dict(certificate.old_pairs)
+        delta = 0
+        for key, new_value in certificate.new_pairs:
+            if not self._covered(key):
+                continue
+            old = old_values.get(key, 0)  # inserted keys start at the agreed 0
+            delta += new_value - old
+        return delta == 0
+
+
+def check_invariants(
+    invariants: Iterable[Invariant], certificate: WriteCertificate
+) -> bool:
+    """Evaluate every invariant against one authenticated transition."""
+    return all(invariant.check_unit(certificate) for invariant in invariants)

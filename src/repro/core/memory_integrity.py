@@ -1,0 +1,224 @@
+"""Memory integrity: provider (Algorithm 1) and checker (Algorithm 2).
+
+The **provider** runs natively on the server.  It owns the authenticated
+dictionary state (the exponent product ``S``, the digest ``acc``, and the
+cached dictionary ``D``) and mints certificates:
+
+- :class:`ReadCertificate` — an aggregated lookup proof for the keys a
+  schedule unit read, plus a key non-existence proof for never-written keys
+  (whose value is the agreed initial 0);
+- :class:`WriteCertificate` — the witness needed to roll the digest forward
+  over a unit's writes, plus non-existence proofs for blind inserts.
+
+The **checker** is the logic the circuit runs ("plugged into each
+transaction" per Section 6.1.2): it holds only the running digest ``acc``
+and verifies certificates with a constant number of group operations,
+updating ``acc`` as writes are applied.  Both sides perform the *real* RSA
+mathematics; when the checker runs inside a wrapped-transaction circuit it
+is wrapped as a fixed-cost foreign gadget (see
+:mod:`repro.core.wrapper`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..crypto.authdict import AuthenticatedDictionary, LookupProof, NonMembershipProof
+from ..crypto.poe import PoEProof
+from ..crypto.rsa_group import RSAGroup
+from ..db.kvstore import INITIAL_VALUE
+from ..errors import IntegrityError
+
+__all__ = [
+    "ReadCertificate",
+    "WriteCertificate",
+    "MemoryIntegrityProvider",
+    "MemoryIntegrityChecker",
+]
+
+
+@dataclass(frozen=True)
+class ReadCertificate:
+    """Authenticates the values a unit read, against a specific digest.
+
+    When *poe* is set, the lookup verifies with a constant number of group
+    operations (Wesolowski proof-of-exponentiation, Section 6.1.1) instead
+    of an exponentiation by the full pair product.
+    """
+
+    digest: int  # the digest this certificate is valid against
+    present: tuple[tuple[tuple, int], ...]  # (key, value) pairs in the AD
+    absent: tuple[tuple, ...]  # keys never written (value = initial 0)
+    lookup: LookupProof | None
+    nokey: NonMembershipProof | None
+    poe: PoEProof | None = None
+
+    def values(self) -> dict[tuple, int]:
+        out = {key: value for key, value in self.present}
+        for key in self.absent:
+            out[key] = INITIAL_VALUE
+        return out
+
+
+@dataclass(frozen=True)
+class WriteCertificate:
+    """Authenticates a digest roll-forward over a unit's writes."""
+
+    old_digest: int
+    new_digest: int
+    old_pairs: tuple[tuple[tuple, int], ...]  # existing keys' prior values
+    inserted: tuple[tuple, ...]  # keys written for the first time
+    new_pairs: tuple[tuple[tuple, int], ...]  # all written (key, value)
+    witness: LookupProof  # excludes exactly the old pairs
+    nokey: NonMembershipProof | None  # absence of `inserted` under old digest
+
+
+class MemoryIntegrityProvider:
+    """Algorithm 1: the server-side witness factory.
+
+    ``GenReadProof`` maps to :meth:`certify_reads`; ``UpdateWrite`` maps to
+    :meth:`apply_writes`.  Aggregation over a whole non-conflicting batch is
+    inherent: certificates cover key *sets*.
+    """
+
+    def __init__(
+        self,
+        group: RSAGroup,
+        initial: Mapping[tuple, int] | None = None,
+        prime_bits: int = 64,
+        use_poe: bool = False,
+    ):
+        self._ad = AuthenticatedDictionary(group, initial=initial, prime_bits=prime_bits)
+        self.use_poe = use_poe
+
+    @property
+    def digest(self) -> int:
+        return self._ad.digest
+
+    @property
+    def dictionary_size(self) -> int:
+        return len(self._ad)
+
+    def current_value(self, key: tuple) -> int:
+        return self._ad.get(key, INITIAL_VALUE)
+
+    def certify_reads(self, reads: Mapping[tuple, int]) -> ReadCertificate:
+        """Prove that each key in *reads* currently has the given value.
+
+        Keys never written get an aggregated non-existence proof; their
+        claimed value must be the agreed initial value.
+        """
+        present: dict[tuple, int] = {}
+        absent: list[tuple] = []
+        for key, value in reads.items():
+            if key in self._ad:
+                stored = self._ad.get(key)
+                if stored != value:
+                    raise IntegrityError(
+                        f"provider asked to certify stale value for {key!r}: "
+                        f"store has {stored}, caller claims {value}"
+                    )
+                present[key] = value
+            else:
+                if value != INITIAL_VALUE:
+                    raise IntegrityError(
+                        f"unwritten key {key!r} must read the initial value"
+                    )
+                absent.append(key)
+        lookup = None
+        poe = None
+        if present:
+            if self.use_poe:
+                lookup, poe = self._ad.prove_lookup_with_poe(present)
+            else:
+                lookup = self._ad.prove_lookup(present)
+        nokey = self._ad.prove_no_key(absent) if absent else None
+        return ReadCertificate(
+            digest=self._ad.digest,
+            present=tuple(present.items()),
+            absent=tuple(absent),
+            lookup=lookup,
+            nokey=nokey,
+            poe=poe,
+        )
+
+    def apply_writes(self, writes: Mapping[tuple, int]) -> WriteCertificate:
+        """Apply *writes* to the dictionary, returning the roll-forward proof."""
+        if not writes:
+            raise IntegrityError("empty write set")
+        old_digest = self._ad.digest
+        old_pairs = {key: self._ad.get(key) for key in writes if key in self._ad}
+        inserted = tuple(key for key in writes if key not in self._ad)
+        nokey = self._ad.prove_no_key(inserted) if inserted else None
+        new_digest, witness = self._ad.update(dict(writes))
+        return WriteCertificate(
+            old_digest=old_digest,
+            new_digest=new_digest,
+            old_pairs=tuple(old_pairs.items()),
+            inserted=inserted,
+            new_pairs=tuple(writes.items()),
+            witness=witness,
+            nokey=nokey,
+        )
+
+
+class MemoryIntegrityChecker:
+    """Algorithm 2: the in-circuit verifier.
+
+    Holds only ``acc`` (one "dedicated wire"); each call performs a constant
+    number of group operations.  All verification is real cryptography — a
+    tampered certificate makes the corresponding method return False, which
+    zeroes the wrapped transaction's AllCommit bit.
+    """
+
+    def __init__(self, group: RSAGroup, initial_digest: int, prime_bits: int = 64):
+        self._verifier = AuthenticatedDictionary(group, prime_bits=prime_bits)
+        self.acc = initial_digest
+
+    def mem_check(self, certificate: ReadCertificate) -> bool:
+        """MemCheck: are the claimed read values consistent with ``acc``?"""
+        if certificate.digest != self.acc:
+            return False
+        if certificate.present:
+            if certificate.lookup is None:
+                return False
+            pairs = {key: value for key, value in certificate.present}
+            if certificate.poe is not None:
+                if not self._verifier.ver_lookup_with_poe(
+                    self.acc, pairs, certificate.lookup, certificate.poe
+                ):
+                    return False
+            elif not self._verifier.ver_lookup(self.acc, pairs, certificate.lookup):
+                return False
+        if certificate.absent:
+            if certificate.nokey is None:
+                return False
+            if not self._verifier.ver_no_key(self.acc, certificate.absent, certificate.nokey):
+                return False
+        return True
+
+    def mem_update(self, certificate: WriteCertificate) -> bool:
+        """MemUpdate: verify the old pairs against ``acc``, roll it forward."""
+        if certificate.old_digest != self.acc:
+            return False
+        old_pairs = {key: value for key, value in certificate.old_pairs}
+        if not self._verifier.ver_lookup(self.acc, old_pairs, certificate.witness):
+            return False
+        if certificate.inserted:
+            # Blind inserts must prove the key was never written; otherwise a
+            # malicious server could shadow an existing pair and later serve
+            # either value for the same key.
+            if certificate.nokey is None:
+                return False
+            if not self._verifier.ver_no_key(self.acc, certificate.inserted, certificate.nokey):
+                return False
+        claimed_keys = set(old_pairs) | set(certificate.inserted)
+        if claimed_keys != {key for key, _v in certificate.new_pairs}:
+            return False
+        new_pairs = {key: value for key, value in certificate.new_pairs}
+        rolled = self._verifier.digest_after_update(certificate.witness, new_pairs)
+        if rolled != certificate.new_digest:
+            return False
+        self.acc = rolled
+        return True

@@ -1,0 +1,87 @@
+"""Wire-level message types between the Litmus server and client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["PieceResult", "ServerResponse", "TimingReport"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Virtual-time accounting of one verification batch (see repro.sim).
+
+    ``total_seconds`` is the server-side critical path (throughput =
+    txns / total); ``mean_latency_seconds`` additionally includes client
+    verification, matching the paper's latency definition (submission to
+    proof receipt).
+    """
+
+    db_seconds: float = 0.0
+    trace_seconds: float = 0.0
+    circuit_seconds: float = 0.0
+    keygen_seconds: float = 0.0
+    prove_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    output_seconds: float = 0.0
+    total_seconds: float = 0.0
+    mean_latency_seconds: float = 0.0
+    num_txns: int = 0
+    total_constraints: int = 0
+    proof_bytes: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.num_txns / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        """Component shares for the Fig 7 reproduction."""
+        parts = {
+            "process_traces": self.db_seconds + self.trace_seconds,
+            "circuit_generation": self.circuit_seconds,
+            "key_generation": self.keygen_seconds,
+            "proving": self.prove_seconds,
+            "verification": self.verify_seconds,
+            "proof_output": self.output_seconds,
+        }
+        total = sum(parts.values())
+        if total == 0:
+            return {name: 0.0 for name in parts}
+        return {name: value / total for name, value in parts.items()}
+
+
+@dataclass(frozen=True)
+class PieceResult:
+    """One pipelined circuit piece: proof + the statement it certifies."""
+
+    piece_index: int
+    txn_ids: tuple[int, ...]
+    unit_txn_ids: tuple[tuple[int, ...], ...]  # batch composition per unit
+    start_digest: int
+    end_digest: int
+    all_commit: bool
+    outputs: tuple[tuple[int, tuple[int, ...]], ...]  # (txn_id, outputs)
+    public_values: tuple[int, ...]
+    proof: object  # Proof or SpotCheckProof
+    verification_key: object  # VerificationKey (client cross-checks circuit hash)
+    circuit_signature: bytes
+    constraints: int
+
+
+@dataclass(frozen=True)
+class ServerResponse:
+    """Everything returned for one verification batch (MSG_WRTXN + proofs)."""
+
+    pieces: tuple[PieceResult, ...]
+    initial_digest: int
+    final_digest: int
+    timing: TimingReport
+    stats: object = None  # ExecutionStats from the CC layer
+
+    def all_outputs(self) -> dict[int, tuple[int, ...]]:
+        outputs: dict[int, tuple[int, ...]] = {}
+        for piece in self.pieces:
+            for txn_id, values in piece.outputs:
+                outputs[txn_id] = values
+        return outputs

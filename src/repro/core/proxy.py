@@ -1,0 +1,123 @@
+"""The client as a proxy for many end users (paper Section 4).
+
+"In the DBaaS setting, the single client is the organization that delegates
+the database, which might be the proxy of millions of real users and submit
+many transactions."  :class:`ClientProxy` is that organization-side
+component: end users enqueue stored-procedure calls, the proxy groups them
+into verification batches, drives the Litmus protocol, and hands each user
+back a :class:`UserTicket` that resolves to the verified outputs (or to the
+batch's rejection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.txn import Transaction
+from ..errors import ReproError
+from ..vc.program import Program
+from .client import LitmusClient
+from .server import LitmusServer
+
+__all__ = ["ClientProxy", "UserTicket"]
+
+
+@dataclass
+class UserTicket:
+    """A pending user request; resolves when its batch verifies."""
+
+    user: str
+    txn_id: int
+    _resolved: bool = False
+    _accepted: bool = False
+    _outputs: tuple[int, ...] = ()
+    _reason: str = ""
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def accepted(self) -> bool:
+        if not self._resolved:
+            raise ReproError("ticket not resolved yet; flush the proxy first")
+        return self._accepted
+
+    @property
+    def outputs(self) -> tuple[int, ...]:
+        if not self.accepted:
+            raise ReproError(f"batch rejected: {self._reason}")
+        return self._outputs
+
+    def _resolve(self, accepted: bool, outputs: tuple[int, ...], reason: str) -> None:
+        self._resolved = True
+        self._accepted = accepted
+        self._outputs = outputs
+        self._reason = reason
+
+
+@dataclass
+class _Pending:
+    ticket: UserTicket
+    txn: Transaction
+
+
+class ClientProxy:
+    """Batches user requests into verified Litmus rounds.
+
+    The proxy owns the transaction-id space (ids double as deterministic
+    priorities, so arrival order is the priority order) and the client-side
+    digest; ``flush()`` submits one verification batch and resolves every
+    ticket in it.
+    """
+
+    def __init__(
+        self,
+        server: LitmusServer,
+        client: LitmusClient,
+        max_batch: int = 1024,
+    ):
+        if max_batch < 1:
+            raise ReproError("batch capacity must be positive")
+        self.server = server
+        self.client = client
+        self.max_batch = max_batch
+        self._next_id = 1
+        self._pending: list[_Pending] = []
+        self.batches_verified = 0
+        self.batches_rejected = 0
+
+    # -- user-facing API ---------------------------------------------------------
+
+    def submit(self, user: str, program: Program, params: dict[str, int]) -> UserTicket:
+        """Enqueue one stored-procedure call on behalf of *user*."""
+        txn = Transaction(self._next_id, program, dict(params))
+        self._next_id += 1
+        ticket = UserTicket(user=user, txn_id=txn.txn_id)
+        self._pending.append(_Pending(ticket=ticket, txn=txn))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> bool:
+        """Submit the queued batch; resolve every ticket.  True iff verified."""
+        if not self._pending:
+            return True
+        pending, self._pending = self._pending, []
+        txns = [entry.txn for entry in pending]
+        response = self.server.execute_batch(txns)
+        verdict = self.client.verify_response(txns, response)
+        if verdict.accepted:
+            self.batches_verified += 1
+            outputs = verdict.outputs or {}
+            for entry in pending:
+                entry.ticket._resolve(True, outputs.get(entry.txn.txn_id, ()), "")
+        else:
+            self.batches_rejected += 1
+            for entry in pending:
+                entry.ticket._resolve(False, (), verdict.reason)
+        return verdict.accepted

@@ -1,0 +1,281 @@
+"""The Litmus server (Algorithm 4) with prover pipelining (Section 7.2).
+
+Per verification batch the server:
+
+1. runs the normal DBMS (2PL or deterministic reservation), collecting
+   runtime traces and the schedule of units;
+2. feeds the schedule through the memory-integrity provider *in serial
+   order*, minting aggregated read/write certificates against the digest
+   chain;
+3. groups units into circuit pieces (``batches_per_piece`` per Fig 2),
+   builds each piece's wrapped circuit, replays it honestly, and proves it
+   with the configured VC backend;
+4. models the wall-clock of the whole pipeline with the calibrated cost
+   model and the prover makespan scheduler.
+
+Everything cryptographic is real; only elapsed time is virtual.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..db.database import Database
+from ..db.txn import Transaction
+from ..crypto.rsa_group import RSAGroup
+from ..errors import ReproError
+from ..sim.costmodel import CostModel
+from ..sim.scheduler import ProverTask, schedule_tasks
+from ..vc.compiler import CircuitCompiler
+from ..vc.snark import Groth16Simulator
+from ..vc.spotcheck import SpotCheckBackend
+from .config import LitmusConfig
+from .memory_integrity import MemoryIntegrityProvider
+from .protocol import PieceResult, ServerResponse, TimingReport
+from .wrapper import (
+    CTX_OUTCOME,
+    WrappedPiece,
+    WrappedUnit,
+    build_wrapped_circuit,
+    piece_constraints,
+    replay_piece,
+    statement_hash,
+)
+
+__all__ = ["LitmusServer"]
+
+
+def _make_backend(name: str):
+    if name == "groth16":
+        return Groth16Simulator()
+    if name == "spotcheck":
+        return SpotCheckBackend()
+    raise ReproError(f"unknown backend {name!r}")
+
+
+class LitmusServer:
+    """Hosts the normal DBMS plus the verifiable machinery."""
+
+    def __init__(
+        self,
+        initial: Mapping[tuple, int] | None = None,
+        config: LitmusConfig | None = None,
+        group: RSAGroup | None = None,
+        cost_model: CostModel | None = None,
+        invariants: tuple = (),
+    ):
+        self.config = config or LitmusConfig()
+        self.group = group or RSAGroup.generate(bits=512, seed=b"litmus-server")
+        self.db = Database(
+            initial=initial,
+            cc=self.config.cc,
+            processing_batch_size=self.config.processing_batch_size,
+            num_threads=self.config.num_db_threads,
+        )
+        self.provider = MemoryIntegrityProvider(
+            self.group,
+            initial=initial,
+            prime_bits=self.config.prime_bits,
+            use_poe=self.config.use_poe,
+        )
+        self.compiler = CircuitCompiler()
+        self.backend = _make_backend(self.config.backend)
+        self.cost_model = cost_model
+        self.invariants = tuple(invariants)
+        # Exposed so the client can fetch circuits for spot-check verification.
+        self.last_circuits: dict[int, object] = {}
+
+    @property
+    def digest(self) -> int:
+        """The server's view of the current database digest."""
+        return self.provider.digest
+
+    # -- the main entry point (MSG_TXN handler) ---------------------------------
+
+    def execute_batch(self, txns: Sequence[Transaction]) -> ServerResponse:
+        if not txns:
+            raise ReproError("empty verification batch")
+        txns_by_id = {txn.txn_id: txn for txn in txns}
+        if len(txns_by_id) != len(txns):
+            raise ReproError("duplicate transaction ids in the batch")
+
+        initial_digest = self.provider.digest
+        report = self.db.run(txns)
+
+        # Certify the schedule against the digest chain, unit by unit.
+        wrapped_units: list[WrappedUnit] = []
+        for unit in report.schedule:
+            read_cert = (
+                self.provider.certify_reads(dict(unit.reads)) if unit.reads else None
+            )
+            write_cert = (
+                self.provider.apply_writes(dict(unit.writes)) if unit.writes else None
+            )
+            wrapped_units.append(
+                WrappedUnit(unit=unit, read_certificate=read_cert, write_certificate=write_cert)
+            )
+
+        # Group units into circuit pieces and prove each one.
+        pieces = self._make_pieces(wrapped_units, initial_digest)
+        cost_model = self._resolve_cost_model()
+        piece_results: list[PieceResult] = []
+        self.last_circuits.clear()
+        total_constraints = 0
+        prover_tasks: list[ProverTask] = []
+        release = 0.0
+        db_seconds = cost_model.db_seconds(
+            len(txns), self.config.cc, contention_factor=self._contention_factor(report)
+        )
+        trace_seconds = cost_model.trace_seconds(
+            report.stats.reads + report.stats.writes,
+            table_doublings=self.config.table_doublings,
+        )
+        serial_per_piece = (db_seconds + trace_seconds) / max(1, len(pieces))
+
+        for piece in pieces:
+            circuit = build_wrapped_circuit(
+                piece,
+                txns_by_id,
+                self.compiler,
+                self.group,
+                self.config.prime_bits,
+                self.config.memcheck_constraints,
+                aggregated=self.config.aggregation_enabled,
+                invariants=self.invariants,
+            )
+            outcome = replay_piece(
+                piece,
+                txns_by_id,
+                self.compiler,
+                self.group,
+                self.config.prime_bits,
+                invariants=self.invariants,
+            )
+            claimed = statement_hash(
+                piece.piece_index,
+                piece.start_digest,
+                outcome.end_digest,
+                outcome.all_commit,
+                outcome.outputs,
+            )
+            proving_key, verification_key = self.backend.setup(circuit)
+            context = {CTX_OUTCOME: outcome, "claimed_statement": claimed}
+            proof, public_values = self.backend.prove(
+                proving_key,
+                circuit,
+                {"statement_lo": claimed[0], "statement_hi": claimed[1]},
+                context,
+            )
+            constraints = circuit.total_constraints
+            total_constraints += constraints
+            release += serial_per_piece
+            prover_tasks.append(
+                ProverTask(
+                    cost_seconds=cost_model.piece_seconds(constraints),
+                    release_seconds=release,
+                    txn_count=len(piece.txn_ids()),
+                )
+            )
+            piece_results.append(
+                PieceResult(
+                    piece_index=piece.piece_index,
+                    txn_ids=piece.txn_ids(),
+                    unit_txn_ids=tuple(w.unit.txn_ids for w in piece.units),
+                    start_digest=piece.start_digest,
+                    end_digest=outcome.end_digest,
+                    all_commit=outcome.all_commit,
+                    outputs=outcome.outputs,
+                    public_values=tuple(public_values),
+                    proof=proof,
+                    verification_key=verification_key,
+                    circuit_signature=circuit.structural_hash(),
+                    constraints=constraints,
+                )
+            )
+            self.last_circuits[piece.piece_index] = (circuit, verification_key)
+
+        timing = self._timing(
+            cost_model, len(txns), db_seconds, trace_seconds, total_constraints, prover_tasks
+        )
+        return ServerResponse(
+            pieces=tuple(piece_results),
+            initial_digest=initial_digest,
+            final_digest=self.provider.digest,
+            timing=timing,
+            stats=report.stats,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _make_pieces(
+        self, wrapped_units: list[WrappedUnit], initial_digest: int
+    ) -> list[WrappedPiece]:
+        pieces: list[WrappedPiece] = []
+        start_digest = initial_digest
+        size = self.config.batches_per_piece
+        for index in range(0, len(wrapped_units), size):
+            chunk = tuple(wrapped_units[index : index + size])
+            pieces.append(
+                WrappedPiece(
+                    piece_index=len(pieces), units=chunk, start_digest=start_digest
+                )
+            )
+            last = chunk[-1]
+            if last.write_certificate is not None:
+                start_digest = last.write_certificate.new_digest
+            else:
+                for wrapped in reversed(chunk):
+                    if wrapped.write_certificate is not None:
+                        start_digest = wrapped.write_certificate.new_digest
+                        break
+        return pieces
+
+    def _contention_factor(self, report) -> float:
+        """Retry overhead measured from the real CC run (drives Fig 8)."""
+        committed = max(1, report.stats.committed)
+        return 1.0 + report.stats.aborted_retries / committed
+
+    def _resolve_cost_model(self) -> CostModel:
+        if self.cost_model is not None:
+            return self.cost_model
+        # Calibrate lazily against a compiled representative circuit: use the
+        # mean template size of everything compiled so far, else a default.
+        templates = getattr(self.compiler, "_cache", {})
+        if templates:
+            sizes = [t.total_constraints for t in templates.values()]
+            representative = max(1, sum(sizes) // len(sizes))
+        else:
+            representative = 100
+        self.cost_model = CostModel.calibrated(representative)
+        return self.cost_model
+
+    def _timing(
+        self,
+        cost_model: CostModel,
+        num_txns: int,
+        db_seconds: float,
+        trace_seconds: float,
+        total_constraints: int,
+        prover_tasks: list[ProverTask],
+    ) -> TimingReport:
+        keygen_total = total_constraints * cost_model.keygen_per_constraint
+        prove_total = total_constraints * cost_model.prove_per_constraint
+        fixed_total = len(prover_tasks) * cost_model.piece_fixed_seconds
+        schedule = schedule_tasks(prover_tasks, self.config.num_provers)
+        total = max(db_seconds + trace_seconds, schedule.makespan_seconds)
+        mean_completion = schedule.txn_weighted_mean_completion(prover_tasks)
+        return TimingReport(
+            db_seconds=db_seconds,
+            trace_seconds=trace_seconds,
+            circuit_seconds=total_constraints * cost_model.circuit_gen_per_constraint,
+            keygen_seconds=keygen_total + fixed_total / 2,
+            prove_seconds=prove_total + fixed_total / 2,
+            verify_seconds=cost_model.verify_seconds,
+            output_seconds=cost_model.output_seconds,
+            total_seconds=total,
+            mean_latency_seconds=mean_completion + cost_model.verify_seconds,
+            num_txns=num_txns,
+            total_constraints=total_constraints,
+            proof_bytes=cost_model.proof_bytes_per_prover
+            * min(self.config.num_provers, max(1, len(prover_tasks))),
+        )

@@ -1,0 +1,76 @@
+"""Server-state snapshots: serialize and restore a Litmus deployment.
+
+Complements the client's :class:`~repro.core.checkpoint.DigestLog`: the
+server persists its database contents plus the digest it has certified up
+to, and a restarted server resumes exactly there.  The client needs no
+special handling — a correctly restored server produces the same digest
+chain, and a *corrupted* restore is caught the moment it tries to certify a
+stale value (the provider refuses) or the client sees a digest mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError, VerificationFailure
+from ..serialization import encode
+from .server import LitmusServer
+
+__all__ = ["snapshot_server", "restore_server"]
+
+_FORMAT = "litmus-snapshot-v1"
+
+
+def _encode_key(key: tuple) -> list:
+    for part in key:
+        if not isinstance(part, (int, str)):
+            raise ReproError(f"snapshot supports int/str key parts, got {part!r}")
+    return list(key)
+
+
+def snapshot_server(server: LitmusServer) -> str:
+    """Serialize the server's durable state (database + certified digest)."""
+    contents = server.db.snapshot()
+    return json.dumps(
+        {
+            "format": _FORMAT,
+            "digest": hex(server.digest),
+            "rows": [[_encode_key(key), value] for key, value in sorted(
+                contents.items(), key=lambda item: encode(item[0])
+            )],
+        }
+    )
+
+
+def restore_server(
+    payload: str,
+    config,
+    group,
+    expected_digest: int | None = None,
+    invariants: tuple = (),
+) -> LitmusServer:
+    """Rebuild a server from a snapshot.
+
+    *expected_digest* (e.g. from the client's digest log) cross-checks that
+    the snapshot matches the last verified state; a tampered or stale
+    snapshot fails here — or, if the digest field itself was forged to
+    match, at the first certify step, because the rebuilt authenticated
+    dictionary recommits the actual rows.
+    """
+    raw = json.loads(payload)
+    if raw.get("format") != _FORMAT:
+        raise ReproError("not a Litmus snapshot")
+    contents = {tuple(key): value for key, value in raw["rows"]}
+    server = LitmusServer(
+        initial=contents, config=config, group=group, invariants=invariants
+    )
+    recorded = int(raw["digest"], 16)
+    if server.digest != recorded:
+        raise VerificationFailure(
+            "snapshot digest does not match its contents (corrupted snapshot)"
+        )
+    if expected_digest is not None and server.digest != expected_digest:
+        raise VerificationFailure(
+            "snapshot is stale: digest differs from the client's last verified state"
+        )
+    return server

@@ -1,0 +1,53 @@
+"""Cryptographic substrate for Litmus.
+
+This package provides every primitive the paper's design relies on:
+
+- deterministic hash-to-prime sampling with Pocklington primality
+  certificates (:mod:`repro.crypto.primes`, :mod:`repro.crypto.pocklington`);
+- the three-way *prime categorization* of Section 5.1
+  (:mod:`repro.crypto.categorization`);
+- RSA groups of unknown order with an optional trapdoor for honest parties
+  (:mod:`repro.crypto.rsa_group`);
+- Wesolowski proofs of exponentiation used to keep the in-circuit memory
+  checker constant-size (:mod:`repro.crypto.poe`);
+- a dynamic universal RSA accumulator (:mod:`repro.crypto.accumulator`);
+- the weakly-binding authenticated dictionary of Section 5.3
+  (:mod:`repro.crypto.authdict`);
+- a Merkle-tree authenticated store used as the folklore baseline
+  (:mod:`repro.crypto.merkle`).
+"""
+
+from .accumulator import RSAAccumulator
+from .authdict import AuthenticatedDictionary, LookupProof, NonMembershipProof
+from .categorization import (
+    CATEGORY_KEY,
+    CATEGORY_RELATION,
+    CATEGORY_VALUE,
+    sample_category_prime,
+    verify_category,
+)
+from .merkle import MerkleTree
+from .multiset_hash import MultisetHash
+from .poe import prove_exponentiation, verify_exponentiation
+from .pocklington import PocklingtonCertificate, build_certified_prime
+from .rsa_group import RSAGroup, bezout
+
+__all__ = [
+    "AuthenticatedDictionary",
+    "CATEGORY_KEY",
+    "CATEGORY_RELATION",
+    "CATEGORY_VALUE",
+    "LookupProof",
+    "MerkleTree",
+    "MultisetHash",
+    "NonMembershipProof",
+    "PocklingtonCertificate",
+    "RSAAccumulator",
+    "RSAGroup",
+    "bezout",
+    "build_certified_prime",
+    "prove_exponentiation",
+    "sample_category_prime",
+    "verify_category",
+    "verify_exponentiation",
+]

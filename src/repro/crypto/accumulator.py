@@ -1,0 +1,151 @@
+"""Dynamic universal RSA accumulator.
+
+The building block of the authenticated dictionary (paper Section 5): a
+constant-sized commitment ``A = g^(prod of elements)`` to a multiset of prime
+representatives, supporting
+
+- *membership witnesses* ``w = g^(S / p)`` verified by ``w^p == A`` —
+  naturally **aggregatable**: one witness covers a whole set of primes at
+  once (``w^(p1*p2*...) == A``), which is exactly the property Litmus uses to
+  merge the proofs of a non-conflicting transaction batch;
+- *non-membership witnesses* from Bezout coefficients ``a*S + b*p = 1``
+  verified by ``A^a * g^(b*p) == g`` (universal accumulator);
+- optional PoE compression of verification (see :mod:`repro.crypto.poe`).
+
+This class tracks the exponent product ``S`` explicitly — the same
+bookkeeping Algorithm 1 of the paper performs on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import CryptoError, ProofError
+from .poe import PoEProof, prove_exponentiation, verify_exponentiation
+from .rsa_group import RSAGroup, bezout
+
+__all__ = ["RSAAccumulator", "NonMembershipWitness"]
+
+
+@dataclass(frozen=True)
+class NonMembershipWitness:
+    """Bezout coefficients proving a prime (product) is outside the set."""
+
+    a: int
+    b: int
+
+
+class RSAAccumulator:
+    """Server-side accumulator state over prime representatives."""
+
+    def __init__(self, group: RSAGroup, elements: Iterable[int] = ()):
+        self.group = group
+        self._product = 1
+        self._value = group.generator
+        for element in elements:
+            self.add(element)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The current accumulator digest ``g^S``."""
+        return self._value
+
+    @property
+    def product(self) -> int:
+        """The exponent product ``S`` (server bookkeeping, never sent)."""
+        return self._product
+
+    def add(self, prime: int) -> int:
+        """Accumulate *prime*; returns the new digest."""
+        if prime < 3:
+            raise CryptoError("accumulator elements must be odd primes")
+        self._value = self.group.power(self._value, prime)
+        self._product *= prime
+        return self._value
+
+    def remove(self, prime: int) -> int:
+        """Remove one occurrence of *prime* (server recomputes from g)."""
+        if self._product % prime != 0:
+            raise CryptoError("cannot remove a prime that was never accumulated")
+        self._product //= prime
+        self._value = self.group.power(self.group.generator, self._product)
+        return self._value
+
+    # -- membership ------------------------------------------------------------
+
+    def membership_witness(self, primes: Iterable[int]) -> int:
+        """Aggregated witness for all *primes* at once: ``g^(S / prod)``."""
+        remaining = self._product
+        total = 1
+        for prime in primes:
+            if remaining % prime != 0:
+                raise CryptoError(f"prime {prime} is not in the accumulator")
+            remaining //= prime
+            total *= prime
+        return self.group.power(self.group.generator, remaining)
+
+    @staticmethod
+    def verify_membership(
+        group: RSAGroup, digest: int, primes: Iterable[int], witness: int
+    ) -> bool:
+        """Check ``witness^(prod primes) == digest`` — one proof, many elements."""
+        exponent = 1
+        for prime in primes:
+            exponent *= prime
+        return group.power(witness, exponent) == digest % group.modulus
+
+    # -- non-membership ---------------------------------------------------------
+
+    def nonmembership_witness(self, prime_product: int) -> NonMembershipWitness:
+        """Bezout witness that no prime dividing *prime_product* is accumulated."""
+        a, b, g = bezout(self._product, prime_product)
+        if g != 1:
+            raise CryptoError("an element of the queried set is in the accumulator")
+        return NonMembershipWitness(a=a, b=b)
+
+    @staticmethod
+    def verify_nonmembership(
+        group: RSAGroup,
+        digest: int,
+        prime_product: int,
+        witness: NonMembershipWitness,
+    ) -> bool:
+        """Check ``digest^a * g^(b * prod) == g`` (paper's VerNoKey)."""
+        lhs = group.mul(
+            group.power(digest, witness.a),
+            group.power(group.generator, witness.b * prime_product),
+        )
+        return lhs == group.generator
+
+    # -- PoE-compressed paths ----------------------------------------------------
+
+    def membership_witness_with_poe(
+        self, primes: Iterable[int]
+    ) -> tuple[int, int, PoEProof]:
+        """Witness plus a PoE so the checker verifies in constant work.
+
+        Returns ``(witness, exponent, proof)`` where ``exponent`` is the
+        product of the queried primes.
+        """
+        prime_list = list(primes)
+        witness = self.membership_witness(prime_list)
+        exponent = 1
+        for prime in prime_list:
+            exponent *= prime
+        result, proof = prove_exponentiation(self.group, witness, exponent)
+        if result != self._value:
+            raise ProofError("internal error: PoE result disagrees with digest")
+        return witness, exponent, proof
+
+    @staticmethod
+    def verify_membership_with_poe(
+        group: RSAGroup,
+        digest: int,
+        witness: int,
+        exponent: int,
+        proof: PoEProof,
+    ) -> bool:
+        return verify_exponentiation(group, witness, exponent, digest, proof)

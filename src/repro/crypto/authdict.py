@@ -1,0 +1,285 @@
+"""Weakly-binding authenticated dictionary from RSA accumulators (Section 5.3).
+
+Each key-value pair ``(k, v)`` is encoded as the product of **three** category
+primes:
+
+    H(k, v) = Sample(lambda, 0, k) * Sample(lambda, 1, v) * Sample(lambda, 2, h(k, v))
+
+where ``h`` is a collision-resistant hash.  The digest of a dictionary ``D``
+is ``g^(prod H(k, v))``.  Because the *key* primes live in their own residue
+class, the scheme supports efficient **key non-existence proofs** — the
+feature the naive accumulator-of-pairs construction lacks, and the reason
+the client never has to pre-populate the digest with every possible memory
+address.
+
+The API mirrors the paper exactly: ``Setup``, ``Commit``, ``Update``,
+``ProveLookup`` / ``VerLookup`` (aggregatable over key sets), and
+``ProveNoKey`` / ``VerNoKey`` (Bezout witnesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import CryptoError, ProofError
+from ..serialization import encode
+from .categorization import (
+    CATEGORY_KEY,
+    CATEGORY_RELATION,
+    CATEGORY_VALUE,
+    sample_category_prime,
+)
+from .hashing import hash_pair
+from .poe import PoEProof, prove_exponentiation, verify_exponentiation
+from .rsa_group import RSAGroup, bezout
+
+__all__ = [
+    "AuthenticatedDictionary",
+    "LookupProof",
+    "NonMembershipProof",
+    "pair_representative",
+    "key_prime",
+]
+
+DEFAULT_PRIME_BITS = 128
+
+
+@dataclass(frozen=True)
+class LookupProof:
+    """Aggregated lookup proof: the digest of the dictionary minus the pairs."""
+
+    witness: int
+
+
+@dataclass(frozen=True)
+class NonMembershipProof:
+    """Bezout coefficients ``(a, b)`` with ``a*S + b*(prod key primes) = 1``."""
+
+    a: int
+    b: int
+
+
+def key_prime(key: object, bits: int = DEFAULT_PRIME_BITS) -> int:
+    """The category-0 prime encoding *key*."""
+    return sample_category_prime(bits, CATEGORY_KEY, encode(key))
+
+
+def pair_representative(key: object, value: object, bits: int = DEFAULT_PRIME_BITS) -> int:
+    """``H(k, v)``: the product of the key, value, and relation primes."""
+    kp = sample_category_prime(bits, CATEGORY_KEY, encode(key))
+    vp = sample_category_prime(bits, CATEGORY_VALUE, encode(value))
+    rp = sample_category_prime(bits, CATEGORY_RELATION, hash_pair(key, value))
+    return kp * vp * rp
+
+
+class AuthenticatedDictionary:
+    """The weakly-binding AD scheme; also usable as incremental server state.
+
+    The *stateless* verification methods (``ver_lookup``, ``ver_no_key``,
+    ``digest_after_update``) are what the client / circuit run; the stateful
+    methods maintain the server's copy of the dictionary, its exponent
+    product ``S``, and the latest digest ``acc`` (the bookkeeping of
+    Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        group: RSAGroup,
+        initial: Mapping[object, object] | None = None,
+        prime_bits: int = DEFAULT_PRIME_BITS,
+    ):
+        self.group = group
+        self.prime_bits = prime_bits
+        self._store: dict[object, object] = {}
+        self._product = 1
+        self._digest = group.generator
+        if initial:
+            for key, value in initial.items():
+                self._insert(key, value)
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _h(self, key: object, value: object) -> int:
+        return pair_representative(key, value, self.prime_bits)
+
+    def _kp(self, key: object) -> int:
+        return key_prime(key, self.prime_bits)
+
+    def _insert(self, key: object, value: object) -> None:
+        h = self._h(key, value)
+        self._product *= h
+        self._digest = self.group.power(self._digest, h)
+        self._store[key] = value
+
+    # -- state accessors ------------------------------------------------------
+
+    @property
+    def digest(self) -> int:
+        """``Commit(pk, D)`` of the current contents."""
+        return self._digest
+
+    @property
+    def product(self) -> int:
+        """The exponent product ``S`` (server-side only)."""
+        return self._product
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: object, default: object = None) -> object:
+        return self._store.get(key, default)
+
+    def snapshot(self) -> dict[object, object]:
+        return dict(self._store)
+
+    # -- Commit (stateless) ------------------------------------------------------
+
+    @classmethod
+    def commit(
+        cls,
+        group: RSAGroup,
+        contents: Mapping[object, object],
+        prime_bits: int = DEFAULT_PRIME_BITS,
+    ) -> int:
+        """``Commit(pk, D)``: digest of a dictionary from scratch."""
+        exponent = 1
+        for key, value in contents.items():
+            exponent *= pair_representative(key, value, prime_bits)
+        return group.power(group.generator, exponent)
+
+    # -- ProveLookup / VerLookup ---------------------------------------------------
+
+    def prove_lookup(self, keys: Iterable[object]) -> LookupProof:
+        """Aggregated proof that each queried key holds its current value."""
+        remaining = self._product
+        for key in keys:
+            if key not in self._store:
+                raise CryptoError(f"key {key!r} is not in the dictionary")
+            h = self._h(key, self._store[key])
+            if remaining % h != 0:
+                raise CryptoError("internal state corrupt: product mismatch")
+            remaining //= h
+        return LookupProof(witness=self.group.power(self.group.generator, remaining))
+
+    def ver_lookup(
+        self,
+        digest: int,
+        pairs: Mapping[object, object],
+        proof: LookupProof,
+    ) -> bool:
+        """``VerLookup``: check ``witness^(prod H(k,v)) == digest``."""
+        exponent = 1
+        for key, value in pairs.items():
+            exponent *= self._h(key, value)
+        return self.group.power(proof.witness, exponent) == digest % self.group.modulus
+
+    # -- PoE-compressed lookup path (Section 6.1.1) -------------------------------
+
+    def prove_lookup_with_poe(
+        self, keys: Iterable[object]
+    ) -> tuple[LookupProof, PoEProof]:
+        """Aggregated lookup proof plus a proof-of-exponentiation.
+
+        The PoE lets the in-circuit checker verify
+        ``witness^(prod H(k,v)) == digest`` with a *constant* number of
+        group operations regardless of how many pairs were aggregated — the
+        paper's trick for keeping the memory checker's gate count constant.
+        """
+        key_list = list(keys)
+        proof = self.prove_lookup(key_list)
+        exponent = 1
+        for key in key_list:
+            exponent *= self._h(key, self._store[key])
+        result, poe = prove_exponentiation(self.group, proof.witness, exponent)
+        if result != self._digest:
+            raise ProofError("internal error: PoE result disagrees with digest")
+        return proof, poe
+
+    def ver_lookup_with_poe(
+        self,
+        digest: int,
+        pairs: Mapping[object, object],
+        proof: LookupProof,
+        poe: PoEProof,
+    ) -> bool:
+        """Constant-work ``VerLookup`` via the Wesolowski proof."""
+        exponent = 1
+        for key, value in pairs.items():
+            exponent *= self._h(key, value)
+        return verify_exponentiation(self.group, proof.witness, exponent, digest, poe)
+
+    # -- Update -----------------------------------------------------------------
+
+    def update(self, changes: Mapping[object, object]) -> tuple[int, LookupProof]:
+        """Set each key in *changes* to its new value.
+
+        Returns ``(new_digest, proof)`` where *proof* is the lookup proof of
+        the **old** pairs — exactly the witness the paper's ``Update`` builds
+        the new digest from (``d' = pi^(prod H(k, v_new))``), and the same
+        object the memory-integrity checker consumes to validate the write.
+
+        Keys not currently present are inserted (their old pair contributes
+        nothing to the proof exponent, matching the agreed-initial-value
+        semantics of Section 6.1.1).
+        """
+        existing = [key for key in changes if key in self._store]
+        proof = self.prove_lookup(existing)
+        for key in existing:
+            h_old = self._h(key, self._store[key])
+            self._product //= h_old
+        roll_forward = 1
+        for key, value in changes.items():
+            h_new = self._h(key, value)
+            self._product *= h_new
+            roll_forward *= h_new
+            self._store[key] = value
+        # d' = pi^(prod H(k, v_new)): the witness excludes exactly the old
+        # pairs of the changed keys, so raising it by the new pairs lands on
+        # g^S' without touching the rest of the dictionary.
+        self._digest = self.group.power(proof.witness, roll_forward)
+        return self._digest, proof
+
+    def digest_after_update(
+        self,
+        proof: LookupProof,
+        new_pairs: Mapping[object, object],
+    ) -> int:
+        """Client-side digest roll-forward: ``d' = witness^(prod H(k, v_new))``."""
+        exponent = 1
+        for key, value in new_pairs.items():
+            exponent *= self._h(key, value)
+        return self.group.power(proof.witness, exponent)
+
+    # -- ProveNoKey / VerNoKey ------------------------------------------------------
+
+    def prove_no_key(self, keys: Iterable[object]) -> NonMembershipProof:
+        """Prove that none of *keys* has ever been written."""
+        exponent = 1
+        for key in keys:
+            if key in self._store:
+                raise CryptoError(f"key {key!r} exists; cannot prove non-membership")
+            exponent *= self._kp(key)
+        a, b, g = bezout(self._product, exponent)
+        if g != 1:
+            raise ProofError("gcd(S, key primes) != 1: state corrupt or key present")
+        return NonMembershipProof(a=a, b=b)
+
+    def ver_no_key(
+        self,
+        digest: int,
+        keys: Iterable[object],
+        proof: NonMembershipProof,
+    ) -> bool:
+        """``VerNoKey``: check ``digest^a * g^(b * prod key primes) == g``."""
+        exponent = 1
+        for key in keys:
+            exponent *= self._kp(key)
+        lhs = self.group.mul(
+            self.group.power(digest, proof.a),
+            self.group.power(self.group.generator, proof.b * exponent),
+        )
+        return lhs == self.group.generator

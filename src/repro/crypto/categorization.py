@@ -1,0 +1,127 @@
+"""Prime categorization (paper Section 5.1).
+
+The authenticated dictionary accumulates three kinds of information at once:
+keys, values, and key-value relationships.  To keep them from colliding, the
+primes encoding them are drawn from three *disjoint* categories defined by
+residues modulo 8:
+
+- category 0 (**keys**):       p = +-1 (mod 8)
+- category 1 (**values**):     p = 3 (mod 8)
+- category 2 (**relations**):  p = 5 (mod 8)
+
+Every odd prime > 2 falls into exactly one category, each category contains
+infinitely many primes (Dirichlet), and membership is checkable with a single
+modular reduction — the paper's trick of exposing the residue on dedicated
+circuit wires.
+
+``Sample`` is deterministic in the nonce, and optionally returns a
+Pocklington certificate chain so an untrusting circuit can check primality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import CategoryError
+from ..serialization import encode
+from .pocklington import PocklingtonCertificate, build_certified_prime
+from .primes import hash_to_prime, is_probable_prime
+
+__all__ = [
+    "CATEGORY_KEY",
+    "CATEGORY_VALUE",
+    "CATEGORY_RELATION",
+    "CATEGORY_RESIDUES",
+    "CertifiedPrime",
+    "sample_category_prime",
+    "sample_certified_category_prime",
+    "verify_category",
+    "category_of",
+]
+
+CATEGORY_KEY = 0
+CATEGORY_VALUE = 1
+CATEGORY_RELATION = 2
+
+# Residues modulo 8 for each category; the sampler always targets the first.
+CATEGORY_RESIDUES: dict[int, tuple[int, ...]] = {
+    CATEGORY_KEY: (7, 1),
+    CATEGORY_VALUE: (3,),
+    CATEGORY_RELATION: (5,),
+}
+
+
+@dataclass(frozen=True)
+class CertifiedPrime:
+    """A category prime together with its Pocklington certificate."""
+
+    prime: int
+    certificate: PocklingtonCertificate
+
+    def verify(self, category: int) -> bool:
+        return self.certificate.verify() and verify_category(self.prime, category)
+
+
+def _seed(bits: int, category: int, nonce: object) -> bytes:
+    return (
+        b"litmus-category"
+        + bits.to_bytes(4, "big")
+        + category.to_bytes(1, "big")
+        + encode(nonce)
+    )
+
+
+@lru_cache(maxsize=1 << 18)
+def _sample_cached(bits: int, category: int, nonce_bytes: bytes) -> int:
+    residue = CATEGORY_RESIDUES[category][0]
+    return hash_to_prime(nonce_bytes, bits, residue=residue, modulus=8)
+
+
+def sample_category_prime(bits: int, category: int, nonce: object) -> int:
+    """``Sample(lambda, i, nonce)``: a deterministic *bits*-bit category prime."""
+    if category not in CATEGORY_RESIDUES:
+        raise CategoryError(f"unknown prime category {category}")
+    return _sample_cached(bits, category, _seed(bits, category, nonce))
+
+
+@lru_cache(maxsize=1 << 12)
+def _sample_certified_cached(bits: int, category: int, nonce_bytes: bytes) -> CertifiedPrime:
+    residue = CATEGORY_RESIDUES[category][0]
+    certificate = build_certified_prime(bits, nonce_bytes, residue=residue)
+    return CertifiedPrime(prime=certificate.prime, certificate=certificate)
+
+
+def sample_certified_category_prime(bits: int, category: int, nonce: object) -> CertifiedPrime:
+    """Like :func:`sample_category_prime` but carrying a primality certificate.
+
+    This is what the server hands the circuit as an auxiliary input; the
+    circuit re-verifies the certificate (Pocklington) and the residue class.
+    """
+    if category not in CATEGORY_RESIDUES:
+        raise CategoryError(f"unknown prime category {category}")
+    return _sample_certified_cached(bits, category, _seed(bits, category, nonce))
+
+
+def verify_category(p: int, category: int) -> bool:
+    """``Verify(p, i)``: is *p* a prime of category *category*?
+
+    Matches Definition 3/4: sound (never accepts a non-member) and correct
+    (always accepts sampler outputs).
+    """
+    if category not in CATEGORY_RESIDUES:
+        raise CategoryError(f"unknown prime category {category}")
+    if p % 8 not in CATEGORY_RESIDUES[category]:
+        return False
+    return is_probable_prime(p)
+
+
+def category_of(p: int) -> int | None:
+    """Return the category containing prime *p*, or None for 2 / non-primes."""
+    if not is_probable_prime(p) or p == 2:
+        return None
+    residue = p % 8
+    for category, residues in CATEGORY_RESIDUES.items():
+        if residue in residues:
+            return category
+    return None

@@ -1,0 +1,66 @@
+"""Collision-resistant hashing helpers.
+
+All hashing in the library goes through SHA-256 over the canonical encoding
+from :mod:`repro.serialization`.  Two utilities matter most:
+
+- :func:`hash_to_int` — map arbitrary data to an integer of a requested bit
+  length (used as the starting point of hash-to-prime sampling);
+- :func:`hash_pair` — the collision-resistant ``h(k, v)`` from Section 5.3
+  that ties a key and a value together inside the authenticated dictionary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..serialization import encode
+
+__all__ = [
+    "sha256",
+    "hash_to_int",
+    "hash_bytes_to_int",
+    "hash_pair",
+    "expand_stream",
+]
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 of *data*."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_bytes_to_int(data: bytes, bits: int) -> int:
+    """Map *data* to an integer with exactly *bits* bits (top bit forced).
+
+    The output is derived from a counter-mode expansion of SHA-256, so bit
+    lengths beyond 256 are supported.  The top bit is set to guarantee the
+    exact bit length; the result is always odd-ranged in [2^(bits-1), 2^bits).
+    """
+    if bits < 2:
+        raise ValueError("bit length must be at least 2")
+    out = b""
+    counter = 0
+    while len(out) * 8 < bits:
+        out += hashlib.sha256(counter.to_bytes(8, "big") + data).digest()
+        counter += 1
+    value = int.from_bytes(out, "big") >> (len(out) * 8 - bits)
+    return value | (1 << (bits - 1))
+
+
+def hash_to_int(value: object, bits: int, domain: bytes = b"") -> int:
+    """Hash an arbitrary (canonically encodable) value to a *bits*-bit int."""
+    return hash_bytes_to_int(domain + encode(value), bits)
+
+
+def hash_pair(key: object, value: object) -> int:
+    """The collision-resistant ``h(k, v)`` of Section 5.3 (a 256-bit int)."""
+    return int.from_bytes(sha256(b"litmus-h(k,v)" + encode((key, value))), "big")
+
+
+def expand_stream(seed: bytes, index: int) -> bytes:
+    """Deterministic pseudo-random 32-byte block *index* of a seed stream.
+
+    Used wherever the paper requires a deterministic choice "depending on the
+    nonce" (e.g. Pocklington certificate search, prime candidate streams).
+    """
+    return hashlib.sha256(seed + index.to_bytes(8, "big")).digest()

@@ -1,0 +1,144 @@
+"""Merkle tree authenticated storage — the folklore baseline of Section 8.
+
+A fixed-capacity binary SHA-256 Merkle tree.  Every lookup or update ships an
+``O(log n)`` authentication path, and the client holds only the root.  The
+evaluation uses this as the ``Merkle-Tree`` baseline: correct, simple, and —
+as the paper observes — slow, because every access costs a full path of
+hashes on both sides and proofs cannot be aggregated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+from ..serialization import encode
+from .hashing import sha256
+
+__all__ = ["MerkleTree", "MerklePath"]
+
+_EMPTY_LEAF = sha256(b"litmus-merkle-empty")
+_SENTINEL_EMPTY = object()
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """Authentication path: sibling hashes bottom-up plus the leaf index."""
+
+    index: int
+    siblings: tuple[bytes, ...]
+
+    @property
+    def hash_count(self) -> int:
+        """Number of hash evaluations a verifier performs (cost accounting)."""
+        return len(self.siblings) + 1
+
+
+def _leaf_hash(value: object) -> bytes:
+    return sha256(b"litmus-merkle-leaf" + encode(value))
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(b"litmus-merkle-node" + left + right)
+
+
+class MerkleTree:
+    """A dense Merkle tree over ``capacity`` slots (rounded up to a power of 2)."""
+
+    def __init__(self, capacity: int, fill: object = _SENTINEL_EMPTY):
+        """*fill* pre-populates every leaf with a default value (e.g. the
+        agreed initial 0 of the database), so lookups of untouched slots
+        still verify; without it, untouched leaves hold a distinguished
+        empty marker that no value hashes to."""
+        if capacity < 1:
+            raise CryptoError("capacity must be positive")
+        size = 1
+        while size < capacity:
+            size *= 2
+        self.capacity = size
+        self.depth = size.bit_length() - 1
+        self._fill = fill
+        base = _EMPTY_LEAF if fill is _SENTINEL_EMPTY else _leaf_hash(fill)
+        # nodes[0] is the root level; nodes[depth] are the leaves.
+        self._levels: list[list[bytes]] = []
+        level = [base] * size
+        self._levels.append(level)
+        while len(level) > 1:
+            level = [
+                _node_hash(level[i], level[i + 1]) for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+        self._levels.reverse()
+        self._values: dict[int, object] = {}
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[0][0]
+
+    def get(self, index: int, default: object = None) -> object:
+        if index in self._values:
+            return self._values[index]
+        if self._fill is not _SENTINEL_EMPTY:
+            return self._fill
+        return default
+
+    # -- operations -------------------------------------------------------------
+
+    def update(self, index: int, value: object) -> bytes:
+        """Set leaf *index* to *value*; returns the new root.
+
+        Recomputes exactly one path of hashes (``depth`` node hashes).
+        """
+        self._check_index(index)
+        self._values[index] = value
+        node = _leaf_hash(value)
+        self._levels[self.depth][index] = node
+        position = index
+        for level in range(self.depth, 0, -1):
+            position //= 2
+            left = self._levels[level][2 * position]
+            right = self._levels[level][2 * position + 1]
+            self._levels[level - 1][position] = _node_hash(left, right)
+        return self.root
+
+    def prove(self, index: int) -> MerklePath:
+        """Authentication path for leaf *index*."""
+        self._check_index(index)
+        siblings = []
+        position = index
+        for level in range(self.depth, 0, -1):
+            siblings.append(self._levels[level][position ^ 1])
+            position //= 2
+        return MerklePath(index=index, siblings=tuple(siblings))
+
+    @staticmethod
+    def verify(root: bytes, path: MerklePath, value: object) -> bool:
+        """Check that *value* sits at ``path.index`` under *root*."""
+        node = _leaf_hash(value)
+        position = path.index
+        for sibling in path.siblings:
+            if position % 2 == 0:
+                node = _node_hash(node, sibling)
+            else:
+                node = _node_hash(sibling, node)
+            position //= 2
+        return node == root
+
+    @staticmethod
+    def root_after_update(path: MerklePath, new_value: object) -> bytes:
+        """Client-side roll-forward: the root once the leaf becomes *new_value*."""
+        node = _leaf_hash(new_value)
+        position = path.index
+        for sibling in path.siblings:
+            if position % 2 == 0:
+                node = _node_hash(node, sibling)
+            else:
+                node = _node_hash(sibling, node)
+            position //= 2
+        return node
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise CryptoError(f"leaf index {index} out of range [0, {self.capacity})")

@@ -1,0 +1,61 @@
+"""Incremental multiset hashes (Clarke et al., cited as paper ref [20]).
+
+An order-independent, incrementally updatable hash of a multiset: the
+classic tool for memory-integrity checking that predates accumulator-based
+designs.  We provide the additive construction (MSet-Add-Hash over a large
+prime field): each element hashes to a field element and the digest is
+their sum, so insertion and deletion are O(1).
+
+Included for two reasons: the paper positions its AD scheme against exactly
+this line of work (a multiset hash supports no *lookup proofs* at all — the
+verifier must track the whole multiset itself), and the comparison makes a
+good unit-level ablation of why Litmus needs the accumulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..serialization import encode
+
+__all__ = ["MultisetHash"]
+
+# A 256-bit prime (2^256 - 189) — addition hides nothing, but collisions
+# require finding additive relations over random field elements.
+_FIELD = 2**256 - 189
+
+
+def _element_hash(value: object) -> int:
+    return int.from_bytes(
+        hashlib.sha256(b"litmus-mset" + encode(value)).digest(), "big"
+    ) % _FIELD
+
+
+@dataclass(frozen=True)
+class MultisetHash:
+    """An immutable multiset digest; operations return new digests."""
+
+    value: int = 0
+
+    @classmethod
+    def of(cls, elements) -> "MultisetHash":
+        digest = cls()
+        for element in elements:
+            digest = digest.add(element)
+        return digest
+
+    def add(self, element: object) -> "MultisetHash":
+        return MultisetHash((self.value + _element_hash(element)) % _FIELD)
+
+    def remove(self, element: object) -> "MultisetHash":
+        return MultisetHash((self.value - _element_hash(element)) % _FIELD)
+
+    def union(self, other: "MultisetHash") -> "MultisetHash":
+        return MultisetHash((self.value + other.value) % _FIELD)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MultisetHash) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)

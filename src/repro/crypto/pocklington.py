@@ -1,0 +1,179 @@
+"""Pocklington primality certificates (paper Section 5.3).
+
+The circuit cannot sample primes itself, so the server supplies each prime
+along with a *verifiable certificate* of primality.  The paper uses the
+Pocklington criterion: if ``N = r * p + 1`` for a certified prime ``p`` with
+``p > sqrt(N) - 1``, and there is a witness ``a`` with
+
+    a^(N-1) = 1 (mod N)    and    gcd(a^((N-1)/p) - 1, N) = 1,
+
+then ``N`` is prime.  A certificate is therefore a small provable base prime
+(checked by trial division) plus a chain of ``(r, a)`` steps that roughly
+doubles the bit length each time — ``O(lambda)`` steps for a ``lambda``-bit
+prime, exactly as the paper notes.
+
+The search for ``r`` and ``a`` is driven by a deterministic stream derived
+from the caller's nonce, making ``Sample`` deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CertificateError
+from .hashing import expand_stream
+from .primes import is_prime_trial, is_probable_prime
+
+__all__ = ["PocklingtonStep", "PocklingtonCertificate", "build_certified_prime"]
+
+# The base of a chain must be provable by (cheap) trial division.
+_MAX_BASE_BITS = 34
+
+
+@dataclass(frozen=True)
+class PocklingtonStep:
+    """One boosting step: extends certified prime ``p`` to ``r * p + 1``."""
+
+    r: int
+    witness: int
+
+
+@dataclass(frozen=True)
+class PocklingtonCertificate:
+    """A full certificate chain for :attr:`prime`."""
+
+    base_prime: int
+    steps: tuple[PocklingtonStep, ...]
+    prime: int
+
+    def verify(self) -> bool:
+        """Check the whole chain; True iff :attr:`prime` is provably prime."""
+        try:
+            self.check()
+        except CertificateError:
+            return False
+        return True
+
+    def check(self) -> None:
+        """Like :meth:`verify` but raises :class:`CertificateError` on failure."""
+        if self.base_prime.bit_length() > _MAX_BASE_BITS:
+            raise CertificateError("certificate base prime too large to trial-divide")
+        if not is_prime_trial(self.base_prime):
+            raise CertificateError("certificate base is not prime")
+        p = self.base_prime
+        for step in self.steps:
+            n = step.r * p + 1
+            # p > sqrt(n) - 1  <=>  (p + 1)^2 > n.
+            if (p + 1) * (p + 1) <= n:
+                raise CertificateError("Pocklington step size condition violated")
+            if pow(step.witness, n - 1, n) != 1:
+                raise CertificateError("Fermat condition failed (composite)")
+            if math.gcd(pow(step.witness, (n - 1) // p, n) - 1, n) != 1:
+                raise CertificateError("Pocklington gcd condition failed")
+            p = n
+        if p != self.prime:
+            raise CertificateError("certificate chain does not end at claimed prime")
+
+
+def _base_prime_from_seed(seed: bytes, bits: int = 30) -> int:
+    """Deterministically derive a small trial-division-provable prime."""
+    attempt = 0
+    while True:
+        block = expand_stream(seed + b"base", attempt)
+        candidate = int.from_bytes(block[:8], "big")
+        candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1
+        if is_prime_trial(candidate):
+            return candidate
+        attempt += 1
+
+
+def _find_witness(n: int, p: int) -> int | None:
+    """Find a Pocklington witness for ``n = r * p + 1``, or None if composite."""
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29):
+        if pow(a, n - 1, n) != 1:
+            return None  # Fermat liar-free for our purposes: treat as composite
+        if math.gcd(pow(a, (n - 1) // p, n) - 1, n) == 1:
+            return a
+    return None
+
+
+def _boost(p: int, target_bits: int, seed: bytes, residue: int | None) -> PocklingtonStep:
+    """Find ``(r, a)`` such that ``r * p + 1`` is a certified *target_bits* prime.
+
+    When *residue* is given, the resulting prime additionally satisfies
+    ``N % 8 == residue`` (used by the final categorization step).
+
+    The caller must leave a wide search window (``target_bits`` well above
+    ``p.bit_length()``): a window of only a handful of candidate ``r``
+    values may contain no prime at all, and the deterministic search would
+    spin forever.  A hard attempt bound turns that into an error.
+    """
+    low = ((1 << (target_bits - 1)) - 1) // p + 1
+    high = min(p, ((1 << target_bits) - 2) // p)
+    if high < low:
+        raise CertificateError("cannot boost: target bit length out of reach")
+    span = high - low + 1
+    for attempt in range(200_000):
+        block = expand_stream(seed + b"boost" + target_bits.to_bytes(4, "big"), attempt)
+        r = low + int.from_bytes(block[:16], "big") % span
+        if r % 2 == 1:
+            r += 1  # keep N = r*p + 1 odd
+        if residue is not None:
+            # Solve r = (residue - 1) * p^{-1} (mod 8); the shift keeps r even.
+            want = (residue - 1) * pow(p, -1, 8) % 8
+            r += (want - r) % 8
+        if r < low or r > high:
+            continue
+        n = r * p + 1
+        if n.bit_length() != target_bits:
+            continue
+        if not is_probable_prime(n):
+            continue
+        witness = _find_witness(n, p)
+        if witness is not None:
+            return PocklingtonStep(r=r, witness=witness)
+    raise CertificateError(
+        f"no Pocklington step found boosting {p.bit_length()} -> {target_bits} bits"
+    )
+
+
+def build_certified_prime(
+    bits: int,
+    seed: bytes,
+    residue: int | None = None,
+    modulus: int = 8,
+) -> PocklingtonCertificate:
+    """Deterministically build a *bits*-bit prime with a verifiable certificate.
+
+    The optional *residue* (mod 8) steers the final prime into one of the
+    categorization classes of Section 5.1.  The whole search is a function of
+    *seed*, so repeated calls agree — the determinism the circuit needs.
+    """
+    if modulus != 8:
+        raise CertificateError("categorization is defined modulo 8")
+    if bits < 32:
+        raise CertificateError("certified primes smaller than 32 bits are pointless")
+    # Every boost (including the final one) needs a wide `r` window: target
+    # at least ~12 bits above the current prime, so thousands of candidates
+    # exist and one of them is prime with overwhelming probability.  The
+    # chain therefore tops out at bits - 13 before the final exact-size step.
+    margin = 13
+    cap = bits - margin
+    base = _base_prime_from_seed(seed, bits=max(16, min(30, cap)))
+    p = base
+    steps: list[PocklingtonStep] = []
+    # Pocklington needs the pre-final prime above ~sqrt(final).
+    threshold = bits // 2 + 2
+    while p.bit_length() < threshold:
+        target = min(2 * p.bit_length() - 2, cap)
+        if target < p.bit_length() + margin - 1:
+            raise CertificateError(f"cannot grow a certificate chain to {bits} bits")
+        step = _boost(p, target, seed, residue=None)
+        steps.append(step)
+        p = step.r * p + 1
+    final = _boost(p, bits, seed, residue=residue)
+    steps.append(final)
+    p = final.r * p + 1
+    return PocklingtonCertificate(base_prime=base, steps=tuple(steps), prime=p)

@@ -1,0 +1,73 @@
+"""Wesolowski proofs of exponentiation (PoE).
+
+The memory-integrity checker must validate equations of the form
+``u^x = w (mod N)`` where ``x`` can be an enormous product of primes.  Raw
+verification would cost ``O(|x|)`` group operations — far too many gates.
+The paper (Section 6.1.1, citing Boneh–Bünz–Fisch) lets the server attach a
+*proof of exponentiation*: the verifier's work collapses to two small
+exponentiations, independent of ``|x|``.
+
+Protocol (Fiat–Shamir, non-interactive):
+
+1. prover and verifier derive a random 128-bit prime ``l`` from
+   ``(u, w, x)``;
+2. the prover sends ``Q = u^(x div l)``;
+3. the verifier accepts iff ``Q^l * u^(x mod l) == w``.
+
+Soundness rests on the adaptive root assumption in groups of unknown order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..serialization import encode
+from .hashing import sha256
+from .primes import hash_to_prime
+from .rsa_group import RSAGroup
+
+__all__ = ["PoEProof", "prove_exponentiation", "verify_exponentiation"]
+
+_CHALLENGE_BITS = 128
+
+
+@dataclass(frozen=True)
+class PoEProof:
+    """The single group element ``Q`` sent by the prover."""
+
+    quotient_power: int
+
+
+def _challenge_prime(group: RSAGroup, base: int, result: int, exponent: int) -> int:
+    transcript = sha256(encode((group.modulus, base, result, exponent)))
+    return hash_to_prime(b"litmus-poe" + transcript, _CHALLENGE_BITS)
+
+
+def prove_exponentiation(group: RSAGroup, base: int, exponent: int) -> tuple[int, PoEProof]:
+    """Compute ``w = base^exponent`` and a PoE proof for it.
+
+    This is server-side work: cost is linear in ``|exponent|``, as in the
+    paper (the server "provides the result directly with a Proof-of-Exponent").
+    """
+    result = group.power(base, exponent)
+    challenge = _challenge_prime(group, base, result, exponent)
+    quotient = exponent // challenge
+    return result, PoEProof(quotient_power=group.power(base, quotient))
+
+
+def verify_exponentiation(
+    group: RSAGroup, base: int, exponent: int, result: int, proof: PoEProof
+) -> bool:
+    """Verify ``base^exponent == result`` using constant group work.
+
+    The verifier only computes ``exponent mod l`` (cheap on integers) and two
+    small exponentiations — this is the constant-gate-count path the memory
+    integrity checker relies on.
+    """
+    challenge = _challenge_prime(group, base, result, exponent)
+    remainder = exponent % challenge
+    lhs = group.mul(
+        group.power(proof.quotient_power, challenge),
+        group.power(base, remainder),
+    )
+    return lhs == result % group.modulus

@@ -1,0 +1,45 @@
+"""The "normal DBMS" substrate (paper component 1a).
+
+An in-memory transactional key-value engine with two concurrency-control
+algorithms, both instrumented to emit the runtime traces (transaction
+dependency edges, read/write sets, batch composition) that the verifiable
+layer consumes:
+
+- :mod:`repro.db.twopl` — two-phase locking with wound-wait deadlock
+  avoidance (the Section 6 baseline, extended to logical multi-threading);
+- :mod:`repro.db.detreserve` — deterministic reservation (Section 7.1,
+  Algorithm 5), the batch CC algorithm whose non-conflicting batches enable
+  proof aggregation.
+
+Values are integers and keys are canonical tuples; richer rows (TPC-C) are
+decomposed into one key per column by the workload layer, which keeps every
+value circuit-representable.
+"""
+
+from .commandlog import decode_batch, encode_batch, replay
+from .database import Database
+from .detreserve import DeterministicReservationExecutor
+from .executor import ExecutionReport, ScheduleUnit
+from .kvstore import KVStore
+from .locks import LockManager, LockMode
+from .traces import DependencyEdge, RuntimeTraces
+from .twopl import TwoPhaseLockingExecutor
+from .txn import Transaction, TxnResult
+
+__all__ = [
+    "Database",
+    "decode_batch",
+    "encode_batch",
+    "replay",
+    "DependencyEdge",
+    "DeterministicReservationExecutor",
+    "ExecutionReport",
+    "KVStore",
+    "LockManager",
+    "LockMode",
+    "RuntimeTraces",
+    "ScheduleUnit",
+    "Transaction",
+    "TwoPhaseLockingExecutor",
+    "TxnResult",
+]

@@ -1,0 +1,59 @@
+"""The Database facade: storage plus a choice of CC executor."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import ConcurrencyError
+from .detreserve import DeterministicReservationExecutor
+from .executor import ExecutionReport
+from .kvstore import KVStore
+from .twopl import TwoPhaseLockingExecutor
+from .txn import Transaction
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory transactional database with pluggable CC.
+
+    ``cc`` selects the concurrency-control algorithm: ``"2pl"`` (Section 6
+    baseline) or ``"dr"`` (deterministic reservation, Section 7.1).
+    """
+
+    def __init__(
+        self,
+        initial: Mapping[tuple, int] | None = None,
+        cc: str = "dr",
+        processing_batch_size: int = 1024,
+        num_threads: int = 1,
+    ):
+        self.store = KVStore(initial)
+        self.cc = cc
+        if cc == "dr":
+            self._executor = DeterministicReservationExecutor(
+                self.store, processing_batch_size=processing_batch_size
+            )
+        elif cc == "2pl":
+            self._executor = TwoPhaseLockingExecutor(self.store, num_threads=num_threads)
+        else:
+            raise ConcurrencyError(f"unknown concurrency control algorithm {cc!r}")
+
+    def run(self, txns: Sequence[Transaction]) -> ExecutionReport:
+        """Execute *txns* to completion and return the full report."""
+        return self._executor.run(txns)
+
+    def get(self, key: tuple) -> int:
+        return self.store.get(key)
+
+    def put(self, key: tuple, value: int) -> None:
+        self.store.put(key, value)
+
+    def load(self, contents: Mapping[tuple, int]) -> None:
+        self.store.load(contents)
+
+    def snapshot(self) -> dict[tuple, int]:
+        return self.store.snapshot()
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -1,0 +1,187 @@
+"""Deterministic reservation concurrency control (Section 7.1, Algorithm 5).
+
+Transactions are processed in rounds over a *processing batch* of size
+``m``.  Each round:
+
+1. **Reserve** — every transaction in the batch executes against the
+   snapshot at round start (with a private write buffer), collecting its
+   read and write sets; each written key is reserved by the highest-priority
+   (smallest-id) writer, ``R[x] = min(R[x], T.rho)``.
+2. **Commit** — a transaction commits iff every key it read or wrote is
+   either unreserved or reserved by itself.  (Algorithm 5's pseudo-code
+   prints the comparison as ``Ti.rho < R[x] -> no``; the accompanying text —
+   "if any other transaction overwrites the reservation" — fixes the intended
+   predicate, which is what we implement.)
+
+The committed set of a round is a **non-conflicting batch**: its members
+share no key at all, so they serialize in *any* order, read consistently
+from the round-start snapshot, and — crucially for Litmus — their
+memory-integrity proofs aggregate into a single witness (Section 7.1(a)).
+Losers retry in the next round.  The whole schedule is a deterministic
+function of (transaction list, m), which is why the client can reproduce it
+locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConcurrencyError
+from .executor import ExecutionReport, ExecutionStats, ScheduleUnit
+from .kvstore import KVStore
+from .traces import RuntimeTraces
+from .txn import Transaction, TxnResult
+
+__all__ = ["DeterministicReservationExecutor"]
+
+
+@dataclass
+class _Attempt:
+    """One transaction's reserve-phase execution (against the snapshot)."""
+
+    txn: Transaction
+    reads: tuple[tuple[tuple, int], ...]
+    writes: tuple[tuple[tuple, int], ...]
+    outputs: tuple[int, ...]
+
+    def touched_keys(self) -> set[tuple]:
+        return {key for key, _v in self.reads} | {key for key, _v in self.writes}
+
+
+class DeterministicReservationExecutor:
+    """Batch CC producing non-conflicting batches and their traces."""
+
+    def __init__(self, store: KVStore, processing_batch_size: int = 1024):
+        if processing_batch_size < 1:
+            raise ConcurrencyError("processing batch size must be positive")
+        self.store = store
+        self.processing_batch_size = processing_batch_size
+
+    def run(self, txns: Sequence[Transaction]) -> ExecutionReport:
+        traces = RuntimeTraces()
+        stats = ExecutionStats(num_txns=len(txns))
+        results: dict[int, TxnResult] = {}
+        schedule: list[ScheduleUnit] = []
+        retry_counts: dict[int, int] = {}
+        last_writer: dict[tuple, int | None] = {}
+
+        remaining: list[Transaction] = sorted(txns, key=lambda t: t.priority)
+        while remaining:
+            batch = remaining[: self.processing_batch_size]
+            committed_ids = self._round(
+                batch, traces, stats, results, schedule, retry_counts, last_writer
+            )
+            if committed_ids:
+                remaining = [t for t in remaining if t.txn_id not in committed_ids]
+            else:  # pragma: no cover - cannot happen: the best-priority txn wins
+                raise ConcurrencyError("deterministic reservation made no progress")
+        return ExecutionReport(results=results, traces=traces, schedule=schedule, stats=stats)
+
+    def _round(
+        self,
+        batch: Sequence[Transaction],
+        traces: RuntimeTraces,
+        stats: ExecutionStats,
+        results: dict[int, TxnResult],
+        schedule: list[ScheduleUnit],
+        retry_counts: dict[int, int],
+        last_writer: dict[tuple, int | None],
+    ) -> set[int]:
+        stats.rounds += 1
+
+        # -- Reserve phase: execute everyone against the round snapshot. ----
+        attempts: list[_Attempt] = []
+        reservations: dict[tuple, int] = {}  # R[x], smaller priority wins
+        for txn in batch:
+            result = txn.program.execute(txn.params, self.store.get)
+            attempt = _Attempt(
+                txn=txn,
+                reads=result.store_reads,
+                writes=result.writes,
+                outputs=result.outputs,
+            )
+            attempts.append(attempt)
+            for key, _value in attempt.writes:
+                current = reservations.get(key)
+                if current is None or txn.priority < current:
+                    reservations[key] = txn.priority
+
+        # -- Commit phase -------------------------------------------------
+        # A transaction commits iff it holds the reservation on every key it
+        # writes, and every key it only reads is either unreserved or
+        # reserved by a *lower-priority* writer.  Allowing a high-priority
+        # reader to coexist with a low-priority writer keeps the batch
+        # serializable (reader-before-writer edges strictly increase in
+        # priority, so no cycle can form) and guarantees progress: the
+        # highest-priority transaction always wins all its checks.  With the
+        # conservative "any reservation aborts me" reading of Algorithm 5's
+        # pseudo-code, two transactions in a read/write embrace would abort
+        # each other forever.
+        committed: list[_Attempt] = []
+        for attempt in attempts:
+            priority = attempt.txn.priority
+            write_keys = {key for key, _v in attempt.writes}
+            wins = all(reservations.get(key) == priority for key in write_keys)
+            if wins:
+                for key, _value in attempt.reads:
+                    if key in write_keys:
+                        continue
+                    holder = reservations.get(key)
+                    if holder is not None and holder < priority:
+                        wins = False
+                        break
+            if wins:
+                committed.append(attempt)
+            else:
+                retry_counts[attempt.txn.txn_id] = retry_counts.get(attempt.txn.txn_id, 0) + 1
+                stats.aborted_retries += 1
+
+        # -- Apply the non-conflicting batch and record everything. ----------
+        unit_reads: dict[tuple, int] = {}  # deduped: several txns may read a key
+        unit_writes: list[tuple[tuple, int]] = []
+        committed_ids: list[int] = []
+        batch_writer: dict[tuple, int] = {}
+        for attempt in committed:
+            for key, _value in attempt.writes:
+                batch_writer[key] = attempt.txn.txn_id
+        for attempt in committed:
+            txn = attempt.txn
+            committed_ids.append(txn.txn_id)
+            for key, value in attempt.reads:
+                traces.add_edge(last_writer.get(key), txn.txn_id, "wr", key)
+                # In-batch anti-dependency: this reader serializes before the
+                # batch's (lower-priority) writer of the same key.
+                writer = batch_writer.get(key)
+                if writer is not None and writer != txn.txn_id:
+                    traces.add_edge(txn.txn_id, writer, "rw", key)
+                unit_reads[key] = value
+                stats.reads += 1
+            for key, value in attempt.writes:
+                traces.add_edge(last_writer.get(key), txn.txn_id, "ww", key)
+                unit_writes.append((key, value))
+                stats.writes += 1
+            results[txn.txn_id] = TxnResult(
+                txn_id=txn.txn_id,
+                committed=True,
+                outputs=attempt.outputs,
+                read_set=attempt.reads,
+                write_set=attempt.writes,
+                aborts=retry_counts.get(txn.txn_id, 0),
+            )
+        for attempt in committed:
+            for key, value in attempt.writes:
+                self.store.put(key, value)
+                last_writer[key] = attempt.txn.txn_id
+        if committed_ids:
+            traces.add_batch(committed_ids)
+            stats.batch_sizes.append(len(committed_ids))
+            stats.committed += len(committed_ids)
+            schedule.append(
+                ScheduleUnit(
+                    txn_ids=tuple(committed_ids),
+                    reads=tuple(unit_reads.items()),
+                    writes=tuple(unit_writes),
+                )
+            )
+        return set(committed_ids)

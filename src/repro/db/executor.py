@@ -1,0 +1,76 @@
+"""Common execution structures shared by both CC algorithms.
+
+An executor turns a list of transactions into an :class:`ExecutionReport`:
+per-transaction results, runtime traces (dependency edges / batches), and a
+*schedule* — the sequence of :class:`ScheduleUnit` the verifiable layer
+replays.  A unit is the granularity at which memory-integrity proofs are
+generated and aggregated:
+
+- under 2PL every unit holds exactly one transaction (per-access proofs);
+- under deterministic reservation a unit is one non-conflicting batch, so a
+  single aggregated lookup proof and a single digest update cover the whole
+  batch — the co-design win of Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .traces import RuntimeTraces
+from .txn import TxnResult
+
+__all__ = ["ScheduleUnit", "ExecutionReport", "ExecutionStats"]
+
+
+@dataclass(frozen=True)
+class ScheduleUnit:
+    """A group of transactions proven together.
+
+    ``reads`` holds, per key, the value observed at unit start (the value
+    the aggregated MemCheck must authenticate); ``writes`` holds the final
+    value per key at unit end (the aggregated MemUpdate).  Within a unit the
+    transactions are non-conflicting, so "at unit start" and "per
+    transaction" coincide.
+    """
+
+    txn_ids: tuple[int, ...]
+    reads: tuple[tuple[tuple, int], ...]
+    writes: tuple[tuple[tuple, int], ...]
+
+    @property
+    def read_keys(self) -> tuple[tuple, ...]:
+        return tuple(key for key, _value in self.reads)
+
+    @property
+    def write_keys(self) -> tuple[tuple, ...]:
+        return tuple(key for key, _value in self.writes)
+
+
+@dataclass
+class ExecutionStats:
+    """Counters the cost model and the contention experiments consume."""
+
+    num_txns: int = 0
+    committed: int = 0
+    aborted_retries: int = 0  # CC-level restarts (lock aborts / lost reservations)
+    rounds: int = 0  # DR rounds (== 1 per unit); 2PL: number of txns
+    reads: int = 0
+    writes: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return sum(self.batch_sizes) / len(self.batch_sizes) if self.batch_sizes else 0.0
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the verifiable layer needs about one execution."""
+
+    results: dict[int, TxnResult]
+    traces: RuntimeTraces
+    schedule: list[ScheduleUnit]
+    stats: ExecutionStats
+
+    def committed_ids(self) -> list[int]:
+        return [txn_id for txn_id, result in self.results.items() if result.committed]

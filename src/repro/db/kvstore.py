@@ -1,0 +1,43 @@
+"""In-memory key-value storage.
+
+Keys are canonical tuples, values are integers.  Absent keys read as the
+*agreed initial value* 0 — the same convention the paper's authenticated
+dictionary uses ("the server can prove that the requested key was not
+previously accessed, and provide an initial value, say 0").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["KVStore", "INITIAL_VALUE"]
+
+INITIAL_VALUE = 0
+
+
+class KVStore:
+    """A dictionary with database semantics (default reads, snapshots)."""
+
+    def __init__(self, initial: Mapping[tuple, int] | None = None):
+        self._data: dict[tuple, int] = dict(initial) if initial else {}
+
+    def get(self, key: tuple) -> int:
+        return self._data.get(key, INITIAL_VALUE)
+
+    def put(self, key: tuple, value: int) -> None:
+        self._data[key] = value
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> Iterator[tuple[tuple, int]]:
+        return iter(self._data.items())
+
+    def snapshot(self) -> dict[tuple, int]:
+        return dict(self._data)
+
+    def load(self, contents: Mapping[tuple, int]) -> None:
+        self._data.update(contents)

@@ -1,0 +1,103 @@
+"""A shared/exclusive lock manager with wait-die deadlock avoidance.
+
+Used by the two-phase-locking executor.  Lock requests either succeed,
+block (the caller retries after the holder releases), or abort the
+requester — the classic *wait-die* rule keyed on transaction priority: an
+older transaction (smaller id) may wait for a younger holder, but a younger
+requester "dies" (aborts and restarts) rather than wait behind an older
+holder.  Waits-for cycles are impossible because waiting is only ever
+older-waits-for-younger.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConcurrencyError
+
+__all__ = ["LockMode", "LockManager", "LockOutcome"]
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class LockOutcome(enum.Enum):
+    GRANTED = "granted"
+    WAIT = "wait"
+    ABORT = "abort"  # wait-die: requester must restart
+
+
+@dataclass
+class _LockState:
+    mode: LockMode | None = None
+    holders: set[int] = field(default_factory=set)
+
+
+class LockManager:
+    """Key-granularity lock table."""
+
+    def __init__(self):
+        self._locks: dict[tuple, _LockState] = {}
+
+    def _state(self, key: tuple) -> _LockState:
+        state = self._locks.get(key)
+        if state is None:
+            state = _LockState()
+            self._locks[key] = state
+        return state
+
+    def acquire(self, txn_id: int, key: tuple, mode: LockMode) -> LockOutcome:
+        """Attempt to lock *key*; never blocks the Python thread.
+
+        Wait-die: if the requester is older (smaller id) than every current
+        holder it WAITS (the holders will finish); if any holder is older,
+        the requester ABORTs and retries later.  This guarantees no deadlock
+        without maintaining a waits-for graph.
+        """
+        state = self._state(key)
+        holders = state.holders
+        if txn_id in holders:
+            if state.mode is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                return LockOutcome.GRANTED
+            if holders == {txn_id}:  # lone reader upgrades in place
+                state.mode = LockMode.EXCLUSIVE
+                return LockOutcome.GRANTED
+            others = holders - {txn_id}
+            return LockOutcome.ABORT if min(others) < txn_id else LockOutcome.WAIT
+        if not holders:
+            state.mode = mode
+            holders.add(txn_id)
+            return LockOutcome.GRANTED
+        if state.mode is LockMode.SHARED and mode is LockMode.SHARED:
+            holders.add(txn_id)
+            return LockOutcome.GRANTED
+        # Conflict with other holders: wound-wait on priority (id order).
+        return LockOutcome.ABORT if min(holders) < txn_id else LockOutcome.WAIT
+
+    def release_all(self, txn_id: int) -> list[tuple]:
+        """Release every lock held by *txn_id* (strict 2PL at commit/abort)."""
+        released = []
+        for key, state in list(self._locks.items()):
+            if txn_id in state.holders:
+                state.holders.discard(txn_id)
+                released.append(key)
+                if not state.holders:
+                    del self._locks[key]
+        return released
+
+    def holders(self, key: tuple) -> frozenset[int]:
+        state = self._locks.get(key)
+        return frozenset(state.holders) if state else frozenset()
+
+    def mode(self, key: tuple) -> LockMode | None:
+        state = self._locks.get(key)
+        return state.mode if state and state.holders else None
+
+    def assert_consistent(self) -> None:
+        """Invariant check used by property tests."""
+        for key, state in self._locks.items():
+            if len(state.holders) > 1 and state.mode is LockMode.EXCLUSIVE:
+                raise ConcurrencyError(f"exclusive lock on {key} with multiple holders")

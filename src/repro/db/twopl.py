@@ -1,0 +1,270 @@
+"""Two-phase locking executor with runtime-trace collection (Algorithm 4).
+
+Transactions run as *logical threads*: each is a cursor over its program's
+statements, and a round-robin scheduler interleaves the cursors.  Lock
+conflicts block or restart a cursor (wait-die, see
+:mod:`repro.db.locks`); strict 2PL releases all locks at commit.
+
+While executing, the executor maintains the ``LastReader`` / ``LastWriter``
+metadata of Algorithm 4 and appends the corresponding dependency edges to
+the runtime traces, which later fix the serial replay order of the wrapped
+transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConcurrencyError, TransactionError
+from ..vc.program import Emit, Env, ReadStmt, WriteStmt
+from .executor import ExecutionReport, ExecutionStats, ScheduleUnit
+from .kvstore import KVStore
+from .locks import LockManager, LockMode, LockOutcome
+from .traces import RuntimeTraces
+from .txn import Transaction, TxnResult
+
+__all__ = ["TwoPhaseLockingExecutor"]
+
+_MAX_RESTARTS = 10_000
+
+
+@dataclass
+class _Cursor:
+    """The execution state of one in-flight transaction."""
+
+    txn: Transaction
+    position: int = 0
+    env: Env | None = None
+    reads: list[tuple[tuple, int]] = field(default_factory=list)
+    writes: dict[tuple, int] = field(default_factory=dict)
+    write_order: list[tuple] = field(default_factory=list)
+    undo: list[tuple[tuple, int, bool]] = field(default_factory=list)  # key, old, existed
+    meta_undo: list[tuple[tuple, int | None]] = field(default_factory=list)  # key, prev writer
+    outputs: list[int] = field(default_factory=list)
+    restarts: int = 0
+    blocked: bool = False
+    parked: bool = False  # restarted by wait-die; waits for the next commit
+
+    def reset(self) -> None:
+        self.position = 0
+        self.env = None
+        self.reads.clear()
+        self.writes.clear()
+        self.write_order.clear()
+        self.undo.clear()
+        self.meta_undo.clear()
+        self.outputs.clear()
+        self.blocked = False
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.txn.program.statements)
+
+
+@dataclass
+class _KeyMeta:
+    """Algorithm 4 metadata: the last committed writer and current readers."""
+
+    last_writer: int | None = None
+    last_readers: set[int] = field(default_factory=set)
+
+
+class TwoPhaseLockingExecutor:
+    """Strict 2PL over logical threads.
+
+    ``num_threads`` bounds how many transactions are in flight at once; the
+    paper's baseline is the single-threaded case (``num_threads=1``), where
+    every transaction runs to completion before the next starts.
+    """
+
+    def __init__(self, store: KVStore, num_threads: int = 1):
+        if num_threads < 1:
+            raise ConcurrencyError("need at least one logical thread")
+        self.store = store
+        self.num_threads = num_threads
+
+    def run(self, txns: Sequence[Transaction]) -> ExecutionReport:
+        traces = RuntimeTraces()
+        stats = ExecutionStats(num_txns=len(txns))
+        locks = LockManager()
+        meta: dict[tuple, _KeyMeta] = {}
+        results: dict[int, TxnResult] = {}
+        schedule: list[ScheduleUnit] = []
+
+        pending = list(txns)
+        active: list[_Cursor] = []
+        pending.reverse()  # pop() takes from the front of the original order
+
+        def admit() -> None:
+            while pending and len(active) < self.num_threads:
+                active.append(_Cursor(txn=pending.pop()))
+
+        admit()
+        spin_guard = 0
+        while active:
+            progressed = False
+            for cursor in list(active):
+                if cursor.parked:
+                    continue  # waits until some transaction commits
+                outcome = self._step(cursor, locks, meta, traces, stats)
+                if outcome == "progress":
+                    progressed = True
+                if outcome == "restart":
+                    cursor.restarts += 1
+                    stats.aborted_retries += 1
+                    if cursor.restarts > _MAX_RESTARTS:
+                        raise ConcurrencyError(
+                            f"transaction {cursor.txn.txn_id} starved after "
+                            f"{_MAX_RESTARTS} restarts"
+                        )
+                    self._abort(cursor, locks, meta, traces)
+                    # Parking until the next commit breaks the shared-lock
+                    # re-acquisition livelock (the older waiter gets through).
+                    cursor.parked = True
+                    progressed = True
+                if cursor.done:
+                    self._commit(cursor, locks, meta, results, schedule, stats)
+                    active.remove(cursor)
+                    for other in active:
+                        other.parked = False
+                    admit()
+                    progressed = True
+            if not progressed:
+                spin_guard += 1
+                if spin_guard > len(active) + 2:
+                    raise ConcurrencyError("scheduler wedged: every cursor blocked")
+            else:
+                spin_guard = 0
+        stats.rounds = len(schedule)
+        return ExecutionReport(results=results, traces=traces, schedule=schedule, stats=stats)
+
+    # -- one scheduling quantum -------------------------------------------------
+
+    def _step(
+        self,
+        cursor: _Cursor,
+        locks: LockManager,
+        meta: dict[tuple, _KeyMeta],
+        traces: RuntimeTraces,
+        stats: ExecutionStats,
+    ) -> str:
+        """Advance *cursor* by one statement; returns progress/blocked/restart."""
+        if cursor.done:
+            return "progress"
+        if cursor.env is None:
+            cursor.env = Env(params=cursor.txn.params)
+        txn = cursor.txn
+        stmt = txn.program.statements[cursor.position]
+        if isinstance(stmt, ReadStmt):
+            key = stmt.key.resolve(txn.params)
+            grant = locks.acquire(txn.txn_id, key, LockMode.SHARED)
+            if grant is LockOutcome.WAIT:
+                cursor.blocked = True
+                return "blocked"
+            if grant is LockOutcome.ABORT:
+                return "restart"
+            key_meta = meta.setdefault(key, _KeyMeta())
+            traces.add_edge(key_meta.last_writer, txn.txn_id, "wr", key)
+            key_meta.last_readers.add(txn.txn_id)
+            if key in cursor.writes:
+                value = cursor.writes[key]  # read-your-writes, not a store read
+            else:
+                value = self.store.get(key)
+                if all(key != seen for seen, _v in cursor.reads):
+                    cursor.reads.append((key, value))
+            cursor.env.reads[stmt.name] = value
+            stats.reads += 1
+        elif isinstance(stmt, WriteStmt):
+            key = stmt.key.resolve(txn.params)
+            grant = locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+            if grant is LockOutcome.WAIT:
+                cursor.blocked = True
+                return "blocked"
+            if grant is LockOutcome.ABORT:
+                return "restart"
+            key_meta = meta.setdefault(key, _KeyMeta())
+            traces.add_edge(key_meta.last_writer, txn.txn_id, "ww", key)
+            for reader in key_meta.last_readers:
+                traces.add_edge(reader, txn.txn_id, "rw", key)
+            if key not in cursor.writes:
+                cursor.meta_undo.append((key, key_meta.last_writer))
+            key_meta.last_writer = txn.txn_id
+            key_meta.last_readers = set()
+            value = stmt.value.eval(cursor.env)
+            if key not in cursor.writes:
+                cursor.undo.append((key, self.store.get(key), key in self.store))
+                cursor.write_order.append(key)
+            cursor.writes[key] = value
+            self.store.put(key, value)  # in-place write, undone on abort
+            stats.writes += 1
+        elif isinstance(stmt, Emit):
+            cursor.outputs.append(stmt.expr.eval(cursor.env))
+        else:  # pragma: no cover - defensive
+            raise TransactionError(f"unknown statement {stmt!r}")
+        cursor.position += 1
+        cursor.blocked = False
+        return "progress"
+
+    def _abort(
+        self,
+        cursor: _Cursor,
+        locks: LockManager,
+        meta: dict[tuple, _KeyMeta],
+        traces: RuntimeTraces,
+    ) -> None:
+        """Roll back an attempt completely: data, metadata, and trace edges.
+
+        Leaving any footprint of the aborted attempt behind would poison the
+        dependency graph (e.g. a stale reader->writer edge plus the re-run's
+        writer->reader edge forms a spurious cycle).
+        """
+        txn_id = cursor.txn.txn_id
+        for key, old_value, _existed in reversed(cursor.undo):
+            self.store.put(key, old_value)
+        for key, prev_writer in reversed(cursor.meta_undo):
+            key_meta = meta.get(key)
+            if key_meta is not None and key_meta.last_writer == txn_id:
+                key_meta.last_writer = prev_writer
+        for key, _value in cursor.reads:
+            key_meta = meta.get(key)
+            if key_meta is not None:
+                key_meta.last_readers.discard(txn_id)
+        # Every edge involving this transaction belongs to a voided attempt
+        # (it has never committed), so a global filter is exact.
+        traces.edges[:] = [
+            edge for edge in traces.edges if edge.src != txn_id and edge.dst != txn_id
+        ]
+        locks.release_all(txn_id)
+        cursor.reset()
+
+    def _commit(
+        self,
+        cursor: _Cursor,
+        locks: LockManager,
+        meta: dict[tuple, _KeyMeta],
+        results: dict[int, TxnResult],
+        schedule: list[ScheduleUnit],
+        stats: ExecutionStats,
+    ) -> None:
+        txn = cursor.txn
+        locks.release_all(txn.txn_id)
+        write_set = tuple((key, cursor.writes[key]) for key in cursor.write_order)
+        result = TxnResult(
+            txn_id=txn.txn_id,
+            committed=True,
+            outputs=tuple(cursor.outputs),
+            read_set=tuple(cursor.reads),
+            write_set=write_set,
+            aborts=cursor.restarts,
+        )
+        results[txn.txn_id] = result
+        schedule.append(
+            ScheduleUnit(
+                txn_ids=(txn.txn_id,),
+                reads=tuple(cursor.reads),
+                writes=write_set,
+            )
+        )
+        stats.committed += 1
+        stats.batch_sizes.append(1)

@@ -1,0 +1,52 @@
+"""Transactions and their results.
+
+A :class:`Transaction` pairs a stored-procedure template
+(:class:`~repro.vc.program.Program`) with concrete parameters.  Its
+read/write key sets are derivable from parameters alone (the paper's
+deterministic-writeset assumption), which is what allows both deterministic
+reservation on the server and local interleaving reconstruction on the
+client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vc.program import Program
+
+__all__ = ["Transaction", "TxnResult"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One invocation of a stored procedure."""
+
+    txn_id: int
+    program: Program
+    params: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def priority(self) -> int:
+        """Deterministic unique priority (smaller = higher), per Algorithm 5."""
+        return self.txn_id
+
+    def read_keys(self) -> list[tuple]:
+        return self.program.read_keys(self.params)
+
+    def write_keys(self) -> list[tuple]:
+        return self.program.write_keys(self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Transaction({self.txn_id}, {self.program.name})"
+
+
+@dataclass(frozen=True)
+class TxnResult:
+    """The observable effect of one executed transaction."""
+
+    txn_id: int
+    committed: bool
+    outputs: tuple[int, ...] = ()
+    read_set: tuple[tuple[tuple, int], ...] = ()  # (key, value observed)
+    write_set: tuple[tuple[tuple, int], ...] = ()  # (key, value written)
+    aborts: int = 0  # retries before the final outcome (contention metric)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the Litmus reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish protocol violations (a *detected attack*) from
+programming errors (misuse of the API).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was used incorrectly or failed internally."""
+
+
+class PrimalityError(CryptoError):
+    """A value that was required to be prime is not prime."""
+
+
+class CertificateError(CryptoError):
+    """A Pocklington primality certificate failed verification."""
+
+
+class CategoryError(CryptoError):
+    """A prime does not belong to the claimed prime category."""
+
+
+class ProofError(CryptoError):
+    """A cryptographic proof failed to verify.
+
+    Raised by verifiers when a lookup proof, non-membership proof,
+    proof-of-exponentiation, or VC proof does not check out.  In the threat
+    model of the paper this signals a malicious or faulty server.
+    """
+
+
+class ConstraintViolation(ReproError):
+    """A circuit witness does not satisfy the constraint system.
+
+    The simulated SNARK prover refuses to produce a proof for an unsatisfied
+    statement; this is the simulation-level analogue of SNARK soundness.
+    """
+
+
+class CircuitMismatch(ReproError):
+    """The server-supplied circuit does not match the client's local circuits."""
+
+
+class IntegrityError(ReproError):
+    """A memory-integrity check failed: the server returned tampered data."""
+
+
+class TransactionError(ReproError):
+    """A transaction was malformed or used the execution context illegally."""
+
+
+class ConcurrencyError(ReproError):
+    """The concurrency-control layer reached an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""
+
+
+class VerificationFailure(ReproError):
+    """The client rejected a server response (proof or digest chain invalid)."""

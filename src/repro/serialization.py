@@ -1,0 +1,66 @@
+"""Canonical, injective serialization of Python values to bytes.
+
+The cryptographic layers (hash-to-prime, accumulator representatives, Merkle
+leaves, proof transcripts) must agree on a single byte representation of keys
+and values.  The encoding here is *canonical* (equal values encode equally)
+and *injective* (distinct values encode distinctly), which is what
+collision-resistance arguments require.
+
+Supported types: ``bytes``, ``str``, ``int`` (arbitrary precision, signed),
+``bool``, ``None``, and (nested) tuples/lists of those.  Dictionaries are
+intentionally unsupported: composite database keys should be tuples.
+"""
+
+from __future__ import annotations
+
+from .errors import ReproError
+
+# One-byte type tags keep encodings of different types disjoint.
+_TAG_BYTES = b"\x01"
+_TAG_STR = b"\x02"
+_TAG_INT_POS = b"\x03"
+_TAG_INT_NEG = b"\x04"
+_TAG_TUPLE = b"\x05"
+_TAG_NONE = b"\x06"
+_TAG_BOOL = b"\x07"
+
+
+def _with_length(payload: bytes) -> bytes:
+    """Prefix *payload* with its length so concatenations stay injective."""
+    return len(payload).to_bytes(8, "big") + payload
+
+
+def encode(value: object) -> bytes:
+    """Encode *value* canonically.
+
+    Raises :class:`ReproError` for unsupported types.
+
+    >>> encode(0) != encode(b"")
+    True
+    >>> encode((1, 2)) != encode((12,))
+    True
+    """
+    if value is None:
+        return _TAG_NONE
+    # bool must be tested before int (bool is an int subclass).
+    if isinstance(value, bool):
+        return _TAG_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, bytes):
+        return _TAG_BYTES + _with_length(value)
+    if isinstance(value, str):
+        return _TAG_STR + _with_length(value.encode("utf-8"))
+    if isinstance(value, int):
+        magnitude = abs(value)
+        payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        tag = _TAG_INT_NEG if value < 0 else _TAG_INT_POS
+        return tag + _with_length(payload)
+    if isinstance(value, (tuple, list)):
+        parts = [encode(item) for item in value]
+        body = b"".join(_with_length(part) for part in parts)
+        return _TAG_TUPLE + len(parts).to_bytes(8, "big") + body
+    raise ReproError(f"cannot canonically encode value of type {type(value).__name__}")
+
+
+def encode_pair(key: object, value: object) -> bytes:
+    """Encode a key-value pair as a single canonical byte string."""
+    return encode((key, value))

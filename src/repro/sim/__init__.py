@@ -1,0 +1,24 @@
+"""The simulated testbed (DESIGN.md substitution 2).
+
+The paper evaluates on 2x Xeon 5218R (40 cores) with a libsnark prover.
+Neither the hardware parallelism nor a native SNARK prover is reproducible
+in pure Python, so timing is *modeled*: protocol code runs for real on
+scaled-down data to produce exact counts (constraints, batches, rounds,
+accesses), and this package converts counts into virtual seconds:
+
+- :mod:`repro.sim.costmodel` — constants calibrated against the paper's
+  reported numbers (17,638 txn/s DRM peak, 714.2 txn/s DR, 12.6x 2PL gap,
+  312-byte proofs, 300 s verification, ...);
+- :mod:`repro.sim.scheduler` — list-scheduling makespan of prover tasks
+  over N prover threads, reproducing the pipelining of Figure 2;
+- :mod:`repro.sim.clock` — named virtual-time segments for breakdowns;
+- :mod:`repro.sim.network` — simulated round-trip latencies for the
+  interactive baselines.
+"""
+
+from .clock import VirtualClock
+from .costmodel import CostModel
+from .network import NetworkModel
+from .scheduler import ProverTask, schedule_tasks
+
+__all__ = ["CostModel", "NetworkModel", "ProverTask", "VirtualClock", "schedule_tasks"]

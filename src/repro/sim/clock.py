@@ -1,0 +1,37 @@
+"""Named virtual-time accounting."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Accumulates virtual seconds into named segments.
+
+    Used to produce the time-breakdown figure (paper Figure 7): every
+    pipeline stage charges its modeled cost to a named segment, and the
+    breakdown is the normalized share of each segment.
+    """
+
+    def __init__(self):
+        self._segments: dict[str, float] = defaultdict(float)
+
+    def charge(self, segment: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._segments[segment] += seconds
+
+    def total(self) -> float:
+        return sum(self._segments.values())
+
+    def segments(self) -> dict[str, float]:
+        return dict(self._segments)
+
+    def breakdown(self) -> dict[str, float]:
+        """Normalized shares (sums to 1.0 when any time was charged)."""
+        total = self.total()
+        if total == 0:
+            return {}
+        return {name: seconds / total for name, seconds in self._segments.items()}

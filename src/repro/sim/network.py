@@ -1,0 +1,26 @@
+"""Simulated client-server network latencies.
+
+The paper simulates "a thread sleep of 1 ms or 100 ms" for the interactive
+baselines; here the sleep is virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "LAN", "WAN"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Round-trip latency plus (optional) per-byte transfer cost."""
+
+    rtt_seconds: float
+    seconds_per_byte: float = 0.0
+
+    def roundtrip(self, payload_bytes: int = 0) -> float:
+        return self.rtt_seconds + payload_bytes * self.seconds_per_byte
+
+
+LAN = NetworkModel(rtt_seconds=1e-3)  # paper's 1 ms setting
+WAN = NetworkModel(rtt_seconds=100e-3)  # paper's 100 ms setting (LA -> Tokyo)

@@ -1,0 +1,56 @@
+"""A SQL front-end for Litmus stored procedures.
+
+The paper's client "has stored enough information to define a group of
+transactions, e.g., a stored procedure with a set of input parameters", and
+the related verifiable-database systems it compares against (vSQL,
+IntegriDB) speak SQL.  This package closes that gap: a deliberately small
+SQL dialect is parsed and compiled down to the circuit-ready
+:class:`~repro.vc.program.Program` DSL.
+
+Supported statements (one stored procedure = a ``;``-separated script):
+
+- ``SELECT col[, col...] FROM table WHERE pk = :param [AND pk2 = :p2]``
+- ``UPDATE table SET col = expr [, col = expr] WHERE pk = :param [AND ...]``
+- ``INSERT INTO table (col[, col...]) VALUES (expr[, expr...])
+  WHERE pk = :param [AND ...]`` (the WHERE clause names the new row's key)
+
+Expressions: integer literals, ``:parameters``, column references (reading
+the current row), ``+ - *``, parentheses, and
+``CASE WHEN a < b THEN x ELSE y END`` / ``... WHEN a = b ...``.
+
+Key restriction (inherited from the paper's evaluation): primary keys are
+always bound to parameters, never to read values — which is what keeps
+write sets deterministic and lets the client reproduce interleavings.
+
+Example::
+
+    from repro.sql import SqlCatalog, compile_procedure
+
+    catalog = SqlCatalog()
+    catalog.create_table("accounts", key=("id",), columns=("balance",))
+    transfer = compile_procedure(
+        "transfer",
+        '''
+        UPDATE accounts SET balance = balance - :amount WHERE id = :src;
+        UPDATE accounts SET balance = balance + :amount WHERE id = :dst;
+        SELECT balance FROM accounts WHERE id = :dst;
+        ''',
+        catalog,
+    )
+    # `transfer` is a repro.vc.program.Program: executable, compilable,
+    # and usable in Transactions against LitmusServer.
+"""
+
+from .catalog import SqlCatalog, TableSchema
+from .compiler import compile_procedure
+from .parser import ParsedStatement, parse_script
+from .errors import SqlError
+
+__all__ = [
+    "ParsedStatement",
+    "SqlCatalog",
+    "SqlError",
+    "TableSchema",
+    "compile_procedure",
+    "parse_script",
+]

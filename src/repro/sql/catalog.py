@@ -1,0 +1,95 @@
+"""Table schemas and the key encoding of rows.
+
+Rows are decomposed column-wise: the cell ``table.col`` of the row with
+primary key ``(v1, v2)`` lives at the database key
+``("table.col", v1, v2)``.  This matches how the TPC-C workload lays out
+its rows and keeps every stored value a single integer (the circuit's value
+type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vc.program import KeyTemplate, Param
+from .errors import SqlError
+
+__all__ = ["TableSchema", "SqlCatalog"]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """One table: named primary-key columns plus named value columns."""
+
+    name: str
+    key_columns: tuple[str, ...]
+    value_columns: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.key_columns:
+            raise SqlError(f"table {self.name!r} needs at least one key column")
+        if not self.value_columns:
+            raise SqlError(f"table {self.name!r} needs at least one value column")
+        overlap = set(self.key_columns) & set(self.value_columns)
+        if overlap:
+            raise SqlError(f"columns {sorted(overlap)} are both key and value")
+
+    def has_column(self, column: str) -> bool:
+        return column in self.value_columns or column in self.key_columns
+
+    def cell_template(self, column: str, key_params: dict[str, str]) -> KeyTemplate:
+        """The :class:`KeyTemplate` of one cell, keys bound to parameters.
+
+        *key_params* maps each key column to the parameter name bound in the
+        statement's WHERE clause.
+        """
+        if column not in self.value_columns:
+            raise SqlError(f"{self.name}.{column} is not a value column")
+        missing = [k for k in self.key_columns if k not in key_params]
+        if missing:
+            raise SqlError(
+                f"statement on {self.name!r} does not bind key column(s) {missing}"
+            )
+        parts: list[object] = [f"{self.name}.{column}"]
+        parts.extend(Param(key_params[k]) for k in self.key_columns)
+        return KeyTemplate(tuple(parts))
+
+
+class SqlCatalog:
+    """The set of known tables."""
+
+    def __init__(self):
+        self._tables: dict[str, TableSchema] = {}
+
+    def create_table(
+        self, name: str, key: tuple[str, ...], columns: tuple[str, ...]
+    ) -> TableSchema:
+        if name in self._tables:
+            raise SqlError(f"table {name!r} already exists")
+        schema = TableSchema(name=name, key_columns=tuple(key), value_columns=tuple(columns))
+        self._tables[name] = schema
+        return schema
+
+    def table(self, name: str) -> TableSchema:
+        if name not in self._tables:
+            raise SqlError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def initial_row(
+        self, table: str, key_values: tuple[int, ...], **cells: int
+    ) -> dict[tuple, int]:
+        """Key-value pairs pre-populating one row (for initial databases)."""
+        schema = self.table(table)
+        if len(key_values) != len(schema.key_columns):
+            raise SqlError(
+                f"table {table!r} has {len(schema.key_columns)} key column(s)"
+            )
+        out: dict[tuple, int] = {}
+        for column, value in cells.items():
+            if column not in schema.value_columns:
+                raise SqlError(f"{table}.{column} is not a value column")
+            out[(f"{table}.{column}", *key_values)] = value
+        return out

@@ -1,0 +1,191 @@
+"""Compile parsed SQL scripts into circuit-ready Programs.
+
+Each statement lowers to the :mod:`repro.vc.program` DSL:
+
+- ``SELECT`` becomes one :class:`ReadStmt` per column plus an :class:`Emit`
+  of each value (the transaction's output);
+- ``UPDATE`` reads every column referenced by the assignment expressions
+  and writes the assigned cells;
+- ``INSERT`` writes the new row's cells (reads only what its value
+  expressions reference).
+
+Column references inside expressions read *the addressed row of the same
+statement* (the row named by the WHERE clause), which matches standard SQL
+semantics for single-row statements.  Repeated reads of the same cell reuse
+one read statement.
+"""
+
+from __future__ import annotations
+
+from ..vc.program import (
+    Add,
+    Const,
+    Emit,
+    Eq,
+    Expr,
+    If,
+    Lt,
+    Mul,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Stmt,
+    Sub,
+    WriteStmt,
+)
+from .catalog import SqlCatalog
+from .errors import SqlError
+from .parser import (
+    InsertStatement,
+    ParsedStatement,
+    SelectStatement,
+    SqlBinary,
+    SqlCase,
+    SqlColumn,
+    SqlExpr,
+    SqlLiteral,
+    SqlParam,
+    UpdateStatement,
+    parse_script,
+)
+
+__all__ = ["compile_procedure", "compile_statements"]
+
+
+class _ProcedureBuilder:
+    """Accumulates DSL statements while deduplicating cell reads."""
+
+    def __init__(self, catalog: SqlCatalog):
+        self.catalog = catalog
+        self.statements: list[Stmt] = []
+        self.params: list[str] = []
+        self._param_set: set[str] = set()
+        self._read_names: dict[tuple, str] = {}  # cell identity -> read name
+        self._counter = 0
+
+    def note_param(self, name: str) -> None:
+        if name not in self._param_set:
+            self._param_set.add(name)
+            self.params.append(name)
+
+    def read_cell(self, table: str, column: str, key_params: dict[str, str]) -> str:
+        """Ensure the cell is read; returns the DSL read name."""
+        schema = self.catalog.table(table)
+        identity = (table, column, tuple(sorted(key_params.items())))
+        if identity in self._read_names:
+            return self._read_names[identity]
+        name = f"r{self._counter}_{table}_{column}"
+        self._counter += 1
+        self.statements.append(
+            ReadStmt(name, schema.cell_template(column, key_params))
+        )
+        self._read_names[identity] = name
+        return name
+
+    def invalidate_cell(self, table: str, column: str, key_params: dict[str, str]) -> None:
+        """Drop the cached read of a just-written cell.
+
+        A later statement referencing the column re-reads it and — because
+        the interpreter serves reads of self-written keys from the write
+        buffer — observes the updated value (standard read-your-writes SQL
+        semantics across statements of one transaction).
+        """
+        identity = (table, column, tuple(sorted(key_params.items())))
+        self._read_names.pop(identity, None)
+
+    def lower_expr(
+        self, expr: SqlExpr, table: str, key_params: dict[str, str]
+    ) -> Expr:
+        if isinstance(expr, SqlLiteral):
+            return Const(expr.value)
+        if isinstance(expr, SqlParam):
+            self.note_param(expr.name)
+            return Param(expr.name)
+        if isinstance(expr, SqlColumn):
+            name = self.read_cell(table, expr.name, key_params)
+            return ReadVal(name)
+        if isinstance(expr, SqlBinary):
+            left = self.lower_expr(expr.left, table, key_params)
+            right = self.lower_expr(expr.right, table, key_params)
+            if expr.op == "+":
+                return Add(left, right)
+            if expr.op == "-":
+                return Sub(left, right)
+            if expr.op == "*":
+                return Mul(left, right)
+            if expr.op == "<":
+                return Lt(left, right)
+            if expr.op == "=":
+                return Eq(left, right)
+            raise SqlError(f"unsupported operator {expr.op!r}")
+        if isinstance(expr, SqlCase):
+            return If(
+                self.lower_expr(expr.condition, table, key_params),
+                self.lower_expr(expr.if_true, table, key_params),
+                self.lower_expr(expr.if_false, table, key_params),
+            )
+        raise SqlError(f"cannot lower SQL expression {expr!r}")
+
+    def note_key_params(self, key_params: dict[str, str]) -> None:
+        for param in key_params.values():
+            self.note_param(param)
+
+
+def compile_statements(
+    name: str, parsed: list[ParsedStatement], catalog: SqlCatalog
+) -> Program:
+    """Lower parsed statements into one stored-procedure Program."""
+    builder = _ProcedureBuilder(catalog)
+    for statement in parsed:
+        schema = catalog.table(statement.table)
+        builder.note_key_params(statement.key_params)
+        if isinstance(statement, SelectStatement):
+            for column in statement.columns:
+                read_name = builder.read_cell(
+                    statement.table, column, statement.key_params
+                )
+                builder.statements.append(Emit(ReadVal(read_name)))
+        elif isinstance(statement, UpdateStatement):
+            # Lower all expressions first so every referenced column is read
+            # *before* the row changes (standard simultaneous-assignment SQL
+            # semantics for a single UPDATE).
+            lowered = [
+                (column, builder.lower_expr(expr, statement.table, statement.key_params))
+                for column, expr in statement.assignments
+            ]
+            for column, value in lowered:
+                builder.statements.append(
+                    WriteStmt(
+                        schema.cell_template(column, statement.key_params), value
+                    )
+                )
+                builder.invalidate_cell(statement.table, column, statement.key_params)
+        elif isinstance(statement, InsertStatement):
+            lowered = [
+                builder.lower_expr(expr, statement.table, statement.key_params)
+                for expr in statement.values
+            ]
+            for column, value in zip(statement.columns, lowered):
+                builder.statements.append(
+                    WriteStmt(
+                        schema.cell_template(column, statement.key_params), value
+                    )
+                )
+                builder.invalidate_cell(statement.table, column, statement.key_params)
+        else:  # pragma: no cover - parser produces only the three kinds
+            raise SqlError(f"unknown statement type {type(statement).__name__}")
+    return Program(
+        name=name,
+        params=tuple(builder.params),
+        statements=tuple(builder.statements),
+    )
+
+
+def compile_procedure(name: str, source: str, catalog: SqlCatalog) -> Program:
+    """Parse and compile a SQL script into a stored procedure.
+
+    The result plugs directly into :class:`repro.db.Transaction` and is
+    compatible with the circuit compiler — the whole verifiable pipeline.
+    """
+    return compile_statements(name, parse_script(source), catalog)

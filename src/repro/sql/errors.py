@@ -1,0 +1,11 @@
+"""SQL front-end errors."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["SqlError"]
+
+
+class SqlError(ReproError):
+    """Parse, catalog, or compilation error in the SQL front-end."""

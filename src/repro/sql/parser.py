@@ -1,0 +1,367 @@
+"""Tokenizer and recursive-descent parser for the SQL dialect.
+
+Grammar (case-insensitive keywords)::
+
+    script     := statement (';' statement)* ';'?
+    statement  := select | update | insert
+    select     := SELECT column (',' column)* FROM name WHERE keyconds
+    update     := UPDATE name SET assignment (',' assignment)* WHERE keyconds
+    insert     := INSERT INTO name '(' column (',' column)* ')'
+                  VALUES '(' expr (',' expr)* ')' WHERE keyconds
+    assignment := column '=' expr
+    keyconds   := keycond (AND keycond)*
+    keycond    := column '=' ':' name
+    expr       := term (('+' | '-') term)*
+    term       := factor ('*' factor)*
+    factor     := INTEGER | ':' name | column | '(' expr ')' | case
+    case       := CASE WHEN expr ('<' | '=') expr THEN expr ELSE expr END
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .errors import SqlError
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "ParsedStatement",
+    "SelectStatement",
+    "UpdateStatement",
+    "InsertStatement",
+    "parse_script",
+    "SqlExpr",
+    "SqlLiteral",
+    "SqlParam",
+    "SqlColumn",
+    "SqlBinary",
+    "SqlCase",
+]
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "update", "set", "insert", "into",
+    "values", "case", "when", "then", "else", "end",
+}
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<param>:[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<symbol>[(),;=+\-*<])"
+    r")"
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "name" | "keyword" | "param" | "symbol"
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(source):
+        remainder = source[position:]
+        if not remainder.strip():
+            break
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise SqlError(f"cannot tokenize SQL at position {position}: "
+                           f"{source[position:position + 20]!r}")
+        position = match.end()
+        if match.lastgroup == "number":
+            tokens.append(Token("number", match.group("number"), match.start()))
+        elif match.lastgroup == "name":
+            text = match.group("name")
+            kind = "keyword" if text.lower() in _KEYWORDS else "name"
+            tokens.append(Token(kind, text.lower() if kind == "keyword" else text, match.start()))
+        elif match.lastgroup == "param":
+            tokens.append(Token("param", match.group("param")[1:], match.start()))
+        else:
+            tokens.append(Token("symbol", match.group("symbol"), match.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Expression AST (SQL level; compiled to the Program DSL separately)
+# ---------------------------------------------------------------------------
+
+
+class SqlExpr:
+    """Base class of SQL expressions."""
+
+
+@dataclass(frozen=True)
+class SqlLiteral(SqlExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class SqlParam(SqlExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SqlColumn(SqlExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SqlBinary(SqlExpr):
+    op: str  # "+", "-", "*", "<", "="
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlCase(SqlExpr):
+    condition: SqlExpr  # a comparison
+    if_true: SqlExpr
+    if_false: SqlExpr
+
+
+# ---------------------------------------------------------------------------
+# Statement AST
+# ---------------------------------------------------------------------------
+
+
+class ParsedStatement:
+    """Base class of parsed statements."""
+
+
+@dataclass(frozen=True)
+class SelectStatement(ParsedStatement):
+    table: str
+    columns: tuple[str, ...]
+    key_params: dict[str, str] = field(hash=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class UpdateStatement(ParsedStatement):
+    table: str
+    assignments: tuple[tuple[str, SqlExpr], ...]
+    key_params: dict[str, str] = field(hash=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InsertStatement(ParsedStatement):
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[SqlExpr, ...]
+    key_params: dict[str, str] = field(hash=False, default_factory=dict)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of SQL input")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        token = self.advance()
+        if token.kind != "keyword" or token.text != word:
+            raise SqlError(f"expected {word.upper()!r} at position {token.position}, "
+                           f"found {token.text!r}")
+
+    def expect_symbol(self, symbol: str) -> None:
+        token = self.advance()
+        if token.kind != "symbol" or token.text != symbol:
+            raise SqlError(f"expected {symbol!r} at position {token.position}, "
+                           f"found {token.text!r}")
+
+    def expect_name(self) -> str:
+        token = self.advance()
+        if token.kind != "name":
+            raise SqlError(f"expected an identifier at position {token.position}, "
+                           f"found {token.text!r}")
+        return token.text
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "keyword" and token.text == word
+
+    def at_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "symbol" and token.text == symbol
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_script(self) -> list[ParsedStatement]:
+        statements = []
+        while self.peek() is not None:
+            statements.append(self.parse_statement())
+            if self.at_symbol(";"):
+                self.advance()
+        if not statements:
+            raise SqlError("empty SQL script")
+        return statements
+
+    def parse_statement(self) -> ParsedStatement:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of SQL input")
+        if token.kind == "keyword" and token.text == "select":
+            return self.parse_select()
+        if token.kind == "keyword" and token.text == "update":
+            return self.parse_update()
+        if token.kind == "keyword" and token.text == "insert":
+            return self.parse_insert()
+        raise SqlError(f"expected a statement at position {token.position}, "
+                       f"found {token.text!r}")
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        columns = [self.expect_name()]
+        while self.at_symbol(","):
+            self.advance()
+            columns.append(self.expect_name())
+        self.expect_keyword("from")
+        table = self.expect_name()
+        key_params = self.parse_where()
+        return SelectStatement(table=table, columns=tuple(columns), key_params=key_params)
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("update")
+        table = self.expect_name()
+        self.expect_keyword("set")
+        assignments = [self.parse_assignment()]
+        while self.at_symbol(","):
+            self.advance()
+            assignments.append(self.parse_assignment())
+        key_params = self.parse_where()
+        return UpdateStatement(
+            table=table, assignments=tuple(assignments), key_params=key_params
+        )
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_name()
+        self.expect_symbol("(")
+        columns = [self.expect_name()]
+        while self.at_symbol(","):
+            self.advance()
+            columns.append(self.expect_name())
+        self.expect_symbol(")")
+        self.expect_keyword("values")
+        self.expect_symbol("(")
+        values = [self.parse_expr()]
+        while self.at_symbol(","):
+            self.advance()
+            values.append(self.parse_expr())
+        self.expect_symbol(")")
+        if len(values) != len(columns):
+            raise SqlError(
+                f"INSERT lists {len(columns)} column(s) but {len(values)} value(s)"
+            )
+        key_params = self.parse_where()
+        return InsertStatement(
+            table=table,
+            columns=tuple(columns),
+            values=tuple(values),
+            key_params=key_params,
+        )
+
+    def parse_assignment(self) -> tuple[str, SqlExpr]:
+        column = self.expect_name()
+        self.expect_symbol("=")
+        return column, self.parse_expr()
+
+    def parse_where(self) -> dict[str, str]:
+        self.expect_keyword("where")
+        conditions: dict[str, str] = {}
+        while True:
+            column = self.expect_name()
+            self.expect_symbol("=")
+            token = self.advance()
+            if token.kind != "param":
+                raise SqlError(
+                    "primary keys must be bound to :parameters (the paper's "
+                    "deterministic-writeset restriction), found "
+                    f"{token.text!r} at position {token.position}"
+                )
+            if column in conditions:
+                raise SqlError(f"key column {column!r} bound twice")
+            conditions[column] = token.text
+            if self.at_keyword("and"):
+                self.advance()
+                continue
+            return conditions
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> SqlExpr:
+        left = self.parse_term()
+        while self.at_symbol("+") or self.at_symbol("-"):
+            op = self.advance().text
+            left = SqlBinary(op=op, left=left, right=self.parse_term())
+        return left
+
+    def parse_term(self) -> SqlExpr:
+        left = self.parse_factor()
+        while self.at_symbol("*"):
+            self.advance()
+            left = SqlBinary(op="*", left=left, right=self.parse_factor())
+        return left
+
+    def parse_factor(self) -> SqlExpr:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of expression")
+        if token.kind == "number":
+            self.advance()
+            return SqlLiteral(int(token.text))
+        if token.kind == "param":
+            self.advance()
+            return SqlParam(token.text)
+        if token.kind == "name":
+            self.advance()
+            return SqlColumn(token.text)
+        if token.kind == "symbol" and token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        if token.kind == "keyword" and token.text == "case":
+            return self.parse_case()
+        raise SqlError(f"unexpected token {token.text!r} at position {token.position}")
+
+    def parse_case(self) -> SqlCase:
+        self.expect_keyword("case")
+        self.expect_keyword("when")
+        left = self.parse_expr()
+        op_token = self.advance()
+        if op_token.kind != "symbol" or op_token.text not in ("<", "="):
+            raise SqlError(
+                f"CASE conditions support '<' and '=', found {op_token.text!r}"
+            )
+        right = self.parse_expr()
+        condition = SqlBinary(op=op_token.text, left=left, right=right)
+        self.expect_keyword("then")
+        if_true = self.parse_expr()
+        self.expect_keyword("else")
+        if_false = self.parse_expr()
+        self.expect_keyword("end")
+        return SqlCase(condition=condition, if_true=if_true, if_false=if_false)
+
+
+def parse_script(source: str) -> list[ParsedStatement]:
+    """Parse a ``;``-separated script into statement ASTs."""
+    return _Parser(tokenize(source), source).parse_script()

@@ -1,0 +1,343 @@
+"""Circuit builder producing Rank-1 Constraint Systems.
+
+This is the "cryptographic circuit" formalism of paper Section 2.2 in the
+concrete shape modern SNARK toolchains use: every gate becomes a rank-1
+constraint ``<A, w> * <B, w> = <C, w>`` over the witness vector ``w`` (whose
+0-th entry is the constant 1).
+
+Two features matter for Litmus specifically:
+
+- **witness hints** — every auxiliary variable records how to compute itself
+  from earlier values, so the prover derives the full assignment from the
+  inputs alone (the paper's "auxiliary inputs supplied by the server");
+- **foreign gadgets** — the memory-integrity checker performs RSA-group
+  arithmetic that would unfold into a *fixed* number of gates (the paper:
+  "exactly three exponentiations, two multiplications, three comparisons and
+  two boolean operations per request").  We represent such a block as an
+  opaque gadget carrying (a) a real Python evaluator that performs the actual
+  group math during witness generation, and (b) its gate-count contribution
+  for the cost model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import ConstraintViolation
+from .field import FIELD_PRIME, inv, to_field
+from .r1cs import R1CS, Constraint
+
+__all__ = ["LinearCombination", "ForeignGadget", "Circuit", "CircuitBuilder"]
+
+
+class LinearCombination:
+    """A sparse linear combination of witness variables."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Mapping[int, int] | None = None):
+        self.terms: dict[int, int] = {}
+        if terms:
+            for var, coeff in terms.items():
+                coeff = to_field(coeff)
+                if coeff:
+                    self.terms[var] = coeff
+
+    @classmethod
+    def variable(cls, index: int, coeff: int = 1) -> "LinearCombination":
+        return cls({index: coeff})
+
+    @classmethod
+    def constant(cls, value: int) -> "LinearCombination":
+        return cls({0: value})
+
+    def __add__(self, other: "LinearCombination") -> "LinearCombination":
+        merged = dict(self.terms)
+        for var, coeff in other.terms.items():
+            merged[var] = to_field(merged.get(var, 0) + coeff)
+        return LinearCombination(merged)
+
+    def __sub__(self, other: "LinearCombination") -> "LinearCombination":
+        return self + other.scale(-1)
+
+    def scale(self, scalar: int) -> "LinearCombination":
+        return LinearCombination(
+            {var: to_field(coeff * scalar) for var, coeff in self.terms.items()}
+        )
+
+    def evaluate(self, assignment: list[int]) -> int:
+        total = 0
+        for var, coeff in self.terms.items():
+            total += coeff * assignment[var]
+        return total % FIELD_PRIME
+
+    def canonical(self) -> tuple[tuple[int, int], ...]:
+        return tuple(sorted(self.terms.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LC({self.terms})"
+
+
+@dataclass(frozen=True)
+class ForeignGadget:
+    """An opaque fixed-cost block of crypto gates (e.g. one MemCheck call).
+
+    *evaluator* receives the full witness context dictionary the builder
+    threads through witness generation and must return True iff the gadget's
+    semantic check passes (real RSA math happens inside).
+    """
+
+    name: str
+    constraint_count: int
+    evaluator: Callable[[dict], bool]
+
+
+@dataclass
+class Circuit:
+    """An immutable compiled circuit: R1CS + hints + foreign gadgets."""
+
+    r1cs: R1CS
+    num_variables: int
+    public_indices: tuple[int, ...]
+    input_labels: tuple[str, ...]
+    hints: tuple[tuple[int, Callable[[list[int], dict], int]], ...]
+    gadgets: tuple[ForeignGadget, ...] = ()
+    label: str = ""
+
+    @property
+    def field_constraints(self) -> int:
+        return len(self.r1cs.constraints)
+
+    @property
+    def foreign_constraints(self) -> int:
+        return sum(g.constraint_count for g in self.gadgets)
+
+    @property
+    def total_constraints(self) -> int:
+        """Total gate count, the quantity the cost model charges for."""
+        return self.field_constraints + self.foreign_constraints
+
+    def structural_hash(self) -> bytes:
+        """A hash of the circuit *structure* (not of any particular witness).
+
+        This is what the client's circuit matcher compares: identical
+        transaction logic compiles to an identical structure, while any
+        tampering with constraints or gadget layout changes the hash.
+        """
+        h = hashlib.sha256()
+        h.update(self.label.encode())
+        h.update(len(self.r1cs.constraints).to_bytes(8, "big"))
+        for constraint in self.r1cs.constraints:
+            for lc in (constraint.a, constraint.b, constraint.c):
+                for var, coeff in lc.canonical():
+                    h.update(var.to_bytes(8, "big"))
+                    h.update(coeff.to_bytes(32, "big"))
+                h.update(b"|")
+        for gadget in self.gadgets:
+            h.update(gadget.name.encode())
+            h.update(gadget.constraint_count.to_bytes(8, "big"))
+        h.update(bytes(str(self.public_indices), "ascii"))
+        return h.digest()
+
+    def generate_witness(self, inputs: Mapping[str, int], context: dict | None = None) -> list[int]:
+        """Derive the full assignment from named inputs via the hints.
+
+        Raises :class:`ConstraintViolation` if any constraint or foreign
+        gadget fails — the prover-side enforcement of soundness.
+        """
+        context = context if context is not None else {}
+        assignment = [0] * self.num_variables
+        assignment[0] = 1
+        for label, index in zip(self.input_labels, range(1, len(self.input_labels) + 1)):
+            if label not in inputs:
+                raise ConstraintViolation(f"missing circuit input {label!r}")
+            assignment[index] = to_field(inputs[label])
+        for index, hint in self.hints:
+            assignment[index] = to_field(hint(assignment, context))
+        self.check_satisfied(assignment, context)
+        return assignment
+
+    def check_satisfied(self, assignment: list[int], context: dict | None = None) -> None:
+        """Evaluate every constraint and gadget; raise on the first failure."""
+        failure = self.r1cs.first_violation(assignment)
+        if failure is not None:
+            raise ConstraintViolation(
+                f"constraint {failure} unsatisfied in circuit {self.label!r}"
+            )
+        for gadget in self.gadgets:
+            if not gadget.evaluator(context if context is not None else {}):
+                raise ConstraintViolation(
+                    f"foreign gadget {gadget.name!r} failed in circuit {self.label!r}"
+                )
+
+
+class CircuitBuilder:
+    """Imperative construction of a :class:`Circuit`.
+
+    Variables are referenced by :class:`LinearCombination`; inputs are
+    declared first (they occupy the low indices, making them the public part
+    of the witness).
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._num_vars = 1  # index 0 is the constant ONE
+        self._input_labels: list[str] = []
+        self._public: list[int] = [0]
+        self._constraints: list[Constraint] = []
+        self._hints: list[tuple[int, Callable[[list[int], dict], int]]] = []
+        self._gadgets: list[ForeignGadget] = []
+        self._inputs_frozen = False
+
+    # -- variables -----------------------------------------------------------
+
+    def input(self, label: str, public: bool = True) -> LinearCombination:
+        """Declare a named input variable (must precede any aux variable)."""
+        if self._inputs_frozen:
+            raise ConstraintViolation("inputs must be declared before aux variables")
+        index = self._num_vars
+        self._num_vars += 1
+        self._input_labels.append(label)
+        if public:
+            self._public.append(index)
+        return LinearCombination.variable(index)
+
+    def aux(self, hint: Callable[[list[int], dict], int]) -> LinearCombination:
+        """Allocate an auxiliary variable computed by *hint* at proving time."""
+        self._inputs_frozen = True
+        index = self._num_vars
+        self._num_vars += 1
+        self._hints.append((index, hint))
+        return LinearCombination.variable(index)
+
+    def constant(self, value: int) -> LinearCombination:
+        return LinearCombination.constant(value)
+
+    # -- constraints -----------------------------------------------------------
+
+    def enforce(
+        self, a: LinearCombination, b: LinearCombination, c: LinearCombination
+    ) -> None:
+        """Add the rank-1 constraint ``a * b = c``."""
+        self._constraints.append(Constraint(a, b, c))
+
+    def assert_eq(self, a: LinearCombination, b: LinearCombination) -> None:
+        self.enforce(a - b, LinearCombination.constant(1), LinearCombination.constant(0))
+
+    def assert_bool(self, x: LinearCombination) -> None:
+        """x * (x - 1) = 0."""
+        self.enforce(x, x - LinearCombination.constant(1), LinearCombination.constant(0))
+
+    # -- derived operations --------------------------------------------------------
+
+    def mul(self, a: LinearCombination, b: LinearCombination) -> LinearCombination:
+        out = self.aux(lambda w, _ctx, a=a, b=b: a.evaluate(w) * b.evaluate(w))
+        self.enforce(a, b, out)
+        return out
+
+    def is_zero(self, x: LinearCombination) -> LinearCombination:
+        """Return a bit that is 1 iff x == 0 (classic inverse-hint gadget)."""
+        inverse = self.aux(
+            lambda w, _ctx, x=x: inv(x.evaluate(w)) if x.evaluate(w) % FIELD_PRIME else 0
+        )
+        bit = self.aux(lambda w, _ctx, x=x: 0 if x.evaluate(w) % FIELD_PRIME else 1)
+        # bit = 1 - x * inverse ; x * bit = 0.
+        self.enforce(x, inverse, LinearCombination.constant(1) - bit)
+        self.enforce(x, bit, LinearCombination.constant(0))
+        return bit
+
+    def assert_nonzero(self, x: LinearCombination) -> None:
+        """The paper's trick (Sec 7.1): aux z with z * x = 1 proves x != 0."""
+        z = self.aux(lambda w, _ctx, x=x: inv(x.evaluate(w)))
+        self.enforce(z, x, LinearCombination.constant(1))
+
+    def assert_all_distinct(self, values: list[LinearCombination]) -> None:
+        """Prove pairwise distinctness of *values* (Section 7.1).
+
+        "We can encode the non-conflicting property as a check in the
+        circuit.  Given two variables X and Y, the relationship X != Y can
+        be encoded using an auxiliary input Z provided by the server s.t.
+        Z * (X - Y) = 1."  Applied to the accessed keys of a claimed
+        non-conflicting batch, this lets the server *prove* batch
+        disjointness when write sets depend on read values and the client
+        cannot reproduce the interleaving locally.
+        """
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                self.assert_nonzero(values[i] - values[j])
+
+    def select(
+        self,
+        bit: LinearCombination,
+        if_true: LinearCombination,
+        if_false: LinearCombination,
+    ) -> LinearCombination:
+        """out = bit ? if_true : if_false (bit must be boolean-constrained)."""
+        # out = if_false + bit * (if_true - if_false)
+        delta = self.mul(bit, if_true - if_false)
+        return if_false + delta
+
+    def decompose_bits(self, x: LinearCombination, width: int) -> list[LinearCombination]:
+        """Constrain x to *width* bits and return them (range-check gadget)."""
+        bits: list[LinearCombination] = []
+        for position in range(width):
+            bit = self.aux(
+                lambda w, _ctx, x=x, p=position: (x.evaluate(w) >> p) & 1
+            )
+            self.assert_bool(bit)
+            bits.append(bit)
+        recomposed = LinearCombination.constant(0)
+        for position, bit in enumerate(bits):
+            recomposed = recomposed + bit.scale(1 << position)
+        self.assert_eq(x, recomposed)
+        return bits
+
+    def less_than(
+        self, a: LinearCombination, b: LinearCombination, width: int = 32
+    ) -> LinearCombination:
+        """Return a bit: a < b.
+
+        Both operands must already be range-constrained to *width* bits by
+        the caller (inputs should be decomposed once on entry).  The shifted
+        difference ``b - a - 1 + 2^width`` is a non-negative integer below
+        ``2^(width+1)`` exactly under that precondition, and its top bit is 1
+        iff ``a < b``.
+        """
+        shifted = (
+            b - a - LinearCombination.constant(1) + LinearCombination.constant(1 << width)
+        )
+        bits = self.decompose_bits(shifted, width + 1)
+        return bits[width]
+
+    def add_gadget(self, gadget: ForeignGadget) -> None:
+        self._gadgets.append(gadget)
+
+    def make_public(self, lc: LinearCombination) -> None:
+        """Expose a single-variable combination as a public output."""
+        if len(lc.terms) != 1:
+            raise ConstraintViolation("only plain variables can be made public")
+        index = next(iter(lc.terms))
+        if index not in self._public:
+            self._public.append(index)
+
+    def output(self, lc: LinearCombination) -> LinearCombination:
+        """Bind *lc* to a fresh public output variable and return it."""
+        out = self.aux(lambda w, _ctx, lc=lc: lc.evaluate(w))
+        self.assert_eq(out, lc)
+        self.make_public(out)
+        return out
+
+    # -- finalize -------------------------------------------------------------------
+
+    def build(self) -> Circuit:
+        return Circuit(
+            r1cs=R1CS(tuple(self._constraints)),
+            num_variables=self._num_vars,
+            public_indices=tuple(self._public),
+            input_labels=tuple(self._input_labels),
+            hints=tuple(self._hints),
+            gadgets=tuple(self._gadgets),
+            label=self.label,
+        )

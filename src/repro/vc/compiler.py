@@ -1,0 +1,227 @@
+"""The transaction circuit compiler (paper Section 6.1.3).
+
+Compiles a :class:`~repro.vc.program.Program` (stored procedure) into an
+R1CS :class:`~repro.vc.circuit.Circuit`.  The compiled layout is:
+
+- public inputs: the procedure parameters, then one input per read
+  statement (the values the memory-integrity provider supplies);
+- public outputs: one variable per write statement (the value written) and
+  one per ``Emit`` (the transaction's output value).
+
+Compilation is cached per program template — the paper's observation that
+transactions "generated from the same template" produce "parallel
+repetitions of similar structures in the circuit" shows up here as a cache
+hit, and on the client side as cheap circuit matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ConstraintViolation, TransactionError
+from .circuit import Circuit, CircuitBuilder, LinearCombination
+from .field import to_field
+from .program import (
+    Add,
+    Const,
+    Emit,
+    Eq,
+    Expr,
+    If,
+    Lt,
+    Max,
+    Min,
+    Mul,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+    VALUE_WIDTH,
+)
+
+__all__ = ["TransactionCircuit", "CircuitCompiler", "WitnessBinding"]
+
+
+@dataclass(frozen=True)
+class TransactionCircuit:
+    """A compiled stored-procedure template."""
+
+    program: Program
+    circuit: Circuit
+    param_labels: tuple[str, ...]
+    read_labels: tuple[str, ...]
+    write_output_indices: tuple[int, ...]
+    emit_output_indices: tuple[int, ...]
+
+    @property
+    def structural_signature(self) -> bytes:
+        return self.circuit.structural_hash()
+
+    @property
+    def total_constraints(self) -> int:
+        return self.circuit.total_constraints
+
+
+@dataclass(frozen=True)
+class WitnessBinding:
+    """A full witness for one execution of a template."""
+
+    witness: tuple[int, ...]
+    public_values: tuple[int, ...]
+    write_values: tuple[int, ...]
+    outputs: tuple[int, ...]
+
+
+class _ExprCompiler:
+    """Compiles expressions to linear combinations inside one builder."""
+
+    def __init__(
+        self,
+        builder: CircuitBuilder,
+        params: Mapping[str, LinearCombination],
+        reads: Mapping[str, LinearCombination],
+    ):
+        self.builder = builder
+        self.params = params
+        self.reads = reads
+        self._range_checked: set[int] = set()
+
+    def compile(self, expr: Expr) -> LinearCombination:
+        if isinstance(expr, Const):
+            return self.builder.constant(to_field(expr.value))
+        if isinstance(expr, Param):
+            if expr.name not in self.params:
+                raise TransactionError(f"unknown parameter {expr.name!r}")
+            return self.params[expr.name]
+        if isinstance(expr, ReadVal):
+            if expr.name not in self.reads:
+                raise TransactionError(f"read {expr.name!r} not declared before use")
+            return self.reads[expr.name]
+        if isinstance(expr, Add):
+            return self.compile(expr.left) + self.compile(expr.right)
+        if isinstance(expr, Sub):
+            return self.compile(expr.left) - self.compile(expr.right)
+        if isinstance(expr, Mul):
+            return self.builder.mul(self.compile(expr.left), self.compile(expr.right))
+        if isinstance(expr, Lt):
+            left = self._ranged(self.compile(expr.left))
+            right = self._ranged(self.compile(expr.right))
+            return self.builder.less_than(left, right, width=VALUE_WIDTH)
+        if isinstance(expr, Eq):
+            return self.builder.is_zero(self.compile(expr.left) - self.compile(expr.right))
+        if isinstance(expr, If):
+            bit = self.as_bit(expr.condition)
+            return self.builder.select(
+                bit, self.compile(expr.if_true), self.compile(expr.if_false)
+            )
+        if isinstance(expr, (Max, Min)):
+            left = self._ranged(self.compile(expr.left))
+            right = self._ranged(self.compile(expr.right))
+            left_smaller = self.builder.less_than(left, right, width=VALUE_WIDTH)
+            if isinstance(expr, Max):
+                return self.builder.select(left_smaller, right, left)
+            return self.builder.select(left_smaller, left, right)
+        raise TransactionError(f"cannot compile expression {expr!r}")
+
+    def as_bit(self, expr: Expr) -> LinearCombination:
+        """Coerce a condition to a boolean wire (non-zero means true)."""
+        if isinstance(expr, (Lt, Eq)):
+            return self.compile(expr)
+        value = self.compile(expr)
+        return LinearCombination.constant(1) - self.builder.is_zero(value)
+
+    def _ranged(self, lc: LinearCombination) -> LinearCombination:
+        """Range-check a comparison operand once per distinct wire set."""
+        key = hash(lc.canonical())
+        if key not in self._range_checked:
+            self.builder.decompose_bits(lc, VALUE_WIDTH)
+            self._range_checked.add(key)
+        return lc
+
+
+class CircuitCompiler:
+    """Compiles and caches transaction circuit templates."""
+
+    def __init__(self):
+        self._cache: dict[str, TransactionCircuit] = {}
+
+    def compile_program(self, program: Program) -> TransactionCircuit:
+        """Compile *program*, reusing a cached template when available."""
+        cached = self._cache.get(program.name)
+        if cached is not None:
+            if cached.program is not program and cached.program != program:
+                raise ConstraintViolation(
+                    f"two distinct programs share the template name {program.name!r}"
+                )
+            return cached
+        compiled = self._compile(program)
+        self._cache[program.name] = compiled
+        return compiled
+
+    def _compile(self, program: Program) -> TransactionCircuit:
+        builder = CircuitBuilder(label=program.name)
+        param_lcs = {name: builder.input(f"param:{name}") for name in program.params}
+        read_lcs: dict[str, LinearCombination] = {}
+        read_labels: list[str] = []
+        for stmt in program.statements:
+            if isinstance(stmt, ReadStmt):
+                read_lcs[stmt.name] = builder.input(f"read:{stmt.name}")
+                read_labels.append(stmt.name)
+        expr_compiler = _ExprCompiler(builder, param_lcs, read_lcs)
+        write_indices: list[int] = []
+        emit_indices: list[int] = []
+        for stmt in program.statements:
+            if isinstance(stmt, WriteStmt):
+                value = expr_compiler.compile(stmt.value)
+                out = builder.aux(lambda w, _ctx, value=value: value.evaluate(w))
+                builder.assert_eq(out, value)
+                builder.make_public(out)
+                write_indices.append(next(iter(out.terms)))
+            elif isinstance(stmt, Emit):
+                value = expr_compiler.compile(stmt.expr)
+                out = builder.aux(lambda w, _ctx, value=value: value.evaluate(w))
+                builder.assert_eq(out, value)
+                builder.make_public(out)
+                emit_indices.append(next(iter(out.terms)))
+        return TransactionCircuit(
+            program=program,
+            circuit=builder.build(),
+            param_labels=tuple(program.params),
+            read_labels=tuple(read_labels),
+            write_output_indices=tuple(write_indices),
+            emit_output_indices=tuple(emit_indices),
+        )
+
+    def bind(
+        self,
+        compiled: TransactionCircuit,
+        params: Mapping[str, int],
+        read_values: Mapping[str, int],
+    ) -> WitnessBinding:
+        """Generate the witness for one execution of the template.
+
+        Raises :class:`ConstraintViolation` if the inputs do not satisfy the
+        template (e.g. a tampered read value that breaks an internal check).
+        """
+        inputs: dict[str, int] = {}
+        for name in compiled.param_labels:
+            if name not in params:
+                raise TransactionError(f"missing parameter {name!r}")
+            inputs[f"param:{name}"] = to_field(params[name])
+        for name in compiled.read_labels:
+            if name not in read_values:
+                raise TransactionError(f"missing read value {name!r}")
+            inputs[f"read:{name}"] = to_field(read_values[name])
+        witness = compiled.circuit.generate_witness(inputs)
+        public = tuple(witness[i] for i in compiled.circuit.public_indices)
+        writes = tuple(witness[i] for i in compiled.write_output_indices)
+        outputs = tuple(witness[i] for i in compiled.emit_output_indices)
+        return WitnessBinding(
+            witness=tuple(witness),
+            public_values=public,
+            write_values=writes,
+            outputs=outputs,
+        )

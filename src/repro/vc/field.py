@@ -1,0 +1,33 @@
+"""Arithmetic over the BN-128 scalar field.
+
+The paper's proving system (libsnark's Pinocchio/Groth16 pipeline) works over
+the scalar field of the BN-128 pairing curve; we use the same prime so
+constraint counts and value ranges are faithful.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FIELD_PRIME", "normalize", "inv", "to_field"]
+
+# Order of the BN-128 (alt_bn128) scalar field — the field libsnark uses.
+FIELD_PRIME = (
+    21888242871839275222246405745257275088548364400416034343698204186575808495617
+)
+
+
+def normalize(x: int) -> int:
+    """Reduce *x* into canonical range [0, p)."""
+    return x % FIELD_PRIME
+
+
+def inv(x: int) -> int:
+    """Multiplicative inverse in the field (raises ZeroDivisionError on 0)."""
+    x = normalize(x)
+    if x == 0:
+        raise ZeroDivisionError("0 has no inverse in the field")
+    return pow(x, -1, FIELD_PRIME)
+
+
+def to_field(value: int) -> int:
+    """Embed a (possibly negative) Python int into the field."""
+    return value % FIELD_PRIME

@@ -1,0 +1,53 @@
+"""Merkle commitments to witness vectors (used by the spot-check backend).
+
+A thin wrapper over :class:`repro.crypto.merkle.MerkleTree` specialised for
+committing to a field-element vector and opening individual positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..crypto.merkle import MerklePath, MerkleTree
+
+__all__ = ["WitnessCommitment", "WitnessOpening"]
+
+
+@dataclass(frozen=True)
+class WitnessOpening:
+    """One opened wire: (index, value) plus its authentication path."""
+
+    index: int
+    value: int
+    path: MerklePath
+
+    def verify(self, root: bytes) -> bool:
+        if self.path.index != self.index:
+            return False
+        return MerkleTree.verify(root, self.path, self.value)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 + 32 + 32 * len(self.path.siblings)
+
+
+class WitnessCommitment:
+    """Binding commitment to a full wire assignment."""
+
+    def __init__(self, witness: Sequence[int]):
+        self._witness = list(witness)
+        self._tree = MerkleTree(max(1, len(witness)))
+        for index, value in enumerate(witness):
+            self._tree.update(index, value)
+
+    @property
+    def root(self) -> bytes:
+        return self._tree.root
+
+    def open(self, index: int) -> WitnessOpening:
+        return WitnessOpening(
+            index=index,
+            value=self._witness[index],
+            path=self._tree.prove(index),
+        )

@@ -1,0 +1,315 @@
+"""A tiny stored-procedure language with two faithful semantics.
+
+The paper assumes the client "has stored enough information to define a
+group of transactions, e.g., a stored procedure with a set of input
+parameters".  This module is that stored-procedure language: a small,
+loop-free expression/statement AST that can be
+
+1. **interpreted** against a database (the normal-DBMS execution path), and
+2. **compiled** to an R1CS circuit (the verifiable path),
+
+with the two semantics provably agreeing (tested property-based).  Following
+the paper's evaluation setup, write *keys* are functions of the parameters
+only — "the writing targets of transactions do not depend on the read
+values" — which is what lets the client reproduce the interleaving locally.
+
+Loops are unrolled at template-construction time (e.g. one TPC-C New Order
+template per order-line count), exactly like hand-written circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import TransactionError
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Param",
+    "ReadVal",
+    "Add",
+    "Sub",
+    "Mul",
+    "Lt",
+    "Eq",
+    "If",
+    "Max",
+    "Min",
+    "Clamp",
+    "Stmt",
+    "ReadStmt",
+    "WriteStmt",
+    "Emit",
+    "Program",
+    "KeyTemplate",
+]
+
+# Comparison operands are range-checked to this many bits in the circuit;
+# workloads must keep compared values inside [0, 2^VALUE_WIDTH).  Arithmetic
+# itself is exact (Python ints / field elements), so interpreter and circuit
+# agree modulo the field prime.
+VALUE_WIDTH = 32
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions (integer-valued, 32-bit semantics)."""
+
+    def eval(self, env: "Env") -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def eval(self, env: "Env") -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    name: str
+
+    def eval(self, env: "Env") -> int:
+        if self.name not in env.params:
+            raise TransactionError(f"unknown parameter {self.name!r}")
+        return env.params[self.name]
+
+
+@dataclass(frozen=True)
+class ReadVal(Expr):
+    """The value produced by a prior :class:`ReadStmt` with the same name."""
+
+    name: str
+
+    def eval(self, env: "Env") -> int:
+        if self.name not in env.reads:
+            raise TransactionError(f"read {self.name!r} not executed before use")
+        return env.reads[self.name]
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return self.left.eval(env) + self.right.eval(env)
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return self.left.eval(env) - self.right.eval(env)
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return self.left.eval(env) * self.right.eval(env)
+
+
+@dataclass(frozen=True)
+class Lt(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return 1 if self.left.eval(env) < self.right.eval(env) else 0
+
+
+@dataclass(frozen=True)
+class Eq(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return 1 if self.left.eval(env) == self.right.eval(env) else 0
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def eval(self, env: "Env") -> int:
+        return self.if_true.eval(env) if self.condition.eval(env) else self.if_false.eval(env)
+
+
+@dataclass(frozen=True)
+class Max(Expr):
+    """max(left, right); operands must satisfy the comparison range rules."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return max(self.left.eval(env), self.right.eval(env))
+
+
+@dataclass(frozen=True)
+class Min(Expr):
+    """min(left, right); operands must satisfy the comparison range rules."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, env: "Env") -> int:
+        return min(self.left.eval(env), self.right.eval(env))
+
+
+def Clamp(value: Expr, low: Expr, high: Expr) -> Expr:
+    """Clamp *value* into [low, high] (sugar over Min/Max)."""
+    return Min(Max(value, low), high)
+
+
+# ---------------------------------------------------------------------------
+# Keys and statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyTemplate:
+    """A database key computed from parameters only.
+
+    ``parts`` mixes literal components with parameter references
+    (``Param``); e.g. ``KeyTemplate(("stock", Param("w_id"), Param("i_id")))``.
+    """
+
+    parts: tuple[object, ...]
+
+    def resolve(self, params: Mapping[str, int]) -> tuple:
+        resolved = []
+        for part in self.parts:
+            if isinstance(part, Param):
+                if part.name not in params:
+                    raise TransactionError(f"unknown key parameter {part.name!r}")
+                resolved.append(params[part.name])
+            else:
+                resolved.append(part)
+        return tuple(resolved)
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class ReadStmt(Stmt):
+    name: str
+    key: KeyTemplate
+
+
+@dataclass(frozen=True)
+class WriteStmt(Stmt):
+    key: KeyTemplate
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Emit(Stmt):
+    """Append an expression to the transaction's output value list."""
+
+    expr: Expr
+
+
+@dataclass
+class Env:
+    """Interpreter environment: parameters plus values read so far."""
+
+    params: Mapping[str, int]
+    reads: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """The effect of one interpreted run.
+
+    ``reads`` records every executed read statement (including those served
+    from the transaction's own write buffer); ``store_reads`` records, per
+    key and at most once, only the values actually fetched from the database
+    — the set the memory-integrity layer must authenticate.
+    """
+
+    reads: tuple[tuple[str, tuple, int], ...]  # (name, key, value)
+    writes: tuple[tuple[tuple, int], ...]  # (key, value) in statement order
+    outputs: tuple[int, ...]
+    store_reads: tuple[tuple[tuple, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Program:
+    """A loop-free stored procedure: name + parameter list + statements."""
+
+    name: str
+    params: tuple[str, ...]
+    statements: tuple[Stmt, ...]
+
+    def read_statements(self) -> list[ReadStmt]:
+        return [s for s in self.statements if isinstance(s, ReadStmt)]
+
+    def write_statements(self) -> list[WriteStmt]:
+        return [s for s in self.statements if isinstance(s, WriteStmt)]
+
+    def read_keys(self, params: Mapping[str, int]) -> list[tuple]:
+        return [s.key.resolve(params) for s in self.read_statements()]
+
+    def write_keys(self, params: Mapping[str, int]) -> list[tuple]:
+        return [s.key.resolve(params) for s in self.write_statements()]
+
+    def execute(
+        self,
+        params: Mapping[str, int],
+        read_fn: Callable[[tuple], int],
+    ) -> ExecutionResult:
+        """Reference interpreter.
+
+        *read_fn* maps a resolved key to the current database value; reads
+        observe earlier writes of the same transaction (read-your-writes),
+        matching Algorithm 5's ``Reserve``.
+        """
+        env = Env(params=params)
+        reads: list[tuple[str, tuple, int]] = []
+        store_reads: dict[tuple, int] = {}
+        writes: dict[tuple, int] = {}
+        write_order: list[tuple] = []
+        outputs: list[int] = []
+        for stmt in self.statements:
+            if isinstance(stmt, ReadStmt):
+                key = stmt.key.resolve(params)
+                if key in writes:
+                    value = writes[key]
+                else:
+                    value = int(read_fn(key))
+                    store_reads.setdefault(key, value)
+                env.reads[stmt.name] = value
+                reads.append((stmt.name, key, value))
+            elif isinstance(stmt, WriteStmt):
+                key = stmt.key.resolve(params)
+                if key not in writes:
+                    write_order.append(key)
+                writes[key] = stmt.value.eval(env)
+            elif isinstance(stmt, Emit):
+                outputs.append(stmt.expr.eval(env))
+            else:  # pragma: no cover - defensive
+                raise TransactionError(f"unknown statement {stmt!r}")
+        return ExecutionResult(
+            reads=tuple(reads),
+            writes=tuple((key, writes[key]) for key in write_order),
+            outputs=tuple(outputs),
+            store_reads=tuple(store_reads.items()),
+        )

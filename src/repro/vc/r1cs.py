@@ -1,0 +1,60 @@
+"""Rank-1 Constraint Systems.
+
+The circuit compiler "converts the description of the wrapped transaction
+... into a Rank-1 Constraint System" (paper Section 6.1.3).  A constraint is
+``<A, w> * <B, w> = <C, w>`` for sparse linear combinations A, B, C over the
+witness vector w.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .field import FIELD_PRIME
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .circuit import LinearCombination
+
+__all__ = ["Constraint", "R1CS"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    a: "LinearCombination"
+    b: "LinearCombination"
+    c: "LinearCombination"
+
+    def holds(self, assignment: list[int]) -> bool:
+        return (
+            self.a.evaluate(assignment) * self.b.evaluate(assignment)
+            - self.c.evaluate(assignment)
+        ) % FIELD_PRIME == 0
+
+
+@dataclass(frozen=True)
+class R1CS:
+    """An immutable list of rank-1 constraints."""
+
+    constraints: tuple[Constraint, ...]
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def is_satisfied(self, assignment: Sequence[int]) -> bool:
+        return self.first_violation(list(assignment)) is None
+
+    def first_violation(self, assignment: list[int]) -> int | None:
+        """Index of the first violated constraint, or None if all hold."""
+        for index, constraint in enumerate(self.constraints):
+            if not constraint.holds(assignment):
+                return index
+        return None
+
+    def violated_indices(self, assignment: list[int]) -> list[int]:
+        """All violated constraint indices (used by the spot-check backend)."""
+        return [
+            index
+            for index, constraint in enumerate(self.constraints)
+            if not constraint.holds(assignment)
+        ]

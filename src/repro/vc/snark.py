@@ -1,0 +1,190 @@
+"""Proof backends for the VC layer.
+
+The paper instantiates the prover with Pequin's libsnark backend (an
+optimized Pinocchio / Groth16 over BN-128).  Running a real pairing-based
+prover over millions of constraints is outside what pure Python can do, and
+the reproduction band explicitly flags proof performance as unrealistic to
+measure natively — so this module provides a **sound-by-construction
+ideal-functionality simulation** of Groth16 (see DESIGN.md, substitution 1):
+
+- ``setup`` registers the circuit with a process-local *authority* holding a
+  secret MAC key (standing in for the structured reference string of the
+  trusted setup);
+- ``prove`` first **really evaluates every constraint and foreign gadget**
+  on the witness — an unsatisfied statement raises
+  :class:`~repro.errors.ConstraintViolation`, mirroring the fact that no
+  real prover can produce a proof for a false statement — and only then asks
+  the authority to authenticate the statement hash;
+- ``verify`` is a constant-time check of the 312-byte payload (the exact
+  proof size the paper reports per prover).
+
+A malicious server in our tests cannot forge proofs: it does not hold the
+authority secret, and the honest proving path refuses unsatisfied witnesses.
+For a proof backend that is *actually* sound without a process-local
+authority, see :mod:`repro.vc.spotcheck`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from ..errors import ProofError
+from ..serialization import encode
+from .circuit import Circuit
+
+__all__ = [
+    "Proof",
+    "ProvingKey",
+    "VerificationKey",
+    "SnarkBackend",
+    "Groth16Simulator",
+    "PROOF_SIZE_BYTES",
+]
+
+# Per-prover proof size reported by the paper (Section 8.2).
+PROOF_SIZE_BYTES = 312
+
+_key_counter = itertools.count()
+# Authority registry: key id -> (mac secret, circuit structural hash).
+# Holding this dict plays the role of the trusted setup's toxic waste; no
+# object handed to server code references the secrets.
+_AUTHORITY: dict[int, tuple[bytes, bytes]] = {}
+
+
+@dataclass(frozen=True)
+class ProvingKey:
+    """Handle the server uses to produce proofs (no secret material)."""
+
+    key_id: int
+    circuit_hash: bytes
+    size_bytes: int  # modeled SRS size; grows with the circuit
+
+
+@dataclass(frozen=True)
+class VerificationKey:
+    """Handle the client uses to verify proofs."""
+
+    key_id: int
+    circuit_hash: bytes
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A constant-size proof bound to (circuit, public inputs)."""
+
+    payload: bytes
+    key_id: int
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+class SnarkBackend(Protocol):
+    """The interface both backends implement."""
+
+    def setup(self, circuit: Circuit) -> tuple[ProvingKey, VerificationKey]: ...
+
+    def prove(
+        self,
+        proving_key: ProvingKey,
+        circuit: Circuit,
+        inputs: Mapping[str, int],
+        context: dict | None = None,
+    ) -> tuple[Proof, Sequence[int]]: ...
+
+    def verify(
+        self,
+        verification_key: VerificationKey,
+        public_values: Sequence[int],
+        proof: Proof,
+    ) -> bool: ...
+
+
+def _statement_hash(circuit_hash: bytes, public_values: Sequence[int]) -> bytes:
+    return hashlib.sha256(
+        b"litmus-statement" + circuit_hash + encode(tuple(public_values))
+    ).digest()
+
+
+def _expand_mac(secret: bytes, statement: bytes, size: int) -> bytes:
+    """Expand an HMAC into a *size*-byte payload (constant-size 'proof')."""
+    out = b""
+    counter = 0
+    while len(out) < size:
+        out += hmac.new(
+            secret, statement + counter.to_bytes(4, "big"), hashlib.sha256
+        ).digest()
+        counter += 1
+    return out[:size]
+
+
+class Groth16Simulator:
+    """Ideal-functionality simulation of the Groth16 pipeline."""
+
+    proof_size = PROOF_SIZE_BYTES
+
+    def setup(self, circuit: Circuit) -> tuple[ProvingKey, VerificationKey]:
+        """Trusted setup: register the circuit, mint proving/verification keys.
+
+        The modeled proving-key size grows linearly with the constraint
+        count, matching the paper's note that "the key pair has a large
+        size".
+        """
+        key_id = next(_key_counter)
+        secret = os.urandom(32)
+        circuit_hash = circuit.structural_hash()
+        _AUTHORITY[key_id] = (secret, circuit_hash)
+        proving_key = ProvingKey(
+            key_id=key_id,
+            circuit_hash=circuit_hash,
+            size_bytes=160 * max(1, circuit.total_constraints),
+        )
+        return proving_key, VerificationKey(key_id=key_id, circuit_hash=circuit_hash)
+
+    def prove(
+        self,
+        proving_key: ProvingKey,
+        circuit: Circuit,
+        inputs: Mapping[str, int],
+        context: dict | None = None,
+    ) -> tuple[Proof, Sequence[int]]:
+        """Produce a proof for ``circuit(inputs)``.
+
+        Every R1CS constraint and every foreign gadget is genuinely
+        evaluated; a false statement raises instead of proving — the
+        simulation-level guarantee of soundness.
+        """
+        if proving_key.circuit_hash != circuit.structural_hash():
+            raise ProofError("proving key was generated for a different circuit")
+        witness = circuit.generate_witness(inputs, context)
+        public_values = [witness[i] for i in circuit.public_indices]
+        entry = _AUTHORITY.get(proving_key.key_id)
+        if entry is None:
+            raise ProofError("unknown proving key (no trusted setup ran)")
+        secret, registered_hash = entry
+        statement = _statement_hash(registered_hash, public_values)
+        payload = _expand_mac(secret, statement, self.proof_size)
+        return Proof(payload=payload, key_id=proving_key.key_id), public_values
+
+    def verify(
+        self,
+        verification_key: VerificationKey,
+        public_values: Sequence[int],
+        proof: Proof,
+    ) -> bool:
+        """Constant-time verification of the 312-byte payload."""
+        entry = _AUTHORITY.get(verification_key.key_id)
+        if entry is None or proof.key_id != verification_key.key_id:
+            return False
+        secret, circuit_hash = entry
+        if circuit_hash != verification_key.circuit_hash:
+            return False
+        statement = _statement_hash(circuit_hash, public_values)
+        expected = _expand_mac(secret, statement, len(proof.payload))
+        return hmac.compare_digest(expected, proof.payload)

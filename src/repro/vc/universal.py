@@ -1,0 +1,124 @@
+"""Universal-setup backend (paper Section 9).
+
+Groth16's trusted setup is circuit-specific: "if the transactions are not
+generated from a fixed template, the client has to generate the setup for
+every new circuit ...  A better alternative is to replace the instantiation
+with a universal verifiable computation framework like Plonk, whose setup
+is circuit-independent."
+
+:class:`PlonkSimulator` models exactly that: one global structured
+reference string (per maximum circuit size) is minted once; per-circuit
+"key derivation" is untrusted preprocessing that anyone can redo, so fresh
+circuits never re-enter a trusted ceremony.  Proof semantics match the
+Groth16 simulator (real constraint evaluation before authentication); the
+cost difference shows up in the pipeline: key generation leaves the
+critical path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ProofError
+from .circuit import Circuit
+from .snark import (
+    PROOF_SIZE_BYTES,
+    Proof,
+    ProvingKey,
+    VerificationKey,
+    _expand_mac,
+    _statement_hash,
+)
+
+__all__ = ["UniversalSetup", "PlonkSimulator"]
+
+_setup_counter = itertools.count(5_000_000)
+
+
+@dataclass(frozen=True)
+class UniversalSetup:
+    """One circuit-independent SRS (the one-time ceremony)."""
+
+    setup_id: int
+    max_constraints: int
+
+
+class PlonkSimulator:
+    """Universal-setup analogue of :class:`~repro.vc.snark.Groth16Simulator`.
+
+    ``universal_setup`` runs once; ``setup(circuit)`` is untrusted
+    preprocessing (instant in the simulation, and — crucially — requiring no
+    fresh randomness ceremony per circuit).
+    """
+
+    proof_size = PROOF_SIZE_BYTES
+
+    def __init__(self):
+        self._srs: UniversalSetup | None = None
+        self._secret: bytes | None = None
+
+    def universal_setup(self, max_constraints: int = 1 << 28) -> UniversalSetup:
+        """The one-time ceremony; idempotent per simulator instance."""
+        if self._srs is None:
+            self._srs = UniversalSetup(
+                setup_id=next(_setup_counter), max_constraints=max_constraints
+            )
+            self._secret = os.urandom(32)
+        return self._srs
+
+    # -- SnarkBackend interface ------------------------------------------------
+
+    def setup(self, circuit: Circuit) -> tuple[ProvingKey, VerificationKey]:
+        """Derive circuit keys from the universal SRS (no trusted ceremony)."""
+        srs = self.universal_setup()
+        if circuit.total_constraints > srs.max_constraints:
+            raise ProofError("circuit exceeds the universal setup's size bound")
+        circuit_hash = circuit.structural_hash()
+        return (
+            ProvingKey(key_id=srs.setup_id, circuit_hash=circuit_hash, size_bytes=64),
+            VerificationKey(key_id=srs.setup_id, circuit_hash=circuit_hash),
+        )
+
+    def prove(
+        self,
+        proving_key: ProvingKey,
+        circuit: Circuit,
+        inputs: Mapping[str, int],
+        context: dict | None = None,
+    ) -> tuple[Proof, Sequence[int]]:
+        if self._srs is None or proving_key.key_id != self._srs.setup_id:
+            raise ProofError("proving key does not descend from this universal setup")
+        if proving_key.circuit_hash != circuit.structural_hash():
+            raise ProofError("proving key was derived for a different circuit")
+        witness = circuit.generate_witness(inputs, context)
+        public_values = [witness[i] for i in circuit.public_indices]
+        statement = self._bind(proving_key.circuit_hash, public_values)
+        payload = _expand_mac(self._secret, statement, self.proof_size)
+        return Proof(payload=payload, key_id=proving_key.key_id), public_values
+
+    def verify(
+        self,
+        verification_key: VerificationKey,
+        public_values: Sequence[int],
+        proof: Proof,
+    ) -> bool:
+        if self._srs is None or verification_key.key_id != self._srs.setup_id:
+            return False
+        if proof.key_id != verification_key.key_id:
+            return False
+        statement = self._bind(verification_key.circuit_hash, public_values)
+        expected = _expand_mac(self._secret, statement, len(proof.payload))
+        return hmac.compare_digest(expected, proof.payload)
+
+    def _bind(self, circuit_hash: bytes, public_values: Sequence[int]) -> bytes:
+        # The universal secret is shared across circuits, so the statement
+        # must bind the circuit hash explicitly (Plonk binds the circuit's
+        # preprocessed polynomials the same way).
+        return hashlib.sha256(
+            b"litmus-plonk" + circuit_hash + _statement_hash(circuit_hash, public_values)
+        ).digest()

@@ -1,0 +1,36 @@
+"""Trace-based serializability checking (the Elle comparison of Section 8.3).
+
+Litmus proves serializability cryptographically; the alternative the paper
+evaluates — Elle (Kingsbury & Alvaro, VLDB 2020) — *infers* isolation
+anomalies from experimental observations of list-append histories.  This
+package reimplements that approach:
+
+- :mod:`repro.verify.history` — observed transaction histories over
+  list-append registers;
+- :mod:`repro.verify.cycles` — dependency-graph construction (wr/ww/rw
+  edges inferred from list prefixes) and anomaly classification via
+  strongly-connected components;
+- :mod:`repro.verify.elle` — the checker driver plus an adapter that runs
+  our executors in list-append mode to produce histories;
+- :mod:`repro.verify.polygraph` — a Cobra-style checker (paper ref [55])
+  over plain read/write histories: known read-from edges plus unknown
+  write-order constraints, solved by backtracking search.
+"""
+
+from .cycles import Anomaly, DependencyAnalysis
+from .elle import ElleChecker, ElleReport, history_from_execution
+from .history import Observation, ObservedTxn
+from .polygraph import RWHistory, RWTxn, check_serializable
+
+__all__ = [
+    "Anomaly",
+    "DependencyAnalysis",
+    "ElleChecker",
+    "ElleReport",
+    "Observation",
+    "ObservedTxn",
+    "RWHistory",
+    "RWTxn",
+    "check_serializable",
+    "history_from_execution",
+]

@@ -1,0 +1,102 @@
+"""Observed histories over list-append registers.
+
+Elle's key trick: if every write is a *list append* and reads return the
+whole list, then any read reveals the exact version order of the key so
+far.  An :class:`ObservedTxn` records what one transaction appended and the
+list states it observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Observation", "ObservedTxn", "History"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One read: the full list state the transaction saw for a key."""
+
+    key: tuple
+    elements: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ObservedTxn:
+    """One transaction's footprint in a list-append history."""
+
+    txn_id: int
+    appends: tuple[tuple[tuple, int], ...]  # (key, appended element)
+    observations: tuple[Observation, ...]
+
+
+@dataclass
+class History:
+    """A complete observed history plus the final list per key."""
+
+    txns: list[ObservedTxn] = field(default_factory=list)
+    final_lists: dict[tuple, tuple[int, ...]] = field(default_factory=dict)
+
+    def add(self, txn: ObservedTxn) -> None:
+        self.txns.append(txn)
+
+    @property
+    def num_txns(self) -> int:
+        return len(self.txns)
+
+    def appended_elements(self, key: tuple) -> set[int]:
+        out: set[int] = set()
+        for txn in self.txns:
+            for append_key, element in txn.appends:
+                if append_key == key:
+                    out.add(element)
+        return out
+
+    # -- persistence (offline audits ship histories as JSON) -----------------
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(
+            {
+                "txns": [
+                    {
+                        "txn_id": txn.txn_id,
+                        "appends": [[list(key), element] for key, element in txn.appends],
+                        "observations": [
+                            [list(obs.key), list(obs.elements)]
+                            for obs in txn.observations
+                        ],
+                    }
+                    for txn in self.txns
+                ],
+                "final_lists": [
+                    [list(key), list(elements)]
+                    for key, elements in self.final_lists.items()
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "History":
+        import json
+
+        raw = json.loads(payload)
+        history = cls()
+        for item in raw["txns"]:
+            history.add(
+                ObservedTxn(
+                    txn_id=item["txn_id"],
+                    appends=tuple(
+                        (tuple(key), element) for key, element in item["appends"]
+                    ),
+                    observations=tuple(
+                        Observation(key=tuple(key), elements=tuple(elements))
+                        for key, elements in item["observations"]
+                    ),
+                )
+            )
+        history.final_lists = {
+            tuple(key): tuple(elements) for key, elements in raw["final_lists"]
+        }
+        return history

@@ -1,0 +1,220 @@
+"""The SmallBank benchmark.
+
+A standard OLTP micro-benchmark in the transaction-processing and
+verifiable-database literature (H-Store/Calvin lineage; used by several of
+the paper's related systems).  Each customer has a checking and a savings
+account; six transaction types mix reads, read-modify-writes, and
+cross-account moves.  All six compile to circuits (Max/Min handle the
+overdraft rules without control flow), and the whole suite runs through the
+verifiable pipeline exactly like YCSB and TPC-C.
+
+Note on ranges: circuit comparisons require operands in [0, 2^32), so
+balances must stay non-negative; the default initial balances and amount
+ranges guarantee that for realistic run lengths (WriteCheck can overdraw a
+single account, but never below the comparison range in practice).
+
+Transaction types:
+
+- ``Balance``           read checking + savings, emit the sum
+- ``DepositChecking``   checking += amount
+- ``TransactSavings``   savings += amount (may go negative; no check here)
+- ``Amalgamate``        move everything from A's two accounts to B's checking
+- ``WriteCheck``        checking -= amount, plus a 1-unit overdraft penalty
+                        when the combined balance cannot cover it
+- ``SendPayment``       checking-to-checking transfer
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.txn import Transaction
+from ..errors import WorkloadError
+from ..vc.program import (
+    Add,
+    Const,
+    Emit,
+    If,
+    KeyTemplate,
+    Lt,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+from .zipf import ZipfSampler
+
+__all__ = ["SmallBankWorkload", "SMALLBANK_PROGRAMS"]
+
+
+def _checking(param: str) -> KeyTemplate:
+    return KeyTemplate(("checking", Param(param)))
+
+
+def _savings(param: str) -> KeyTemplate:
+    return KeyTemplate(("savings", Param(param)))
+
+
+def _build_programs() -> dict[str, Program]:
+    programs: dict[str, Program] = {}
+
+    programs["balance"] = Program(
+        name="sb_balance",
+        params=("c",),
+        statements=(
+            ReadStmt("chk", _checking("c")),
+            ReadStmt("sav", _savings("c")),
+            Emit(Add(ReadVal("chk"), ReadVal("sav"))),
+        ),
+    )
+
+    programs["deposit_checking"] = Program(
+        name="sb_deposit_checking",
+        params=("c", "amount"),
+        statements=(
+            ReadStmt("chk", _checking("c")),
+            WriteStmt(_checking("c"), Add(ReadVal("chk"), Param("amount"))),
+            Emit(Add(ReadVal("chk"), Param("amount"))),
+        ),
+    )
+
+    programs["transact_savings"] = Program(
+        name="sb_transact_savings",
+        params=("c", "amount"),
+        statements=(
+            ReadStmt("sav", _savings("c")),
+            WriteStmt(_savings("c"), Add(ReadVal("sav"), Param("amount"))),
+            Emit(Add(ReadVal("sav"), Param("amount"))),
+        ),
+    )
+
+    programs["amalgamate"] = Program(
+        name="sb_amalgamate",
+        params=("src", "dst"),
+        statements=(
+            ReadStmt("s_chk", _checking("src")),
+            ReadStmt("s_sav", _savings("src")),
+            ReadStmt("d_chk", _checking("dst")),
+            WriteStmt(_checking("src"), Const(0)),
+            WriteStmt(_savings("src"), Const(0)),
+            WriteStmt(
+                _checking("dst"),
+                Add(ReadVal("d_chk"), Add(ReadVal("s_chk"), ReadVal("s_sav"))),
+            ),
+            Emit(Add(ReadVal("s_chk"), ReadVal("s_sav"))),
+        ),
+    )
+
+    # WriteCheck: if checking + savings < amount, an extra 1-unit penalty is
+    # charged (the SmallBank overdraft rule), expressed branch-free.
+    total = Add(ReadVal("chk"), ReadVal("sav"))
+    penalty = If(Lt(total, Param("amount")), Const(1), Const(0))
+    programs["write_check"] = Program(
+        name="sb_write_check",
+        params=("c", "amount"),
+        statements=(
+            ReadStmt("chk", _checking("c")),
+            ReadStmt("sav", _savings("c")),
+            WriteStmt(
+                _checking("c"), Sub(Sub(ReadVal("chk"), Param("amount")), penalty)
+            ),
+            Emit(penalty),
+        ),
+    )
+
+    programs["send_payment"] = Program(
+        name="sb_send_payment",
+        params=("src", "dst", "amount"),
+        statements=(
+            ReadStmt("s_chk", _checking("src")),
+            ReadStmt("d_chk", _checking("dst")),
+            WriteStmt(_checking("src"), Sub(ReadVal("s_chk"), Param("amount"))),
+            WriteStmt(_checking("dst"), Add(ReadVal("d_chk"), Param("amount"))),
+            Emit(Sub(ReadVal("s_chk"), Param("amount"))),
+        ),
+    )
+    return programs
+
+
+SMALLBANK_PROGRAMS: dict[str, Program] = _build_programs()
+
+# The standard SmallBank mix (equal weights for the four single-customer
+# types, lighter weights for the two-customer types).
+_DEFAULT_MIX = (
+    ("balance", 0.25),
+    ("deposit_checking", 0.15),
+    ("transact_savings", 0.15),
+    ("amalgamate", 0.15),
+    ("write_check", 0.15),
+    ("send_payment", 0.15),
+)
+
+
+@dataclass
+class SmallBankWorkload:
+    """Transaction generator for SmallBank."""
+
+    num_customers: int = 1000
+    theta: float = 0.6  # hot-spot skew over customers
+    initial_checking: int = 1_000
+    initial_savings: int = 1_000
+    seed: int = 17
+    _sampler: ZipfSampler = field(init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.num_customers < 2:
+            raise WorkloadError("SmallBank needs at least two customers")
+        self._sampler = ZipfSampler(self.num_customers, self.theta, seed=self.seed)
+        self._rng = np.random.default_rng(self.seed + 1)
+
+    def initial_data(self) -> dict[tuple, int]:
+        data: dict[tuple, int] = {}
+        for customer in range(self.num_customers):
+            data[("checking", customer)] = self.initial_checking
+            data[("savings", customer)] = self.initial_savings
+        return data
+
+    def total_money(self) -> int:
+        return self.num_customers * (self.initial_checking + self.initial_savings)
+
+    def _pick_kind(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind, weight in _DEFAULT_MIX:
+            cumulative += weight
+            if roll < cumulative:
+                return kind
+        return _DEFAULT_MIX[-1][0]
+
+    def _two_customers(self) -> tuple[int, int]:
+        a = self._sampler.sample_one()
+        b = self._sampler.sample_one()
+        if b == a:
+            b = (a + 1) % self.num_customers
+        return a, b
+
+    def generate(self, num_txns: int, start_id: int = 1) -> list[Transaction]:
+        txns: list[Transaction] = []
+        for index in range(num_txns):
+            kind = self._pick_kind()
+            program = SMALLBANK_PROGRAMS[kind]
+            if kind in ("balance",):
+                params = {"c": self._sampler.sample_one()}
+            elif kind in ("deposit_checking", "transact_savings", "write_check"):
+                params = {
+                    "c": self._sampler.sample_one(),
+                    "amount": int(self._rng.integers(1, 100)),
+                }
+            elif kind == "amalgamate":
+                src, dst = self._two_customers()
+                params = {"src": src, "dst": dst}
+            else:  # send_payment
+                src, dst = self._two_customers()
+                params = {"src": src, "dst": dst, "amount": int(self._rng.integers(1, 50))}
+            txns.append(Transaction(start_id + index, program, params))
+        return txns

@@ -1,0 +1,274 @@
+"""TPC-C workload: New Order and Payment (paper Section 8 configuration).
+
+"The TPC-C benchmark simulates 64 data warehouses and performs entry orders
+on them.  We include two types of transactions Payment and New Order, which
+cover around 90% of all the TPC-C transactions per the specification.
+Moreover, we further assume that customers are selected based on IDs only
+and the transactions do not insert into the HISTORY table ...  In this way,
+the writing targets of transactions do not depend on the read values."
+
+One further consequence of parameter-only write targets: order ids are
+assigned by the *client* (it knows the deterministic submission order), and
+New Order carries its order id as a parameter.  The transaction still reads
+``district_next_oid`` and emits an equality check so a lying server cannot
+skew the sequence unnoticed.
+
+Rows are decomposed into one integer key per column (e.g.
+``("stock_qty", w, i)``), which keeps every value circuit-representable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..db.txn import Transaction
+from ..errors import WorkloadError
+from ..vc.program import (
+    Add,
+    Const,
+    Emit,
+    Eq,
+    If,
+    KeyTemplate,
+    Lt,
+    Mul,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+__all__ = ["TPCCWorkload", "build_new_order_program", "PAYMENT_PROGRAM"]
+
+
+@lru_cache(maxsize=32)
+def build_new_order_program(ol_cnt: int) -> Program:
+    """The New Order stored procedure, unrolled for *ol_cnt* order lines.
+
+    Per line: read item price and stock quantity, replenish stock per the
+    TPC-C rule (subtract quantity; add 91 when the result would drop below
+    10), bump S_YTD and S_ORDER_CNT, insert the ORDER-LINE row.  Then insert
+    the ORDER and NEW-ORDER rows and advance D_NEXT_O_ID.
+    """
+    if not 1 <= ol_cnt <= 15:
+        raise WorkloadError("TPC-C order lines must number 1..15")
+    statements: list = [
+        ReadStmt("next_oid", KeyTemplate(("district_next_oid", Param("w"), Param("d")))),
+        WriteStmt(
+            KeyTemplate(("district_next_oid", Param("w"), Param("d"))),
+            Add(Param("oid"), Const(1)),
+        ),
+    ]
+    amount_terms: list = []
+    for line in range(ol_cnt):
+        item, qty = f"i{line}", f"q{line}"
+        statements.append(ReadStmt(f"price{line}", KeyTemplate(("item_price", Param(item)))))
+        statements.append(
+            ReadStmt(f"stock{line}", KeyTemplate(("stock_qty", Param("w"), Param(item))))
+        )
+        remaining = Sub(ReadVal(f"stock{line}"), Param(qty))
+        statements.append(
+            WriteStmt(
+                KeyTemplate(("stock_qty", Param("w"), Param(item))),
+                If(
+                    Lt(ReadVal(f"stock{line}"), Add(Param(qty), Const(10))),
+                    Add(remaining, Const(91)),
+                    remaining,
+                ),
+            )
+        )
+        statements.append(
+            ReadStmt(f"sytd{line}", KeyTemplate(("stock_ytd", Param("w"), Param(item))))
+        )
+        statements.append(
+            WriteStmt(
+                KeyTemplate(("stock_ytd", Param("w"), Param(item))),
+                Add(ReadVal(f"sytd{line}"), Param(qty)),
+            )
+        )
+        statements.append(
+            ReadStmt(f"socnt{line}", KeyTemplate(("stock_order_cnt", Param("w"), Param(item))))
+        )
+        statements.append(
+            WriteStmt(
+                KeyTemplate(("stock_order_cnt", Param("w"), Param(item))),
+                Add(ReadVal(f"socnt{line}"), Const(1)),
+            )
+        )
+        line_amount = Mul(Param(qty), ReadVal(f"price{line}"))
+        statements.append(
+            WriteStmt(
+                KeyTemplate(
+                    ("order_line", Param("w"), Param("d"), Param("oid"), line)
+                ),
+                line_amount,
+            )
+        )
+        amount_terms.append(line_amount)
+    statements.append(
+        WriteStmt(KeyTemplate(("order", Param("w"), Param("d"), Param("oid"))), Param("c"))
+    )
+    statements.append(
+        WriteStmt(KeyTemplate(("new_order", Param("w"), Param("d"), Param("oid"))), Const(1))
+    )
+    total = amount_terms[0]
+    for term in amount_terms[1:]:
+        total = Add(total, term)
+    statements.append(Emit(total))
+    # The client-assigned order id must match the district counter.
+    statements.append(Emit(Eq(ReadVal("next_oid"), Param("oid"))))
+    params = ["w", "d", "c", "oid"]
+    for line in range(ol_cnt):
+        params.extend([f"i{line}", f"q{line}"])
+    return Program(
+        name=f"tpcc_new_order_{ol_cnt}",
+        params=tuple(params),
+        statements=tuple(statements),
+    )
+
+
+def _build_payment_program() -> Program:
+    """The Payment stored procedure (customer selected by id, no HISTORY)."""
+    statements = (
+        ReadStmt("w_ytd", KeyTemplate(("warehouse_ytd", Param("w")))),
+        WriteStmt(
+            KeyTemplate(("warehouse_ytd", Param("w"))),
+            Add(ReadVal("w_ytd"), Param("amount")),
+        ),
+        ReadStmt("d_ytd", KeyTemplate(("district_ytd", Param("w"), Param("d")))),
+        WriteStmt(
+            KeyTemplate(("district_ytd", Param("w"), Param("d"))),
+            Add(ReadVal("d_ytd"), Param("amount")),
+        ),
+        ReadStmt(
+            "c_bal", KeyTemplate(("customer_balance", Param("w"), Param("d"), Param("c")))
+        ),
+        WriteStmt(
+            KeyTemplate(("customer_balance", Param("w"), Param("d"), Param("c"))),
+            Sub(ReadVal("c_bal"), Param("amount")),
+        ),
+        ReadStmt(
+            "c_ytd",
+            KeyTemplate(("customer_ytd_payment", Param("w"), Param("d"), Param("c"))),
+        ),
+        WriteStmt(
+            KeyTemplate(("customer_ytd_payment", Param("w"), Param("d"), Param("c"))),
+            Add(ReadVal("c_ytd"), Param("amount")),
+        ),
+        ReadStmt(
+            "c_cnt",
+            KeyTemplate(("customer_payment_cnt", Param("w"), Param("d"), Param("c"))),
+        ),
+        WriteStmt(
+            KeyTemplate(("customer_payment_cnt", Param("w"), Param("d"), Param("c"))),
+            Add(ReadVal("c_cnt"), Const(1)),
+        ),
+        Emit(Sub(ReadVal("c_bal"), Param("amount"))),
+    )
+    return Program(name="tpcc_payment", params=("w", "d", "c", "amount"), statements=statements)
+
+
+PAYMENT_PROGRAM: Program = _build_payment_program()
+
+
+@dataclass
+class TPCCWorkload:
+    """Scaled TPC-C generator (the paper simulates 64 warehouses)."""
+
+    num_warehouses: int = 4
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    num_items: int = 100
+    order_lines: int = 10  # fixed template size (spec range is 5..15)
+    seed: int = 7
+
+    def __post_init__(self):
+        if min(
+            self.num_warehouses,
+            self.districts_per_warehouse,
+            self.customers_per_district,
+            self.num_items,
+        ) < 1:
+            raise WorkloadError("TPC-C dimensions must be positive")
+        self._rng = np.random.default_rng(self.seed)
+        # Client-side order-id counters per (warehouse, district).
+        self._next_oid: dict[tuple[int, int], int] = {}
+
+    # -- initial database ----------------------------------------------------------
+
+    def initial_data(self) -> dict[tuple, int]:
+        data: dict[tuple, int] = {}
+        for item in range(self.num_items):
+            data[("item_price", item)] = 1 + item % 100
+        for w in range(self.num_warehouses):
+            data[("warehouse_ytd", w)] = 0
+            for item in range(self.num_items):
+                data[("stock_qty", w, item)] = 50 + (item * 7) % 50
+                data[("stock_ytd", w, item)] = 0
+                data[("stock_order_cnt", w, item)] = 0
+            for d in range(self.districts_per_warehouse):
+                data[("district_next_oid", w, d)] = 0
+                data[("district_ytd", w, d)] = 0
+                for c in range(self.customers_per_district):
+                    data[("customer_balance", w, d, c)] = 10_000
+                    data[("customer_ytd_payment", w, d, c)] = 0
+                    data[("customer_payment_cnt", w, d, c)] = 0
+        return data
+
+    # -- transaction generators ------------------------------------------------------
+
+    def new_order(self, txn_id: int) -> Transaction:
+        w = int(self._rng.integers(self.num_warehouses))
+        d = int(self._rng.integers(self.districts_per_warehouse))
+        c = int(self._rng.integers(self.customers_per_district))
+        oid = self._next_oid.get((w, d), 0)
+        self._next_oid[(w, d)] = oid + 1
+        items = self._rng.choice(self.num_items, size=self.order_lines, replace=False)
+        params: dict[str, int] = {"w": w, "d": d, "c": c, "oid": oid}
+        for line in range(self.order_lines):
+            params[f"i{line}"] = int(items[line])
+            params[f"q{line}"] = int(self._rng.integers(1, 11))
+        return Transaction(
+            txn_id=txn_id,
+            program=build_new_order_program(self.order_lines),
+            params=params,
+        )
+
+    def payment(self, txn_id: int) -> Transaction:
+        return Transaction(
+            txn_id=txn_id,
+            program=PAYMENT_PROGRAM,
+            params={
+                "w": int(self._rng.integers(self.num_warehouses)),
+                "d": int(self._rng.integers(self.districts_per_warehouse)),
+                "c": int(self._rng.integers(self.customers_per_district)),
+                "amount": int(self._rng.integers(1, 5000)),
+            },
+        )
+
+    def generate_new_orders(self, num_txns: int, start_id: int = 1) -> list[Transaction]:
+        return [self.new_order(start_id + i) for i in range(num_txns)]
+
+    def generate_payments(self, num_txns: int, start_id: int = 1) -> list[Transaction]:
+        return [self.payment(start_id + i) for i in range(num_txns)]
+
+    def generate_mix(self, num_txns: int, start_id: int = 1) -> list[Transaction]:
+        """A ~51/49 New Order / Payment mix (their in-spec relative share)."""
+        txns = []
+        for i in range(num_txns):
+            maker = self.new_order if self._rng.random() < 0.51 else self.payment
+            txns.append(maker(start_id + i))
+        return txns
+
+    def accesses_per_new_order(self) -> int:
+        # district counter (r+w), per line: price r, stock qty r+w, ytd r+w,
+        # order cnt r+w, order line w; plus order + new_order inserts.
+        return 2 + self.order_lines * 8 + 2
+
+    def accesses_per_payment(self) -> int:
+        return 10

@@ -1,0 +1,151 @@
+"""Tests for the benchmark model and workload profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.model import LitmusModel, WorkloadProfile
+from repro.sim.costmodel import CostModel
+from repro.sim.network import LAN, WAN
+from repro.workloads.ycsb import YCSBWorkload
+
+
+@pytest.fixture(scope="module")
+def profile() -> WorkloadProfile:
+    workload = YCSBWorkload(num_rows=1024, theta=0.6, seed=21)
+    txns = workload.generate(400)
+    return WorkloadProfile.measure(
+        "test-ycsb", txns, workload.initial_data(), cc="dr", processing_batch_size=64
+    )
+
+
+@pytest.fixture(scope="module")
+def model(profile) -> LitmusModel:
+    return LitmusModel(profile)
+
+
+class TestProfile:
+    def test_measured_quantities_sane(self, profile):
+        assert profile.logic_constraints_per_txn > 1
+        assert 1.5 < profile.accesses_per_txn <= 2.0
+        assert 0 < profile.commit_fraction <= 1.0
+        assert profile.contention_factor >= 1.0
+        assert profile.units_per_txn > 0
+
+    def test_contention_rises_with_theta(self):
+        def factor(theta):
+            workload = YCSBWorkload(num_rows=1024, theta=theta, seed=21)
+            txns = workload.generate(400)
+            return WorkloadProfile.measure(
+                f"t{theta}", txns, workload.initial_data(), "dr", 64
+            ).contention_factor
+
+        assert factor(1.2) > factor(0.2)
+
+
+class TestLitmusModel:
+    def test_throughput_rises_with_batch(self, model):
+        small = model.litmus_run(1_000, num_provers=4)
+        large = model.litmus_run(100_000, num_provers=4)
+        assert large.throughput > small.throughput
+
+    def test_more_provers_more_throughput(self, model):
+        one = model.litmus_run(500_000, num_provers=1)
+        many = model.litmus_run(500_000, num_provers=64)
+        assert many.throughput > 2 * one.throughput
+
+    def test_2pl_single_piece(self, model):
+        run = model.litmus_run(10_000, num_provers=1, cc="2pl")
+        assert run.num_pieces == 1
+
+    def test_2pl_slower_than_dr(self, model):
+        dr = model.litmus_run(100_000, num_provers=1, cc="dr")
+        tpl = model.litmus_run(100_000, num_provers=1, cc="2pl")
+        assert dr.throughput > 3 * tpl.throughput
+
+    def test_table_doublings_slow_the_run(self, model):
+        base = model.litmus_run(500_000, num_provers=64, table_doublings=0)
+        big = model.litmus_run(500_000, num_provers=64, table_doublings=3)
+        assert big.throughput < base.throughput
+
+    def test_latency_includes_verification(self, model):
+        run = model.litmus_run(10_000, num_provers=4)
+        assert run.mean_latency_seconds > model.cost_model.verify_seconds
+
+    def test_proof_bytes_scale_with_provers(self, model):
+        few = model.litmus_run(500_000, num_provers=2)
+        many = model.litmus_run(500_000, num_provers=75)
+        assert few.proof_bytes == 2 * model.cost_model.proof_bytes_per_prover
+        assert many.proof_bytes > few.proof_bytes
+
+
+class TestBaselineModels:
+    def test_interactive_decays_quadratically(self, model):
+        small = model.interactive_run(1_000, LAN)
+        large = model.interactive_run(100_000, LAN)
+        assert large.throughput < small.throughput
+
+    def test_wan_slower_than_lan(self, model):
+        lan = model.interactive_run(10_000, LAN)
+        wan = model.interactive_run(10_000, WAN)
+        assert wan.throughput < lan.throughput
+
+    def test_cache_bonus_helps(self, model):
+        plain = model.interactive_run(50_000, LAN, cache_bonus=0.0)
+        cached = model.interactive_run(50_000, LAN, cache_bonus=0.4)
+        assert cached.throughput > plain.throughput
+
+    def test_merkle_flat_throughput(self, model):
+        a = model.merkle_run(1_000, LAN)
+        b = model.merkle_run(100_000, LAN)
+        assert a.throughput == pytest.approx(b.throughput)
+        assert a.throughput < 25
+
+    def test_no_verification_dominates_litmus(self, model):
+        litmus = model.litmus_run(100_000, num_provers=75)
+        free = model.no_verification_run(100_000, "dr")
+        assert free.throughput > 10 * litmus.throughput
+
+
+class TestContentionTransport:
+    def test_scale_small_at_low_theta(self):
+        from repro.bench.model import zipf_contention_scale
+
+        # A 4k-row table is far hotter than 10M rows at theta = 0.6 ...
+        assert zipf_contention_scale(0.6, 4096) < 0.1
+        # ... but nearly as hot once the distribution concentrates.
+        assert zipf_contention_scale(1.4, 4096) > 0.5
+
+    def test_uniform_scale_is_row_ratio(self):
+        from repro.bench.model import zipf_contention_scale
+
+        assert zipf_contention_scale(0.0, 4096) == pytest.approx(4096 / 10_000_000)
+
+    def test_top_mass_monotone_in_top(self):
+        from repro.bench.model import zipf_top_mass
+
+        assert zipf_top_mass(10_000, 0.8, top=64) > zipf_top_mass(10_000, 0.8, top=1)
+
+    def test_extra_units_drive_gadget_growth(self, profile):
+        model = LitmusModel(profile)
+        calm = model.litmus_run(100_000, num_provers=8, contention_scale=0.0)
+        hot = model.litmus_run(100_000, num_provers=8, contention_scale=1.0)
+        assert hot.total_constraints >= calm.total_constraints
+        assert hot.throughput <= calm.throughput
+
+
+class TestCalibrationAnchors:
+    def test_dr_anchor(self, model):
+        run = model.litmus_run(
+            81_920, num_provers=1, cc="dr", processing_batch_size=81_920,
+            contention_factor=1.0, commit_fraction=1.0,
+        )
+        # Single prover at the paper's configuration: ~714 txn/s.
+        assert run.throughput == pytest.approx(714.2, rel=0.10)
+
+    def test_drm_anchor(self, model):
+        run = model.litmus_run(
+            2_621_440, num_provers=75, cc="dr", processing_batch_size=81_920,
+            contention_factor=1.0, commit_fraction=1.0,
+        )
+        assert run.throughput == pytest.approx(17_638, rel=0.35)

@@ -1,0 +1,61 @@
+"""Tests for benchmark report formatting."""
+
+from __future__ import annotations
+
+from repro.bench.report import format_number, format_series, format_table
+
+
+class TestFormatNumber:
+    def test_large_numbers_grouped(self):
+        assert format_number(17638.2) == "17,638"
+
+    def test_small_floats(self):
+        assert format_number(0.51) == "0.51"
+        assert format_number(3.14159) == "3.1"
+
+    def test_bools_and_ints(self):
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+        assert format_number(42) == "42"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_alignment_and_headers(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+        rendered = format_table(rows)
+        lines = rendered.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert len(lines) == 4  # header, separator, 2 rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        rendered = format_table(rows, columns=["c", "a"])
+        assert "b" not in rendered.splitlines()[0]
+
+
+class TestFormatSeries:
+    def test_pivot(self):
+        rows = [
+            {"x": 1, "baseline": "A", "y": 10},
+            {"x": 1, "baseline": "B", "y": 20},
+            {"x": 2, "baseline": "A", "y": 30},
+            {"x": 2, "baseline": "B", "y": 40},
+        ]
+        rendered = format_series(rows, x="x", y="y")
+        lines = rendered.splitlines()
+        assert "A" in lines[0] and "B" in lines[0]
+        assert len(lines) == 4
+
+    def test_missing_cells_blank(self):
+        rows = [
+            {"x": 1, "baseline": "A", "y": 10},
+            {"x": 2, "baseline": "B", "y": 40},
+        ]
+        rendered = format_series(rows, x="x", y="y")
+        assert "(no data)" not in rendered

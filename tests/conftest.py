@@ -1,0 +1,24 @@
+"""Shared fixtures.
+
+RSA group generation is the slowest fixture; a single 512-bit test group is
+cached per process (deterministic seed) and shared by every test that does
+not explicitly need a fresh group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rsa_group import RSAGroup, default_group
+
+
+@pytest.fixture(scope="session")
+def group() -> RSAGroup:
+    """Session-wide 512-bit RSA group with trapdoor."""
+    return default_group(bits=512)
+
+
+@pytest.fixture(scope="session")
+def public_group(group: RSAGroup) -> RSAGroup:
+    """The same group without the trapdoor (the server's view)."""
+    return group.public_view()

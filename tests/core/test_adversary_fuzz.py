@@ -1,0 +1,142 @@
+"""Property-based adversary: random response mutations must never verify.
+
+The client's acceptance predicate must be *closed*: any semantic change to
+a server response — outputs, digests, batch composition, proofs — flips it
+to reject.  Hypothesis drives a mutation engine over real responses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+
+from ..db.helpers import increment, transfer
+
+PRIME_BITS = 64
+
+
+@pytest.fixture(scope="module")
+def session(group):
+    """One server response shared by every mutation case."""
+    config = LitmusConfig(
+        cc="dr", processing_batch_size=4, batches_per_piece=1, prime_bits=PRIME_BITS
+    )
+    initial = {("acct", i): 100 for i in range(4)}
+    server = LitmusServer(initial=initial, config=config, group=group)
+    txns = [transfer(i, i % 4, (i + 1) % 4, 3) for i in range(1, 9)]
+    txns += [increment(i, i) for i in range(9, 13)]
+    response = server.execute_batch(txns)
+    return group, config, server.digest, txns, response
+
+
+def fresh_client(session):
+    group, config, _final, _txns, response = session
+    return LitmusClient(group, response.initial_digest, config=config)
+
+
+def mutate(response, piece_index: int, field_name: str, mutation: str):
+    """Apply one mutation to one piece; returns the forged response."""
+    piece = response.pieces[piece_index]
+    if field_name == "outputs":
+        if not piece.outputs:
+            return None
+        txn_id, values = piece.outputs[0]
+        new_values = tuple(v + 1 for v in values) if values else (123,)
+        outputs = ((txn_id, new_values),) + piece.outputs[1:]
+        forged = dataclasses.replace(piece, outputs=outputs)
+    elif field_name == "end_digest":
+        forged = dataclasses.replace(piece, end_digest=piece.end_digest ^ (1 << 5))
+    elif field_name == "start_digest":
+        forged = dataclasses.replace(piece, start_digest=piece.start_digest ^ (1 << 9))
+    elif field_name == "all_commit":
+        if not piece.all_commit:
+            return None
+        forged = dataclasses.replace(piece, all_commit=False)
+    elif field_name == "proof_payload":
+        proof = piece.proof
+        payload = bytes(b ^ 0x41 for b in proof.payload[:8]) + proof.payload[8:]
+        forged = dataclasses.replace(piece, proof=dataclasses.replace(proof, payload=payload))
+    elif field_name == "txn_ids":
+        if len(piece.txn_ids) < 2:
+            return None
+        if mutation == "drop":
+            forged = dataclasses.replace(
+                piece,
+                txn_ids=piece.txn_ids[:-1],
+                unit_txn_ids=tuple(u for u in piece.unit_txn_ids[:-1]),
+            )
+        else:  # duplicate
+            forged = dataclasses.replace(
+                piece,
+                txn_ids=piece.txn_ids + (piece.txn_ids[0],),
+                unit_txn_ids=piece.unit_txn_ids + ((piece.txn_ids[0],),),
+            )
+    elif field_name == "public_values":
+        values = list(piece.public_values)
+        values[-1] = (values[-1] + 1) % (1 << 128)
+        forged = dataclasses.replace(piece, public_values=tuple(values))
+    else:  # pragma: no cover - strategy covers only the names above
+        raise AssertionError(field_name)
+    pieces = list(response.pieces)
+    pieces[piece_index] = forged
+    return dataclasses.replace(response, pieces=tuple(pieces))
+
+
+FIELDS = (
+    "outputs",
+    "end_digest",
+    "start_digest",
+    "all_commit",
+    "proof_payload",
+    "txn_ids",
+    "public_values",
+)
+
+
+class TestMutationFuzz:
+    def test_honest_response_accepted(self, session):
+        _group, _config, final, txns, response = session
+        client = fresh_client(session)
+        verdict = client.verify_response(txns, response)
+        assert verdict.accepted, verdict.reason
+        assert verdict.new_digest == final
+
+    @given(
+        piece=st.integers(min_value=0, max_value=10),
+        field_name=st.sampled_from(FIELDS),
+        mutation=st.sampled_from(("drop", "dup")),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_mutation_rejected(self, session, piece, field_name, mutation):
+        _group, _config, _final, txns, response = session
+        piece_index = piece % len(response.pieces)
+        forged = mutate(response, piece_index, field_name, mutation)
+        if forged is None:
+            return
+        client = fresh_client(session)
+        verdict = client.verify_response(txns, forged)
+        assert not verdict.accepted, (
+            f"mutation {field_name}/{mutation} on piece {piece_index} "
+            "was accepted"
+        )
+
+    def test_cross_state_piece_splice_rejected(self, group, session):
+        """A valid piece proven against *different database contents* cannot
+        be spliced in: its digests do not chain with this session's."""
+        _g, config, _final, txns, response = session
+        other_server = LitmusServer(
+            initial={("acct", i): 777 for i in range(4)}, config=config, group=group
+        )
+        other_response = other_server.execute_batch(list(txns))
+        assert other_response.pieces[0].start_digest != response.pieces[0].start_digest
+        spliced = dataclasses.replace(
+            response,
+            pieces=(other_response.pieces[0],) + response.pieces[1:],
+        )
+        client = fresh_client(session)
+        assert not client.verify_response(txns, spliced).accepted

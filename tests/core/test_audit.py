@@ -1,0 +1,73 @@
+"""Tests for the audit trail."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+from repro.core.audit import AuditTrail
+
+from ..db.helpers import increment, transfer
+
+PRIME_BITS = 64
+CONFIG = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+
+
+@pytest.fixture()
+def session(group):
+    server = LitmusServer(
+        initial={("acct", i): 100 for i in range(4)}, config=CONFIG, group=group
+    )
+    client = LitmusClient(group, server.digest, config=CONFIG)
+    trail = AuditTrail(initial_digest=server.digest)
+    return server, client, trail
+
+
+class TestAuditTrail:
+    def test_records_accepted_batches(self, session):
+        server, client, trail = session
+        txns = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 7)]
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        record = trail.observe(txns, response, verdict)
+        assert record.accepted
+        assert record.num_txns == 6
+        assert record.programs == ("transfer",)
+        assert record.new_digest == client.digest
+        assert trail.digest_log.latest_digest == client.digest
+
+    def test_rejected_batch_does_not_advance_log(self, session):
+        server, client, trail = session
+        txns = [increment(1, 0)]
+        response = server.execute_batch(txns)
+        forged = dataclasses.replace(response, final_digest=response.final_digest ^ 1)
+        verdict = client.verify_response(txns, forged)
+        assert not verdict.accepted
+        before = trail.digest_log.latest_digest
+        record = trail.observe(txns, forged, verdict)
+        assert not record.accepted
+        assert record.reject_reason
+        assert trail.digest_log.latest_digest == before
+
+    def test_render_report(self, session):
+        server, client, trail = session
+        for start in (1, 5):
+            txns = [increment(i, i % 2) for i in range(start, start + 4)]
+            response = server.execute_batch(txns)
+            verdict = client.verify_response(txns, response)
+            trail.observe(txns, response, verdict)
+        report = trail.render()
+        assert "2 verified" in report
+        assert "verified transactions: 8" in report
+        assert "hash chain: OK" in report
+        assert "#  1 VERIFIED" in report
+
+    def test_multi_program_batches_listed(self, session):
+        server, client, trail = session
+        txns = [increment(1, 0), transfer(2, 0, 1, 3)]
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        record = trail.observe(txns, response, verdict)
+        assert record.programs == ("increment", "transfer")

@@ -1,0 +1,122 @@
+"""Tests for the AD-Interact and Merkle baselines plus hybrid mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import HybridLitmus
+from repro.core.interactive import InteractiveServerClient
+from repro.core.merkle_server import MerkleServerClient
+from repro.core.config import LitmusConfig
+from repro.sim.costmodel import CostModel
+from repro.sim.network import LAN, WAN
+
+from ..db.helpers import increment, read_only, transfer
+
+PRIME_BITS = 64
+INITIAL = {("acct", 0): 100, ("acct", 1): 100, ("acct", 2): 100, ("acct", 3): 100}
+
+
+class TestInteractive:
+    def test_serial_execution_and_verification(self, group):
+        system = InteractiveServerClient(
+            group, initial=INITIAL, network=LAN, prime_bits=PRIME_BITS
+        )
+        txns = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 7)]
+        report = system.run(txns)
+        assert len(report.results) == 6
+        assert all(r.committed for r in report.results)
+        assert report.final_digest == system.provider.digest
+
+    def test_digest_advances_with_writes(self, group):
+        system = InteractiveServerClient(group, initial=INITIAL, prime_bits=PRIME_BITS)
+        before = system.digest
+        system.run([increment(1, 5)])
+        assert system.digest != before
+
+    def test_read_only_keeps_digest(self, group):
+        system = InteractiveServerClient(group, initial=INITIAL, prime_bits=PRIME_BITS)
+        before = system.digest
+        system.run([read_only(1, 0)])
+        assert system.digest == before
+
+    def test_wan_slower_than_lan(self, group):
+        lan = InteractiveServerClient(group, initial=INITIAL, network=LAN, prime_bits=PRIME_BITS)
+        wan = InteractiveServerClient(group, initial=INITIAL, network=WAN, prime_bits=PRIME_BITS)
+        txns = [increment(i, i) for i in range(1, 6)]
+        assert wan.run(txns).total_seconds > lan.run(list(txns)).total_seconds
+
+    def test_witness_cost_grows_with_dictionary(self, group):
+        model = CostModel.calibrated(10)
+        small = InteractiveServerClient(
+            group, initial={("a", 0): 1}, cost_model=model, prime_bits=PRIME_BITS
+        )
+        big_initial = {("a", i): 1 for i in range(200)}
+        big = InteractiveServerClient(
+            group, initial=big_initial, cost_model=model, prime_bits=PRIME_BITS
+        )
+        txn = [read_only(1, 0)]
+        slow = big.run(txn).total_seconds
+        fast = small.run([read_only(1, 0)]).total_seconds
+        assert slow > fast
+
+
+class TestMerkleBaseline:
+    def test_roundtrip(self):
+        system = MerkleServerClient(capacity=64, initial=INITIAL)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 7)]
+        report = system.run(txns)
+        assert all(r.committed for r in report.results)
+        assert report.hash_operations > 0
+        assert report.final_root == system.tree.root
+
+    def test_root_tracks_state(self):
+        system = MerkleServerClient(capacity=64, initial=INITIAL)
+        before = system.client_root
+        system.run([increment(1, 9)])
+        assert system.client_root != before
+
+    def test_capacity_limit(self):
+        from repro.errors import VerificationFailure
+
+        system = MerkleServerClient(capacity=2, initial={("a", 0): 1, ("a", 1): 2})
+        with pytest.raises(VerificationFailure):
+            system.run([increment(1, 99)])
+
+    def test_slow_by_design(self):
+        system = MerkleServerClient(capacity=64, initial=INITIAL)
+        report = system.run([increment(i, i % 4) for i in range(1, 11)])
+        assert report.throughput < 25  # the paper: < 20 txn/s territory
+
+
+class TestHybrid:
+    def test_interactive_and_batch_share_digest(self, group):
+        config = LitmusConfig(
+            cc="dr", processing_batch_size=8, batches_per_piece=2, prime_bits=PRIME_BITS
+        )
+        hybrid = HybridLitmus(initial=INITIAL, config=config, group=group)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 2) for i in range(1, 9)]
+        outcome = hybrid.run(txns, interactive_ids={1, 2})
+        assert outcome.accepted
+        assert set(outcome.interactive_outputs) == {1, 2}
+        assert outcome.batch_verdict is not None
+        assert outcome.batch_verdict.accepted, outcome.batch_verdict.reason
+
+    def test_all_interactive(self, group):
+        config = LitmusConfig(cc="dr", prime_bits=PRIME_BITS)
+        hybrid = HybridLitmus(initial=INITIAL, config=config, group=group)
+        txns = [increment(i, i) for i in range(1, 4)]
+        outcome = hybrid.run(txns, interactive_ids={1, 2, 3})
+        assert outcome.accepted
+        assert outcome.batch_verdict is None
+        assert len(outcome.interactive_outputs) == 3
+
+    def test_interactive_latency_lower_than_batch(self, group):
+        config = LitmusConfig(
+            cc="dr", processing_batch_size=8, batches_per_piece=2, prime_bits=PRIME_BITS
+        )
+        hybrid = HybridLitmus(initial=INITIAL, config=config, group=group)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 2) for i in range(1, 9)]
+        outcome = hybrid.run(txns, interactive_ids={1})
+        per_interactive = outcome.interactive_seconds / 1
+        assert per_interactive < outcome.batch_seconds

@@ -1,0 +1,51 @@
+"""Adversarial tests for the interactive baseline's verification path."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.interactive import InteractiveServerClient
+from repro.core.memory_integrity import MemoryIntegrityChecker
+from repro.errors import VerificationFailure
+
+from ..db.helpers import increment, read_only
+
+PRIME_BITS = 64
+INITIAL = {("row", 0): 5, ("row", 1): 7}
+
+
+class TestInteractiveAdversary:
+    def test_client_checker_rejects_tampered_read(self, group):
+        system = InteractiveServerClient(group, initial=INITIAL, prime_bits=PRIME_BITS)
+        checker = MemoryIntegrityChecker(group, system.digest, PRIME_BITS)
+        cert = system.provider.certify_reads({("row", 0): 5})
+        forged = dataclasses.replace(cert, present=((("row", 0), 50),))
+        assert not checker.mem_check(forged)
+
+    def test_server_side_corruption_surfaces(self, group):
+        """If the server's AD state is rebuilt from corrupted data, the
+        client's digest no longer matches and every check fails."""
+        honest = InteractiveServerClient(group, initial=INITIAL, prime_bits=PRIME_BITS)
+        corrupt = InteractiveServerClient(
+            group, initial={("row", 0): 999, ("row", 1): 7}, prime_bits=PRIME_BITS
+        )
+        # A checker anchored to the honest digest rejects the corrupt server.
+        checker = MemoryIntegrityChecker(group, honest.digest, PRIME_BITS)
+        cert = corrupt.provider.certify_reads({("row", 0): 999})
+        assert not checker.mem_check(cert)
+
+    def test_session_advances_only_with_valid_proofs(self, group):
+        system = InteractiveServerClient(group, initial=INITIAL, prime_bits=PRIME_BITS)
+        report = system.run([increment(1, 0), read_only(2, 0)])
+        assert all(result.committed for result in report.results)
+        assert report.results[0].outputs == (5,)  # increment emits the old value
+        assert report.results[1].outputs == (6,)  # the reader sees the new one
+
+    def test_desynced_client_halts_session(self, group):
+        system = InteractiveServerClient(group, initial=INITIAL, prime_bits=PRIME_BITS)
+        # Desynchronize the client's digest (models a lost update).
+        system.checker.acc = system.checker.acc ^ 1
+        with pytest.raises(VerificationFailure):
+            system.run([read_only(1, 0)])

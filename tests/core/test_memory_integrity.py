@@ -1,0 +1,140 @@
+"""Tests for the memory-integrity provider and checker (Algorithms 1-2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.memory_integrity import (
+    MemoryIntegrityChecker,
+    MemoryIntegrityProvider,
+    ReadCertificate,
+)
+from repro.errors import IntegrityError
+
+PRIME_BITS = 64
+
+
+@pytest.fixture()
+def provider(group) -> MemoryIntegrityProvider:
+    return MemoryIntegrityProvider(
+        group, initial={("row", 1): 10, ("row", 2): 20}, prime_bits=PRIME_BITS
+    )
+
+
+@pytest.fixture()
+def checker(group, provider) -> MemoryIntegrityChecker:
+    return MemoryIntegrityChecker(group, provider.digest, prime_bits=PRIME_BITS)
+
+
+class TestHonestPath:
+    def test_present_reads_verify(self, provider, checker):
+        cert = provider.certify_reads({("row", 1): 10, ("row", 2): 20})
+        assert checker.mem_check(cert)
+
+    def test_absent_reads_verify_with_initial_value(self, provider, checker):
+        cert = provider.certify_reads({("row", 99): 0})
+        assert checker.mem_check(cert)
+        assert cert.values() == {("row", 99): 0}
+
+    def test_mixed_reads_verify(self, provider, checker):
+        cert = provider.certify_reads({("row", 1): 10, ("fresh", 5): 0})
+        assert checker.mem_check(cert)
+
+    def test_write_roll_forward(self, provider, checker):
+        update = provider.apply_writes({("row", 1): 111})
+        assert checker.mem_update(update)
+        assert checker.acc == provider.digest
+
+    def test_blind_insert_with_nonexistence(self, provider, checker):
+        update = provider.apply_writes({("new", 7): 42})
+        assert update.inserted == (("new", 7),)
+        assert update.nokey is not None
+        assert checker.mem_update(update)
+        assert checker.acc == provider.digest
+
+    def test_chained_updates_track_digest(self, provider, checker):
+        for value in (5, 6, 7):
+            update = provider.apply_writes({("row", 1): value})
+            assert checker.mem_update(update)
+        cert = provider.certify_reads({("row", 1): 7})
+        assert checker.mem_check(cert)
+
+    def test_reads_after_writes_use_new_digest(self, provider, checker):
+        provider_cert_before = provider.certify_reads({("row", 1): 10})
+        update = provider.apply_writes({("row", 2): 99})
+        assert checker.mem_update(update)
+        # The old certificate no longer matches the rolled-forward digest.
+        assert not checker.mem_check(provider_cert_before)
+
+
+class TestProviderGuards:
+    def test_stale_value_rejected(self, provider):
+        with pytest.raises(IntegrityError):
+            provider.certify_reads({("row", 1): 11})
+
+    def test_unwritten_key_must_read_zero(self, provider):
+        with pytest.raises(IntegrityError):
+            provider.certify_reads({("nope", 1): 5})
+
+    def test_empty_writes_rejected(self, provider):
+        with pytest.raises(IntegrityError):
+            provider.apply_writes({})
+
+
+class TestAdversarialCertificates:
+    """A tampering server must never pass the checker."""
+
+    def test_wrong_value_in_read_certificate(self, provider, checker):
+        cert = provider.certify_reads({("row", 1): 10})
+        forged = dataclasses.replace(cert, present=((("row", 1), 11),))
+        assert not checker.mem_check(forged)
+
+    def test_claiming_existing_key_absent(self, provider, checker):
+        honest = provider.certify_reads({("never", 1): 0})
+        # Claim ("row", 1) (which exists with value 10) is absent and thus 0.
+        forged = ReadCertificate(
+            digest=honest.digest,
+            present=(),
+            absent=(("row", 1),),
+            lookup=None,
+            nokey=honest.nokey,
+        )
+        assert not checker.mem_check(forged)
+
+    def test_dropped_write_detected(self, group, provider, checker):
+        # Server applies the write internally but shows the client a
+        # certificate for different contents.
+        update = provider.apply_writes({("row", 1): 111})
+        forged = dataclasses.replace(
+            update, new_pairs=((("row", 1), 10),)
+        )  # pretend the old value was re-written
+        assert not checker.mem_update(forged)
+
+    def test_replayed_update_rejected(self, provider, checker):
+        update = provider.apply_writes({("row", 1): 111})
+        assert checker.mem_update(update)
+        # Replaying the same update against the new digest must fail.
+        assert not checker.mem_update(update)
+
+    def test_wrong_new_digest_rejected(self, provider, checker):
+        update = provider.apply_writes({("row", 1): 111})
+        forged = dataclasses.replace(update, new_digest=update.new_digest + 1)
+        assert not checker.mem_update(forged)
+
+    def test_insert_shadowing_existing_key_rejected(self, provider, checker):
+        """A malicious 'insert' of an existing key (creating a duplicate pair)
+        must fail for lack of a valid non-membership proof."""
+        update = provider.apply_writes({("fresh", 1): 5})
+        forged = dataclasses.replace(
+            update,
+            inserted=(("row", 1),),
+            new_pairs=((("row", 1), 666),),
+        )
+        assert not checker.mem_update(forged)
+
+    def test_certificate_against_wrong_digest(self, group, provider):
+        other_checker = MemoryIntegrityChecker(group, provider.digest + 1, PRIME_BITS)
+        cert = provider.certify_reads({("row", 1): 10})
+        assert not other_checker.mem_check(cert)

@@ -1,0 +1,80 @@
+"""Tests for PoE-compressed memory-integrity certificates."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+from repro.core.memory_integrity import (
+    MemoryIntegrityChecker,
+    MemoryIntegrityProvider,
+)
+
+from ..db.helpers import increment, transfer
+
+PRIME_BITS = 64
+
+
+@pytest.fixture()
+def poe_provider(group) -> MemoryIntegrityProvider:
+    return MemoryIntegrityProvider(
+        group,
+        initial={("row", i): 10 * i for i in range(8)},
+        prime_bits=PRIME_BITS,
+        use_poe=True,
+    )
+
+
+class TestPoECertificates:
+    def test_poe_certificate_verifies(self, group, poe_provider):
+        checker = MemoryIntegrityChecker(group, poe_provider.digest, PRIME_BITS)
+        cert = poe_provider.certify_reads({("row", 1): 10, ("row", 3): 30})
+        assert cert.poe is not None
+        assert checker.mem_check(cert)
+
+    def test_poe_and_plain_agree(self, group):
+        initial = {("row", i): i for i in range(8)}
+        plain = MemoryIntegrityProvider(group, initial, PRIME_BITS, use_poe=False)
+        poe = MemoryIntegrityProvider(group, initial, PRIME_BITS, use_poe=True)
+        assert plain.digest == poe.digest
+        checker = MemoryIntegrityChecker(group, plain.digest, PRIME_BITS)
+        reads = {("row", 2): 2, ("row", 5): 5}
+        assert checker.mem_check(plain.certify_reads(reads))
+        assert checker.mem_check(poe.certify_reads(reads))
+
+    def test_tampered_value_fails_poe_path(self, group, poe_provider):
+        checker = MemoryIntegrityChecker(group, poe_provider.digest, PRIME_BITS)
+        cert = poe_provider.certify_reads({("row", 1): 10})
+        forged = dataclasses.replace(cert, present=((("row", 1), 11),))
+        assert not checker.mem_check(forged)
+
+    def test_stripping_poe_falls_back_and_still_verifies(self, group, poe_provider):
+        checker = MemoryIntegrityChecker(group, poe_provider.digest, PRIME_BITS)
+        cert = poe_provider.certify_reads({("row", 1): 10})
+        stripped = dataclasses.replace(cert, poe=None)
+        # Without the PoE the checker re-verifies by full exponentiation.
+        assert checker.mem_check(stripped)
+
+    def test_mismatched_poe_rejected(self, group, poe_provider):
+        checker = MemoryIntegrityChecker(group, poe_provider.digest, PRIME_BITS)
+        cert_a = poe_provider.certify_reads({("row", 1): 10})
+        cert_b = poe_provider.certify_reads({("row", 2): 20})
+        crossed = dataclasses.replace(cert_a, poe=cert_b.poe)
+        assert not checker.mem_check(crossed)
+
+
+class TestPoEEndToEnd:
+    def test_full_protocol_with_poe(self, group):
+        config = LitmusConfig(
+            cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS, use_poe=True
+        )
+        initial = {("acct", i): 100 for i in range(4)}
+        server = LitmusServer(initial=initial, config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 9)]
+        txns += [increment(i, i) for i in range(9, 13)]
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        assert verdict.accepted, verdict.reason

@@ -1,0 +1,67 @@
+"""Tests for the client proxy (multi-user batching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+from repro.core.proxy import ClientProxy
+from repro.errors import ReproError
+
+from ..db.helpers import INCREMENT, READ_ONLY, TRANSFER
+
+PRIME_BITS = 64
+
+
+@pytest.fixture()
+def proxy(group) -> ClientProxy:
+    config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+    initial = {("acct", i): 100 for i in range(4)}
+    server = LitmusServer(initial=initial, config=config, group=group)
+    client = LitmusClient(group, server.digest, config=config)
+    return ClientProxy(server, client, max_batch=16)
+
+
+class TestProxy:
+    def test_tickets_resolve_after_flush(self, proxy):
+        a = proxy.submit("alice", TRANSFER, {"src": 0, "dst": 1, "amount": 10})
+        b = proxy.submit("bob", READ_ONLY, {"k": 1})
+        assert not a.resolved and proxy.queued == 2
+        assert proxy.flush()
+        assert a.resolved and b.resolved
+        assert a.accepted and b.accepted
+        assert a.outputs == (200,)  # transfer emits src+dst pre-balances
+
+    def test_unresolved_ticket_guards(self, proxy):
+        ticket = proxy.submit("alice", INCREMENT, {"k": 3})
+        with pytest.raises(ReproError):
+            _ = ticket.accepted
+        proxy.flush()
+        assert ticket.accepted
+
+    def test_auto_flush_at_capacity(self, group):
+        config = LitmusConfig(cc="dr", processing_batch_size=4, prime_bits=PRIME_BITS)
+        server = LitmusServer(initial={}, config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        proxy = ClientProxy(server, client, max_batch=3)
+        tickets = [proxy.submit(f"user{i}", INCREMENT, {"k": i}) for i in range(3)]
+        # The third submit crossed the capacity: the batch flushed itself.
+        assert proxy.queued == 0
+        assert all(t.resolved and t.accepted for t in tickets)
+        assert proxy.batches_verified == 1
+
+    def test_ids_are_arrival_order(self, proxy):
+        t1 = proxy.submit("a", INCREMENT, {"k": 1})
+        t2 = proxy.submit("b", INCREMENT, {"k": 1})
+        assert t1.txn_id < t2.txn_id
+
+    def test_multiple_rounds_share_digest_chain(self, proxy):
+        for round_number in range(3):
+            proxy.submit("alice", INCREMENT, {"k": 7})
+            assert proxy.flush()
+        assert proxy.batches_verified == 3
+        assert proxy.server.db.get(("row", 7)) == 3
+
+    def test_empty_flush_is_noop(self, proxy):
+        assert proxy.flush()
+        assert proxy.batches_verified == 0

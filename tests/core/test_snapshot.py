@@ -1,0 +1,94 @@
+"""Tests for server snapshots and the full recovery story."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+from repro.core.checkpoint import DigestLog
+from repro.core.snapshot import restore_server, snapshot_server
+from repro.errors import ReproError, VerificationFailure
+
+from ..db.helpers import increment, transfer
+
+PRIME_BITS = 64
+CONFIG = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+
+
+def build_server(group, initial=None):
+    return LitmusServer(initial=initial or {}, config=CONFIG, group=group)
+
+
+class TestSnapshotRoundtrip:
+    def test_fresh_server_roundtrip(self, group):
+        server = build_server(group, {("acct", 0): 100})
+        payload = snapshot_server(server)
+        restored = restore_server(payload, CONFIG, group)
+        assert restored.digest == server.digest
+        assert restored.db.get(("acct", 0)) == 100
+
+    def test_roundtrip_after_batches(self, group):
+        server = build_server(group)
+        client = LitmusClient(group, server.digest, config=CONFIG)
+        txns = [increment(i, i % 3) for i in range(1, 10)]
+        assert client.verify_response(txns, server.execute_batch(txns)).accepted
+        payload = snapshot_server(server)
+        restored = restore_server(payload, CONFIG, group, expected_digest=client.digest)
+        # The restored server continues the digest chain seamlessly.
+        more = [increment(i, 0) for i in range(10, 14)]
+        verdict = client.verify_response(more, restored.execute_batch(more))
+        assert verdict.accepted, verdict.reason
+
+    def test_corrupted_row_detected(self, group):
+        server = build_server(group, {("acct", 0): 100})
+        payload = json.loads(snapshot_server(server))
+        payload["rows"][0][1] = 999  # tamper with a value
+        with pytest.raises(VerificationFailure, match="corrupted"):
+            restore_server(json.dumps(payload), CONFIG, group)
+
+    def test_stale_snapshot_detected(self, group):
+        server = build_server(group)
+        client = LitmusClient(group, server.digest, config=CONFIG)
+        stale_payload = snapshot_server(server)
+        txns = [increment(1, 0)]
+        assert client.verify_response(txns, server.execute_batch(txns)).accepted
+        with pytest.raises(VerificationFailure, match="stale"):
+            restore_server(stale_payload, CONFIG, group, expected_digest=client.digest)
+
+    def test_garbage_rejected(self, group):
+        with pytest.raises(ReproError):
+            restore_server(json.dumps({"format": "nope"}), CONFIG, group)
+
+
+class TestFullRecoveryStory:
+    def test_client_log_plus_server_snapshot(self, group):
+        """The complete operational flow: verified batches, both sides
+        persist, both sides restart, and verification continues."""
+        server = build_server(group, {("acct", i): 50 for i in range(3)})
+        client = LitmusClient(group, server.digest, config=CONFIG)
+        log = DigestLog(initial_digest=server.digest)
+
+        txns = [transfer(i, i % 3, (i + 1) % 3, 2) for i in range(1, 7)]
+        verdict = client.verify_response(txns, server.execute_batch(txns))
+        assert verdict.accepted
+        log.record(verdict.new_digest, num_txns=len(txns))
+        server_state = snapshot_server(server)
+        client_state = log.to_json()
+
+        # --- crash; both sides restart from persisted state ----------------
+        restored_log = DigestLog.from_json(client_state)
+        restored_server = restore_server(
+            server_state, CONFIG, group, expected_digest=restored_log.latest_digest
+        )
+        restored_client = LitmusClient(
+            group, restored_log.latest_digest, config=CONFIG
+        )
+        more = [transfer(i, i % 3, (i + 1) % 3, 1) for i in range(7, 12)]
+        verdict2 = restored_client.verify_response(
+            more, restored_server.execute_batch(more)
+        )
+        assert verdict2.accepted, verdict2.reason
+        total = sum(restored_server.db.get(("acct", i)) for i in range(3))
+        assert total == 150

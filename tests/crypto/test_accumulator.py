@@ -1,0 +1,128 @@
+"""Tests for the dynamic universal RSA accumulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.accumulator import NonMembershipWitness, RSAAccumulator
+from repro.crypto.primes import hash_to_prime
+from repro.errors import CryptoError
+
+
+def primes_for(count: int, tag: bytes = b"acc") -> list[int]:
+    return [hash_to_prime(tag + i.to_bytes(4, "big"), 64) for i in range(count)]
+
+
+class TestAccumulate:
+    def test_empty_accumulator_is_generator(self, group):
+        acc = RSAAccumulator(group)
+        assert acc.value == group.generator
+        assert acc.product == 1
+
+    def test_add_changes_digest(self, group):
+        acc = RSAAccumulator(group)
+        before = acc.value
+        acc.add(primes_for(1)[0])
+        assert acc.value != before
+
+    def test_order_independent_digest(self, group):
+        ps = primes_for(5)
+        a = RSAAccumulator(group, ps)
+        b = RSAAccumulator(group, reversed(ps))
+        assert a.value == b.value
+
+    def test_remove_restores_digest(self, group):
+        ps = primes_for(3)
+        acc = RSAAccumulator(group, ps)
+        digest_two = RSAAccumulator(group, ps[:2]).value
+        acc.remove(ps[2])
+        assert acc.value == digest_two
+
+    def test_remove_missing_raises(self, group):
+        acc = RSAAccumulator(group, primes_for(2))
+        with pytest.raises(CryptoError):
+            acc.remove(hash_to_prime(b"other", 64))
+
+    def test_rejects_tiny_elements(self, group):
+        acc = RSAAccumulator(group)
+        with pytest.raises(CryptoError):
+            acc.add(2)
+
+
+class TestMembership:
+    def test_single_membership(self, group):
+        ps = primes_for(4)
+        acc = RSAAccumulator(group, ps)
+        w = acc.membership_witness([ps[1]])
+        assert RSAAccumulator.verify_membership(group, acc.value, [ps[1]], w)
+
+    def test_aggregated_membership(self, group):
+        ps = primes_for(6)
+        acc = RSAAccumulator(group, ps)
+        subset = [ps[0], ps[2], ps[5]]
+        w = acc.membership_witness(subset)
+        assert RSAAccumulator.verify_membership(group, acc.value, subset, w)
+
+    def test_witness_for_missing_prime_raises(self, group):
+        acc = RSAAccumulator(group, primes_for(3))
+        with pytest.raises(CryptoError):
+            acc.membership_witness([hash_to_prime(b"nope", 64)])
+
+    def test_forged_witness_rejected(self, group):
+        ps = primes_for(3)
+        acc = RSAAccumulator(group, ps)
+        w = acc.membership_witness([ps[0]])
+        assert not RSAAccumulator.verify_membership(
+            group, acc.value, [ps[0]], group.mul(w, 2)
+        )
+
+    def test_witness_does_not_transfer_to_other_prime(self, group):
+        ps = primes_for(3)
+        other = hash_to_prime(b"not-in-set", 64)
+        acc = RSAAccumulator(group, ps)
+        w = acc.membership_witness([ps[0]])
+        assert not RSAAccumulator.verify_membership(group, acc.value, [other], w)
+
+    def test_poe_compressed_membership(self, group):
+        ps = primes_for(8)
+        acc = RSAAccumulator(group, ps)
+        witness, exponent, proof = acc.membership_witness_with_poe(ps[:4])
+        assert RSAAccumulator.verify_membership_with_poe(
+            group, acc.value, witness, exponent, proof
+        )
+
+
+class TestNonMembership:
+    def test_single_nonmembership(self, group):
+        ps = primes_for(4)
+        outsider = hash_to_prime(b"outsider", 64)
+        acc = RSAAccumulator(group, ps)
+        w = acc.nonmembership_witness(outsider)
+        assert RSAAccumulator.verify_nonmembership(group, acc.value, outsider, w)
+
+    def test_aggregated_nonmembership(self, group):
+        ps = primes_for(4)
+        outsiders = primes_for(3, tag=b"out")
+        product = outsiders[0] * outsiders[1] * outsiders[2]
+        acc = RSAAccumulator(group, ps)
+        w = acc.nonmembership_witness(product)
+        assert RSAAccumulator.verify_nonmembership(group, acc.value, product, w)
+
+    def test_member_cannot_get_nonmembership_witness(self, group):
+        ps = primes_for(4)
+        acc = RSAAccumulator(group, ps)
+        with pytest.raises(CryptoError):
+            acc.nonmembership_witness(ps[0])
+
+    def test_forged_nonmembership_rejected(self, group):
+        ps = primes_for(4)
+        acc = RSAAccumulator(group, ps)
+        # Try to claim a member is a non-member with garbage coefficients.
+        forged = NonMembershipWitness(a=12345, b=-6789)
+        assert not RSAAccumulator.verify_nonmembership(group, acc.value, ps[0], forged)
+
+    def test_empty_accumulator_nonmembership(self, group):
+        acc = RSAAccumulator(group)
+        outsider = hash_to_prime(b"outsider", 64)
+        w = acc.nonmembership_witness(outsider)
+        assert RSAAccumulator.verify_nonmembership(group, acc.value, outsider, w)

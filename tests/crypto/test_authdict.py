@@ -1,0 +1,198 @@
+"""Tests for the weakly-binding authenticated dictionary (paper Section 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.authdict import (
+    AuthenticatedDictionary,
+    LookupProof,
+    NonMembershipProof,
+    pair_representative,
+)
+from repro.errors import CryptoError
+
+PRIME_BITS = 64  # smaller primes keep the test suite fast
+
+
+@pytest.fixture()
+def ad(group) -> AuthenticatedDictionary:
+    return AuthenticatedDictionary(
+        group, initial={"alice": 10, "bob": 20, "carol": 30}, prime_bits=PRIME_BITS
+    )
+
+
+class TestCommit:
+    def test_commit_matches_incremental_state(self, group, ad):
+        fresh = AuthenticatedDictionary.commit(
+            group, {"alice": 10, "bob": 20, "carol": 30}, prime_bits=PRIME_BITS
+        )
+        assert fresh == ad.digest
+
+    def test_commit_order_independent(self, group):
+        d1 = AuthenticatedDictionary.commit(group, {"a": 1, "b": 2}, prime_bits=PRIME_BITS)
+        d2 = AuthenticatedDictionary.commit(group, {"b": 2, "a": 1}, prime_bits=PRIME_BITS)
+        assert d1 == d2
+
+    def test_empty_dictionary_digest_is_generator(self, group):
+        ad = AuthenticatedDictionary(group, prime_bits=PRIME_BITS)
+        assert ad.digest == group.generator
+
+    def test_value_change_changes_digest(self, group):
+        d1 = AuthenticatedDictionary.commit(group, {"a": 1}, prime_bits=PRIME_BITS)
+        d2 = AuthenticatedDictionary.commit(group, {"a": 2}, prime_bits=PRIME_BITS)
+        assert d1 != d2
+
+
+class TestPairRepresentative:
+    def test_three_prime_structure(self):
+        h = pair_representative("k", "v", bits=PRIME_BITS)
+        # Product of three 64-bit primes: around 192 bits.
+        assert 3 * (PRIME_BITS - 1) <= h.bit_length() <= 3 * PRIME_BITS
+
+    def test_binding_to_both_components(self):
+        assert pair_representative("k", 1, PRIME_BITS) != pair_representative(
+            "k", 2, PRIME_BITS
+        )
+        assert pair_representative("k1", 1, PRIME_BITS) != pair_representative(
+            "k2", 1, PRIME_BITS
+        )
+
+
+class TestLookup:
+    def test_single_lookup_roundtrip(self, ad):
+        proof = ad.prove_lookup(["alice"])
+        assert ad.ver_lookup(ad.digest, {"alice": 10}, proof)
+
+    def test_aggregated_lookup_roundtrip(self, ad):
+        proof = ad.prove_lookup(["alice", "carol"])
+        assert ad.ver_lookup(ad.digest, {"alice": 10, "carol": 30}, proof)
+
+    def test_wrong_value_rejected(self, ad):
+        proof = ad.prove_lookup(["alice"])
+        assert not ad.ver_lookup(ad.digest, {"alice": 11}, proof)
+
+    def test_wrong_key_rejected(self, ad):
+        proof = ad.prove_lookup(["alice"])
+        assert not ad.ver_lookup(ad.digest, {"bob": 10}, proof)
+
+    def test_proof_does_not_transfer_between_digests(self, group, ad):
+        proof = ad.prove_lookup(["alice"])
+        other = AuthenticatedDictionary.commit(group, {"alice": 10}, prime_bits=PRIME_BITS)
+        assert not ad.ver_lookup(other, {"alice": 10}, proof)
+
+    def test_lookup_of_missing_key_raises(self, ad):
+        with pytest.raises(CryptoError):
+            ad.prove_lookup(["mallory"])
+
+    def test_forged_witness_rejected(self, group, ad):
+        forged = LookupProof(witness=group.mul(ad.prove_lookup(["alice"]).witness, 3))
+        assert not ad.ver_lookup(ad.digest, {"alice": 10}, forged)
+
+
+class TestUpdate:
+    def test_update_existing_key(self, group, ad):
+        old_digest = ad.digest
+        new_digest, proof = ad.update({"alice": 99})
+        assert new_digest != old_digest
+        assert ad.get("alice") == 99
+        # The client can roll the digest forward from the proof alone.
+        assert ad.digest_after_update(proof, {"alice": 99}) == new_digest
+
+    def test_update_matches_fresh_commit(self, group, ad):
+        ad.update({"alice": 99, "bob": 88})
+        fresh = AuthenticatedDictionary.commit(
+            group, {"alice": 99, "bob": 88, "carol": 30}, prime_bits=PRIME_BITS
+        )
+        assert fresh == ad.digest
+
+    def test_insert_new_key(self, group, ad):
+        new_digest, proof = ad.update({"dave": 40})
+        fresh = AuthenticatedDictionary.commit(
+            group,
+            {"alice": 10, "bob": 20, "carol": 30, "dave": 40},
+            prime_bits=PRIME_BITS,
+        )
+        assert new_digest == fresh
+        assert ad.digest_after_update(proof, {"dave": 40}) == new_digest
+
+    def test_mixed_insert_and_update(self, group, ad):
+        new_digest, proof = ad.update({"alice": 1, "dave": 2})
+        assert ad.digest_after_update(proof, {"alice": 1, "dave": 2}) == new_digest
+
+    def test_old_lookup_proofs_invalidated_by_update(self, ad):
+        proof = ad.prove_lookup(["bob"])
+        ad.update({"alice": 99})
+        assert not ad.ver_lookup(ad.digest, {"bob": 20}, proof)
+
+
+class TestNoKey:
+    def test_nonexistent_key(self, ad):
+        proof = ad.prove_no_key(["mallory"])
+        assert ad.ver_no_key(ad.digest, ["mallory"], proof)
+
+    def test_aggregated_nonexistence(self, ad):
+        keys = ["m1", "m2", "m3"]
+        proof = ad.prove_no_key(keys)
+        assert ad.ver_no_key(ad.digest, keys, proof)
+
+    def test_existing_key_cannot_be_proven_absent(self, ad):
+        with pytest.raises(CryptoError):
+            ad.prove_no_key(["alice"])
+
+    def test_forged_nonexistence_rejected(self, ad):
+        forged = NonMembershipProof(a=1, b=1)
+        assert not ad.ver_no_key(ad.digest, ["alice"], forged)
+
+    def test_nokey_proof_stops_working_after_insert(self, ad):
+        proof = ad.prove_no_key(["dave"])
+        ad.update({"dave": 40})
+        assert not ad.ver_no_key(ad.digest, ["dave"], proof)
+
+    def test_key_deleted_history_remains(self, ad):
+        # Once written, a key was "previously accessed": after updates the
+        # digest no longer admits the stale non-membership proof.
+        ad.update({"eve": 1})
+        with pytest.raises(CryptoError):
+            ad.prove_no_key(["eve"])
+
+
+class TestPropertyBased:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=0, max_value=1000),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lookup_roundtrip_random_dicts(self, group, contents):
+        ad = AuthenticatedDictionary(group, initial=contents, prime_bits=PRIME_BITS)
+        keys = list(contents)[: max(1, len(contents) // 2)]
+        proof = ad.prove_lookup(keys)
+        assert ad.ver_lookup(ad.digest, {k: contents[k] for k in keys}, proof)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=100),
+            min_size=1,
+            max_size=5,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=101, max_value=200),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_update_always_matches_commit(self, group, initial, changes):
+        ad = AuthenticatedDictionary(group, initial=initial, prime_bits=PRIME_BITS)
+        ad.update(changes)
+        merged = {**initial, **changes}
+        fresh = AuthenticatedDictionary.commit(group, merged, prime_bits=PRIME_BITS)
+        assert fresh == ad.digest

@@ -1,0 +1,109 @@
+"""Tests for the prime categorization scheme (paper Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.categorization import (
+    CATEGORY_KEY,
+    CATEGORY_RELATION,
+    CATEGORY_RESIDUES,
+    CATEGORY_VALUE,
+    category_of,
+    sample_category_prime,
+    sample_certified_category_prime,
+    verify_category,
+)
+from repro.crypto.primes import is_probable_prime
+from repro.errors import CategoryError
+
+ALL_CATEGORIES = (CATEGORY_KEY, CATEGORY_VALUE, CATEGORY_RELATION)
+
+
+class TestSample:
+    @pytest.mark.parametrize("category", ALL_CATEGORIES)
+    def test_sample_lands_in_category(self, category):
+        p = sample_category_prime(128, category, b"nonce")
+        assert verify_category(p, category)
+
+    @pytest.mark.parametrize("category", ALL_CATEGORIES)
+    def test_sample_deterministic(self, category):
+        assert sample_category_prime(128, category, "k1") == sample_category_prime(
+            128, category, "k1"
+        )
+
+    def test_categories_disjoint_on_same_nonce(self):
+        primes = {sample_category_prime(128, c, b"same") for c in ALL_CATEGORIES}
+        assert len(primes) == 3
+        for category in ALL_CATEGORIES:
+            p = sample_category_prime(128, category, b"same")
+            for other in ALL_CATEGORIES:
+                if other != category:
+                    assert not verify_category(p, other)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(CategoryError):
+            sample_category_prime(128, 3, b"nonce")
+        with pytest.raises(CategoryError):
+            verify_category(17, 9)
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=50, deadline=None)
+    def test_sample_always_prime_and_full_size(self, nonce):
+        p = sample_category_prime(96, CATEGORY_KEY, nonce)
+        assert is_probable_prime(p)
+        assert p.bit_length() == 96
+
+
+class TestVerify:
+    def test_correctness_definition(self):
+        # Definition 3: Verify(Sample(lam, i, nonce), i) == yes always.
+        for category in ALL_CATEGORIES:
+            for nonce in range(20):
+                p = sample_category_prime(80, category, nonce)
+                assert verify_category(p, category)
+
+    def test_soundness_rejects_composites(self):
+        # Definition 4: a composite in the right residue class is rejected.
+        composite = 7 * 23  # 161 = 1 (mod 8)
+        assert composite % 8 in CATEGORY_RESIDUES[CATEGORY_KEY]
+        assert not verify_category(composite, CATEGORY_KEY)
+
+    def test_soundness_rejects_wrong_residue(self):
+        # 13 = 5 (mod 8) is a relation prime, not a value prime.
+        assert verify_category(13, CATEGORY_RELATION)
+        assert not verify_category(13, CATEGORY_VALUE)
+
+    def test_paper_examples(self):
+        # Paper: 17 in P1 (keys), 11 in P2 (values: 3 mod 8), 13 in P3 (5 mod 8).
+        assert verify_category(17, CATEGORY_KEY)
+        assert verify_category(11, CATEGORY_VALUE)
+        assert verify_category(13, CATEGORY_RELATION)
+
+
+class TestCategoryOf:
+    def test_partition_covers_all_odd_primes(self):
+        for p in (3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 101):
+            assert category_of(p) in ALL_CATEGORIES
+
+    def test_two_and_composites_have_no_category(self):
+        assert category_of(2) is None
+        assert category_of(15) is None
+
+
+class TestCertifiedSample:
+    def test_certified_prime_matches_plain_category(self):
+        certified = sample_certified_category_prime(64, CATEGORY_VALUE, b"n")
+        assert certified.verify(CATEGORY_VALUE)
+        assert certified.prime % 8 == 3
+
+    def test_certificate_chain_is_checkable(self):
+        certified = sample_certified_category_prime(64, CATEGORY_KEY, b"n")
+        certified.certificate.check()
+
+    def test_deterministic(self):
+        a = sample_certified_category_prime(64, CATEGORY_RELATION, 42)
+        b = sample_certified_category_prime(64, CATEGORY_RELATION, 42)
+        assert a.prime == b.prime

@@ -1,0 +1,122 @@
+"""Edge-case and negative tests across the crypto substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.authdict import AuthenticatedDictionary
+from repro.crypto.categorization import (
+    CATEGORY_KEY,
+    CATEGORY_RELATION,
+    CATEGORY_VALUE,
+    sample_category_prime,
+)
+from repro.crypto.pocklington import PocklingtonCertificate, build_certified_prime
+from repro.errors import CertificateError
+
+PRIME_BITS = 64
+
+
+class TestPoELookupPath:
+    """Crypto-level tests of the PoE-compressed AD lookup."""
+
+    @pytest.fixture()
+    def ad(self, group):
+        return AuthenticatedDictionary(
+            group, initial={("r", i): i * 3 for i in range(10)}, prime_bits=PRIME_BITS
+        )
+
+    def test_poe_lookup_roundtrip(self, ad):
+        keys = [("r", 1), ("r", 4), ("r", 7)]
+        proof, poe = ad.prove_lookup_with_poe(keys)
+        pairs = {key: key[1] * 3 for key in keys}
+        assert ad.ver_lookup_with_poe(ad.digest, pairs, proof, poe)
+        # The plain verifier accepts the same witness.
+        assert ad.ver_lookup(ad.digest, pairs, proof)
+
+    def test_poe_wrong_value_rejected(self, ad):
+        proof, poe = ad.prove_lookup_with_poe([("r", 1)])
+        assert not ad.ver_lookup_with_poe(ad.digest, {("r", 1): 999}, proof, poe)
+
+    def test_poe_wrong_digest_rejected(self, ad, group):
+        proof, poe = ad.prove_lookup_with_poe([("r", 1)])
+        assert not ad.ver_lookup_with_poe(
+            group.mul(ad.digest, 2), {("r", 1): 3}, proof, poe
+        )
+
+    def test_poe_does_not_transfer_between_key_sets(self, ad):
+        proof_a, poe_a = ad.prove_lookup_with_poe([("r", 1)])
+        proof_b, _poe_b = ad.prove_lookup_with_poe([("r", 2)])
+        assert not ad.ver_lookup_with_poe(ad.digest, {("r", 2): 6}, proof_b, poe_a)
+
+
+class TestCertificateEdges:
+    def test_chain_steps_have_wide_windows(self):
+        """Regression for the narrow-boost-window liveness bug: every step
+        in a chain must grow the prime by a healthy margin (except possibly
+        the final exact-size step)."""
+        for bits in (32, 48, 64, 96, 128):
+            cert = build_certified_prime(bits, b"width-check")
+            p = cert.base_prime
+            for step in cert.steps[:-1]:
+                n = step.r * p + 1
+                assert n.bit_length() >= p.bit_length() + 12
+                p = n
+            assert (cert.steps[-1].r * p + 1).bit_length() == bits
+
+    def test_search_failure_raises_not_hangs(self):
+        """An impossible boost errors out instead of spinning forever."""
+        from repro.crypto.pocklington import _boost
+
+        # A 4-bit window above a 30-bit prime rarely contains a usable
+        # prime; the bounded search must terminate either way.
+        base = build_certified_prime(64, b"x").base_prime
+        try:
+            _boost(base, base.bit_length() + 1, b"doomed", residue=None)
+        except CertificateError:
+            pass  # acceptable: bounded failure
+
+    def test_empty_steps_certificate_is_just_the_base(self):
+        cert = PocklingtonCertificate(base_prime=7919, steps=(), prime=7919)
+        assert cert.verify()
+
+    def test_certificate_for_different_prime_fails(self):
+        cert = PocklingtonCertificate(base_prime=7919, steps=(), prime=7927)
+        assert not cert.verify()
+
+
+class TestCategorizationProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_nonces_distinct_primes(self, a, b):
+        if a == b:
+            return
+        pa = sample_category_prime(96, CATEGORY_KEY, a)
+        pb = sample_category_prime(96, CATEGORY_KEY, b)
+        assert pa != pb  # collisions would break pair binding
+
+    def test_category_residues_partition(self):
+        seen = set()
+        for category in (CATEGORY_KEY, CATEGORY_VALUE, CATEGORY_RELATION):
+            p = sample_category_prime(64, category, b"partition")
+            assert p % 8 not in seen or category == CATEGORY_KEY
+            seen.add(p % 8)
+
+
+class TestAuthDictStress:
+    def test_many_updates_stay_consistent(self, group):
+        ad = AuthenticatedDictionary(group, prime_bits=PRIME_BITS)
+        reference: dict = {}
+        for round_number in range(12):
+            changes = {("k", round_number % 5): round_number * 11}
+            ad.update(changes)
+            reference.update(changes)
+        rebuilt = AuthenticatedDictionary.commit(group, reference, prime_bits=PRIME_BITS)
+        assert rebuilt == ad.digest
+        proof = ad.prove_lookup(list(reference))
+        assert ad.ver_lookup(ad.digest, reference, proof)

@@ -1,0 +1,110 @@
+"""Tests for the Merkle tree baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerklePath, MerkleTree
+from repro.errors import CryptoError
+
+
+class TestConstruction:
+    def test_capacity_rounds_to_power_of_two(self):
+        assert MerkleTree(5).capacity == 8
+        assert MerkleTree(8).capacity == 8
+        assert MerkleTree(1).capacity == 1
+
+    def test_empty_trees_of_same_capacity_agree(self):
+        assert MerkleTree(16).root == MerkleTree(16).root
+
+    def test_different_capacities_different_roots(self):
+        assert MerkleTree(8).root != MerkleTree(16).root
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CryptoError):
+            MerkleTree(0)
+
+
+class TestUpdateAndProve:
+    def test_update_changes_root(self):
+        tree = MerkleTree(8)
+        before = tree.root
+        tree.update(3, "hello")
+        assert tree.root != before
+
+    def test_lookup_proof_roundtrip(self):
+        tree = MerkleTree(8)
+        tree.update(3, "hello")
+        path = tree.prove(3)
+        assert MerkleTree.verify(tree.root, path, "hello")
+
+    def test_wrong_value_rejected(self):
+        tree = MerkleTree(8)
+        tree.update(3, "hello")
+        path = tree.prove(3)
+        assert not MerkleTree.verify(tree.root, path, "goodbye")
+
+    def test_wrong_index_rejected(self):
+        tree = MerkleTree(8)
+        tree.update(3, "hello")
+        path = tree.prove(3)
+        moved = MerklePath(index=2, siblings=path.siblings)
+        assert not MerkleTree.verify(tree.root, moved, "hello")
+
+    def test_stale_proof_rejected_after_update(self):
+        tree = MerkleTree(8)
+        tree.update(3, "hello")
+        path = tree.prove(3)
+        tree.update(4, "other")
+        assert not MerkleTree.verify(tree.root, path, "hello")
+
+    def test_root_after_update_matches_actual(self):
+        tree = MerkleTree(8)
+        tree.update(3, "hello")
+        path = tree.prove(3)
+        predicted = MerkleTree.root_after_update(path, "world")
+        tree.update(3, "world")
+        assert predicted == tree.root
+
+    def test_path_length_is_depth(self):
+        tree = MerkleTree(16)
+        assert len(tree.prove(0).siblings) == 4
+        assert tree.prove(0).hash_count == 5
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree(4)
+        with pytest.raises(CryptoError):
+            tree.update(4, "x")
+        with pytest.raises(CryptoError):
+            tree.prove(-1)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=31), st.integers()),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_written_values_provable(self, writes):
+        tree = MerkleTree(32)
+        state: dict[int, int] = {}
+        for index, value in writes:
+            tree.update(index, value)
+            state[index] = value
+        for index, value in state.items():
+            path = tree.prove(index)
+            assert MerkleTree.verify(tree.root, path, value)
+
+    @given(st.lists(st.integers(), min_size=2, max_size=10, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_roots_distinguish_contents(self, values):
+        t1 = MerkleTree(16)
+        t2 = MerkleTree(16)
+        t1.update(0, values[0])
+        t2.update(0, values[1])
+        assert t1.root != t2.root

@@ -1,0 +1,46 @@
+"""Tests for Wesolowski proofs of exponentiation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.poe import prove_exponentiation, verify_exponentiation
+
+
+class TestPoE:
+    def test_roundtrip_small(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 123456789)
+        assert verify_exponentiation(group, group.generator, 123456789, result, proof)
+
+    def test_roundtrip_huge_exponent(self, group):
+        # An exponent far larger than the group order — the typical
+        # accumulator case (product of hundreds of 128-bit primes).
+        exponent = 1
+        for i in range(50):
+            exponent *= (1 << 127) + 2 * i + 1
+        result, proof = prove_exponentiation(group, group.generator, exponent)
+        assert verify_exponentiation(group, group.generator, exponent, result, proof)
+
+    def test_wrong_result_rejected(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        bad = group.mul(result, group.generator)
+        assert not verify_exponentiation(group, group.generator, 98765, bad, proof)
+
+    def test_wrong_exponent_rejected(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        assert not verify_exponentiation(group, group.generator, 98766, result, proof)
+
+    def test_tampered_proof_rejected(self, group):
+        from repro.crypto.poe import PoEProof
+
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        forged = PoEProof(quotient_power=group.mul(proof.quotient_power, 2))
+        assert not verify_exponentiation(group, group.generator, 98765, result, forged)
+
+    @given(st.integers(min_value=1, max_value=2**256))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random_exponents(self, group, exponent):
+        base = group.power(group.generator, 7)
+        result, proof = prove_exponentiation(group, base, exponent)
+        assert verify_exponentiation(group, base, exponent, result, proof)

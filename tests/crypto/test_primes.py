@@ -1,0 +1,100 @@
+"""Tests for primality testing and hash-to-prime sampling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import (
+    SMALL_PRIMES,
+    hash_to_prime,
+    is_prime_trial,
+    is_probable_prime,
+    next_probable_prime,
+)
+from repro.errors import PrimalityError
+
+
+class TestSmallPrimes:
+    def test_sieve_starts_correctly(self):
+        assert SMALL_PRIMES[:10] == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_sieve_bound(self):
+        assert all(p < 10_000 for p in SMALL_PRIMES)
+        assert 9973 in SMALL_PRIMES  # largest prime below 10000
+
+    def test_sieve_is_sorted_and_unique(self):
+        assert SMALL_PRIMES == sorted(set(SMALL_PRIMES))
+
+
+class TestTrialDivision:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 97, 7919, 104729])
+    def test_accepts_primes(self, n):
+        assert is_prime_trial(n)
+
+    @pytest.mark.parametrize("n", [-7, 0, 1, 4, 9, 91, 7917, 104730])
+    def test_rejects_non_primes(self, n):
+        assert not is_prime_trial(n)
+
+
+class TestMillerRabin:
+    def test_agrees_with_trial_division_exhaustively(self):
+        for n in range(2, 2000):
+            assert is_probable_prime(n) == is_prime_trial(n), n
+
+    @pytest.mark.parametrize(
+        "carmichael", [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+    )
+    def test_rejects_carmichael_numbers(self, carmichael):
+        assert not is_probable_prime(carmichael)
+
+    def test_accepts_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+
+    def test_rejects_large_known_composite(self):
+        assert not is_probable_prime((2**127 - 1) * (2**61 - 1))
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=200)
+    def test_product_of_two_is_composite(self, n):
+        assert not is_probable_prime(n * 7919)
+
+
+class TestNextPrime:
+    def test_basic_steps(self):
+        assert next_probable_prime(2) == 3
+        assert next_probable_prime(3) == 5
+        assert next_probable_prime(13) == 17
+        assert next_probable_prime(0) == 2
+
+    def test_strictly_greater(self):
+        assert next_probable_prime(7919) > 7919
+
+
+class TestHashToPrime:
+    def test_deterministic(self):
+        assert hash_to_prime(b"seed", 128) == hash_to_prime(b"seed", 128)
+
+    def test_distinct_seeds_distinct_primes(self):
+        assert hash_to_prime(b"a", 128) != hash_to_prime(b"b", 128)
+
+    def test_exact_bit_length(self):
+        for bits in (64, 128, 256):
+            assert hash_to_prime(b"x", bits).bit_length() == bits
+
+    def test_residue_targeting(self):
+        for residue in (1, 3, 5, 7):
+            p = hash_to_prime(b"y", 128, residue=residue)
+            assert p % 8 == residue
+            assert is_probable_prime(p)
+
+    def test_even_residue_rejected(self):
+        with pytest.raises(PrimalityError):
+            hash_to_prime(b"z", 128, residue=4)
+
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_output_always_prime(self, seed):
+        assert is_probable_prime(hash_to_prime(seed, 96))

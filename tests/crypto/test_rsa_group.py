@@ -1,0 +1,75 @@
+"""Tests for the RSA group and Bezout helper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa_group import RSAGroup, bezout, default_group
+from repro.errors import CryptoError
+
+
+class TestBezout:
+    @given(
+        st.integers(min_value=1, max_value=10**30),
+        st.integers(min_value=1, max_value=10**30),
+    )
+    @settings(max_examples=200)
+    def test_identity(self, x, y):
+        a, b, g = bezout(x, y)
+        assert a * x + b * y == g
+        assert g == math.gcd(x, y)
+
+    def test_coprime_gives_unit(self):
+        a, b, g = bezout(15, 28)
+        assert g == 1
+        assert a * 15 + b * 28 == 1
+
+
+class TestRSAGroup:
+    def test_generation_deterministic(self):
+        g1 = RSAGroup.generate(bits=256, seed=b"s")
+        g2 = RSAGroup.generate(bits=256, seed=b"s")
+        assert g1.modulus == g2.modulus
+        assert g1.generator == g2.generator
+
+    def test_distinct_seeds_distinct_groups(self):
+        g1 = RSAGroup.generate(bits=256, seed=b"s1")
+        g2 = RSAGroup.generate(bits=256, seed=b"s2")
+        assert g1.modulus != g2.modulus
+
+    def test_modulus_size(self, group):
+        assert group.modulus.bit_length() in (511, 512)
+
+    def test_power_matches_builtin(self, group):
+        assert group.power(5, 1000) == pow(5, 1000, group.modulus)
+
+    def test_negative_exponent(self, group):
+        x = group.power(group.generator, 12345)
+        assert group.mul(group.power(x, -1), x) == 1
+
+    def test_trapdoor_agrees_with_power(self, group):
+        exponent = 3**200  # large enough that reduction matters
+        assert group.trapdoor_power(group.generator, exponent) == group.power(
+            group.generator, exponent
+        )
+
+    def test_public_view_drops_trapdoor(self, group):
+        public = group.public_view()
+        assert not public.has_trapdoor
+        with pytest.raises(CryptoError):
+            public.trapdoor_power(2, 10)
+        # But the group operations still agree.
+        assert public.power(7, 77) == group.power(7, 77)
+
+    def test_default_group_cached(self):
+        assert default_group(bits=512) is default_group(bits=512)
+
+    def test_invalid_constructions(self):
+        with pytest.raises(CryptoError):
+            RSAGroup(modulus=10, generator=3)
+        with pytest.raises(CryptoError):
+            RSAGroup(modulus=77, generator=1)

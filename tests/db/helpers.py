@@ -1,0 +1,74 @@
+"""Shared program/transaction builders for the db tests."""
+
+from __future__ import annotations
+
+from repro.db.txn import Transaction
+from repro.vc.program import (
+    Add,
+    Const,
+    Emit,
+    KeyTemplate,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+TRANSFER = Program(
+    name="transfer",
+    params=("src", "dst", "amount"),
+    statements=(
+        ReadStmt("src_bal", KeyTemplate(("acct", Param("src")))),
+        ReadStmt("dst_bal", KeyTemplate(("acct", Param("dst")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("src"))), Sub(ReadVal("src_bal"), Param("amount"))
+        ),
+        WriteStmt(
+            KeyTemplate(("acct", Param("dst"))), Add(ReadVal("dst_bal"), Param("amount"))
+        ),
+        Emit(Add(ReadVal("src_bal"), ReadVal("dst_bal"))),
+    ),
+)
+
+INCREMENT = Program(
+    name="increment",
+    params=("k",),
+    statements=(
+        ReadStmt("v", KeyTemplate(("row", Param("k")))),
+        WriteStmt(KeyTemplate(("row", Param("k"))), Add(ReadVal("v"), Const(1))),
+        Emit(ReadVal("v")),
+    ),
+)
+
+READ_ONLY = Program(
+    name="read_only",
+    params=("k",),
+    statements=(
+        ReadStmt("v", KeyTemplate(("row", Param("k")))),
+        Emit(ReadVal("v")),
+    ),
+)
+
+BLIND_WRITE = Program(
+    name="blind_write",
+    params=("k", "v"),
+    statements=(WriteStmt(KeyTemplate(("row", Param("k"))), Param("v")),),
+)
+
+
+def transfer(txn_id: int, src: int, dst: int, amount: int) -> Transaction:
+    return Transaction(txn_id, TRANSFER, {"src": src, "dst": dst, "amount": amount})
+
+
+def increment(txn_id: int, k: int) -> Transaction:
+    return Transaction(txn_id, INCREMENT, {"k": k})
+
+
+def read_only(txn_id: int, k: int) -> Transaction:
+    return Transaction(txn_id, READ_ONLY, {"k": k})
+
+
+def blind_write(txn_id: int, k: int, v: int) -> Transaction:
+    return Transaction(txn_id, BLIND_WRITE, {"k": k, "v": v})

@@ -1,0 +1,44 @@
+"""Tests for execution statistics and schedule-unit accessors."""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.db.executor import ExecutionStats, ScheduleUnit
+
+from .helpers import increment, read_only
+
+
+class TestExecutionStats:
+    def test_mean_batch_size(self):
+        stats = ExecutionStats(batch_sizes=[4, 6, 2])
+        assert stats.mean_batch_size == 4.0
+
+    def test_mean_batch_size_empty(self):
+        assert ExecutionStats().mean_batch_size == 0.0
+
+    def test_dr_stats_populated(self):
+        db = Database(cc="dr", processing_batch_size=4)
+        report = db.run([increment(i, i % 2) for i in range(1, 9)])
+        stats = report.stats
+        assert stats.num_txns == 8
+        assert stats.committed == 8
+        assert stats.rounds == len(report.schedule)
+        assert stats.reads == 8
+        assert stats.writes == 8
+        assert sum(stats.batch_sizes) == 8
+
+
+class TestScheduleUnit:
+    def test_key_accessors(self):
+        unit = ScheduleUnit(
+            txn_ids=(1, 2),
+            reads=((("a",), 1), (("b",), 2)),
+            writes=((("a",), 9),),
+        )
+        assert unit.read_keys == (("a",), ("b",))
+        assert unit.write_keys == (("a",),)
+
+    def test_committed_ids(self):
+        db = Database(cc="dr", processing_batch_size=8)
+        report = db.run([read_only(1, 0), increment(2, 0)])
+        assert sorted(report.committed_ids()) == [1, 2]

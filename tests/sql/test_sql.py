@@ -1,0 +1,262 @@
+"""Tests for the SQL front-end: parsing, compilation, and end-to-end use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.txn import Transaction
+from repro.sql import SqlCatalog, SqlError, compile_procedure, parse_script
+from repro.sql.parser import (
+    InsertStatement,
+    SelectStatement,
+    SqlBinary,
+    SqlCase,
+    SqlLiteral,
+    SqlParam,
+    UpdateStatement,
+    tokenize,
+)
+
+
+@pytest.fixture()
+def catalog() -> SqlCatalog:
+    cat = SqlCatalog()
+    cat.create_table("accounts", key=("id",), columns=("balance", "flags"))
+    cat.create_table("stock", key=("w_id", "i_id"), columns=("qty", "ytd"))
+    return cat
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT balance FROM accounts WHERE id = :src")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "name", "keyword", "name", "keyword",
+                         "name", "symbol", "param"]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].text == "select"
+        assert tokenize("SeLeCt")[0].text == "select"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @balance")
+
+
+class TestParser:
+    def test_select(self):
+        (stmt,) = parse_script("SELECT balance, flags FROM accounts WHERE id = :a")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.columns == ("balance", "flags")
+        assert stmt.key_params == {"id": "a"}
+
+    def test_update_with_expression(self):
+        (stmt,) = parse_script(
+            "UPDATE accounts SET balance = balance - :amt WHERE id = :a"
+        )
+        assert isinstance(stmt, UpdateStatement)
+        column, expr = stmt.assignments[0]
+        assert column == "balance"
+        assert isinstance(expr, SqlBinary) and expr.op == "-"
+
+    def test_insert(self):
+        (stmt,) = parse_script(
+            "INSERT INTO accounts (balance, flags) VALUES (:b, 0) WHERE id = :a"
+        )
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.columns == ("balance", "flags")
+        assert isinstance(stmt.values[0], SqlParam)
+        assert isinstance(stmt.values[1], SqlLiteral)
+
+    def test_composite_key(self):
+        (stmt,) = parse_script(
+            "SELECT qty FROM stock WHERE w_id = :w AND i_id = :i"
+        )
+        assert stmt.key_params == {"w_id": "w", "i_id": "i"}
+
+    def test_multi_statement_script(self):
+        stmts = parse_script(
+            "UPDATE accounts SET balance = 1 WHERE id = :a;"
+            "SELECT balance FROM accounts WHERE id = :a;"
+        )
+        assert len(stmts) == 2
+
+    def test_case_expression(self):
+        (stmt,) = parse_script(
+            "UPDATE stock SET qty = CASE WHEN qty < :q THEN qty + 91 "
+            "ELSE qty - :q END WHERE w_id = :w AND i_id = :i"
+        )
+        _column, expr = stmt.assignments[0]
+        assert isinstance(expr, SqlCase)
+
+    def test_operator_precedence(self):
+        (stmt,) = parse_script(
+            "UPDATE accounts SET balance = 1 + 2 * 3 WHERE id = :a"
+        )
+        _c, expr = stmt.assignments[0]
+        assert expr.op == "+"
+        assert isinstance(expr.right, SqlBinary) and expr.right.op == "*"
+
+    def test_key_must_be_parameter(self):
+        with pytest.raises(SqlError, match="parameters"):
+            parse_script("SELECT balance FROM accounts WHERE id = 5")
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlError, match="column"):
+            parse_script(
+                "INSERT INTO accounts (balance, flags) VALUES (1) WHERE id = :a"
+            )
+
+    def test_empty_script(self):
+        with pytest.raises(SqlError):
+            parse_script("   ")
+
+
+class TestCatalog:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SqlError):
+            catalog.table("ghosts")
+
+    def test_duplicate_table(self, catalog):
+        with pytest.raises(SqlError):
+            catalog.create_table("accounts", key=("id",), columns=("x",))
+
+    def test_initial_row(self, catalog):
+        row = catalog.initial_row("accounts", (7,), balance=100, flags=1)
+        assert row == {("accounts.balance", 7): 100, ("accounts.flags", 7): 1}
+
+    def test_initial_row_validates(self, catalog):
+        with pytest.raises(SqlError):
+            catalog.initial_row("accounts", (7, 8), balance=1)
+        with pytest.raises(SqlError):
+            catalog.initial_row("accounts", (7,), nope=1)
+
+
+class TestCompilation:
+    def test_transfer_roundtrip(self, catalog):
+        program = compile_procedure(
+            "transfer",
+            """
+            UPDATE accounts SET balance = balance - :amount WHERE id = :src;
+            UPDATE accounts SET balance = balance + :amount WHERE id = :dst;
+            SELECT balance FROM accounts WHERE id = :dst;
+            """,
+            catalog,
+        )
+        state = {("accounts.balance", 1): 100, ("accounts.balance", 2): 50}
+        result = program.execute(
+            {"amount": 30, "src": 1, "dst": 2}, lambda k: state.get(k, 0)
+        )
+        writes = dict(result.writes)
+        assert writes[("accounts.balance", 1)] == 70
+        assert writes[("accounts.balance", 2)] == 80
+        assert result.outputs == (80,)
+
+    def test_update_reads_before_writes(self, catalog):
+        # Swap-like: both assignments see the pre-update row.
+        program = compile_procedure(
+            "swap",
+            "UPDATE accounts SET balance = flags, flags = balance WHERE id = :a",
+            catalog,
+        )
+        state = {("accounts.balance", 3): 10, ("accounts.flags", 3): 20}
+        result = program.execute({"a": 3}, lambda k: state.get(k, 0))
+        writes = dict(result.writes)
+        assert writes[("accounts.balance", 3)] == 20
+        assert writes[("accounts.flags", 3)] == 10
+
+    def test_case_compiles_to_if(self, catalog):
+        program = compile_procedure(
+            "replenish",
+            "UPDATE stock SET qty = CASE WHEN qty < :q THEN qty + 91 "
+            "ELSE qty - :q END WHERE w_id = :w AND i_id = :i",
+            catalog,
+        )
+        low = program.execute(
+            {"q": 10, "w": 0, "i": 0}, lambda k: 5
+        )
+        high = program.execute(
+            {"q": 10, "w": 0, "i": 0}, lambda k: 50
+        )
+        assert dict(low.writes)[("stock.qty", 0, 0)] == 5 + 91
+        assert dict(high.writes)[("stock.qty", 0, 0)] == 40
+
+    def test_duplicate_column_reads_deduplicated(self, catalog):
+        program = compile_procedure(
+            "double_read",
+            "SELECT balance FROM accounts WHERE id = :a;"
+            "SELECT balance FROM accounts WHERE id = :a;",
+            catalog,
+        )
+        assert len(program.read_statements()) == 1
+        assert len([s for s in program.statements if type(s).__name__ == "Emit"]) == 2
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(SqlError):
+            compile_procedure(
+                "bad", "SELECT wealth FROM accounts WHERE id = :a", catalog
+            )
+
+    def test_unbound_key_rejected(self, catalog):
+        with pytest.raises(SqlError, match="key column"):
+            compile_procedure(
+                "bad", "SELECT qty FROM stock WHERE w_id = :w", catalog
+            )
+
+    def test_compiles_to_circuit(self, catalog):
+        from repro.vc.compiler import CircuitCompiler
+
+        program = compile_procedure(
+            "transfer",
+            "UPDATE accounts SET balance = balance - :amt WHERE id = :src;"
+            "UPDATE accounts SET balance = balance + :amt WHERE id = :dst;",
+            catalog,
+        )
+        compiled = CircuitCompiler().compile_program(program)
+        assert compiled.total_constraints >= 2
+
+
+class TestEndToEnd:
+    def test_sql_procedures_through_litmus(self, catalog, group):
+        from repro.core import LitmusClient, LitmusConfig, LitmusServer
+
+        transfer = compile_procedure(
+            "sql_transfer",
+            "UPDATE accounts SET balance = balance - :amount WHERE id = :src;"
+            "UPDATE accounts SET balance = balance + :amount WHERE id = :dst;"
+            "SELECT balance FROM accounts WHERE id = :src;",
+            catalog,
+        )
+        initial = {}
+        for account in range(4):
+            initial.update(catalog.initial_row("accounts", (account,), balance=100, flags=0))
+        config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=64)
+        server = LitmusServer(initial=initial, config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        txns = [
+            Transaction(i, transfer, {"src": i % 4, "dst": (i + 1) % 4, "amount": 5})
+            for i in range(1, 9)
+        ]
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        assert verdict.accepted, verdict.reason
+        total = sum(
+            server.db.get(("accounts.balance", a)) for a in range(4)
+        )
+        assert total == 400
+
+    def test_sql_on_database_directly(self, catalog):
+        deposit = compile_procedure(
+            "deposit",
+            "UPDATE accounts SET balance = balance + :amt WHERE id = :a",
+            catalog,
+        )
+        db = Database(
+            initial=catalog.initial_row("accounts", (1,), balance=10, flags=0),
+            cc="dr",
+            processing_batch_size=4,
+        )
+        txns = [Transaction(i, deposit, {"a": 1, "amt": 5}) for i in range(1, 5)]
+        report = db.run(txns)
+        assert report.stats.committed == 4
+        assert db.get(("accounts.balance", 1)) == 30

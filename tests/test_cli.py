@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig9_prints_table(self, capsys):
+        assert main(["fig9", "--scale", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "10G" in out and "80G" in out
+
+    def test_constants(self, capsys):
+        assert main(["constants", "--scale", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "drm_peak" in out
+        assert "paper" in out
+
+    def test_fig7_prints_breakdown(self, capsys):
+        assert main(["fig7", "--scale", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "key_generation" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_elle(self, capsys):
+        assert main(["elle", "--scale", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "serializable" in out

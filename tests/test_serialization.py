@@ -1,0 +1,79 @@
+"""Tests for canonical serialization and hashing helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import hash_bytes_to_int, hash_pair, hash_to_int
+from repro.errors import ReproError
+from repro.serialization import encode, encode_pair
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+value = st.recursive(scalar, lambda inner: st.tuples(inner, inner), max_leaves=6)
+
+
+class TestEncode:
+    def test_type_disjointness(self):
+        candidates = [None, True, False, 0, 1, "", "0", b"", b"0", (), (0,)]
+        encodings = [encode(v) for v in candidates]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_bool_is_not_int(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_negative_integers(self):
+        assert encode(-5) != encode(5)
+
+    def test_nested_tuples_unambiguous(self):
+        assert encode(((1,), 2)) != encode((1, (2,)))
+        assert encode((1, 2)) != encode(((1, 2),))
+
+    def test_lists_encode_like_tuples(self):
+        assert encode([1, 2]) == encode((1, 2))
+
+    def test_unsupported_type(self):
+        with pytest.raises(ReproError):
+            encode({"a": 1})
+
+    @given(value, value)
+    @settings(max_examples=200)
+    def test_injective_on_random_values(self, a, b):
+        if encode(a) == encode(b):
+            assert a == b
+
+    @given(value)
+    @settings(max_examples=100)
+    def test_deterministic(self, v):
+        assert encode(v) == encode(v)
+
+    def test_encode_pair(self):
+        assert encode_pair("k", 1) == encode(("k", 1))
+
+
+class TestHashing:
+    def test_hash_to_int_exact_bits(self):
+        for bits in (16, 64, 257, 1024):
+            assert hash_bytes_to_int(b"x", bits).bit_length() == bits
+
+    def test_hash_to_int_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            hash_bytes_to_int(b"x", 1)
+
+    def test_domain_separation(self):
+        assert hash_to_int("v", 64, domain=b"a") != hash_to_int("v", 64, domain=b"b")
+
+    def test_hash_pair_binds_key_and_value(self):
+        assert hash_pair("k", "v") != hash_pair("v", "k")
+        assert hash_pair("k", 1) != hash_pair("k", 2)
+
+    def test_hash_pair_no_concat_ambiguity(self):
+        assert hash_pair("ab", "c") != hash_pair("a", "bc")

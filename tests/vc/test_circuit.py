@@ -1,0 +1,188 @@
+"""Tests for the circuit builder and R1CS layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintViolation
+from repro.vc.circuit import CircuitBuilder, ForeignGadget, LinearCombination
+from repro.vc.field import FIELD_PRIME
+
+
+def build_product_circuit():
+    """x * y = z with z exposed."""
+    b = CircuitBuilder(label="product")
+    x = b.input("x")
+    y = b.input("y")
+    z = b.mul(x, y)
+    b.make_public(z)
+    return b.build()
+
+
+class TestLinearCombination:
+    def test_add_and_scale(self):
+        a = LinearCombination({1: 2, 2: 3})
+        b = LinearCombination({2: 4, 3: 1})
+        c = a + b
+        assert c.terms == {1: 2, 2: 7, 3: 1}
+        assert a.scale(2).terms == {1: 4, 2: 6}
+
+    def test_zero_coefficients_dropped(self):
+        a = LinearCombination({1: 5})
+        b = LinearCombination({1: -5})
+        assert (a + b).terms == {}
+
+    def test_evaluate(self):
+        lc = LinearCombination({0: 7, 1: 2})
+        assert lc.evaluate([1, 10]) == 27
+
+
+class TestBasicGates:
+    def test_mul_gate(self):
+        circuit = build_product_circuit()
+        w = circuit.generate_witness({"x": 6, "y": 7})
+        assert w[circuit.public_indices[-1]] == 42
+
+    def test_unsatisfied_raises(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.assert_eq(x, b.constant(5))
+        circuit = b.build()
+        circuit.generate_witness({"x": 5})
+        with pytest.raises(ConstraintViolation):
+            circuit.generate_witness({"x": 6})
+
+    def test_missing_input_raises(self):
+        circuit = build_product_circuit()
+        with pytest.raises(ConstraintViolation):
+            circuit.generate_witness({"x": 1})
+
+    def test_assert_bool(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.assert_bool(x)
+        circuit = b.build()
+        circuit.generate_witness({"x": 0})
+        circuit.generate_witness({"x": 1})
+        with pytest.raises(ConstraintViolation):
+            circuit.generate_witness({"x": 2})
+
+    def test_is_zero_gadget(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        bit = b.is_zero(x)
+        b.make_public(bit)
+        circuit = b.build()
+        assert circuit.generate_witness({"x": 0})[circuit.public_indices[-1]] == 1
+        assert circuit.generate_witness({"x": 9})[circuit.public_indices[-1]] == 0
+
+    def test_assert_nonzero(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        y = b.input("y")
+        b.assert_nonzero(x - y)
+        circuit = b.build()
+        circuit.generate_witness({"x": 3, "y": 4})
+        with pytest.raises((ConstraintViolation, ZeroDivisionError)):
+            circuit.generate_witness({"x": 4, "y": 4})
+
+    def test_select(self):
+        b = CircuitBuilder()
+        bit = b.input("bit")
+        a = b.input("a")
+        c = b.input("c")
+        b.assert_bool(bit)
+        out = b.output(b.select(bit, a, c))
+        circuit = b.build()
+        idx = circuit.public_indices[-1]
+        assert circuit.generate_witness({"bit": 1, "a": 10, "c": 20})[idx] == 10
+        assert circuit.generate_witness({"bit": 0, "a": 10, "c": 20})[idx] == 20
+
+
+class TestComparison:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_less_than_matches_python(self, a, c):
+        b = CircuitBuilder()
+        x = b.input("x")
+        y = b.input("y")
+        b.decompose_bits(x, 32)
+        b.decompose_bits(y, 32)
+        lt = b.less_than(x, y, width=32)
+        b.make_public(lt)
+        circuit = b.build()
+        w = circuit.generate_witness({"x": a, "y": c})
+        assert w[circuit.public_indices[-1]] == (1 if a < c else 0)
+
+    def test_decompose_rejects_oversized(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.decompose_bits(x, 8)
+        circuit = b.build()
+        circuit.generate_witness({"x": 255})
+        with pytest.raises(ConstraintViolation):
+            circuit.generate_witness({"x": 256})
+
+
+class TestForeignGadgets:
+    def test_gadget_counts_and_runs(self):
+        b = CircuitBuilder()
+        b.input("x")
+        seen = {}
+
+        def evaluator(ctx):
+            seen.update(ctx)
+            return ctx.get("ok", False)
+
+        b.add_gadget(ForeignGadget(name="mem", constraint_count=100, evaluator=evaluator))
+        circuit = b.build()
+        assert circuit.foreign_constraints == 100
+        assert circuit.total_constraints == circuit.field_constraints + 100
+        circuit.generate_witness({"x": 1}, context={"ok": True})
+        assert seen["ok"] is True
+        with pytest.raises(ConstraintViolation):
+            circuit.generate_witness({"x": 1}, context={"ok": False})
+
+
+class TestStructuralHash:
+    def test_same_structure_same_hash(self):
+        assert build_product_circuit().structural_hash() == build_product_circuit().structural_hash()
+
+    def test_different_structure_different_hash(self):
+        b = CircuitBuilder(label="product")
+        x = b.input("x")
+        y = b.input("y")
+        z = b.mul(x, y)
+        b.assert_eq(z, b.constant(0))
+        other = b.build()
+        assert other.structural_hash() != build_product_circuit().structural_hash()
+
+    def test_gadget_changes_hash(self):
+        b = CircuitBuilder(label="product")
+        x = b.input("x")
+        y = b.input("y")
+        b.make_public(b.mul(x, y))
+        b.add_gadget(ForeignGadget("mem", 10, lambda ctx: True))
+        assert b.build().structural_hash() != build_product_circuit().structural_hash()
+
+    def test_label_changes_hash(self):
+        b = CircuitBuilder(label="other-label")
+        x = b.input("x")
+        y = b.input("y")
+        b.make_public(b.mul(x, y))
+        assert b.build().structural_hash() != build_product_circuit().structural_hash()
+
+
+class TestFieldSemantics:
+    def test_values_reduced_mod_p(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.make_public(b.mul(x, x))
+        circuit = b.build()
+        w = circuit.generate_witness({"x": FIELD_PRIME + 3})
+        assert w[circuit.public_indices[-1]] == 9

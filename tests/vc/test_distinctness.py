@@ -1,0 +1,43 @@
+"""Tests for the in-circuit batch-disjointness check (Section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintViolation
+from repro.vc.circuit import CircuitBuilder
+
+
+def distinctness_circuit(count: int):
+    builder = CircuitBuilder(label=f"distinct{count}")
+    inputs = [builder.input(f"x{i}") for i in range(count)]
+    builder.assert_all_distinct(inputs)
+    return builder.build()
+
+
+class TestAssertAllDistinct:
+    def test_distinct_keys_prove(self):
+        circuit = distinctness_circuit(4)
+        circuit.generate_witness({f"x{i}": 100 + i for i in range(4)})
+
+    def test_duplicate_keys_cannot_prove(self):
+        circuit = distinctness_circuit(3)
+        with pytest.raises((ConstraintViolation, ZeroDivisionError)):
+            circuit.generate_witness({"x0": 5, "x1": 7, "x2": 5})
+
+    def test_constraint_count_quadratic(self):
+        # One aux + one constraint per pair.
+        assert distinctness_circuit(5).field_constraints == 10
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python_distinctness(self, values):
+        circuit = distinctness_circuit(len(values))
+        inputs = {f"x{i}": value for i, value in enumerate(values)}
+        if len(set(values)) == len(values):
+            circuit.generate_witness(inputs)
+        else:
+            with pytest.raises((ConstraintViolation, ZeroDivisionError)):
+                circuit.generate_witness(inputs)

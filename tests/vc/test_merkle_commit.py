@@ -1,0 +1,39 @@
+"""Tests for witness Merkle commitments (spot-check substrate)."""
+
+from __future__ import annotations
+
+from repro.vc.merkle_commit import WitnessCommitment
+
+
+class TestWitnessCommitment:
+    def test_open_and_verify(self):
+        commitment = WitnessCommitment([10, 20, 30, 40])
+        opening = commitment.open(2)
+        assert opening.value == 30
+        assert opening.verify(commitment.root)
+
+    def test_opening_bound_to_position(self):
+        commitment = WitnessCommitment([10, 20, 30, 40])
+        opening = commitment.open(1)
+        import dataclasses
+
+        moved = dataclasses.replace(opening, index=2)
+        assert not moved.verify(commitment.root)
+
+    def test_opening_bound_to_value(self):
+        commitment = WitnessCommitment([10, 20, 30, 40])
+        opening = commitment.open(1)
+        import dataclasses
+
+        lied = dataclasses.replace(opening, value=99)
+        assert not lied.verify(commitment.root)
+
+    def test_different_witnesses_different_roots(self):
+        a = WitnessCommitment([1, 2, 3])
+        b = WitnessCommitment([1, 2, 4])
+        assert a.root != b.root
+
+    def test_size_accounting(self):
+        commitment = WitnessCommitment(list(range(64)))
+        opening = commitment.open(5)
+        assert opening.size_bytes > 32  # value + path

@@ -1,0 +1,78 @@
+"""Tests for the Max/Min/Clamp DSL extensions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vc.compiler import CircuitCompiler
+from repro.vc.field import to_field
+from repro.vc.program import (
+    Clamp,
+    Const,
+    Emit,
+    KeyTemplate,
+    Max,
+    Min,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    WriteStmt,
+)
+
+CAPPED_DEPOSIT = Program(
+    name="capped_deposit",
+    params=("k", "amount", "cap"),
+    statements=(
+        ReadStmt("balance", KeyTemplate(("acct", Param("k")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("k"))),
+            Min(Max(ReadVal("balance"), Const(0)), Param("cap")),
+        ),
+        Emit(Max(ReadVal("balance"), Param("amount"))),
+    ),
+)
+
+
+class TestInterpreter:
+    def test_max_min_eval(self):
+        result = CAPPED_DEPOSIT.execute(
+            {"k": 1, "amount": 50, "cap": 80}, lambda key: 120
+        )
+        assert dict(result.writes) == {("acct", 1): 80}
+        assert result.outputs == (120,)
+
+    def test_clamp_sugar(self):
+        program = Program(
+            name="clamp_demo",
+            params=("x",),
+            statements=(Emit(Clamp(Param("x"), Const(10), Const(20))),),
+        )
+        assert program.execute({"x": 5}, lambda k: 0).outputs == (10,)
+        assert program.execute({"x": 15}, lambda k: 0).outputs == (15,)
+        assert program.execute({"x": 99}, lambda k: 0).outputs == (20,)
+
+
+class TestCircuitAgreement:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_capped_deposit_agrees(self, balance, amount, cap):
+        compiler = CircuitCompiler()
+        compiled = compiler.compile_program(CAPPED_DEPOSIT)
+        params = {"k": 1, "amount": amount, "cap": cap}
+        interpreted = CAPPED_DEPOSIT.execute(params, lambda key: balance)
+        binding = compiler.bind(compiled, params, {"balance": balance})
+        assert binding.write_values == tuple(
+            to_field(v) for _k, v in interpreted.writes
+        )
+        assert binding.outputs == tuple(to_field(v) for v in interpreted.outputs)
+
+    def test_minmax_constraint_cost(self):
+        compiled = CircuitCompiler().compile_program(CAPPED_DEPOSIT)
+        # Each Max/Min costs a comparison (range decompositions) + a select.
+        assert compiled.total_constraints > 100

@@ -1,0 +1,189 @@
+"""Tests for the stored-procedure DSL and transaction compiler.
+
+The central property: the interpreter and the compiled circuit agree on
+every write value and output, for random parameters and database states.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransactionError
+from repro.vc.compiler import CircuitCompiler
+from repro.vc.field import to_field
+from repro.vc.program import (
+    Add,
+    Const,
+    Emit,
+    Eq,
+    If,
+    KeyTemplate,
+    Lt,
+    Mul,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+
+def transfer_program() -> Program:
+    """A bank transfer: move `amount` from account `src` to account `dst`."""
+    return Program(
+        name="transfer",
+        params=("src", "dst", "amount"),
+        statements=(
+            ReadStmt("src_bal", KeyTemplate(("acct", Param("src")))),
+            ReadStmt("dst_bal", KeyTemplate(("acct", Param("dst")))),
+            WriteStmt(
+                KeyTemplate(("acct", Param("src"))),
+                Sub(ReadVal("src_bal"), Param("amount")),
+            ),
+            WriteStmt(
+                KeyTemplate(("acct", Param("dst"))),
+                Add(ReadVal("dst_bal"), Param("amount")),
+            ),
+            Emit(Add(ReadVal("src_bal"), ReadVal("dst_bal"))),
+        ),
+    )
+
+
+def conditional_program() -> Program:
+    """Writes max(read, param) — exercises Lt/If/Eq paths."""
+    return Program(
+        name="maxout",
+        params=("k", "threshold"),
+        statements=(
+            ReadStmt("current", KeyTemplate(("row", Param("k")))),
+            WriteStmt(
+                KeyTemplate(("row", Param("k"))),
+                If(
+                    Lt(ReadVal("current"), Param("threshold")),
+                    Param("threshold"),
+                    ReadVal("current"),
+                ),
+            ),
+            Emit(Eq(ReadVal("current"), Param("threshold"))),
+        ),
+    )
+
+
+class TestInterpreter:
+    def test_transfer_semantics(self):
+        program = transfer_program()
+        state = {("acct", 1): 100, ("acct", 2): 50}
+        result = program.execute({"src": 1, "dst": 2, "amount": 30}, state.__getitem__)
+        assert dict(result.writes) == {("acct", 1): 70, ("acct", 2): 80}
+        assert result.outputs == (150,)
+        assert [r[1] for r in result.reads] == [("acct", 1), ("acct", 2)]
+
+    def test_read_your_writes(self):
+        program = Program(
+            name="ryw",
+            params=("k",),
+            statements=(
+                WriteStmt(KeyTemplate(("t", Param("k"))), Const(42)),
+                ReadStmt("back", KeyTemplate(("t", Param("k")))),
+                Emit(ReadVal("back")),
+            ),
+        )
+        result = program.execute({"k": 7}, lambda key: 0)
+        assert result.outputs == (42,)
+
+    def test_key_resolution(self):
+        template = KeyTemplate(("stock", Param("w"), Param("i")))
+        assert template.resolve({"w": 3, "i": 9}) == ("stock", 3, 9)
+        with pytest.raises(TransactionError):
+            template.resolve({"w": 3})
+
+    def test_unknown_param_raises(self):
+        program = transfer_program()
+        with pytest.raises(TransactionError):
+            program.execute({"src": 1, "dst": 2}, lambda key: 0)
+
+    def test_read_and_write_key_lists(self):
+        program = transfer_program()
+        params = {"src": 1, "dst": 2, "amount": 30}
+        assert program.read_keys(params) == [("acct", 1), ("acct", 2)]
+        assert program.write_keys(params) == [("acct", 1), ("acct", 2)]
+
+
+class TestCompiler:
+    def test_compile_caches_templates(self):
+        compiler = CircuitCompiler()
+        a = compiler.compile_program(transfer_program())
+        b = compiler.compile_program(transfer_program())
+        assert a is b
+
+    def test_structural_signature_stable(self):
+        c1 = CircuitCompiler().compile_program(transfer_program())
+        c2 = CircuitCompiler().compile_program(transfer_program())
+        assert c1.structural_signature == c2.structural_signature
+
+    def test_different_programs_different_signature(self):
+        compiler = CircuitCompiler()
+        a = compiler.compile_program(transfer_program())
+        b = compiler.compile_program(conditional_program())
+        assert a.structural_signature != b.structural_signature
+
+    def test_binding_matches_interpreter(self):
+        program = transfer_program()
+        compiler = CircuitCompiler()
+        compiled = compiler.compile_program(program)
+        params = {"src": 1, "dst": 2, "amount": 30}
+        reads = {"src_bal": 100, "dst_bal": 50}
+        binding = compiler.bind(compiled, params, reads)
+        assert binding.write_values == (70, 80)
+        assert binding.outputs == (150,)
+
+    def test_binding_missing_read_raises(self):
+        compiler = CircuitCompiler()
+        compiled = compiler.compile_program(transfer_program())
+        with pytest.raises(TransactionError):
+            compiler.bind(compiled, {"src": 1, "dst": 2, "amount": 3}, {"src_bal": 1})
+
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transfer_agrees_with_interpreter(self, src_bal, dst_bal, amount):
+        program = transfer_program()
+        compiler = CircuitCompiler()
+        compiled = compiler.compile_program(program)
+        params = {"src": 1, "dst": 2, "amount": amount}
+        state = {("acct", 1): src_bal, ("acct", 2): dst_bal}
+        interpreted = program.execute(params, state.__getitem__)
+        binding = compiler.bind(
+            compiled, params, {"src_bal": src_bal, "dst_bal": dst_bal}
+        )
+        for (key, value), circuit_value in zip(interpreted.writes, binding.write_values):
+            assert to_field(value) == circuit_value
+        for value, circuit_value in zip(interpreted.outputs, binding.outputs):
+            assert to_field(value) == circuit_value
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_conditional_agrees_with_interpreter(self, current, threshold):
+        program = conditional_program()
+        compiler = CircuitCompiler()
+        compiled = compiler.compile_program(program)
+        params = {"k": 5, "threshold": threshold}
+        interpreted = program.execute(params, lambda key: current)
+        binding = compiler.bind(compiled, params, {"current": current})
+        assert binding.write_values == tuple(
+            to_field(v) for (_k, v) in interpreted.writes
+        )
+        assert binding.outputs == tuple(to_field(v) for v in interpreted.outputs)
+
+    def test_constraint_count_positive(self):
+        compiled = CircuitCompiler().compile_program(conditional_program())
+        assert compiled.total_constraints > 30  # comparisons dominate

@@ -1,0 +1,126 @@
+"""Tests for the Groth16 simulator and the spot-check backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintViolation, ProofError
+from repro.vc.circuit import CircuitBuilder
+from repro.vc.snark import PROOF_SIZE_BYTES, Groth16Simulator, Proof
+from repro.vc.spotcheck import SpotCheckBackend
+
+
+def square_circuit():
+    """Public statement: y is the square of private x."""
+    b = CircuitBuilder(label="square")
+    x = b.input("x", public=False)
+    y = b.mul(x, x)
+    b.make_public(y)
+    return b.build()
+
+
+class TestGroth16Simulator:
+    def test_roundtrip(self):
+        backend = Groth16Simulator()
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 7})
+        assert backend.verify(vk, public, proof)
+        assert 49 in public
+
+    def test_proof_size_matches_paper(self):
+        backend = Groth16Simulator()
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, _public = backend.prove(pk, circuit, {"x": 7})
+        assert proof.size_bytes == PROOF_SIZE_BYTES == 312
+
+    def test_tampered_public_values_rejected(self):
+        backend = Groth16Simulator()
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 7})
+        tampered = list(public)
+        tampered[-1] = 50  # claim x^2 == 50
+        assert not backend.verify(vk, tampered, proof)
+
+    def test_forged_proof_rejected(self):
+        backend = Groth16Simulator()
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        _proof, public = backend.prove(pk, circuit, {"x": 7})
+        forged = Proof(payload=b"\x00" * PROOF_SIZE_BYTES, key_id=vk.key_id)
+        assert not backend.verify(vk, public, forged)
+
+    def test_proof_does_not_transfer_across_setups(self):
+        backend = Groth16Simulator()
+        circuit = square_circuit()
+        pk1, _vk1 = backend.setup(circuit)
+        _pk2, vk2 = backend.setup(circuit)
+        proof, public = backend.prove(pk1, circuit, {"x": 7})
+        assert not backend.verify(vk2, public, proof)
+
+    def test_unsatisfied_statement_cannot_be_proven(self):
+        b = CircuitBuilder(label="always5")
+        x = b.input("x")
+        b.assert_eq(x, b.constant(5))
+        circuit = b.build()
+        backend = Groth16Simulator()
+        pk, _vk = backend.setup(circuit)
+        with pytest.raises(ConstraintViolation):
+            backend.prove(pk, circuit, {"x": 6})
+
+    def test_wrong_circuit_for_key_rejected(self):
+        backend = Groth16Simulator()
+        circuit = square_circuit()
+        pk, _vk = backend.setup(circuit)
+        b = CircuitBuilder(label="other")
+        b.input("x")
+        other = b.build()
+        with pytest.raises(ProofError):
+            backend.prove(pk, other, {"x": 1})
+
+
+class TestSpotCheckBackend:
+    def test_roundtrip(self):
+        backend = SpotCheckBackend(challenges=10)
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 9})
+        assert backend.verify(vk, public, proof, circuit=circuit)
+
+    def test_tampered_public_values_rejected(self):
+        backend = SpotCheckBackend(challenges=10)
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 9})
+        tampered = list(public)
+        tampered[-1] = 82
+        assert not backend.verify(vk, tampered, proof, circuit=circuit)
+
+    def test_tampered_opening_rejected(self):
+        import dataclasses
+
+        backend = SpotCheckBackend(challenges=10)
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 9})
+        bad_openings = list(proof.openings)
+        bad_openings[0] = dataclasses.replace(bad_openings[0], value=12345)
+        forged = dataclasses.replace(proof, openings=tuple(bad_openings))
+        assert not backend.verify(vk, public, forged, circuit=circuit)
+
+    def test_verification_requires_circuit(self):
+        backend = SpotCheckBackend(challenges=5)
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 9})
+        with pytest.raises(ProofError):
+            backend.verify(vk, public, proof, circuit=None)
+
+    def test_proof_size_grows_with_openings(self):
+        backend = SpotCheckBackend(challenges=10)
+        circuit = square_circuit()
+        pk, _vk = backend.setup(circuit)
+        proof, _public = backend.prove(pk, circuit, {"x": 9})
+        assert proof.size_bytes > PROOF_SIZE_BYTES  # the documented trade-off

@@ -1,0 +1,107 @@
+"""Statistical soundness of the spot-check backend.
+
+The spot-check argument is the one *fully real* proof system in the repo;
+these tests confirm a cheating prover who commits to a bad witness is
+caught with the expected probability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.vc.circuit import CircuitBuilder
+from repro.vc.field import FIELD_PRIME
+from repro.vc.merkle_commit import WitnessCommitment
+from repro.vc.spotcheck import SpotCheckBackend, SpotCheckProof, _challenge_indices
+
+
+def chain_circuit(length: int = 50):
+    """x_{i+1} = x_i^2 + 1 for *length* steps; the final value is public."""
+    builder = CircuitBuilder(label=f"chain{length}")
+    x = builder.input("x", public=False)
+    current = x
+    for _ in range(length):
+        squared = builder.mul(current, current)
+        current = squared + builder.constant(1)
+    builder.output(current)
+    return builder.build()
+
+
+def forge_proof(backend, circuit, proving_key, bad_witness, claimed_public):
+    """Build a spot-check proof directly from a (possibly bad) witness."""
+    commitment = WitnessCommitment(bad_witness)
+    challenged = _challenge_indices(
+        circuit.structural_hash(),
+        commitment.root,
+        claimed_public,
+        len(circuit.r1cs.constraints),
+        backend.challenges,
+    )
+    needed = set(circuit.public_indices)
+    for index in challenged:
+        constraint = circuit.r1cs.constraints[index]
+        for lc in (constraint.a, constraint.b, constraint.c):
+            needed.update(lc.terms)
+    openings = tuple(commitment.open(i) for i in sorted(needed))
+    return SpotCheckProof(
+        root=commitment.root,
+        openings=openings,
+        num_constraints=len(circuit.r1cs.constraints),
+        key_id=proving_key.key_id,
+    )
+
+
+class TestCheatingProver:
+    def test_massively_wrong_witness_always_caught(self):
+        backend = SpotCheckBackend(challenges=20)
+        circuit = chain_circuit(50)
+        pk, vk = backend.setup(circuit)
+        honest = circuit.generate_witness({"x": 3})
+        # Corrupt every intermediate wire; claim a bogus public output.
+        bad = list(honest)
+        for i in range(2, len(bad)):
+            bad[i] = (bad[i] + 7) % FIELD_PRIME
+        claimed = [bad[i] for i in circuit.public_indices]
+        proof = forge_proof(backend, circuit, pk, bad, claimed)
+        assert not backend.verify(vk, claimed, proof, circuit=circuit)
+
+    def test_single_violation_caught_with_expected_rate(self):
+        """One violated constraint out of C survives ~(1 - k/C) of the time;
+        with k = C (challenge everything) it must always be caught."""
+        circuit = chain_circuit(30)
+        num_constraints = len(circuit.r1cs.constraints)
+        backend = SpotCheckBackend(challenges=num_constraints)
+        pk, vk = backend.setup(circuit)
+        honest = circuit.generate_witness({"x": 5})
+        bad = list(honest)
+        bad[len(bad) // 2] = (bad[len(bad) // 2] + 1) % FIELD_PRIME
+        claimed = [bad[i] for i in circuit.public_indices]
+        proof = forge_proof(backend, circuit, pk, bad, claimed)
+        assert not backend.verify(vk, claimed, proof, circuit=circuit)
+
+    def test_honest_witness_with_lying_public_values_caught(self):
+        backend = SpotCheckBackend(challenges=10)
+        circuit = chain_circuit(20)
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 2})
+        lied = list(public)
+        lied[-1] = (lied[-1] + 1) % FIELD_PRIME
+        assert not backend.verify(vk, lied, proof, circuit=circuit)
+
+    def test_root_binds_witness(self):
+        backend = SpotCheckBackend(challenges=10)
+        circuit = chain_circuit(20)
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 2})
+        forged = dataclasses.replace(proof, root=hashlib.sha256(b"x").digest())
+        assert not backend.verify(vk, public, forged, circuit=circuit)
+
+    def test_challenges_are_deterministic_fiat_shamir(self):
+        circuit = chain_circuit(20)
+        args = (circuit.structural_hash(), b"r" * 32, (1, 2), 40, 10)
+        assert _challenge_indices(*args) == _challenge_indices(*args)
+        other = _challenge_indices(circuit.structural_hash(), b"s" * 32, (1, 2), 40, 10)
+        assert other != _challenge_indices(*args)

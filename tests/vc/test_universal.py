@@ -1,0 +1,86 @@
+"""Tests for the universal-setup (Plonk-style) backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintViolation, ProofError
+from repro.vc.circuit import CircuitBuilder
+from repro.vc.snark import PROOF_SIZE_BYTES
+from repro.vc.universal import PlonkSimulator
+
+
+def square_circuit(label="square"):
+    builder = CircuitBuilder(label=label)
+    x = builder.input("x", public=False)
+    builder.output(builder.mul(x, x))
+    return builder.build()
+
+
+class TestPlonkSimulator:
+    def test_roundtrip(self):
+        backend = PlonkSimulator()
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 6})
+        assert backend.verify(vk, public, proof)
+        assert 36 in public
+        assert proof.size_bytes == PROOF_SIZE_BYTES
+
+    def test_setup_is_circuit_independent(self):
+        """One ceremony serves many circuits — the Section 9 point."""
+        backend = PlonkSimulator()
+        srs1 = backend.universal_setup()
+        a = square_circuit("a")
+        b = square_circuit("b")
+        pk_a, vk_a = backend.setup(a)
+        pk_b, vk_b = backend.setup(b)
+        assert pk_a.key_id == pk_b.key_id == srs1.setup_id
+        proof_a, public_a = backend.prove(pk_a, a, {"x": 2})
+        proof_b, public_b = backend.prove(pk_b, b, {"x": 3})
+        assert backend.verify(vk_a, public_a, proof_a)
+        assert backend.verify(vk_b, public_b, proof_b)
+
+    def test_proofs_bound_to_circuit(self):
+        backend = PlonkSimulator()
+        a = square_circuit("a")
+        b = square_circuit("b")
+        pk_a, _vk_a = backend.setup(a)
+        _pk_b, vk_b = backend.setup(b)
+        proof_a, public_a = backend.prove(pk_a, a, {"x": 2})
+        # Same public values, same SRS — but the circuit hash differs.
+        assert not backend.verify(vk_b, public_a, proof_a)
+
+    def test_unsatisfied_statement_rejected(self):
+        backend = PlonkSimulator()
+        builder = CircuitBuilder(label="five")
+        x = builder.input("x")
+        builder.assert_eq(x, builder.constant(5))
+        circuit = builder.build()
+        pk, _vk = backend.setup(circuit)
+        with pytest.raises(ConstraintViolation):
+            backend.prove(pk, circuit, {"x": 6})
+
+    def test_tampered_public_values_rejected(self):
+        backend = PlonkSimulator()
+        circuit = square_circuit()
+        pk, vk = backend.setup(circuit)
+        proof, public = backend.prove(pk, circuit, {"x": 6})
+        lied = list(public)
+        lied[-1] = 37
+        assert not backend.verify(vk, lied, proof)
+
+    def test_size_bound_enforced(self):
+        backend = PlonkSimulator()
+        backend.universal_setup(max_constraints=0)
+        with pytest.raises(ProofError):
+            backend.setup(square_circuit())
+
+    def test_foreign_setup_rejected(self):
+        backend_a = PlonkSimulator()
+        backend_b = PlonkSimulator()
+        circuit = square_circuit()
+        pk_a, _ = backend_a.setup(circuit)
+        _, vk_b = backend_b.setup(circuit)
+        proof, public = backend_a.prove(pk_a, circuit, {"x": 4})
+        assert not backend_b.verify(vk_b, public, proof)

@@ -1,0 +1,129 @@
+"""Tests for the Elle-style serializability checker."""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.verify.cycles import analyze
+from repro.verify.elle import ElleChecker, history_from_execution
+from repro.verify.history import History, Observation, ObservedTxn
+
+from ..db.helpers import increment, read_only, transfer
+
+
+def txn(txn_id, appends=(), observations=()):
+    return ObservedTxn(
+        txn_id=txn_id,
+        appends=tuple(appends),
+        observations=tuple(
+            Observation(key=key, elements=tuple(elements))
+            for key, elements in observations
+        ),
+    )
+
+
+class TestAnalyze:
+    def test_empty_history_serializable(self):
+        history = History()
+        assert analyze(history).serializable
+
+    def test_serial_appends_serializable(self):
+        history = History()
+        history.add(txn(1, appends=[(("x",), 1)]))
+        history.add(txn(2, appends=[(("x",), 2)], observations=[(("x",), (1,))]))
+        history.final_lists = {("x",): (1, 2)}
+        analysis = analyze(history)
+        assert analysis.serializable
+        assert analysis.graph.has_edge(1, 2)
+
+    def test_g0_write_cycle_detected(self):
+        # T1 then T2 on x, but T2 then T1 on y: a pure write-order cycle.
+        history = History()
+        history.add(txn(1, appends=[(("x",), 1), (("y",), 4)]))
+        history.add(txn(2, appends=[(("x",), 2), (("y",), 3)]))
+        history.final_lists = {("x",): (1, 2), ("y",): (3, 4)}
+        analysis = analyze(history)
+        assert not analysis.serializable
+        assert analysis.anomalies[0].kind == "G0"
+        assert analysis.anomalies[0].txn_ids == (1, 2)
+
+    def test_g1c_read_cycle_detected(self):
+        # T1 observed T2's append; T2 observed T1's append: wr in both ways.
+        history = History()
+        history.add(
+            txn(1, appends=[(("x",), 1)], observations=[(("y",), (2,))])
+        )
+        history.add(
+            txn(2, appends=[(("y",), 2)], observations=[(("x",), (1,))])
+        )
+        history.final_lists = {("x",): (1,), ("y",): (2,)}
+        analysis = analyze(history)
+        assert not analysis.serializable
+        assert analysis.anomalies[0].kind == "G1c"
+
+    def test_rw_antidependency_edge(self):
+        # T1 read x before T2's append: T1 -> T2 (rw).
+        history = History()
+        history.add(txn(1, observations=[(("x",), ())]))
+        history.add(txn(2, appends=[(("x",), 1)]))
+        history.final_lists = {("x",): (1,)}
+        analysis = analyze(history)
+        assert analysis.graph.has_edge(1, 2)
+        assert analysis.serializable
+
+    def test_non_prefix_observation_flagged(self):
+        # Observing (2,) when the final list is (1, 2) is impossible.
+        history = History()
+        history.add(txn(1, appends=[(("x",), 1)]))
+        history.add(txn(2, appends=[(("x",), 2)], observations=[(("x",), (2,))]))
+        history.final_lists = {("x",): (1, 2)}
+        analysis = analyze(history)
+        assert not analysis.serializable
+        assert analysis.inconsistent_observations
+
+    def test_duplicate_append_flagged(self):
+        history = History()
+        history.add(txn(1, appends=[(("x",), 1)]))
+        history.add(txn(2, appends=[(("x",), 1)]))
+        history.final_lists = {("x",): (1,)}
+        analysis = analyze(history)
+        assert not analysis.serializable
+
+
+class TestHistoryFromExecution:
+    def test_dr_execution_is_serializable(self):
+        db = Database(initial={("acct", i): 50 for i in range(4)}, cc="dr",
+                      processing_batch_size=8)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 1) for i in range(1, 25)]
+        report = db.run(txns)
+        history = history_from_execution(report, txns)
+        checker = ElleChecker()
+        verdict = checker.check(history)
+        assert verdict.serializable, (verdict.anomalies, verdict.inconsistencies)
+        assert verdict.num_txns == 24
+        assert verdict.analysis_seconds >= 0
+
+    def test_2pl_execution_is_serializable(self):
+        db = Database(cc="2pl", num_threads=4)
+        txns = [increment(i, i % 3) for i in range(1, 25)]
+        report = db.run(txns)
+        history = history_from_execution(report, txns)
+        verdict = ElleChecker().check(history)
+        assert verdict.serializable
+
+    def test_mixed_readers_and_writers(self):
+        db = Database(cc="dr", processing_batch_size=4)
+        txns = []
+        for i in range(1, 13):
+            txns.append(increment(i, 1) if i % 2 else read_only(i, 1))
+        report = db.run(txns)
+        history = history_from_execution(report, txns)
+        verdict = ElleChecker().check(history)
+        assert verdict.serializable
+
+    def test_throughput_metric(self):
+        db = Database(cc="dr", processing_batch_size=16)
+        txns = [increment(i, i) for i in range(1, 40)]
+        report = db.run(txns)
+        history = history_from_execution(report, txns)
+        verdict = ElleChecker().check(history)
+        assert verdict.txns_per_second > 0

@@ -1,0 +1,130 @@
+"""Tests for the SmallBank workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer, SumInvariant
+from repro.db.database import Database
+from repro.errors import WorkloadError
+from repro.vc.compiler import CircuitCompiler
+from repro.workloads.smallbank import SMALLBANK_PROGRAMS, SmallBankWorkload
+
+
+class TestPrograms:
+    def test_all_six_types_exist_and_compile(self):
+        compiler = CircuitCompiler()
+        assert len(SMALLBANK_PROGRAMS) == 6
+        for program in SMALLBANK_PROGRAMS.values():
+            compiled = compiler.compile_program(program)
+            assert compiled.total_constraints >= 1
+
+    def test_balance_semantics(self):
+        program = SMALLBANK_PROGRAMS["balance"]
+        state = {("checking", 3): 70, ("savings", 3): 30}
+        result = program.execute({"c": 3}, state.__getitem__)
+        assert result.outputs == (100,)
+        assert result.writes == ()
+
+    def test_amalgamate_moves_everything(self):
+        program = SMALLBANK_PROGRAMS["amalgamate"]
+        state = {("checking", 1): 40, ("savings", 1): 60, ("checking", 2): 5}
+        result = program.execute({"src": 1, "dst": 2}, state.__getitem__)
+        writes = dict(result.writes)
+        assert writes[("checking", 1)] == 0
+        assert writes[("savings", 1)] == 0
+        assert writes[("checking", 2)] == 105
+
+    def test_write_check_overdraft_penalty(self):
+        program = SMALLBANK_PROGRAMS["write_check"]
+        rich = {("checking", 1): 100, ("savings", 1): 100}
+        result = program.execute({"c": 1, "amount": 50}, rich.__getitem__)
+        assert dict(result.writes)[("checking", 1)] == 50
+        assert result.outputs == (0,)  # no penalty
+        poor = {("checking", 1): 10, ("savings", 1): 5}
+        result = program.execute({"c": 1, "amount": 50}, poor.__getitem__)
+        assert dict(result.writes)[("checking", 1)] == 10 - 50 - 1
+        assert result.outputs == (1,)  # penalty charged
+
+    def test_send_payment(self):
+        program = SMALLBANK_PROGRAMS["send_payment"]
+        state = {("checking", 1): 100, ("checking", 2): 20}
+        result = program.execute({"src": 1, "dst": 2, "amount": 30}, state.__getitem__)
+        writes = dict(result.writes)
+        assert writes[("checking", 1)] == 70
+        assert writes[("checking", 2)] == 50
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = SmallBankWorkload(num_customers=50, seed=3).generate(30)
+        b = SmallBankWorkload(num_customers=50, seed=3).generate(30)
+        assert [(t.program.name, t.params) for t in a] == [
+            (t.program.name, t.params) for t in b
+        ]
+
+    def test_mix_contains_multiple_types(self):
+        txns = SmallBankWorkload(num_customers=100, seed=5).generate(200)
+        names = {t.program.name for t in txns}
+        assert len(names) >= 4
+
+    def test_two_customer_types_use_distinct_customers(self):
+        txns = SmallBankWorkload(num_customers=20, theta=1.2, seed=7).generate(200)
+        for txn in txns:
+            if "src" in txn.params and "dst" in txn.params:
+                assert txn.params["src"] != txn.params["dst"]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(WorkloadError):
+            SmallBankWorkload(num_customers=1)
+
+
+class TestEndToEnd:
+    def test_money_conserved_without_writecheck(self):
+        """Every type except WriteCheck (which burns the penalty and pays the
+        check out of the system) conserves total money."""
+        workload = SmallBankWorkload(num_customers=30, seed=9)
+        db = Database(initial=workload.initial_data(), cc="dr", processing_batch_size=16)
+        txns = [
+            t
+            for t in workload.generate(120)
+            if t.program.name in ("sb_balance", "sb_amalgamate", "sb_send_payment")
+        ]
+        db.run(txns)
+        total = sum(
+            db.get((family, c))
+            for family in ("checking", "savings")
+            for c in range(30)
+        )
+        assert total == workload.total_money()
+
+    def test_verified_smallbank_batch(self, group):
+        workload = SmallBankWorkload(num_customers=16, seed=11)
+        config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=64)
+        server = LitmusServer(
+            initial=workload.initial_data(), config=config, group=group
+        )
+        client = LitmusClient(group, server.digest, config=config)
+        txns = workload.generate(20)
+        verdict = client.verify_response(txns, server.execute_batch(txns))
+        assert verdict.accepted, verdict.reason
+
+    def test_invariant_holds_for_transfers(self, group):
+        """A sum invariant over checking+savings accepts pure transfers."""
+        workload = SmallBankWorkload(num_customers=8, seed=13)
+        invariant = SumInvariant.over("checking", "savings")
+        config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=64)
+        server = LitmusServer(
+            initial=workload.initial_data(), config=config, group=group,
+            invariants=(invariant,),
+        )
+        client = LitmusClient(
+            group, server.digest, config=config, invariants=(invariant,)
+        )
+        txns = [
+            t for t in workload.generate(40)
+            if t.program.name in ("sb_amalgamate", "sb_send_payment")
+        ][:8]
+        assert txns, "mix produced no transfer transactions"
+        verdict = client.verify_response(txns, server.execute_batch(txns))
+        assert verdict.accepted, verdict.reason

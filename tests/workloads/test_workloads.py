@@ -1,0 +1,158 @@
+"""Tests for the Zipf sampler and the YCSB / TPC-C generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.errors import WorkloadError
+from repro.vc.compiler import CircuitCompiler
+from repro.workloads.tpcc import PAYMENT_PROGRAM, TPCCWorkload, build_new_order_program
+from repro.workloads.ycsb import YCSB_PROGRAMS, YCSBWorkload
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipf:
+    def test_uniform_at_theta_zero(self):
+        sampler = ZipfSampler(100, 0.0, seed=1)
+        samples = sampler.sample(20_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts.min() > 100  # every rank appears with ~200 expected
+
+    def test_skew_increases_with_theta(self):
+        low = ZipfSampler(1000, 0.4, seed=1)
+        high = ZipfSampler(1000, 1.2, seed=1)
+        assert high.expected_top_fraction(10) > low.expected_top_fraction(10)
+
+    def test_empirical_matches_expected_mass(self):
+        sampler = ZipfSampler(500, 0.8, seed=3)
+        samples = sampler.sample(50_000)
+        empirical = (samples < 10).mean()
+        assert abs(empirical - sampler.expected_top_fraction(10)) < 0.02
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(42, 1.6, seed=5)
+        samples = sampler.sample(5000)
+        assert samples.min() >= 0
+        assert samples.max() < 42
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0, 0.5)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, -0.1)
+
+
+class TestYCSB:
+    def test_deterministic_generation(self):
+        a = YCSBWorkload(num_rows=100, seed=9).generate(20)
+        b = YCSBWorkload(num_rows=100, seed=9).generate(20)
+        assert [t.params for t in a] == [t.params for t in b]
+        assert [t.program.name for t in a] == [t.program.name for t in b]
+
+    def test_two_distinct_rows_per_txn(self):
+        txns = YCSBWorkload(num_rows=50, theta=1.2, seed=2).generate(200)
+        for txn in txns:
+            assert txn.params["k0"] != txn.params["k1"]
+
+    def test_write_ratio_respected(self):
+        txns = YCSBWorkload(num_rows=1000, write_ratio=0.5, seed=3).generate(500)
+        writes = sum(t.program.name.count("w") for t in txns)
+        assert 400 < writes < 600  # ~50% of 1000 accesses
+
+    def test_read_only_workload(self):
+        txns = YCSBWorkload(num_rows=100, write_ratio=0.0, seed=4).generate(50)
+        assert all(t.program.name == "ycsb_rr" for t in txns)
+
+    def test_templates_compile(self):
+        compiler = CircuitCompiler()
+        for program in YCSB_PROGRAMS.values():
+            compiled = compiler.compile_program(program)
+            assert compiled.total_constraints >= 2
+
+    def test_runs_on_database(self):
+        workload = YCSBWorkload(num_rows=200, seed=5)
+        db = Database(initial=workload.initial_data(), cc="dr", processing_batch_size=32)
+        report = db.run(workload.generate(100))
+        assert report.stats.committed == 100
+
+    def test_invalid_write_ratio(self):
+        with pytest.raises(WorkloadError):
+            YCSBWorkload(write_ratio=1.5)
+
+
+class TestTPCC:
+    def test_initial_data_shape(self):
+        workload = TPCCWorkload(num_warehouses=2, num_items=20)
+        data = workload.initial_data()
+        assert ("stock_qty", 0, 0) in data
+        assert ("district_next_oid", 1, 9) in data
+        assert ("customer_balance", 0, 0, 0) in data
+
+    def test_new_order_executes(self):
+        workload = TPCCWorkload(num_warehouses=2, num_items=30, order_lines=5)
+        db = Database(initial=workload.initial_data(), cc="dr", processing_batch_size=8)
+        txns = workload.generate_new_orders(10)
+        report = db.run(txns)
+        assert report.stats.committed == 10
+        # The oid consistency check (second output) must hold.
+        for result in report.results.values():
+            assert result.outputs[1] == 1
+
+    def test_payment_conserves_flow(self):
+        workload = TPCCWorkload(num_warehouses=1)
+        db = Database(initial=workload.initial_data(), cc="dr", processing_batch_size=8)
+        txns = workload.generate_payments(20)
+        db.run(txns)
+        paid = sum(t.params["amount"] for t in txns)
+        assert db.get(("warehouse_ytd", 0)) == paid
+
+    def test_stock_replenishment_rule(self):
+        program = build_new_order_program(1)
+        # Stock 12, order 5 -> 12-5=7 < 10 boundary check: 12 < 15 -> +91.
+        result = program.execute(
+            {"w": 0, "d": 0, "c": 0, "oid": 0, "i0": 3, "q0": 5},
+            {("district_next_oid", 0, 0): 0, ("item_price", 3): 10,
+             ("stock_qty", 0, 3): 12, ("stock_ytd", 0, 3): 0,
+             ("stock_order_cnt", 0, 3): 0}.__getitem__,
+        )
+        writes = dict(result.writes)
+        assert writes[("stock_qty", 0, 3)] == 12 - 5 + 91
+
+    def test_stock_normal_decrement(self):
+        program = build_new_order_program(1)
+        result = program.execute(
+            {"w": 0, "d": 0, "c": 0, "oid": 0, "i0": 3, "q0": 5},
+            {("district_next_oid", 0, 0): 0, ("item_price", 3): 10,
+             ("stock_qty", 0, 3): 80, ("stock_ytd", 0, 3): 0,
+             ("stock_order_cnt", 0, 3): 0}.__getitem__,
+        )
+        writes = dict(result.writes)
+        assert writes[("stock_qty", 0, 3)] == 75
+
+    def test_order_ids_sequential_per_district(self):
+        workload = TPCCWorkload(num_warehouses=1, districts_per_warehouse=1)
+        txns = workload.generate_new_orders(5)
+        oids = [t.params["oid"] for t in txns]
+        assert oids == [0, 1, 2, 3, 4]
+
+    def test_programs_compile(self):
+        compiler = CircuitCompiler()
+        no = compiler.compile_program(build_new_order_program(10))
+        pay = compiler.compile_program(PAYMENT_PROGRAM)
+        # New Order is much heavier than Payment ("more queries, more gates").
+        assert no.total_constraints > 50 * pay.total_constraints
+
+    def test_mix_generation(self):
+        workload = TPCCWorkload(num_warehouses=2)
+        txns = workload.generate_mix(40)
+        names = {t.program.name for t in txns}
+        assert any(name.startswith("tpcc_new_order") for name in names)
+        assert "tpcc_payment" in names
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(WorkloadError):
+            TPCCWorkload(num_warehouses=0)
+        with pytest.raises(WorkloadError):
+            build_new_order_program(0)
