@@ -26,6 +26,10 @@ class LitmusConfig:
     prime_bits: int = 64  # AD prime size (lambda); tests use 64 for speed
     backend: str = "groth16"  # "groth16" (simulator) or "spotcheck" (real argument)
     use_poe: bool = True  # compress big-exponent checks with PoE
+    # Run trusted setup once per circuit *structure* and reuse the key pair
+    # for every piece with the same structural hash (sound: proofs commit to
+    # their own public statement).  Disable for ablation.
+    reuse_proving_keys: bool = True
     table_doublings: float = 0.0  # log2(table size / 10 GB) for the Fig 9 model
     # Gate count of one MemCheck/MemUpdate gadget.  Part of the circuit
     # *structure* (client and server must agree), hence configuration rather

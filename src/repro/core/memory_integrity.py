@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..crypto.authdict import AuthenticatedDictionary, LookupProof, NonMembershipProof
+from ..crypto.cache import prime_cache_stats
 from ..crypto.poe import PoEProof
 from ..crypto.rsa_group import RSAGroup
 from ..db.kvstore import INITIAL_VALUE
@@ -102,6 +103,28 @@ class MemoryIntegrityProvider:
 
     def current_value(self, key: tuple) -> int:
         return self._ad.get(key, INITIAL_VALUE)
+
+    def certify_unit(
+        self,
+        reads: Mapping[tuple, int] | None,
+        writes: Mapping[tuple, int] | None,
+    ) -> tuple[ReadCertificate | None, WriteCertificate | None]:
+        """Certify one schedule unit: reads against the current digest, then
+        the digest roll-forward over its writes.
+
+        This is the serial stage of the prover pipeline — certificates must
+        be minted in schedule order because each one chains off the previous
+        digest — so it stays on the dispatcher thread while earlier pieces
+        prove concurrently.
+        """
+        read_cert = self.certify_reads(dict(reads)) if reads else None
+        write_cert = self.apply_writes(dict(writes)) if writes else None
+        return read_cert, write_cert
+
+    @staticmethod
+    def cache_stats() -> dict:
+        """Hit/miss counters of the crypto hot-path caches feeding the AD."""
+        return prime_cache_stats()
 
     def certify_reads(self, reads: Mapping[tuple, int]) -> ReadCertificate:
         """Prove that each key in *reads* currently has the given value.

@@ -1,23 +1,31 @@
-"""The Litmus server (Algorithm 4) with prover pipelining (Section 7.2).
+"""The Litmus server (Algorithm 4) with a real prover pipeline (Section 7.2).
 
 Per verification batch the server:
 
 1. runs the normal DBMS (2PL or deterministic reservation), collecting
    runtime traces and the schedule of units;
 2. feeds the schedule through the memory-integrity provider *in serial
-   order*, minting aggregated read/write certificates against the digest
-   chain;
-3. groups units into circuit pieces (``batches_per_piece`` per Fig 2),
-   builds each piece's wrapped circuit, replays it honestly, and proves it
-   with the configured VC backend;
-4. models the wall-clock of the whole pipeline with the calibrated cost
-   model and the prover makespan scheduler.
+   order* — certificates chain off the digest, so this stage cannot be
+   parallelized — minting aggregated read/write certificates;
+3. groups units into circuit pieces (``batches_per_piece`` per Fig 2) as
+   they are certified; each completed piece's circuit is built on the
+   dispatcher thread and its prover job (honest replay → witness → trusted
+   setup → prove) is handed to a pool of ``config.num_provers`` worker
+   threads, so earlier pieces prove **concurrently** while later pieces are
+   still being certified;
+4. collects piece results in piece order (the response is identical to a
+   serial run — only wall-clock changes), and reports both the calibrated
+   cost-model timing *and* the measured wall-clock per stage.
 
-Everything cryptographic is real; only elapsed time is virtual.
+Everything cryptographic is real; the modeled columns of the timing report
+are virtual, the ``measured_*`` columns are actual elapsed seconds.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from ..db.database import Database
@@ -26,18 +34,19 @@ from ..crypto.rsa_group import RSAGroup
 from ..errors import ReproError
 from ..sim.costmodel import CostModel
 from ..sim.scheduler import ProverTask, schedule_tasks
+from ..vc.circuit import Circuit
 from ..vc.compiler import CircuitCompiler
-from ..vc.snark import Groth16Simulator
+from ..vc.snark import Groth16Simulator, SetupCache
 from ..vc.spotcheck import SpotCheckBackend
 from .config import LitmusConfig
 from .memory_integrity import MemoryIntegrityProvider
 from .protocol import PieceResult, ServerResponse, TimingReport
 from .wrapper import (
     CTX_OUTCOME,
+    ReplayOutcome,
     WrappedPiece,
     WrappedUnit,
     build_wrapped_circuit,
-    piece_constraints,
     replay_piece,
     statement_hash,
 )
@@ -51,6 +60,22 @@ def _make_backend(name: str):
     if name == "spotcheck":
         return SpotCheckBackend()
     raise ReproError(f"unknown backend {name!r}")
+
+
+@dataclass(frozen=True)
+class _PieceProof:
+    """Everything one prover worker produces for one circuit piece."""
+
+    circuit: Circuit
+    outcome: ReplayOutcome
+    verification_key: object
+    proof: object
+    public_values: tuple[int, ...]
+    constraints: int
+    replay_seconds: float
+    setup_seconds: float
+    prove_seconds: float
+    finished_at: float  # perf_counter timestamp of job completion
 
 
 class LitmusServer:
@@ -80,15 +105,27 @@ class LitmusServer:
         )
         self.compiler = CircuitCompiler()
         self.backend = _make_backend(self.config.backend)
+        # One trusted setup per circuit structure, reused across pieces (and
+        # batches) when enabled; the cache survives the server's lifetime.
+        self._setup = (
+            SetupCache(self.backend) if self.config.reuse_proving_keys else self.backend
+        )
         self.cost_model = cost_model
         self.invariants = tuple(invariants)
         # Exposed so the client can fetch circuits for spot-check verification.
         self.last_circuits: dict[int, object] = {}
+        # Cost model recalibrated from the last batch's measured wall-clock
+        # (None until a batch ran); lets benchmarks report modeled vs real.
+        self.measured_cost_model: CostModel | None = None
 
     @property
     def digest(self) -> int:
         """The server's view of the current database digest."""
         return self.provider.digest
+
+    @property
+    def setup_cache_hits(self) -> int:
+        return getattr(self._setup, "hits", 0)
 
     # -- the main entry point (MSG_TXN handler) ---------------------------------
 
@@ -99,30 +136,12 @@ class LitmusServer:
         if len(txns_by_id) != len(txns):
             raise ReproError("duplicate transaction ids in the batch")
 
+        wall_start = perf_counter()
         initial_digest = self.provider.digest
         report = self.db.run(txns)
+        measured_db = perf_counter() - wall_start
 
-        # Certify the schedule against the digest chain, unit by unit.
-        wrapped_units: list[WrappedUnit] = []
-        for unit in report.schedule:
-            read_cert = (
-                self.provider.certify_reads(dict(unit.reads)) if unit.reads else None
-            )
-            write_cert = (
-                self.provider.apply_writes(dict(unit.writes)) if unit.writes else None
-            )
-            wrapped_units.append(
-                WrappedUnit(unit=unit, read_certificate=read_cert, write_certificate=write_cert)
-            )
-
-        # Group units into circuit pieces and prove each one.
-        pieces = self._make_pieces(wrapped_units, initial_digest)
         cost_model = self._resolve_cost_model()
-        piece_results: list[PieceResult] = []
-        self.last_circuits.clear()
-        total_constraints = 0
-        prover_tasks: list[ProverTask] = []
-        release = 0.0
         db_seconds = cost_model.db_seconds(
             len(txns), self.config.cc, contention_factor=self._contention_factor(report)
         )
@@ -130,48 +149,88 @@ class LitmusServer:
             report.stats.reads + report.stats.writes,
             table_doublings=self.config.table_doublings,
         )
-        serial_per_piece = (db_seconds + trace_seconds) / max(1, len(pieces))
+        size = self.config.batches_per_piece
+        num_pieces = max(1, -(-len(report.schedule) // size))
+        serial_per_piece = (db_seconds + trace_seconds) / num_pieces
 
-        for piece in pieces:
-            circuit = build_wrapped_circuit(
-                piece,
-                txns_by_id,
-                self.compiler,
-                self.group,
-                self.config.prime_bits,
-                self.config.memcheck_constraints,
-                aggregated=self.config.aggregation_enabled,
-                invariants=self.invariants,
-            )
-            outcome = replay_piece(
-                piece,
-                txns_by_id,
-                self.compiler,
-                self.group,
-                self.config.prime_bits,
-                invariants=self.invariants,
-            )
-            claimed = statement_hash(
-                piece.piece_index,
-                piece.start_digest,
-                outcome.end_digest,
-                outcome.all_commit,
-                outcome.outputs,
-            )
-            proving_key, verification_key = self.backend.setup(circuit)
-            context = {CTX_OUTCOME: outcome, "claimed_statement": claimed}
-            proof, public_values = self.backend.prove(
-                proving_key,
-                circuit,
-                {"statement_lo": claimed[0], "statement_hi": claimed[1]},
-                context,
-            )
-            constraints = circuit.total_constraints
-            total_constraints += constraints
+        # -- the pipeline: serial certification feeding concurrent provers --
+        pieces: list[WrappedPiece] = []
+        futures: list[Future] = []
+        certify_seconds = 0.0
+        circuit_seconds = 0.0
+        dispatch_start: float | None = None
+        start_digest = initial_digest
+        buffer: list[WrappedUnit] = []
+
+        with ThreadPoolExecutor(
+            max_workers=self.config.num_provers, thread_name_prefix="litmus-prover"
+        ) as pool:
+
+            def flush_piece() -> None:
+                nonlocal start_digest, circuit_seconds, dispatch_start
+                chunk = tuple(buffer)
+                buffer.clear()
+                piece = WrappedPiece(
+                    piece_index=len(pieces), units=chunk, start_digest=start_digest
+                )
+                pieces.append(piece)
+                start_digest = _chunk_end_digest(chunk, start_digest)
+                begin = perf_counter()
+                circuit = build_wrapped_circuit(
+                    piece,
+                    txns_by_id,
+                    self.compiler,
+                    self.group,
+                    self.config.prime_bits,
+                    self.config.memcheck_constraints,
+                    aggregated=self.config.aggregation_enabled,
+                    invariants=self.invariants,
+                )
+                circuit_seconds += perf_counter() - begin
+                if dispatch_start is None:
+                    dispatch_start = perf_counter()
+                futures.append(
+                    pool.submit(self._prove_piece, piece, circuit, txns_by_id)
+                )
+
+            for unit in report.schedule:
+                begin = perf_counter()
+                read_cert, write_cert = self.provider.certify_unit(
+                    dict(unit.reads) if unit.reads else None,
+                    dict(unit.writes) if unit.writes else None,
+                )
+                certify_seconds += perf_counter() - begin
+                buffer.append(
+                    WrappedUnit(
+                        unit=unit,
+                        read_certificate=read_cert,
+                        write_certificate=write_cert,
+                    )
+                )
+                if len(buffer) == size:
+                    flush_piece()
+            if buffer:
+                flush_piece()
+
+            # Collect in piece order; worker exceptions re-raise here.
+            results: list[_PieceProof] = [future.result() for future in futures]
+
+        prove_wall = 0.0
+        if results and dispatch_start is not None:
+            prove_wall = max(r.finished_at for r in results) - dispatch_start
+
+        # -- assemble the response (identical to a serial run) ---------------
+        piece_results: list[PieceResult] = []
+        prover_tasks: list[ProverTask] = []
+        self.last_circuits.clear()
+        total_constraints = 0
+        release = 0.0
+        for piece, result in zip(pieces, results):
+            total_constraints += result.constraints
             release += serial_per_piece
             prover_tasks.append(
                 ProverTask(
-                    cost_seconds=cost_model.piece_seconds(constraints),
+                    cost_seconds=cost_model.piece_seconds(result.constraints),
                     release_seconds=release,
                     txn_count=len(piece.txn_ids()),
                 )
@@ -182,21 +241,40 @@ class LitmusServer:
                     txn_ids=piece.txn_ids(),
                     unit_txn_ids=tuple(w.unit.txn_ids for w in piece.units),
                     start_digest=piece.start_digest,
-                    end_digest=outcome.end_digest,
-                    all_commit=outcome.all_commit,
-                    outputs=outcome.outputs,
-                    public_values=tuple(public_values),
-                    proof=proof,
-                    verification_key=verification_key,
-                    circuit_signature=circuit.structural_hash(),
-                    constraints=constraints,
+                    end_digest=result.outcome.end_digest,
+                    all_commit=result.outcome.all_commit,
+                    outputs=result.outcome.outputs,
+                    public_values=result.public_values,
+                    proof=result.proof,
+                    verification_key=result.verification_key,
+                    circuit_signature=result.circuit.structural_hash(),
+                    constraints=result.constraints,
                 )
             )
-            self.last_circuits[piece.piece_index] = (circuit, verification_key)
+            self.last_circuits[piece.piece_index] = (
+                result.circuit,
+                result.verification_key,
+            )
 
         timing = self._timing(
-            cost_model, len(txns), db_seconds, trace_seconds, total_constraints, prover_tasks
+            cost_model,
+            len(txns),
+            db_seconds,
+            trace_seconds,
+            total_constraints,
+            prover_tasks,
+            measured=dict(
+                measured_db_seconds=measured_db,
+                measured_certify_seconds=certify_seconds,
+                measured_circuit_seconds=circuit_seconds,
+                measured_replay_seconds=sum(r.replay_seconds for r in results),
+                measured_setup_seconds=sum(r.setup_seconds for r in results),
+                measured_prove_seconds=sum(r.prove_seconds for r in results),
+                measured_prove_wall_seconds=prove_wall,
+                measured_total_seconds=perf_counter() - wall_start,
+            ),
         )
+        self.measured_cost_model = cost_model.recalibrated_from_measured(timing)
         return ServerResponse(
             pieces=tuple(piece_results),
             initial_digest=initial_digest,
@@ -205,11 +283,68 @@ class LitmusServer:
             stats=report.stats,
         )
 
+    # -- the prover worker (runs on the pool) -----------------------------------
+
+    def _prove_piece(
+        self,
+        piece: WrappedPiece,
+        circuit: Circuit,
+        txns_by_id: Mapping[int, Transaction],
+    ) -> _PieceProof:
+        """One piece's prover job: replay honestly, set up, prove.
+
+        Runs concurrently with certification of later pieces and with other
+        pieces' jobs.  Everything here is a pure function of the piece (its
+        certificates carry their own digest chain segment), so execution
+        order across workers cannot change any output.
+        """
+        t0 = perf_counter()
+        outcome = replay_piece(
+            piece,
+            txns_by_id,
+            self.compiler,
+            self.group,
+            self.config.prime_bits,
+            invariants=self.invariants,
+        )
+        t1 = perf_counter()
+        claimed = statement_hash(
+            piece.piece_index,
+            piece.start_digest,
+            outcome.end_digest,
+            outcome.all_commit,
+            outcome.outputs,
+        )
+        proving_key, verification_key = self._setup.setup(circuit)
+        t2 = perf_counter()
+        context = {CTX_OUTCOME: outcome, "claimed_statement": claimed}
+        proof, public_values = self.backend.prove(
+            proving_key,
+            circuit,
+            {"statement_lo": claimed[0], "statement_hi": claimed[1]},
+            context,
+        )
+        t3 = perf_counter()
+        return _PieceProof(
+            circuit=circuit,
+            outcome=outcome,
+            verification_key=verification_key,
+            proof=proof,
+            public_values=tuple(public_values),
+            constraints=circuit.total_constraints,
+            replay_seconds=t1 - t0,
+            setup_seconds=t2 - t1,
+            prove_seconds=t3 - t2,
+            finished_at=t3,
+        )
+
     # -- helpers ---------------------------------------------------------------
 
     def _make_pieces(
         self, wrapped_units: list[WrappedUnit], initial_digest: int
     ) -> list[WrappedPiece]:
+        """Group certified units into pieces (kept for tests/tools; the
+        pipeline builds pieces incrementally with the same chaining rule)."""
         pieces: list[WrappedPiece] = []
         start_digest = initial_digest
         size = self.config.batches_per_piece
@@ -220,14 +355,7 @@ class LitmusServer:
                     piece_index=len(pieces), units=chunk, start_digest=start_digest
                 )
             )
-            last = chunk[-1]
-            if last.write_certificate is not None:
-                start_digest = last.write_certificate.new_digest
-            else:
-                for wrapped in reversed(chunk):
-                    if wrapped.write_certificate is not None:
-                        start_digest = wrapped.write_certificate.new_digest
-                        break
+            start_digest = _chunk_end_digest(chunk, start_digest)
         return pieces
 
     def _contention_factor(self, report) -> float:
@@ -257,6 +385,7 @@ class LitmusServer:
         trace_seconds: float,
         total_constraints: int,
         prover_tasks: list[ProverTask],
+        measured: Mapping[str, float] | None = None,
     ) -> TimingReport:
         keygen_total = total_constraints * cost_model.keygen_per_constraint
         prove_total = total_constraints * cost_model.prove_per_constraint
@@ -276,6 +405,21 @@ class LitmusServer:
             mean_latency_seconds=mean_completion + cost_model.verify_seconds,
             num_txns=num_txns,
             total_constraints=total_constraints,
+            num_pieces=len(prover_tasks),
             proof_bytes=cost_model.proof_bytes_per_prover
             * min(self.config.num_provers, max(1, len(prover_tasks))),
+            **(measured or {}),
         )
+
+
+def _chunk_end_digest(chunk: tuple[WrappedUnit, ...], start_digest: int) -> int:
+    """The digest after a chunk: that of its last write, else unchanged.
+
+    A single reverse scan covers every case — including an all-read chunk,
+    which leaves the digest where it started (the dead-branch bug fixed in
+    this revision special-cased the final unit for no reason).
+    """
+    for wrapped in reversed(chunk):
+        if wrapped.write_certificate is not None:
+            return wrapped.write_certificate.new_digest
+    return start_digest

@@ -248,8 +248,15 @@ def build_wrapped_circuit(
     The single "replay" gadget evaluates Algorithm 3 for real (certificates
     come from the proving context) and asserts that the resulting statement
     hash equals the circuit's public inputs.
+
+    The label deliberately excludes the piece index: pieces with the same
+    template/unit composition share one structure, so trusted setup can be
+    run once per structure and its key pair reused
+    (:class:`repro.vc.snark.SetupCache`).  The piece index remains bound to
+    every proof through the public statement hash, so sharing a key never
+    lets one piece's proof stand in for another's.
     """
-    label_parts = [f"wrapped-piece:{piece.piece_index}"]
+    label_parts = ["wrapped-piece"]
     if invariants:
         names = ",".join(sorted(inv.name for inv in invariants))
         label_parts.append(f"{{inv:{names}}}")

@@ -14,11 +14,22 @@ This package provides every primitive the paper's design relies on:
 - the weakly-binding authenticated dictionary of Section 5.3
   (:mod:`repro.crypto.authdict`);
 - a Merkle-tree authenticated store used as the folklore baseline
-  (:mod:`repro.crypto.merkle`).
+  (:mod:`repro.crypto.merkle`);
+- thread-safe hot-path memoization (prime sampling, Pocklington chains,
+  pair representatives) and product-tree exponent helpers
+  (:mod:`repro.crypto.cache`).
 """
 
 from .accumulator import RSAAccumulator
 from .authdict import AuthenticatedDictionary, LookupProof, NonMembershipProof
+from .cache import (
+    LRUCache,
+    bump_prime_cache_epoch,
+    clear_prime_caches,
+    prime_cache_stats,
+    prime_product,
+    product_tree,
+)
 from .categorization import (
     CATEGORY_KEY,
     CATEGORY_RELATION,
@@ -37,6 +48,7 @@ __all__ = [
     "CATEGORY_KEY",
     "CATEGORY_RELATION",
     "CATEGORY_VALUE",
+    "LRUCache",
     "LookupProof",
     "MerkleTree",
     "MultisetHash",
@@ -46,6 +58,11 @@ __all__ = [
     "RSAGroup",
     "bezout",
     "build_certified_prime",
+    "bump_prime_cache_epoch",
+    "clear_prime_caches",
+    "prime_cache_stats",
+    "prime_product",
+    "product_tree",
     "prove_exponentiation",
     "sample_category_prime",
     "verify_category",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..errors import CryptoError, ProofError
+from .cache import prime_product
 from .poe import PoEProof, prove_exponentiation, verify_exponentiation
 from .rsa_group import RSAGroup, bezout
 
@@ -77,25 +78,24 @@ class RSAAccumulator:
     # -- membership ------------------------------------------------------------
 
     def membership_witness(self, primes: Iterable[int]) -> int:
-        """Aggregated witness for all *primes* at once: ``g^(S / prod)``."""
-        remaining = self._product
-        total = 1
-        for prime in primes:
-            if remaining % prime != 0:
-                raise CryptoError(f"prime {prime} is not in the accumulator")
-            remaining //= prime
-            total *= prime
-        return self.group.power(self.group.generator, remaining)
+        """Aggregated witness for all *primes* at once: ``g^(S / prod)``.
+
+        The queried primes are multiplied with a product tree and divided
+        out of ``S`` in one step — one big division instead of one per
+        element (with multiplicity respected: a prime queried twice must be
+        accumulated at least twice).
+        """
+        total = prime_product(primes)
+        if total < 1 or self._product % total != 0:
+            raise CryptoError("a queried prime is not in the accumulator")
+        return self.group.power(self.group.generator, self._product // total)
 
     @staticmethod
     def verify_membership(
         group: RSAGroup, digest: int, primes: Iterable[int], witness: int
     ) -> bool:
         """Check ``witness^(prod primes) == digest`` — one proof, many elements."""
-        exponent = 1
-        for prime in primes:
-            exponent *= prime
-        return group.power(witness, exponent) == digest % group.modulus
+        return group.power(witness, prime_product(primes)) == digest % group.modulus
 
     # -- non-membership ---------------------------------------------------------
 
@@ -132,9 +132,7 @@ class RSAAccumulator:
         """
         prime_list = list(primes)
         witness = self.membership_witness(prime_list)
-        exponent = 1
-        for prime in prime_list:
-            exponent *= prime
+        exponent = prime_product(prime_list)
         result, proof = prove_exponentiation(self.group, witness, exponent)
         if result != self._value:
             raise ProofError("internal error: PoE result disagrees with digest")

@@ -24,6 +24,7 @@ from typing import Iterable, Mapping
 
 from ..errors import CryptoError, ProofError
 from ..serialization import encode
+from .cache import cached_key_prime, cached_pair_representative, prime_product
 from .categorization import (
     CATEGORY_KEY,
     CATEGORY_RELATION,
@@ -99,12 +100,23 @@ class AuthenticatedDictionary:
                 self._insert(key, value)
 
     # -- internal helpers ---------------------------------------------------
+    #
+    # Both samplers go through the crypto hot-path memo (keyed by key, value
+    # and the global cache epoch): every batch that re-touches a pair would
+    # otherwise re-run three hash-to-prime searches per access.
 
     def _h(self, key: object, value: object) -> int:
-        return pair_representative(key, value, self.prime_bits)
+        return cached_pair_representative(
+            key,
+            value,
+            self.prime_bits,
+            lambda: pair_representative(key, value, self.prime_bits),
+        )
 
     def _kp(self, key: object) -> int:
-        return key_prime(key, self.prime_bits)
+        return cached_key_prime(
+            key, self.prime_bits, lambda: key_prime(key, self.prime_bits)
+        )
 
     def _insert(self, key: object, value: object) -> None:
         h = self._h(key, value)
@@ -146,9 +158,10 @@ class AuthenticatedDictionary:
         prime_bits: int = DEFAULT_PRIME_BITS,
     ) -> int:
         """``Commit(pk, D)``: digest of a dictionary from scratch."""
-        exponent = 1
-        for key, value in contents.items():
-            exponent *= pair_representative(key, value, prime_bits)
+        exponent = prime_product(
+            pair_representative(key, value, prime_bits)
+            for key, value in contents.items()
+        )
         return group.power(group.generator, exponent)
 
     # -- ProveLookup / VerLookup ---------------------------------------------------
@@ -172,9 +185,9 @@ class AuthenticatedDictionary:
         proof: LookupProof,
     ) -> bool:
         """``VerLookup``: check ``witness^(prod H(k,v)) == digest``."""
-        exponent = 1
-        for key, value in pairs.items():
-            exponent *= self._h(key, value)
+        exponent = prime_product(
+            self._h(key, value) for key, value in pairs.items()
+        )
         return self.group.power(proof.witness, exponent) == digest % self.group.modulus
 
     # -- PoE-compressed lookup path (Section 6.1.1) -------------------------------
@@ -191,9 +204,9 @@ class AuthenticatedDictionary:
         """
         key_list = list(keys)
         proof = self.prove_lookup(key_list)
-        exponent = 1
-        for key in key_list:
-            exponent *= self._h(key, self._store[key])
+        exponent = prime_product(
+            self._h(key, self._store[key]) for key in key_list
+        )
         result, poe = prove_exponentiation(self.group, proof.witness, exponent)
         if result != self._digest:
             raise ProofError("internal error: PoE result disagrees with digest")
@@ -207,9 +220,9 @@ class AuthenticatedDictionary:
         poe: PoEProof,
     ) -> bool:
         """Constant-work ``VerLookup`` via the Wesolowski proof."""
-        exponent = 1
-        for key, value in pairs.items():
-            exponent *= self._h(key, value)
+        exponent = prime_product(
+            self._h(key, value) for key, value in pairs.items()
+        )
         return verify_exponentiation(self.group, proof.witness, exponent, digest, poe)
 
     # -- Update -----------------------------------------------------------------
@@ -231,12 +244,12 @@ class AuthenticatedDictionary:
         for key in existing:
             h_old = self._h(key, self._store[key])
             self._product //= h_old
-        roll_forward = 1
+        new_representatives = []
         for key, value in changes.items():
-            h_new = self._h(key, value)
-            self._product *= h_new
-            roll_forward *= h_new
+            new_representatives.append(self._h(key, value))
             self._store[key] = value
+        roll_forward = prime_product(new_representatives)
+        self._product *= roll_forward
         # d' = pi^(prod H(k, v_new)): the witness excludes exactly the old
         # pairs of the changed keys, so raising it by the new pairs lands on
         # g^S' without touching the rest of the dictionary.
@@ -249,20 +262,21 @@ class AuthenticatedDictionary:
         new_pairs: Mapping[object, object],
     ) -> int:
         """Client-side digest roll-forward: ``d' = witness^(prod H(k, v_new))``."""
-        exponent = 1
-        for key, value in new_pairs.items():
-            exponent *= self._h(key, value)
+        exponent = prime_product(
+            self._h(key, value) for key, value in new_pairs.items()
+        )
         return self.group.power(proof.witness, exponent)
 
     # -- ProveNoKey / VerNoKey ------------------------------------------------------
 
     def prove_no_key(self, keys: Iterable[object]) -> NonMembershipProof:
         """Prove that none of *keys* has ever been written."""
-        exponent = 1
+        primes = []
         for key in keys:
             if key in self._store:
                 raise CryptoError(f"key {key!r} exists; cannot prove non-membership")
-            exponent *= self._kp(key)
+            primes.append(self._kp(key))
+        exponent = prime_product(primes)
         a, b, g = bezout(self._product, exponent)
         if g != 1:
             raise ProofError("gcd(S, key primes) != 1: state corrupt or key present")
@@ -275,9 +289,7 @@ class AuthenticatedDictionary:
         proof: NonMembershipProof,
     ) -> bool:
         """``VerNoKey``: check ``digest^a * g^(b * prod key primes) == g``."""
-        exponent = 1
-        for key in keys:
-            exponent *= self._kp(key)
+        exponent = prime_product(self._kp(key) for key in keys)
         lhs = self.group.mul(
             self.group.power(digest, proof.a),
             self.group.power(self.group.generator, proof.b * exponent),

@@ -1,0 +1,244 @@
+"""Crypto hot-path caches (prover pipelining support, Section 7.2).
+
+Every verification batch pays for the same expensive derivations over and
+over: ``hash_to_prime`` for each (key, value) pair the batch touches,
+Pocklington certificate chains for circuit-facing primes, and linear-time
+products of many primes inside witness/verification exponents.  All of them
+are *pure* functions of their inputs, so the server (and the honest replay
+running inside every prover worker) can memoize them:
+
+- :class:`LRUCache` — a small thread-safe LRU map with hit/miss statistics;
+  the prover pool hits these caches from many threads at once, so every
+  cache in this module takes a lock around its bookkeeping;
+- :func:`cached_hash_to_prime` / :func:`cached_certified_prime` — memoized
+  prime sampling and Pocklington chains, keyed by the deterministic seed
+  plus a global *epoch* (bump the epoch to invalidate, e.g. when a test
+  rebinds the security parameter);
+- :func:`cached_pair_representative` / :func:`cached_key_prime` — the
+  authenticated dictionary's ``H(k, v)`` products keyed by
+  ``(key, value, epoch)``;
+- :func:`product_tree` / :func:`prime_product` — balanced product trees for
+  the multi-prime exponents of aggregated witnesses, turning the quadratic
+  big-int cost of a left-to-right fold into the classic
+  ``O(M(n) log n)`` product tree.
+
+The caches never change *what* is computed — every entry is a deterministic
+function of its key — so cached and uncached runs produce byte-identical
+certificates, digests, and proofs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..serialization import encode
+from .pocklington import PocklingtonCertificate, build_certified_prime
+from .primes import hash_to_prime
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "product_tree",
+    "prime_product",
+    "cached_hash_to_prime",
+    "cached_certified_prime",
+    "cached_pair_representative",
+    "cached_key_prime",
+    "prime_cache_epoch",
+    "bump_prime_cache_epoch",
+    "clear_prime_caches",
+    "prime_cache_stats",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters exposed to the benchmarks and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used map.
+
+    ``functools.lru_cache`` is almost what we need, but it cannot be
+    invalidated by key-space epoch, offers no eviction statistics, and hides
+    its lock.  This explicit version is shared by every crypto hot path.
+    """
+
+    def __init__(self, maxsize: int = 4096, name: str = ""):
+        if maxsize < 1:
+            raise ValueError("cache size must be positive")
+        self.maxsize = maxsize
+        self.name = name
+        self.stats = CacheStats()
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]) -> object:
+        """Return the cached value for *key*, computing (and storing) on miss.
+
+        The computation runs outside the lock: concurrent misses on the same
+        key may compute twice, but the functions cached here are pure, so
+        both threads arrive at the same value and correctness is unaffected.
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return self._data[key]
+            self.stats.misses += 1
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+# -- product trees ------------------------------------------------------------
+
+
+def product_tree(values: Sequence[int]) -> int:
+    """Product of *values* via a balanced tree.
+
+    Pairing similarly-sized factors keeps both operands of every big-int
+    multiplication balanced, which is asymptotically (and practically, for
+    the hundreds of 64-to-128-bit primes an aggregated witness multiplies)
+    faster than folding a huge accumulator against one small prime at a
+    time.
+    """
+    leaves = list(values)
+    if not leaves:
+        return 1
+    while len(leaves) > 1:
+        paired = [
+            leaves[i] * leaves[i + 1] for i in range(0, len(leaves) - 1, 2)
+        ]
+        if len(leaves) % 2:
+            paired.append(leaves[-1])
+        leaves = paired
+    return leaves[0]
+
+
+def prime_product(primes: Iterable[int]) -> int:
+    """The exponent product of an aggregated witness (product-tree backed)."""
+    return product_tree(list(primes))
+
+
+# -- epoch-keyed memoization of the prime samplers -----------------------------
+
+_EPOCH = 0
+_EPOCH_LOCK = threading.Lock()
+
+_HASH_TO_PRIME_CACHE = LRUCache(maxsize=1 << 16, name="hash_to_prime")
+_CERTIFIED_PRIME_CACHE = LRUCache(maxsize=1 << 12, name="pocklington")
+_PAIR_CACHE = LRUCache(maxsize=1 << 16, name="pair_representative")
+_KEY_PRIME_CACHE = LRUCache(maxsize=1 << 16, name="key_prime")
+
+_ALL_CACHES = (
+    _HASH_TO_PRIME_CACHE,
+    _CERTIFIED_PRIME_CACHE,
+    _PAIR_CACHE,
+    _KEY_PRIME_CACHE,
+)
+
+
+def prime_cache_epoch() -> int:
+    return _EPOCH
+
+
+def bump_prime_cache_epoch() -> int:
+    """Invalidate every memoized prime by moving to a fresh key epoch."""
+    global _EPOCH
+    with _EPOCH_LOCK:
+        _EPOCH += 1
+        return _EPOCH
+
+
+def clear_prime_caches() -> None:
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
+def prime_cache_stats() -> dict[str, dict[str, int | float]]:
+    return {cache.name: cache.stats.as_dict() for cache in _ALL_CACHES}
+
+
+def cached_hash_to_prime(
+    seed: bytes, bits: int, residue: int | None = None, modulus: int = 8
+) -> int:
+    """Memoized :func:`repro.crypto.primes.hash_to_prime`."""
+    key = (_EPOCH, seed, bits, residue, modulus)
+    return _HASH_TO_PRIME_CACHE.get_or_compute(
+        key, lambda: hash_to_prime(seed, bits, residue=residue, modulus=modulus)
+    )
+
+
+def cached_certified_prime(
+    bits: int, seed: bytes, residue: int | None = None
+) -> PocklingtonCertificate:
+    """Memoized Pocklington chain for circuit-facing primes.
+
+    Building a chain is several orders of magnitude more expensive than
+    plain ``hash_to_prime`` (hundreds of Miller–Rabin rounds across the
+    boosting steps), and the same (key, value) pair recurs in every batch
+    that touches it — the single most profitable memo in the pipeline.
+    """
+    key = (_EPOCH, bits, seed, residue)
+    return _CERTIFIED_PRIME_CACHE.get_or_compute(
+        key, lambda: build_certified_prime(bits, seed, residue=residue)
+    )
+
+
+def cached_pair_representative(
+    key: object,
+    value: object,
+    bits: int,
+    compute: Callable[[], int],
+) -> int:
+    """Memoized ``H(k, v)`` keyed by ``(key, value, epoch)``.
+
+    The caller supplies *compute* (the uncached sampler) so this module does
+    not need to import the authenticated-dictionary encoding — keeping the
+    dependency arrow pointing from ``authdict`` down to ``cache``.
+    """
+    cache_key = (_EPOCH, bits, encode(key), encode(value))
+    return _PAIR_CACHE.get_or_compute(cache_key, compute)
+
+
+def cached_key_prime(key: object, bits: int, compute: Callable[[], int]) -> int:
+    """Memoized category-0 key prime keyed by ``(key, epoch)``."""
+    cache_key = (_EPOCH, bits, encode(key))
+    return _KEY_PRIME_CACHE.get_or_compute(cache_key, compute)

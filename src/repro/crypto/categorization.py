@@ -21,12 +21,12 @@ Pocklington certificate chain so an untrusting circuit can check primality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from ..errors import CategoryError
 from ..serialization import encode
-from .pocklington import PocklingtonCertificate, build_certified_prime
-from .primes import hash_to_prime, is_probable_prime
+from .cache import cached_certified_prime, cached_hash_to_prime
+from .pocklington import PocklingtonCertificate
+from .primes import is_probable_prime
 
 __all__ = [
     "CATEGORY_KEY",
@@ -72,10 +72,11 @@ def _seed(bits: int, category: int, nonce: object) -> bytes:
     )
 
 
-@lru_cache(maxsize=1 << 18)
 def _sample_cached(bits: int, category: int, nonce_bytes: bytes) -> int:
+    # Memoized in the shared crypto hot-path cache (epoch-invalidatable,
+    # shared by every prover worker thread).
     residue = CATEGORY_RESIDUES[category][0]
-    return hash_to_prime(nonce_bytes, bits, residue=residue, modulus=8)
+    return cached_hash_to_prime(nonce_bytes, bits, residue=residue, modulus=8)
 
 
 def sample_category_prime(bits: int, category: int, nonce: object) -> int:
@@ -85,10 +86,9 @@ def sample_category_prime(bits: int, category: int, nonce: object) -> int:
     return _sample_cached(bits, category, _seed(bits, category, nonce))
 
 
-@lru_cache(maxsize=1 << 12)
 def _sample_certified_cached(bits: int, category: int, nonce_bytes: bytes) -> CertifiedPrime:
     residue = CATEGORY_RESIDUES[category][0]
-    certificate = build_certified_prime(bits, nonce_bytes, residue=residue)
+    certificate = cached_certified_prime(bits, nonce_bytes, residue=residue)
     return CertifiedPrime(prime=certificate.prime, certificate=certificate)
 
 

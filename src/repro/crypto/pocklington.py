@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import CertificateError
 from .hashing import expand_stream
@@ -76,6 +77,7 @@ class PocklingtonCertificate:
             raise CertificateError("certificate chain does not end at claimed prime")
 
 
+@lru_cache(maxsize=1 << 12)
 def _base_prime_from_seed(seed: bytes, bits: int = 30) -> int:
     """Deterministically derive a small trial-division-provable prime."""
     attempt = 0

@@ -12,7 +12,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["ProverTask", "ScheduleResult", "schedule_tasks"]
+__all__ = ["ProverTask", "ScheduleResult", "schedule_tasks", "serial_seconds"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,17 @@ class ScheduleResult:
             return 0.0
         return sum(self.completion_times) / len(self.completion_times)
 
+    def speedup_over_serial(self, tasks: Sequence[ProverTask]) -> float:
+        """Makespan compression vs a single prover (1.0 = no overlap).
+
+        Compares against pure work time (ignoring releases): the same
+        definition the measured pipeline uses, so modeled and real speedup
+        are directly comparable in the Fig 6 harness.
+        """
+        if self.makespan_seconds <= 0:
+            return 1.0
+        return serial_seconds(tasks) / self.makespan_seconds
+
     def txn_weighted_mean_completion(self, tasks: Sequence[ProverTask]) -> float:
         """Average completion over transactions (latency per Fig 3b/6)."""
         total_txns = sum(task.txn_count for task in tasks)
@@ -44,6 +55,11 @@ class ScheduleResult:
             for task, done in zip(tasks, self.completion_times)
         )
         return weighted / total_txns
+
+
+def serial_seconds(tasks: Sequence[ProverTask]) -> float:
+    """Total prover work: the wall-clock a single prover thread must pay."""
+    return sum(task.cost_seconds for task in tasks)
 
 
 def schedule_tasks(tasks: Sequence[ProverTask], num_workers: int) -> ScheduleResult:

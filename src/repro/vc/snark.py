@@ -30,6 +30,7 @@ import hashlib
 import hmac
 import itertools
 import os
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence
 
@@ -43,6 +44,7 @@ __all__ = [
     "VerificationKey",
     "SnarkBackend",
     "Groth16Simulator",
+    "SetupCache",
     "PROOF_SIZE_BYTES",
 ]
 
@@ -52,8 +54,10 @@ PROOF_SIZE_BYTES = 312
 _key_counter = itertools.count()
 # Authority registry: key id -> (mac secret, circuit structural hash).
 # Holding this dict plays the role of the trusted setup's toxic waste; no
-# object handed to server code references the secrets.
+# object handed to server code references the secrets.  Guarded by a lock:
+# the concurrent prover pool runs setup/prove/verify from worker threads.
 _AUTHORITY: dict[int, tuple[bytes, bytes]] = {}
+_AUTHORITY_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -139,7 +143,8 @@ class Groth16Simulator:
         key_id = next(_key_counter)
         secret = os.urandom(32)
         circuit_hash = circuit.structural_hash()
-        _AUTHORITY[key_id] = (secret, circuit_hash)
+        with _AUTHORITY_LOCK:
+            _AUTHORITY[key_id] = (secret, circuit_hash)
         proving_key = ProvingKey(
             key_id=key_id,
             circuit_hash=circuit_hash,
@@ -164,7 +169,8 @@ class Groth16Simulator:
             raise ProofError("proving key was generated for a different circuit")
         witness = circuit.generate_witness(inputs, context)
         public_values = [witness[i] for i in circuit.public_indices]
-        entry = _AUTHORITY.get(proving_key.key_id)
+        with _AUTHORITY_LOCK:
+            entry = _AUTHORITY.get(proving_key.key_id)
         if entry is None:
             raise ProofError("unknown proving key (no trusted setup ran)")
         secret, registered_hash = entry
@@ -179,7 +185,8 @@ class Groth16Simulator:
         proof: Proof,
     ) -> bool:
         """Constant-time verification of the 312-byte payload."""
-        entry = _AUTHORITY.get(verification_key.key_id)
+        with _AUTHORITY_LOCK:
+            entry = _AUTHORITY.get(verification_key.key_id)
         if entry is None or proof.key_id != verification_key.key_id:
             return False
         secret, circuit_hash = entry
@@ -188,3 +195,51 @@ class Groth16Simulator:
         statement = _statement_hash(circuit_hash, public_values)
         expected = _expand_mac(secret, statement, len(proof.payload))
         return hmac.compare_digest(expected, proof.payload)
+
+
+class SetupCache:
+    """Reuses key pairs across circuits with identical structural hashes.
+
+    Trusted setup (key generation) is ~51% of the serial pipeline per Fig 7,
+    yet pieces generated from the same transaction templates compile to
+    byte-identical circuit *structures* — the paper's "parallel repetitions
+    of similar structures" observation.  Running setup once per structure
+    and reusing the key pair is sound: keys are bound to the structural
+    hash, and every proof additionally commits to its own public statement
+    (piece index, digest endpoints, outputs), so proofs minted under a
+    shared key still cannot be transplanted between pieces.
+
+    Thread-safe: prover workers race on the same structural hash, and the
+    loser of the race adopts the winner's key pair.
+    """
+
+    def __init__(self, backend: "SnarkBackend"):
+        self._backend = backend
+        self._keys: dict[bytes, tuple[ProvingKey, VerificationKey]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def setup(self, circuit: Circuit) -> tuple[ProvingKey, VerificationKey]:
+        structural = circuit.structural_hash()
+        with self._lock:
+            cached = self._keys.get(structural)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        pair = self._backend.setup(circuit)
+        with self._lock:
+            winner = self._keys.setdefault(structural, pair)
+            if winner is pair:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return winner
+
+    def clear(self) -> None:
+        with self._lock:
+            self._keys.clear()
+
+    def __getattr__(self, name: str):
+        # Delegate prove/verify (and anything else) to the wrapped backend.
+        return getattr(self._backend, name)

@@ -1,0 +1,169 @@
+"""Property-based tests for the dynamic universal RSA accumulator.
+
+Randomized (but seeded — no hypothesis dependency) round-trips over the
+accumulator's full API, asserting the algebraic invariants the Litmus
+memory-integrity layer leans on:
+
+- ``value == g^product`` after every add/remove, in any interleaving;
+- aggregated membership witnesses verify for arbitrary random subsets and
+  fail for tampered subsets;
+- non-membership proofs succeed exactly when no queried prime is
+  accumulated;
+- the PoE-compressed membership path agrees with the plain path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.accumulator import RSAAccumulator
+from repro.crypto.primes import hash_to_prime
+from repro.errors import CryptoError
+
+SEED = 20260806
+ROUNDS = 12
+
+
+def primes_pool(count: int, tag: bytes = b"prop") -> list[int]:
+    return [hash_to_prime(tag + i.to_bytes(4, "big"), 64) for i in range(count)]
+
+
+@pytest.fixture(scope="module")
+def pool() -> list[int]:
+    return primes_pool(24)
+
+
+def reference_digest(group, multiset: list[int]) -> int:
+    exponent = 1
+    for prime in multiset:
+        exponent *= prime
+    return group.power(group.generator, exponent)
+
+
+class TestRandomizedRoundTrips:
+    def test_value_tracks_product_through_random_ops(self, group, pool):
+        rng = random.Random(SEED)
+        acc = RSAAccumulator(group)
+        multiset: list[int] = []
+        for _ in range(60):
+            if multiset and rng.random() < 0.4:
+                prime = rng.choice(multiset)
+                acc.remove(prime)
+                multiset.remove(prime)
+            else:
+                prime = rng.choice(pool)
+                acc.add(prime)
+                multiset.append(prime)
+            # The invariant: the digest is exactly g^(prod of the multiset).
+            assert acc.value == reference_digest(group, multiset)
+            product = 1
+            for p in multiset:
+                product *= p
+            assert acc.product == product
+
+    def test_duplicate_elements_count_with_multiplicity(self, group, pool):
+        rng = random.Random(SEED + 1)
+        prime = rng.choice(pool)
+        acc = RSAAccumulator(group, [prime, prime])
+        # One removal leaves one occurrence; its witness still verifies.
+        acc.remove(prime)
+        witness = acc.membership_witness([prime])
+        assert RSAAccumulator.verify_membership(group, acc.value, [prime], witness)
+        acc.remove(prime)
+        with pytest.raises(CryptoError):
+            acc.remove(prime)
+
+
+class TestAggregatedMembership:
+    def test_random_subsets_verify(self, group, pool):
+        rng = random.Random(SEED + 2)
+        acc = RSAAccumulator(group, pool)
+        for _ in range(ROUNDS):
+            subset = rng.sample(pool, rng.randint(1, len(pool)))
+            witness = acc.membership_witness(subset)
+            assert RSAAccumulator.verify_membership(group, acc.value, subset, witness)
+
+    def test_witness_rejects_foreign_prime(self, group, pool):
+        rng = random.Random(SEED + 3)
+        accumulated = pool[:12]
+        outsider = hash_to_prime(b"outsider", 64)
+        acc = RSAAccumulator(group, accumulated)
+        for _ in range(ROUNDS):
+            subset = rng.sample(accumulated, 3)
+            witness = acc.membership_witness(subset)
+            # Same witness against a subset with one element swapped out.
+            tampered = subset[:-1] + [outsider]
+            assert not RSAAccumulator.verify_membership(
+                group, acc.value, tampered, witness
+            )
+
+    def test_witness_for_unaccumulated_prime_raises(self, group, pool):
+        acc = RSAAccumulator(group, pool[:6])
+        with pytest.raises(CryptoError):
+            acc.membership_witness([pool[7]])
+
+
+class TestNonMembership:
+    def test_random_disjoint_sets_verify(self, group, pool):
+        rng = random.Random(SEED + 4)
+        inside, outside = pool[:12], pool[12:]
+        acc = RSAAccumulator(group, inside)
+        for _ in range(ROUNDS):
+            queried = rng.sample(outside, rng.randint(1, len(outside)))
+            product = 1
+            for prime in queried:
+                product *= prime
+            witness = acc.nonmembership_witness(product)
+            assert RSAAccumulator.verify_nonmembership(
+                group, acc.value, product, witness
+            )
+
+    def test_rejected_when_any_queried_prime_is_accumulated(self, group, pool):
+        rng = random.Random(SEED + 5)
+        inside, outside = pool[:12], pool[12:]
+        acc = RSAAccumulator(group, inside)
+        for _ in range(ROUNDS):
+            queried = rng.sample(outside, 3) + [rng.choice(inside)]
+            product = 1
+            for prime in queried:
+                product *= prime
+            with pytest.raises(CryptoError):
+                acc.nonmembership_witness(product)
+
+    def test_stale_witness_fails_after_accumulating_queried_prime(self, group, pool):
+        inside, target = pool[:8], pool[9]
+        acc = RSAAccumulator(group, inside)
+        witness = acc.nonmembership_witness(target)
+        acc.add(target)
+        assert not RSAAccumulator.verify_nonmembership(
+            group, acc.value, target, witness
+        )
+
+
+class TestPoEAgreement:
+    def test_poe_path_agrees_with_plain_path(self, group, pool):
+        rng = random.Random(SEED + 6)
+        acc = RSAAccumulator(group, pool)
+        for _ in range(ROUNDS):
+            subset = rng.sample(pool, rng.randint(1, 8))
+            plain = acc.membership_witness(subset)
+            witness, exponent, proof = acc.membership_witness_with_poe(subset)
+            assert witness == plain
+            expected_exponent = 1
+            for prime in subset:
+                expected_exponent *= prime
+            assert exponent == expected_exponent
+            assert RSAAccumulator.verify_membership_with_poe(
+                group, acc.value, witness, exponent, proof
+            )
+            assert RSAAccumulator.verify_membership(group, acc.value, subset, plain)
+
+    def test_poe_rejects_wrong_exponent(self, group, pool):
+        acc = RSAAccumulator(group, pool[:10])
+        subset = pool[:3]
+        witness, exponent, proof = acc.membership_witness_with_poe(subset)
+        assert not RSAAccumulator.verify_membership_with_poe(
+            group, acc.value, witness, exponent * pool[11], proof
+        )

@@ -1,0 +1,100 @@
+"""Tests for the crypto hot-path caches and product-tree helpers."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.crypto.cache import (
+    LRUCache,
+    bump_prime_cache_epoch,
+    cached_certified_prime,
+    cached_hash_to_prime,
+    prime_cache_stats,
+    prime_product,
+    product_tree,
+)
+from repro.crypto.primes import hash_to_prime, is_probable_prime
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(maxsize=4, name="t")
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        assert cache.get_or_compute("a", lambda: 2) == 1  # hit keeps old value
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)  # refresh a
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert cache.stats.evictions == 1
+        cache.get_or_compute("a", lambda: 99)
+        assert cache.stats.hits == 2  # a survived
+        cache.get_or_compute("b", lambda: 4)
+        assert cache.stats.misses == 4  # b was evicted
+
+    def test_concurrent_get_or_compute_is_consistent(self):
+        cache = LRUCache(maxsize=64)
+        results: list[int] = []
+
+        def worker(k: int):
+            for i in range(200):
+                results.append(cache.get_or_compute(i % 16, lambda i=i: (i % 16) * 7))
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(results[i] % 7 == 0 for i in range(len(results)))
+        assert len(cache) == 16
+
+
+class TestProductTree:
+    def test_matches_linear_product(self):
+        rng = random.Random(7)
+        for length in (0, 1, 2, 3, 7, 64, 257):
+            values = [rng.getrandbits(96) | 1 for _ in range(length)]
+            expected = 1
+            for v in values:
+                expected *= v
+            assert product_tree(values) == expected
+            assert prime_product(iter(values)) == expected
+
+    def test_empty_product_is_one(self):
+        assert product_tree([]) == 1
+        assert prime_product(()) == 1
+
+
+class TestPrimeMemos:
+    def test_cached_hash_to_prime_matches_uncached(self):
+        seed = b"cache-agree"
+        assert cached_hash_to_prime(seed, 64) == hash_to_prime(seed, 64)
+        assert cached_hash_to_prime(seed, 64, residue=3) == hash_to_prime(
+            seed, 64, residue=3
+        )
+
+    def test_cached_certified_prime_verifies_and_hits(self):
+        before = prime_cache_stats()["pocklington"]["misses"]
+        cert = cached_certified_prime(64, b"cache-cert", residue=3)
+        again = cached_certified_prime(64, b"cache-cert", residue=3)
+        assert cert is again  # second call served from the memo
+        assert cert.verify()
+        assert cert.prime % 8 == 3
+        assert is_probable_prime(cert.prime)
+        assert prime_cache_stats()["pocklington"]["misses"] == before + 1
+
+    def test_epoch_bump_invalidates(self):
+        seed = b"cache-epoch"
+        first = cached_hash_to_prime(seed, 64)
+        stats = prime_cache_stats()["hash_to_prime"]
+        misses_before = stats["misses"]
+        bump_prime_cache_epoch()
+        second = cached_hash_to_prime(seed, 64)
+        assert second == first  # same deterministic function
+        assert prime_cache_stats()["hash_to_prime"]["misses"] == misses_before + 1

@@ -1,0 +1,168 @@
+"""Adversarial tests against the *concurrent* proving pipeline.
+
+A malicious (or buggy) prover worker in the pool could hand back a
+tampered `_PieceProof` — wrong proof object, forged public values, or a
+cooked end digest.  These tests take an honest response produced with
+``num_provers > 1`` and mutate exactly one piece the way such a worker
+would, asserting the client rejects every variant: parallel dispatch must
+not open any soundness hole the serial path didn't have.
+
+Mutation style follows ``examples/attack_gallery.py`` (``dataclasses.replace``
+on the frozen protocol types).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+
+from ..db.helpers import increment, transfer
+
+NUM_PROVERS = 4  # every response under test comes out of a real worker pool
+
+
+@pytest.fixture()
+def pipeline(group):
+    """An honest concurrent run: (txns, response, fresh verifying client)."""
+    config = LitmusConfig(
+        cc="dr",
+        processing_batch_size=2,
+        batches_per_piece=1,
+        prime_bits=64,
+        num_provers=NUM_PROVERS,
+    )
+    server = LitmusServer(initial={}, config=config, group=group)
+    client = LitmusClient(group, server.digest, config=config)
+    txns = [increment(i, i) for i in range(1, 9)]
+    response = server.execute_batch(txns)
+    assert len(response.pieces) >= 4, "need several pieces in flight at once"
+    return txns, response, client
+
+
+def replace_piece(response, index, **changes):
+    pieces = list(response.pieces)
+    pieces[index] = dataclasses.replace(pieces[index], **changes)
+    return dataclasses.replace(response, pieces=tuple(pieces))
+
+
+def assert_rejected(client, txns, forged, label):
+    verdict = client.verify_response(txns, forged)
+    assert not verdict.accepted, f"{label}: forged concurrent response accepted"
+    return verdict
+
+
+class TestHonestBaseline:
+    def test_honest_concurrent_response_accepted(self, pipeline):
+        txns, response, client = pipeline
+        verdict = client.verify_response(txns, response)
+        assert verdict.accepted, verdict.reason
+
+
+class TestTamperedProof:
+    def test_swapped_proof_from_sibling_piece(self, pipeline):
+        txns, response, client = pipeline
+        forged = replace_piece(response, 1, proof=response.pieces[2].proof)
+        assert_rejected(client, txns, forged, "swapped proof")
+
+    def test_proof_paired_with_foreign_verification_key(self, pipeline):
+        txns, response, client = pipeline
+        # A worker returning a sibling piece's (key, proof) pair wholesale:
+        # the proof verifies under that key, but certifies the wrong
+        # statement for this slot.
+        foreign = response.pieces[2]
+        forged = replace_piece(
+            response,
+            1,
+            proof=foreign.proof,
+            verification_key=foreign.verification_key,
+        )
+        assert_rejected(client, txns, forged, "foreign key+proof pair")
+
+
+class TestForgedPublicValues:
+    def test_mutated_public_values(self, pipeline):
+        txns, response, client = pipeline
+        piece = response.pieces[1]
+        cooked = (piece.public_values[0] ^ 1,) + tuple(piece.public_values[1:])
+        forged = replace_piece(response, 1, public_values=cooked)
+        assert_rejected(client, txns, forged, "mutated public values")
+
+    def test_forged_outputs_with_consistent_public_values(self, pipeline):
+        txns, response, client = pipeline
+        # The classic attack-gallery forgery, now against a concurrent run:
+        # lie about outputs while leaving everything else untouched.
+        piece = response.pieces[0]
+        forged = replace_piece(
+            response,
+            0,
+            outputs=tuple((txn_id, (777,)) for txn_id, _v in piece.outputs),
+        )
+        assert_rejected(client, txns, forged, "forged outputs")
+
+
+class TestForgedDigestChain:
+    def test_forged_end_digest_mid_chain(self, pipeline):
+        txns, response, client = pipeline
+        middle = len(response.pieces) // 2
+        piece = response.pieces[middle]
+        forged = replace_piece(response, middle, end_digest=piece.end_digest ^ 1)
+        assert_rejected(client, txns, forged, "forged mid-chain end digest")
+
+    def test_forged_end_digest_last_piece_with_matching_final(self, pipeline):
+        txns, response, client = pipeline
+        last = len(response.pieces) - 1
+        cooked = response.pieces[last].end_digest ^ 1
+        forged = dataclasses.replace(
+            replace_piece(response, last, end_digest=cooked),
+            final_digest=cooked,
+        )
+        assert_rejected(client, txns, forged, "forged tail digest + final")
+
+    def test_spliced_out_piece_with_repaired_chain(self, pipeline):
+        txns, response, client = pipeline
+        # Drop piece 1 and re-point piece 2's start at piece 0's end so the
+        # digest chain *looks* contiguous; coverage/statement checks must
+        # still catch it.
+        kept = [response.pieces[0]] + [
+            dataclasses.replace(p, piece_index=i + 1)
+            for i, p in enumerate(response.pieces[2:])
+        ]
+        kept[1] = dataclasses.replace(
+            kept[1], start_digest=response.pieces[0].end_digest
+        )
+        forged = dataclasses.replace(response, pieces=tuple(kept))
+        assert_rejected(client, txns, forged, "spliced digest chain")
+
+
+class TestCrossBatchReplay:
+    def test_piece_replayed_from_previous_concurrent_batch(self, group):
+        config = LitmusConfig(
+            cc="dr",
+            processing_batch_size=2,
+            batches_per_piece=1,
+            prime_bits=64,
+            num_provers=NUM_PROVERS,
+        )
+        server = LitmusServer(
+            initial={("acct", i): 100 for i in range(4)}, config=config, group=group
+        )
+        client = LitmusClient(group, server.digest, config=config)
+        first = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 9)]
+        old = server.execute_batch(first)
+        assert client.verify_response(first, old).accepted
+        second = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(9, 17)]
+        fresh = server.execute_batch(second)
+        # Substitute one stale (previously valid!) piece into the new batch.
+        forged = replace_piece(
+            fresh,
+            0,
+            proof=old.pieces[0].proof,
+            verification_key=old.pieces[0].verification_key,
+            start_digest=old.pieces[0].start_digest,
+            end_digest=old.pieces[0].end_digest,
+            public_values=old.pieces[0].public_values,
+        )
+        assert_rejected(client, second, forged, "stale piece replay")
