@@ -24,6 +24,7 @@ from repro import LitmusClient, LitmusConfig, LitmusServer
 from repro.bench import fig6_prover_threads, format_table
 from repro.crypto import RSAGroup
 from repro.db import Transaction
+from repro.obs import ConsoleSummaryExporter, JsonLinesExporter, get_metrics, get_tracer
 from repro.sim.scheduler import ProverTask, schedule_tasks, serial_seconds
 from repro.vc import Program
 from repro.vc.program import Add, Const, Emit, KeyTemplate, Param, ReadStmt, ReadVal, WriteStmt
@@ -122,9 +123,37 @@ def test_fig6_real_pipeline(benchmark):
             )
         return rows
 
+    metrics_before = {
+        name: snap.get("value", snap.get("count", 0))
+        for name, snap in get_metrics().snapshot().items()
+    }
     rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
     print("\nFigure 6 (real) — measured vs modeled prover-pool scaling")
     print(format_table(rows))
+
+    # Emit the observability layer's view of the same run: counter deltas
+    # over the benchmark (cache behaviour, SNARK activity, CC outcomes) plus
+    # the usual exporter summary.  LITMUS_METRICS_OUT=path.jsonl additionally
+    # writes the full snapshot + span log as JSON lines.
+    snapshot = get_metrics().snapshot()
+    deltas = {
+        name: snap.get("value", snap.get("count", 0)) - metrics_before.get(name, 0)
+        for name, snap in snapshot.items()
+    }
+    interesting = {
+        name: delta
+        for name, delta in sorted(deltas.items())
+        if delta and name.split(".")[0] in ("cache", "snark", "db", "server", "client")
+    }
+    print("\nFigure 6 (real) — metric deltas over this benchmark")
+    print(format_table([{"metric": k, "delta": v} for k, v in interesting.items()]))
+    ConsoleSummaryExporter().export((), snapshot)
+    metrics_out = os.environ.get("LITMUS_METRICS_OUT")
+    if metrics_out:
+        JsonLinesExporter(metrics_out).export(get_tracer().finished(), snapshot)
+        print(f"[obs] metrics + spans appended to {metrics_out}")
+    # The SetupCache must have been exercised by the real pipeline runs.
+    assert deltas.get("snark.setup_cache.hits", 0) > 0
 
     # Correctness invariants hold at every worker count...
     assert len({row["digest"] for row in rows}) == 1

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate repro.obs JSON-lines exports against the documented schema.
+
+Usage::
+
+    python benchmarks/check_metrics_schema.py FILE [FILE ...]
+
+Every line of every file must be a JSON object with ``kind`` either
+``"span"`` or ``"metric"``:
+
+- span lines need ``name`` (str), ``span_id`` (int), ``root_id`` (int),
+  ``parent_id`` (int or null), ``start``/``end``/``duration`` (numbers,
+  ``end >= start``), ``attrs`` (object), ``thread`` (str);
+- metric lines need ``name`` (str) and ``type`` in
+  {``counter``, ``gauge``, ``histogram``}; counters/gauges need a numeric
+  ``value`` (counters non-negative integers), histograms need numeric
+  ``count``/``sum``/``min``/``max``/``mean``/``p50``/``p95``/``p99``.
+
+Exit status 0 iff every line of every file validates and at least one
+record was seen; CI runs this against the ``--metrics-out``/``--trace-out``
+output of a figure command.  Hand-rolled on purpose: the repo takes no
+jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+METRIC_TYPES = {"counter", "gauge", "histogram"}
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def _fail(path: str, lineno: int, message: str) -> str:
+    return f"{path}:{lineno}: {message}"
+
+
+def check_span(record: dict, path: str, lineno: int, errors: list[str]) -> None:
+    if not isinstance(record.get("name"), str) or not record["name"]:
+        errors.append(_fail(path, lineno, "span needs a non-empty string 'name'"))
+    for field in ("span_id", "root_id"):
+        if not isinstance(record.get(field), int):
+            errors.append(_fail(path, lineno, f"span '{field}' must be an int"))
+    parent = record.get("parent_id")
+    if parent is not None and not isinstance(parent, int):
+        errors.append(_fail(path, lineno, "span 'parent_id' must be int or null"))
+    for field in ("start", "end", "duration"):
+        if not isinstance(record.get(field), (int, float)):
+            errors.append(_fail(path, lineno, f"span '{field}' must be a number"))
+    if (
+        isinstance(record.get("start"), (int, float))
+        and isinstance(record.get("end"), (int, float))
+        and record["end"] < record["start"]
+    ):
+        errors.append(_fail(path, lineno, "span ends before it starts"))
+    if not isinstance(record.get("attrs"), dict):
+        errors.append(_fail(path, lineno, "span 'attrs' must be an object"))
+    if not isinstance(record.get("thread"), str):
+        errors.append(_fail(path, lineno, "span 'thread' must be a string"))
+
+
+def check_metric(record: dict, path: str, lineno: int, errors: list[str]) -> None:
+    if not isinstance(record.get("name"), str) or not record["name"]:
+        errors.append(_fail(path, lineno, "metric needs a non-empty string 'name'"))
+    mtype = record.get("type")
+    if mtype not in METRIC_TYPES:
+        errors.append(
+            _fail(path, lineno, f"metric 'type' must be one of {sorted(METRIC_TYPES)}")
+        )
+        return
+    if mtype == "histogram":
+        for field in HISTOGRAM_FIELDS:
+            if not isinstance(record.get(field), (int, float)):
+                errors.append(
+                    _fail(path, lineno, f"histogram '{field}' must be a number")
+                )
+        return
+    value = record.get("value")
+    if not isinstance(value, (int, float)):
+        errors.append(_fail(path, lineno, f"{mtype} 'value' must be a number"))
+    elif mtype == "counter" and (not isinstance(value, int) or value < 0):
+        errors.append(_fail(path, lineno, "counter 'value' must be a non-negative int"))
+
+
+def check_file(path: str, errors: list[str]) -> int:
+    seen = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        errors.append(f"{path}: cannot read ({exc})")
+        return 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(_fail(path, lineno, f"not valid JSON ({exc})"))
+            continue
+        if not isinstance(record, dict):
+            errors.append(_fail(path, lineno, "line is not a JSON object"))
+            continue
+        seen += 1
+        kind = record.get("kind")
+        if kind == "span":
+            check_span(record, path, lineno, errors)
+        elif kind == "metric":
+            check_metric(record, path, lineno, errors)
+        else:
+            errors.append(_fail(path, lineno, "'kind' must be 'span' or 'metric'"))
+    return seen
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    total = 0
+    for path in argv:
+        count = check_file(path, errors)
+        total += count
+        print(f"{path}: {count} record(s)")
+    if total == 0:
+        errors.append("no records found in any input file")
+    if errors:
+        for message in errors:
+            print(f"SCHEMA ERROR: {message}", file=sys.stderr)
+        return 1
+    print(f"OK: {total} record(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

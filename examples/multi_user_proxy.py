@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""An organization proxy multiplexing many end users onto one Litmus client.
+"""An organization session multiplexing many end users onto one Litmus client.
 
 The paper's client "might be the proxy of millions of real users".  This
 example runs a small marketplace where several users submit purchases and
-balance checks concurrently; the proxy groups them into verification
-batches, and every user's answer comes back only after the whole batch's
-proof verified.
+balance checks concurrently; the :class:`~repro.LitmusSession` groups them
+into verification batches, and every user's answer comes back only after
+the whole batch's proof verified.
+
+(This example previously used ``repro.core.proxy.ClientProxy``, which is
+now a deprecation shim over the session shown here.)
 
 Run:  python examples/multi_user_proxy.py
 """
 
-from repro import LitmusClient, LitmusConfig, LitmusServer
-from repro.core.proxy import ClientProxy
+from repro import LitmusConfig, LitmusSession
 from repro.crypto import RSAGroup
 from repro.vc import Program
 from repro.vc.program import (
@@ -48,28 +50,30 @@ BALANCE = Program(
 
 
 def main() -> None:
-    print("== Multi-user proxy ==")
+    print("== Multi-user session ==")
     group = RSAGroup.generate(bits=512, seed=b"proxy")
     wallets = {("wallet", u): 500 for u in range(6)}
     config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=64)
-    server = LitmusServer(initial=wallets, config=config, group=group)
-    client = LitmusClient(group, server.digest, config=config)
-    proxy = ClientProxy(server, client, max_batch=8)
+    session = LitmusSession.create(
+        initial=wallets, config=config, group=group, max_batch=8
+    )
 
     tickets = {
-        "alice": proxy.submit("alice", PURCHASE, {"buyer": 0, "seller": 1, "price": 120}),
-        "bob": proxy.submit("bob", PURCHASE, {"buyer": 2, "seller": 3, "price": 75}),
-        "carol": proxy.submit("carol", PURCHASE, {"buyer": 4, "seller": 0, "price": 30}),
-        "dave": proxy.submit("dave", BALANCE, {"who": 1}),
+        "alice": session.submit("alice", PURCHASE, buyer=0, seller=1, price=120),
+        "bob": session.submit("bob", PURCHASE, buyer=2, seller=3, price=75),
+        "carol": session.submit("carol", PURCHASE, buyer=4, seller=0, price=30),
+        "dave": session.submit("dave", BALANCE, who=1),
     }
-    print(f"queued {proxy.queued} user requests; flushing one verified batch...")
-    assert proxy.flush()
+    print(f"queued {session.queued} user requests; flushing one verified batch...")
+    result = session.flush()
+    assert result.accepted, result.reason
     for user, ticket in tickets.items():
         print(f"  {user}: txn {ticket.txn_id} verified, outputs {ticket.outputs}")
-    total = sum(server.db.get(("wallet", u)) for u in range(6))
+    print(f"per-user outputs from the batch result: {dict(result.user_outputs)}")
+    total = sum(session.server.db.get(("wallet", u)) for u in range(6))
     print(f"wallet total conserved: {total} (expected 3000)")
     assert total == 3000
-    print(f"batches verified: {proxy.batches_verified}")
+    print(f"batches verified: {session.batches_verified}")
 
 
 if __name__ == "__main__":

@@ -1,21 +1,26 @@
 #!/usr/bin/env python3
 """Quickstart: a verifiable YCSB session against an untrusted server.
 
-Runs the full Litmus protocol end to end with real cryptography:
+Runs the full Litmus protocol end to end with real cryptography through the
+:class:`~repro.LitmusSession` facade:
 
-1. server and client agree on an RSA group and an initial database digest;
-2. the client submits a verification batch of YCSB transactions;
-3. the server executes them under deterministic reservation, aggregates the
-   memory-integrity proofs per non-conflicting batch, and proves every
-   circuit piece;
-4. the client matches the circuits, verifies the proofs and the digest
-   chain, and accepts the outputs.
+1. ``LitmusSession.create`` builds the untrusted server and the verifying
+   client over a shared RSA group and initial database digest;
+2. ``session.submit`` queues YCSB transactions on behalf of a user;
+3. ``session.flush`` drives one verification round — the server executes
+   under deterministic reservation, aggregates the memory-integrity proofs
+   per non-conflicting batch, and proves every circuit piece; the client
+   matches the circuits, verifies the proofs and the digest chain;
+4. the returned :class:`~repro.BatchResult` carries the verdict, the
+   per-transaction outputs, the timing report, and a metrics snapshot;
+   ``session.export`` prints the span/metric view of the same run.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import LitmusClient, LitmusConfig, LitmusServer, YCSBWorkload
+from repro import LitmusConfig, LitmusSession, YCSBWorkload
 from repro.crypto import RSAGroup
+from repro.obs import ConsoleSummaryExporter
 
 
 def main() -> None:
@@ -30,31 +35,37 @@ def main() -> None:
         num_provers=4,
         prime_bits=64,
     )
-    server = LitmusServer(initial=workload.initial_data(), config=config, group=group)
-    client = LitmusClient(group, server.digest, config=config)
-    print(f"agreed initial digest: {hex(server.digest)[:18]}...")
+    session = LitmusSession.create(
+        initial=workload.initial_data(), config=config, group=group
+    )
+    print(f"agreed initial digest: {hex(session.digest)[:18]}...")
 
     txns = workload.generate(60)
-    print(f"submitting a verification batch of {len(txns)} transactions")
-    response = server.execute_batch(txns)
-    print(
-        f"server returned {len(response.pieces)} proof piece(s), "
-        f"{response.timing.total_constraints:,} constraints total, "
-        f"{response.timing.proof_bytes} proof bytes"
-    )
+    for txn in txns:
+        session.submit("quickstart", txn.program, **txn.params)
+    print(f"submitting a verification batch of {session.queued} transactions")
 
-    verdict = client.verify_response(txns, response)
-    if not verdict.accepted:
-        raise SystemExit(f"client REJECTED the batch: {verdict.reason}")
+    result = session.flush()
+    if not result.accepted:
+        raise SystemExit(f"client REJECTED the batch: {result.reason}")
+    timing = result.timing
+    print(
+        f"server proved {timing.num_pieces} piece(s), "
+        f"{timing.total_constraints:,} constraints total, "
+        f"{timing.proof_bytes} proof bytes"
+    )
     print("client verified: circuits matched, proofs valid, digest chain intact")
-    print(f"new digest: {hex(verdict.new_digest)[:18]}...")
-    sample = dict(list(verdict.outputs.items())[:3])
+    print(f"new digest: {hex(session.digest)[:18]}...")
+    sample = dict(list(result.outputs.items())[:3])
     print(f"sample outputs: {sample}")
     print(
         f"modeled server throughput at this scale: "
-        f"{response.timing.throughput:,.1f} txn/s "
+        f"{timing.throughput:,.1f} txn/s "
         f"(the paper's full-scale DRM configuration reaches ~17.6k txn/s)"
     )
+
+    print("\nobservability view of the same run:")
+    session.export(ConsoleSummaryExporter())
 
 
 if __name__ == "__main__":

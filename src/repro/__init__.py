@@ -4,35 +4,41 @@ Reproduction of Xia, Yu, Butrovich, Pavlo & Devadas,
 "Litmus: Towards a Practical Database Management System with Verifiable
 ACID Properties and Transaction Correctness" (SIGMOD 2022).
 
-Quickstart::
+Quickstart (the session facade)::
 
-    from repro import LitmusServer, LitmusClient, LitmusConfig, YCSBWorkload
+    from repro import LitmusSession, YCSBWorkload
     from repro.crypto import RSAGroup
 
     group = RSAGroup.generate(bits=512, seed=b"demo")
     workload = YCSBWorkload(num_rows=1000)
-    server = LitmusServer(initial=workload.initial_data(), group=group)
-    client = LitmusClient(group, server.digest)
+    session = LitmusSession.create(
+        initial=workload.initial_data(), group=group
+    )
+    ticket = session.submit("alice", INCREMENT, k=7)
+    result = session.flush()          # typed BatchResult
+    assert result.accepted and ticket.outputs is not None
 
-    txns = workload.generate(100)
-    response = server.execute_batch(txns)
-    verdict = client.verify_response(txns, response)
-    assert verdict.accepted
+The lower-level server/client pair (``LitmusServer.execute_batch`` /
+``LitmusClient.verify_response``) stays available for protocol-level work,
+and :mod:`repro.obs` carries tracing + metrics for the whole pipeline.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every table and figure.
 """
 
 from .core import (
+    BatchResult,
     ClientVerdict,
     HybridLitmus,
     InteractiveServerClient,
     LitmusClient,
     LitmusConfig,
     LitmusServer,
+    LitmusSession,
     MerkleServerClient,
     ServerResponse,
     SumInvariant,
+    UserTicket,
 )
 from .crypto import AuthenticatedDictionary, MerkleTree, RSAGroup
 from .db import Database, Transaction, TxnResult

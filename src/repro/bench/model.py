@@ -22,6 +22,7 @@ from typing import Sequence
 
 from ..db.database import Database
 from ..db.txn import Transaction
+from ..obs.spans import get_tracer
 from ..sim.costmodel import CostModel
 from ..sim.network import NetworkModel
 from ..sim.scheduler import ProverTask, schedule_tasks
@@ -110,18 +111,29 @@ class WorkloadProfile:
         cc: str = "dr",
         processing_batch_size: int = 256,
     ) -> "WorkloadProfile":
-        """Execute *txns* for real (scaled) and extract the profile."""
-        compiler = CircuitCompiler()
-        sizes = [
-            compiler.compile_program(txn.program).total_constraints for txn in txns
-        ]
-        db = Database(
-            initial=dict(initial),
-            cc=cc,
-            processing_batch_size=processing_batch_size,
-            num_threads=4,
-        )
-        report = db.run(list(txns))
+        """Execute *txns* for real (scaled) and extract the profile.
+
+        The real scaled run is traced (``profile_measure`` with a
+        ``compile``/``execute`` pair), so figure commands run with
+        ``--trace-out`` produce a span log even though their paper-scale
+        numbers come from the model rather than the live prover pipeline.
+        """
+        tracer = get_tracer()
+        with tracer.span("profile_measure", profile=name, num_txns=len(txns)):
+            with tracer.span("compile", profile=name):
+                compiler = CircuitCompiler()
+                sizes = [
+                    compiler.compile_program(txn.program).total_constraints
+                    for txn in txns
+                ]
+            db = Database(
+                initial=dict(initial),
+                cc=cc,
+                processing_batch_size=processing_batch_size,
+                num_threads=4,
+            )
+            with tracer.span("execute", cc=cc, profile=name):
+                report = db.run(list(txns))
         stats = report.stats
         committed = max(1, stats.committed)
         attempts = committed + stats.aborted_retries

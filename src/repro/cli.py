@@ -10,12 +10,24 @@ Usage::
 
 Each command prints the corresponding paper figure/table; ``all`` runs the
 whole evaluation section (this is what EXPERIMENTS.md is built from).
+
+Every command additionally accepts the observability flag pair::
+
+    python -m repro fig6 --metrics-out metrics.jsonl --trace-out trace.jsonl
+
+``--metrics-out`` writes the process-local metrics registry (cache hit
+rates, SNARK counters, db commit/abort totals, ...) as JSON lines after the
+command ran; ``--trace-out`` writes every finished span of the run.  Both
+files follow the format of :mod:`repro.obs.exporters` and are validated in
+CI by ``benchmarks/check_metrics_schema.py``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from .obs import JsonLinesExporter, get_metrics, get_tracer
 
 from .bench import (
     elle_comparison,
@@ -141,6 +153,18 @@ def main(argv: list[str] | None = None) -> int:
         default=800,
         help="size of the real scaled executions feeding the model",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="append the final metrics snapshot (JSON lines) to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="append every finished span of this run (JSON lines) to PATH",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name in ("constants", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "elle"):
@@ -148,7 +172,21 @@ def main(argv: list[str] | None = None) -> int:
             print(_COMMANDS[name](args.scale))
     else:
         print(_COMMANDS[args.experiment](args.scale))
+    _export_observability(args.metrics_out, args.trace_out)
     return 0
+
+
+def _export_observability(metrics_out: str | None, trace_out: str | None) -> None:
+    """Write the run's metrics/spans as JSON lines (the --*-out flag pair)."""
+    if metrics_out:
+        JsonLinesExporter(metrics_out).export((), get_metrics().snapshot())
+        print(f"[obs] metrics snapshot written to {metrics_out}", file=sys.stderr)
+    if trace_out:
+        JsonLinesExporter(trace_out).export(get_tracer().finished(), {})
+        print(
+            f"[obs] {len(get_tracer().finished())} span(s) written to {trace_out}",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,12 @@ Wires the substrates together exactly as Figure 1 describes:
 - :mod:`repro.core.interactive` / :mod:`repro.core.merkle_server` — the
   AD-Interact and Merkle-tree baselines of Section 8;
 - :mod:`repro.core.hybrid`, :mod:`repro.core.consistency` — the Section 9
-  extensions (real-time hybrid mode; verifiable consistency invariants).
+  extensions (real-time hybrid mode; verifiable consistency invariants);
+- :mod:`repro.core.session` — the client-facing facade
+  (:class:`LitmusSession` / :class:`BatchResult`); :mod:`repro.core.proxy`
+  is its deprecation shim.
+
+Both server and client report spans/metrics through :mod:`repro.obs`.
 """
 
 from .audit import AuditRecord, AuditTrail
@@ -32,13 +37,15 @@ from .memory_integrity import (
 )
 from .merkle_server import MerkleServerClient
 from .protocol import PieceResult, ServerResponse, TimingReport
-from .proxy import ClientProxy, UserTicket
+from .proxy import ClientProxy
 from .server import LitmusServer
+from .session import BatchResult, LitmusSession, UserTicket
 from .snapshot import restore_server, snapshot_server
 
 __all__ = [
     "AuditRecord",
     "AuditTrail",
+    "BatchResult",
     "ClientProxy",
     "ClientVerdict",
     "DigestLog",
@@ -48,6 +55,7 @@ __all__ = [
     "LitmusClient",
     "LitmusConfig",
     "LitmusServer",
+    "LitmusSession",
     "MemoryIntegrityChecker",
     "MemoryIntegrityProvider",
     "MerkleServerClient",

@@ -32,6 +32,8 @@ from ..crypto.rsa_group import RSAGroup
 from ..db.executor import ScheduleUnit
 from ..db.txn import Transaction
 from ..errors import VerificationFailure
+from ..obs.metrics import get_metrics
+from ..obs.spans import Tracer, get_tracer
 from ..vc.compiler import CircuitCompiler
 from ..vc.program import ReadStmt, WriteStmt
 from ..vc.snark import Groth16Simulator
@@ -116,9 +118,11 @@ class LitmusClient:
         config: LitmusConfig | None = None,
         cost_model=None,
         invariants: tuple = (),
+        tracer: Tracer | None = None,
     ):
         self.group = group
         self.config = config or LitmusConfig()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.digest = initial_digest
         self.compiler = CircuitCompiler()
         self.cost_model = cost_model
@@ -134,21 +138,32 @@ class LitmusClient:
         self, txns: Sequence[Transaction], response: ServerResponse
     ) -> ClientVerdict:
         """Run the full acceptance pipeline; never raises on a bad server."""
-        try:
-            self._check_coverage(txns, response)
-            txns_by_id = {txn.txn_id: txn for txn in txns}
-            expected_digest = self.digest
-            if response.initial_digest != expected_digest:
-                raise VerificationFailure("server disagrees about the starting digest")
-            for piece in response.pieces:
-                self._verify_piece(piece, txns_by_id, expected_digest)
-                expected_digest = piece.end_digest
-            if response.final_digest != expected_digest:
-                raise VerificationFailure("final digest does not close the chain")
-            if any(not piece.all_commit for piece in response.pieces):
-                raise VerificationFailure("a memory-integrity check failed server-side")
-        except VerificationFailure as failure:
-            return ClientVerdict(accepted=False, reason=str(failure))
+        metrics = get_metrics()
+        with self.tracer.span("verify", num_pieces=len(response.pieces)) as span:
+            try:
+                self._check_coverage(txns, response)
+                txns_by_id = {txn.txn_id: txn for txn in txns}
+                expected_digest = self.digest
+                if response.initial_digest != expected_digest:
+                    raise VerificationFailure(
+                        "server disagrees about the starting digest"
+                    )
+                for piece in response.pieces:
+                    with self.tracer.span("verify_piece", piece=piece.piece_index):
+                        self._verify_piece(piece, txns_by_id, expected_digest)
+                    expected_digest = piece.end_digest
+                if response.final_digest != expected_digest:
+                    raise VerificationFailure("final digest does not close the chain")
+                if any(not piece.all_commit for piece in response.pieces):
+                    raise VerificationFailure(
+                        "a memory-integrity check failed server-side"
+                    )
+            except VerificationFailure as failure:
+                span.set(accepted=False, reason=str(failure))
+                metrics.counter("client.batches_rejected").inc()
+                return ClientVerdict(accepted=False, reason=str(failure))
+            span.set(accepted=True)
+        metrics.counter("client.batches_accepted").inc()
         self.digest = response.final_digest
         return ClientVerdict(
             accepted=True,

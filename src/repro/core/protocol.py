@@ -3,9 +3,66 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
-__all__ = ["PieceResult", "ServerResponse", "TimingReport"]
+__all__ = [
+    "PieceResult",
+    "ServerResponse",
+    "TimingReport",
+    "measured_fields_from_spans",
+]
+
+
+def measured_fields_from_spans(
+    spans: Iterable,
+    dispatch_start: float | None = None,
+) -> dict[str, float]:
+    """Derive the ``measured_*`` columns of a :class:`TimingReport` from the
+    span tree of one verification batch.
+
+    This is the bridge between :mod:`repro.obs` and the wire format: each
+    measured field is a thin view over the spans the pipeline emitted —
+
+    ========================  =======================================
+    field                     source spans
+    ========================  =======================================
+    measured_db_seconds       ``execute`` (duration)
+    measured_certify_seconds  ``certify_unit`` (sum)
+    measured_circuit_seconds  ``build_circuit`` (sum)
+    measured_replay_seconds   ``replay`` (sum)
+    measured_setup_seconds    ``setup`` (sum)
+    measured_prove_seconds    ``prove`` (sum)
+    measured_prove_wall_...   last ``prove_piece`` end - *dispatch_start*
+    measured_total_seconds    ``batch`` (duration)
+    ========================  =======================================
+
+    *spans* is an iterable of :class:`repro.obs.SpanRecord`; the function
+    only relies on ``name``/``duration``/``end``, so any record-shaped
+    object works (no import of :mod:`repro.obs` needed here).
+    """
+    sums: dict[str, float] = {}
+    last_piece_end: float | None = None
+    for record in spans:
+        sums[record.name] = sums.get(record.name, 0.0) + record.duration
+        if record.name == "prove_piece":
+            last_piece_end = (
+                record.end
+                if last_piece_end is None
+                else max(last_piece_end, record.end)
+            )
+    prove_wall = 0.0
+    if last_piece_end is not None and dispatch_start is not None:
+        prove_wall = last_piece_end - dispatch_start
+    return dict(
+        measured_db_seconds=sums.get("execute", 0.0),
+        measured_certify_seconds=sums.get("certify_unit", 0.0),
+        measured_circuit_seconds=sums.get("build_circuit", 0.0),
+        measured_replay_seconds=sums.get("replay", 0.0),
+        measured_setup_seconds=sums.get("setup", 0.0),
+        measured_prove_seconds=sums.get("prove", 0.0),
+        measured_prove_wall_seconds=prove_wall,
+        measured_total_seconds=sums.get("batch", 0.0),
+    )
 
 
 @dataclass(frozen=True)
@@ -22,7 +79,10 @@ class TimingReport:
       observed while this batch executed: what the Python pipeline actually
       spent per stage, and how long the concurrent prover pool took
       end-to-end.  ``measured_prove_wall_seconds`` < the per-piece sums
-      means pieces genuinely overlapped.
+      means pieces genuinely overlapped.  Since the observability layer
+      landed these columns are *derived from the batch's span tree* (see
+      :func:`measured_fields_from_spans`), so they agree with any exported
+      trace by construction.
 
     ``total_seconds`` is the modeled server-side critical path (throughput =
     txns / total); ``mean_latency_seconds`` additionally includes client
@@ -101,7 +161,15 @@ class TimingReport:
         }
 
     def breakdown(self) -> dict[str, float]:
-        """Component shares for the Fig 7 reproduction."""
+        """Component shares for the Fig 7 reproduction.
+
+        Stable, documented return shape: a dict with exactly the six keys
+        ``process_traces``, ``circuit_generation``, ``key_generation``,
+        ``proving``, ``verification``, ``proof_output`` — in that insertion
+        order — whose float values are fractions of the modeled total and
+        sum to 1.0 (all-zero when the report is empty).  Client code may
+        rely on the key set; new stages will be added only under new keys.
+        """
         parts = {
             "process_traces": self.db_seconds + self.trace_seconds,
             "circuit_generation": self.circuit_seconds,
@@ -145,6 +213,15 @@ class ServerResponse:
     stats: object = None  # ExecutionStats from the CC layer
 
     def all_outputs(self) -> dict[int, tuple[int, ...]]:
+        """Per-transaction emitted outputs across every piece.
+
+        Stable, documented return shape: ``{txn_id: (value, ...)}``.  On an
+        honest, accepted response every transaction in the batch has an
+        entry — a program that emits nothing maps to an empty tuple.  Only a
+        piece whose replay failed mid-way (a detected attack; the client
+        rejects such a response) can leave ids out, so consumers of
+        *accepted* batches may treat the key set as total.
+        """
         outputs: dict[int, tuple[int, ...]] = {}
         for piece in self.pieces:
             for txn_id, values in piece.outputs:

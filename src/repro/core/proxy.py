@@ -1,75 +1,43 @@
-"""The client as a proxy for many end users (paper Section 4).
+"""Deprecated: the old three-object client surface.
 
-"In the DBaaS setting, the single client is the organization that delegates
-the database, which might be the proxy of millions of real users and submit
-many transactions."  :class:`ClientProxy` is that organization-side
-component: end users enqueue stored-procedure calls, the proxy groups them
-into verification batches, drives the Litmus protocol, and hands each user
-back a :class:`UserTicket` that resolves to the verified outputs (or to the
-batch's rejection).
+``ClientProxy`` predates :class:`repro.core.session.LitmusSession`, which
+is now the one client-facing API (paper Section 4's "proxy of millions of
+real users" role included).  This module keeps the old constructor and
+method signatures alive as a thin shim that warns **once per process**
+(:class:`~repro.errors.LitmusDeprecationWarning`) and delegates to a
+session.  ``UserTicket`` is re-exported unchanged from the session module.
+
+Migration::
+
+    proxy = ClientProxy(server, client, max_batch=8)      # before
+    session = LitmusSession(server, client, max_batch=8)  # after
+    proxy.submit("alice", PROGRAM, {"k": 1})              # before
+    session.submit("alice", PROGRAM, k=1)                 # after
+    ok = proxy.flush()                                    # bare bool
+    result = session.flush()                              # BatchResult
+
+``ClientProxy.flush()`` now also returns a :class:`BatchResult` (truthy on
+acceptance, so ``assert proxy.flush()`` still works); flushing an empty
+queue is a documented no-op returning ``BatchResult.empty()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from ..db.txn import Transaction
-from ..errors import ReproError
+from ..errors import LitmusDeprecationWarning
 from ..vc.program import Program
 from .client import LitmusClient
 from .server import LitmusServer
+from .session import BatchResult, LitmusSession, UserTicket
 
 __all__ = ["ClientProxy", "UserTicket"]
 
 
-@dataclass
-class UserTicket:
-    """A pending user request; resolves when its batch verifies."""
-
-    user: str
-    txn_id: int
-    _resolved: bool = False
-    _accepted: bool = False
-    _outputs: tuple[int, ...] = ()
-    _reason: str = ""
-
-    @property
-    def resolved(self) -> bool:
-        return self._resolved
-
-    @property
-    def accepted(self) -> bool:
-        if not self._resolved:
-            raise ReproError("ticket not resolved yet; flush the proxy first")
-        return self._accepted
-
-    @property
-    def outputs(self) -> tuple[int, ...]:
-        if not self.accepted:
-            raise ReproError(f"batch rejected: {self._reason}")
-        return self._outputs
-
-    def _resolve(self, accepted: bool, outputs: tuple[int, ...], reason: str) -> None:
-        self._resolved = True
-        self._accepted = accepted
-        self._outputs = outputs
-        self._reason = reason
-
-
-@dataclass
-class _Pending:
-    ticket: UserTicket
-    txn: Transaction
-
-
 class ClientProxy:
-    """Batches user requests into verified Litmus rounds.
+    """Deprecated shim over :class:`LitmusSession` (warns once, delegates)."""
 
-    The proxy owns the transaction-id space (ids double as deterministic
-    priorities, so arrival order is the priority order) and the client-side
-    digest; ``flush()`` submits one verification batch and resolves every
-    ticket in it.
-    """
+    _warned = False
 
     def __init__(
         self,
@@ -77,47 +45,46 @@ class ClientProxy:
         client: LitmusClient,
         max_batch: int = 1024,
     ):
-        if max_batch < 1:
-            raise ReproError("batch capacity must be positive")
-        self.server = server
-        self.client = client
-        self.max_batch = max_batch
-        self._next_id = 1
-        self._pending: list[_Pending] = []
-        self.batches_verified = 0
-        self.batches_rejected = 0
+        if not ClientProxy._warned:
+            ClientProxy._warned = True
+            warnings.warn(
+                "ClientProxy is deprecated; use repro.core.session.LitmusSession "
+                "(session.submit(user, program, **params) / session.flush())",
+                LitmusDeprecationWarning,
+                stacklevel=2,
+            )
+        self._session = LitmusSession(server, client=client, max_batch=max_batch)
 
-    # -- user-facing API ---------------------------------------------------------
+    # -- the old surface, delegated ----------------------------------------------
 
-    def submit(self, user: str, program: Program, params: dict[str, int]) -> UserTicket:
-        """Enqueue one stored-procedure call on behalf of *user*."""
-        txn = Transaction(self._next_id, program, dict(params))
-        self._next_id += 1
-        ticket = UserTicket(user=user, txn_id=txn.txn_id)
-        self._pending.append(_Pending(ticket=ticket, txn=txn))
-        if len(self._pending) >= self.max_batch:
-            self.flush()
-        return ticket
+    @property
+    def server(self) -> LitmusServer:
+        return self._session.server
+
+    @property
+    def client(self) -> LitmusClient:
+        return self._session.client
+
+    @property
+    def max_batch(self) -> int:
+        return self._session.max_batch
 
     @property
     def queued(self) -> int:
-        return len(self._pending)
+        return self._session.queued
 
-    def flush(self) -> bool:
-        """Submit the queued batch; resolve every ticket.  True iff verified."""
-        if not self._pending:
-            return True
-        pending, self._pending = self._pending, []
-        txns = [entry.txn for entry in pending]
-        response = self.server.execute_batch(txns)
-        verdict = self.client.verify_response(txns, response)
-        if verdict.accepted:
-            self.batches_verified += 1
-            outputs = verdict.outputs or {}
-            for entry in pending:
-                entry.ticket._resolve(True, outputs.get(entry.txn.txn_id, ()), "")
-        else:
-            self.batches_rejected += 1
-            for entry in pending:
-                entry.ticket._resolve(False, (), verdict.reason)
-        return verdict.accepted
+    @property
+    def batches_verified(self) -> int:
+        return self._session.batches_verified
+
+    @property
+    def batches_rejected(self) -> int:
+        return self._session.batches_rejected
+
+    def submit(self, user: str, program: Program, params: dict[str, int]) -> UserTicket:
+        """Old signature: parameters as one positional dict."""
+        return self._session.submit(user, program, **params)
+
+    def flush(self) -> BatchResult:
+        """Flush the queued batch; truthy iff verified (see BatchResult)."""
+        return self._session.flush()

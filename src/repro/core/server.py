@@ -32,6 +32,8 @@ from ..db.database import Database
 from ..db.txn import Transaction
 from ..crypto.rsa_group import RSAGroup
 from ..errors import ReproError
+from ..obs.metrics import get_metrics
+from ..obs.spans import Span, Tracer, get_tracer
 from ..sim.costmodel import CostModel
 from ..sim.scheduler import ProverTask, schedule_tasks
 from ..vc.circuit import Circuit
@@ -40,7 +42,12 @@ from ..vc.snark import Groth16Simulator, SetupCache
 from ..vc.spotcheck import SpotCheckBackend
 from .config import LitmusConfig
 from .memory_integrity import MemoryIntegrityProvider
-from .protocol import PieceResult, ServerResponse, TimingReport
+from .protocol import (
+    PieceResult,
+    ServerResponse,
+    TimingReport,
+    measured_fields_from_spans,
+)
 from .wrapper import (
     CTX_OUTCOME,
     ReplayOutcome,
@@ -64,7 +71,12 @@ def _make_backend(name: str):
 
 @dataclass(frozen=True)
 class _PieceProof:
-    """Everything one prover worker produces for one circuit piece."""
+    """Everything one prover worker produces for one circuit piece.
+
+    Per-stage timing no longer lives here — the worker opens ``prove_piece``
+    / ``replay`` / ``setup`` / ``prove`` spans on the tracer and the server
+    derives every measured number from that span tree.
+    """
 
     circuit: Circuit
     outcome: ReplayOutcome
@@ -72,10 +84,6 @@ class _PieceProof:
     proof: object
     public_values: tuple[int, ...]
     constraints: int
-    replay_seconds: float
-    setup_seconds: float
-    prove_seconds: float
-    finished_at: float  # perf_counter timestamp of job completion
 
 
 class LitmusServer:
@@ -88,8 +96,12 @@ class LitmusServer:
         group: RSAGroup | None = None,
         cost_model: CostModel | None = None,
         invariants: tuple = (),
+        tracer: Tracer | None = None,
     ):
         self.config = config or LitmusConfig()
+        # All pipeline spans go here; defaults to the process-local tracer
+        # so CLI/benchmark exporters see every server in the process.
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.group = group or RSAGroup.generate(bits=512, seed=b"litmus-server")
         self.db = Database(
             initial=initial,
@@ -136,126 +148,137 @@ class LitmusServer:
         if len(txns_by_id) != len(txns):
             raise ReproError("duplicate transaction ids in the batch")
 
-        wall_start = perf_counter()
+        tracer = self.tracer
+        metrics = get_metrics()
         initial_digest = self.provider.digest
-        report = self.db.run(txns)
-        measured_db = perf_counter() - wall_start
-
-        cost_model = self._resolve_cost_model()
-        db_seconds = cost_model.db_seconds(
-            len(txns), self.config.cc, contention_factor=self._contention_factor(report)
-        )
-        trace_seconds = cost_model.trace_seconds(
-            report.stats.reads + report.stats.writes,
-            table_doublings=self.config.table_doublings,
-        )
-        size = self.config.batches_per_piece
-        num_pieces = max(1, -(-len(report.schedule) // size))
-        serial_per_piece = (db_seconds + trace_seconds) / num_pieces
-
-        # -- the pipeline: serial certification feeding concurrent provers --
-        pieces: list[WrappedPiece] = []
-        futures: list[Future] = []
-        certify_seconds = 0.0
-        circuit_seconds = 0.0
         dispatch_start: float | None = None
-        start_digest = initial_digest
-        buffer: list[WrappedUnit] = []
-
-        with ThreadPoolExecutor(
-            max_workers=self.config.num_provers, thread_name_prefix="litmus-prover"
-        ) as pool:
-
-            def flush_piece() -> None:
-                nonlocal start_digest, circuit_seconds, dispatch_start
-                chunk = tuple(buffer)
-                buffer.clear()
-                piece = WrappedPiece(
-                    piece_index=len(pieces), units=chunk, start_digest=start_digest
-                )
-                pieces.append(piece)
-                start_digest = _chunk_end_digest(chunk, start_digest)
-                begin = perf_counter()
-                circuit = build_wrapped_circuit(
-                    piece,
-                    txns_by_id,
-                    self.compiler,
-                    self.group,
-                    self.config.prime_bits,
-                    self.config.memcheck_constraints,
-                    aggregated=self.config.aggregation_enabled,
-                    invariants=self.invariants,
-                )
-                circuit_seconds += perf_counter() - begin
-                if dispatch_start is None:
-                    dispatch_start = perf_counter()
-                futures.append(
-                    pool.submit(self._prove_piece, piece, circuit, txns_by_id)
-                )
-
-            for unit in report.schedule:
-                begin = perf_counter()
-                read_cert, write_cert = self.provider.certify_unit(
-                    dict(unit.reads) if unit.reads else None,
-                    dict(unit.writes) if unit.writes else None,
-                )
-                certify_seconds += perf_counter() - begin
-                buffer.append(
-                    WrappedUnit(
-                        unit=unit,
-                        read_certificate=read_cert,
-                        write_certificate=write_cert,
-                    )
-                )
-                if len(buffer) == size:
-                    flush_piece()
-            if buffer:
-                flush_piece()
-
-            # Collect in piece order; worker exceptions re-raise here.
-            results: list[_PieceProof] = [future.result() for future in futures]
-
-        prove_wall = 0.0
-        if results and dispatch_start is not None:
-            prove_wall = max(r.finished_at for r in results) - dispatch_start
-
-        # -- assemble the response (identical to a serial run) ---------------
         piece_results: list[PieceResult] = []
         prover_tasks: list[ProverTask] = []
-        self.last_circuits.clear()
         total_constraints = 0
-        release = 0.0
-        for piece, result in zip(pieces, results):
-            total_constraints += result.constraints
-            release += serial_per_piece
-            prover_tasks.append(
-                ProverTask(
-                    cost_seconds=cost_model.piece_seconds(result.constraints),
-                    release_seconds=release,
-                    txn_count=len(piece.txn_ids()),
-                )
-            )
-            piece_results.append(
-                PieceResult(
-                    piece_index=piece.piece_index,
-                    txn_ids=piece.txn_ids(),
-                    unit_txn_ids=tuple(w.unit.txn_ids for w in piece.units),
-                    start_digest=piece.start_digest,
-                    end_digest=result.outcome.end_digest,
-                    all_commit=result.outcome.all_commit,
-                    outputs=result.outcome.outputs,
-                    public_values=result.public_values,
-                    proof=result.proof,
-                    verification_key=result.verification_key,
-                    circuit_signature=result.circuit.structural_hash(),
-                    constraints=result.constraints,
-                )
-            )
-            self.last_circuits[piece.piece_index] = (
-                result.circuit,
-                result.verification_key,
-            )
 
+        with tracer.span(
+            "batch", num_txns=len(txns), cc=self.config.cc
+        ) as batch_span:
+            with tracer.span("execute", cc=self.config.cc):
+                report = self.db.run(txns)
+
+            cost_model = self._resolve_cost_model()
+            db_seconds = cost_model.db_seconds(
+                len(txns),
+                self.config.cc,
+                contention_factor=self._contention_factor(report),
+            )
+            trace_seconds = cost_model.trace_seconds(
+                report.stats.reads + report.stats.writes,
+                table_doublings=self.config.table_doublings,
+            )
+            size = self.config.batches_per_piece
+            num_pieces = max(1, -(-len(report.schedule) // size))
+            serial_per_piece = (db_seconds + trace_seconds) / num_pieces
+
+            # -- the pipeline: serial certification feeding concurrent provers --
+            pieces: list[WrappedPiece] = []
+            futures: list[Future] = []
+            start_digest = initial_digest
+            buffer: list[WrappedUnit] = []
+
+            with ThreadPoolExecutor(
+                max_workers=self.config.num_provers, thread_name_prefix="litmus-prover"
+            ) as pool:
+
+                def flush_piece() -> None:
+                    nonlocal start_digest, dispatch_start
+                    chunk = tuple(buffer)
+                    buffer.clear()
+                    piece = WrappedPiece(
+                        piece_index=len(pieces), units=chunk, start_digest=start_digest
+                    )
+                    pieces.append(piece)
+                    start_digest = _chunk_end_digest(chunk, start_digest)
+                    with tracer.span(
+                        "build_circuit", piece=piece.piece_index
+                    ) as build_span:
+                        circuit = build_wrapped_circuit(
+                            piece,
+                            txns_by_id,
+                            self.compiler,
+                            self.group,
+                            self.config.prime_bits,
+                            self.config.memcheck_constraints,
+                            aggregated=self.config.aggregation_enabled,
+                            invariants=self.invariants,
+                        )
+                        build_span.set(constraints=circuit.total_constraints)
+                    if dispatch_start is None:
+                        dispatch_start = perf_counter()
+                    futures.append(
+                        pool.submit(
+                            self._prove_piece, piece, circuit, txns_by_id, batch_span
+                        )
+                    )
+
+                for unit_index, unit in enumerate(report.schedule):
+                    with tracer.span("certify_unit", unit=unit_index):
+                        read_cert, write_cert = self.provider.certify_unit(
+                            dict(unit.reads) if unit.reads else None,
+                            dict(unit.writes) if unit.writes else None,
+                        )
+                    buffer.append(
+                        WrappedUnit(
+                            unit=unit,
+                            read_certificate=read_cert,
+                            write_certificate=write_cert,
+                        )
+                    )
+                    if len(buffer) == size:
+                        flush_piece()
+                if buffer:
+                    flush_piece()
+
+                # Collect in piece order; worker exceptions re-raise here.
+                results: list[_PieceProof] = [future.result() for future in futures]
+
+            # -- assemble the response (identical to a serial run) ---------------
+            with tracer.span("respond", pieces=len(pieces)):
+                self.last_circuits.clear()
+                release = 0.0
+                for piece, result in zip(pieces, results):
+                    total_constraints += result.constraints
+                    release += serial_per_piece
+                    prover_tasks.append(
+                        ProverTask(
+                            cost_seconds=cost_model.piece_seconds(result.constraints),
+                            release_seconds=release,
+                            txn_count=len(piece.txn_ids()),
+                        )
+                    )
+                    piece_results.append(
+                        PieceResult(
+                            piece_index=piece.piece_index,
+                            txn_ids=piece.txn_ids(),
+                            unit_txn_ids=tuple(w.unit.txn_ids for w in piece.units),
+                            start_digest=piece.start_digest,
+                            end_digest=result.outcome.end_digest,
+                            all_commit=result.outcome.all_commit,
+                            outputs=result.outcome.outputs,
+                            public_values=result.public_values,
+                            proof=result.proof,
+                            verification_key=result.verification_key,
+                            circuit_signature=result.circuit.structural_hash(),
+                            constraints=result.constraints,
+                        )
+                    )
+                    self.last_circuits[piece.piece_index] = (
+                        result.circuit,
+                        result.verification_key,
+                    )
+            batch_span.set(pieces=len(pieces), constraints=total_constraints)
+
+        metrics.counter("server.batches").inc()
+        metrics.counter("server.pieces").inc(len(pieces))
+
+        # Every measured_* column of the report is a view over the span tree
+        # this batch just produced (see DESIGN.md "Observability").
         timing = self._timing(
             cost_model,
             len(txns),
@@ -263,15 +286,8 @@ class LitmusServer:
             trace_seconds,
             total_constraints,
             prover_tasks,
-            measured=dict(
-                measured_db_seconds=measured_db,
-                measured_certify_seconds=certify_seconds,
-                measured_circuit_seconds=circuit_seconds,
-                measured_replay_seconds=sum(r.replay_seconds for r in results),
-                measured_setup_seconds=sum(r.setup_seconds for r in results),
-                measured_prove_seconds=sum(r.prove_seconds for r in results),
-                measured_prove_wall_seconds=prove_wall,
-                measured_total_seconds=perf_counter() - wall_start,
+            measured=measured_fields_from_spans(
+                tracer.spans_in(batch_span.root_id), dispatch_start=dispatch_start
             ),
         )
         self.measured_cost_model = cost_model.recalibrated_from_measured(timing)
@@ -290,6 +306,7 @@ class LitmusServer:
         piece: WrappedPiece,
         circuit: Circuit,
         txns_by_id: Mapping[int, Transaction],
+        batch_span: Span | None = None,
     ) -> _PieceProof:
         """One piece's prover job: replay honestly, set up, prove.
 
@@ -297,34 +314,43 @@ class LitmusServer:
         pieces' jobs.  Everything here is a pure function of the piece (its
         certificates carry their own digest chain segment), so execution
         order across workers cannot change any output.
+
+        The worker thread has no span stack of its own, so the dispatching
+        batch span is passed explicitly and the ``prove_piece`` span (plus
+        its ``replay``/``setup``/``prove`` children) lands in the same tree
+        the dispatcher is building.
         """
-        t0 = perf_counter()
-        outcome = replay_piece(
-            piece,
-            txns_by_id,
-            self.compiler,
-            self.group,
-            self.config.prime_bits,
-            invariants=self.invariants,
-        )
-        t1 = perf_counter()
-        claimed = statement_hash(
-            piece.piece_index,
-            piece.start_digest,
-            outcome.end_digest,
-            outcome.all_commit,
-            outcome.outputs,
-        )
-        proving_key, verification_key = self._setup.setup(circuit)
-        t2 = perf_counter()
-        context = {CTX_OUTCOME: outcome, "claimed_statement": claimed}
-        proof, public_values = self.backend.prove(
-            proving_key,
-            circuit,
-            {"statement_lo": claimed[0], "statement_hi": claimed[1]},
-            context,
-        )
-        t3 = perf_counter()
+        tracer = self.tracer
+        with tracer.span(
+            "prove_piece", parent=batch_span, piece=piece.piece_index
+        ) as piece_span:
+            with tracer.span("replay", piece=piece.piece_index):
+                outcome = replay_piece(
+                    piece,
+                    txns_by_id,
+                    self.compiler,
+                    self.group,
+                    self.config.prime_bits,
+                    invariants=self.invariants,
+                )
+            claimed = statement_hash(
+                piece.piece_index,
+                piece.start_digest,
+                outcome.end_digest,
+                outcome.all_commit,
+                outcome.outputs,
+            )
+            with tracer.span("setup", piece=piece.piece_index):
+                proving_key, verification_key = self._setup.setup(circuit)
+            context = {CTX_OUTCOME: outcome, "claimed_statement": claimed}
+            with tracer.span("prove", piece=piece.piece_index):
+                proof, public_values = self.backend.prove(
+                    proving_key,
+                    circuit,
+                    {"statement_lo": claimed[0], "statement_hi": claimed[1]},
+                    context,
+                )
+            piece_span.set(constraints=circuit.total_constraints)
         return _PieceProof(
             circuit=circuit,
             outcome=outcome,
@@ -332,10 +358,6 @@ class LitmusServer:
             proof=proof,
             public_values=tuple(public_values),
             constraints=circuit.total_constraints,
-            replay_seconds=t1 - t0,
-            setup_seconds=t2 - t1,
-            prove_seconds=t3 - t2,
-            finished_at=t3,
         )
 
     # -- helpers ---------------------------------------------------------------

@@ -1,0 +1,286 @@
+"""The client-facing session API: one object, one surface.
+
+Before this module the client side of Litmus was three objects glued by the
+caller: a :class:`~repro.core.client.LitmusClient` (digest keeper /
+verifier), a ``ClientProxy`` (user batching), and raw
+:class:`~repro.db.txn.Transaction` construction.  :class:`LitmusSession`
+collapses them into the one facade applications use::
+
+    session = LitmusSession.create(initial=workload.initial_data(),
+                                   config=config, group=group)
+    ticket = session.submit("alice", PURCHASE, buyer=0, seller=1, price=120)
+    result = session.flush()          # a BatchResult, not a bare bool
+    assert result.accepted
+    print(ticket.outputs, result.timing.measured_breakdown())
+
+Design points:
+
+- ``submit`` takes the stored-procedure parameters as keyword arguments and
+  returns a :class:`UserTicket`; the session owns the transaction-id space
+  (ids double as deterministic priorities, so arrival order is priority
+  order) and the client-side digest;
+- ``flush`` drives one full verification round (server execution, proof
+  generation, client verification) and returns a typed, frozen
+  :class:`BatchResult` carrying acceptance, per-user outputs, the
+  :class:`~repro.core.protocol.TimingReport`, and a metrics snapshot from
+  :mod:`repro.obs`;
+- ``flush`` on an empty queue is a **documented no-op**: it returns
+  :meth:`BatchResult.empty` (accepted, zero transactions) without touching
+  the server — the regression the old ``ClientProxy.flush() -> bool``
+  surface made untestable;
+- ticket misuse raises the dedicated exceptions
+  :class:`~repro.errors.TicketUnresolvedError` and
+  :class:`~repro.errors.BatchRejectedError` instead of a generic
+  ``ReproError``.
+
+The old ``ClientProxy`` remains as a one-warning deprecation shim in
+:mod:`repro.core.proxy`, delegating everything to a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from ..crypto.rsa_group import RSAGroup
+from ..db.txn import Transaction
+from ..errors import BatchRejectedError, ReproError, TicketUnresolvedError
+from ..obs.exporters import Exporter
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.spans import Tracer, get_tracer
+from ..sim.costmodel import CostModel
+from ..vc.program import Program
+from .client import LitmusClient
+from .config import LitmusConfig
+from .protocol import TimingReport
+from .server import LitmusServer
+
+__all__ = ["BatchResult", "LitmusSession", "UserTicket"]
+
+
+@dataclass
+class UserTicket:
+    """A pending user request; resolves when its batch flushes.
+
+    Reading :attr:`accepted` before the flush raises
+    :class:`~repro.errors.TicketUnresolvedError`; reading :attr:`outputs`
+    of a rejected batch raises :class:`~repro.errors.BatchRejectedError`
+    carrying the client's rejection reason.
+    """
+
+    user: str
+    txn_id: int
+    _resolved: bool = False
+    _accepted: bool = False
+    _outputs: tuple[int, ...] = ()
+    _reason: str = ""
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def accepted(self) -> bool:
+        if not self._resolved:
+            raise TicketUnresolvedError(
+                f"ticket for txn {self.txn_id} ({self.user!r}) is not resolved "
+                "yet; call session.flush() first"
+            )
+        return self._accepted
+
+    @property
+    def outputs(self) -> tuple[int, ...]:
+        if not self.accepted:
+            raise BatchRejectedError(self._reason)
+        return self._outputs
+
+    @property
+    def reason(self) -> str:
+        """The rejection reason ("" while pending or when accepted)."""
+        return self._reason
+
+    def _resolve(self, accepted: bool, outputs: tuple[int, ...], reason: str) -> None:
+        self._resolved = True
+        self._accepted = accepted
+        self._outputs = outputs
+        self._reason = reason
+
+
+def _frozen_mapping(mapping: Mapping) -> Mapping:
+    return MappingProxyType(dict(mapping))
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Everything one ``session.flush()`` produced, as a typed value.
+
+    Stable, documented shape:
+
+    - ``accepted`` — the client's verdict (also this object's truthiness,
+      so ``assert session.flush()`` keeps working);
+    - ``reason`` — rejection reason, ``""`` when accepted;
+    - ``num_txns`` — transactions in the flushed batch (0 for the
+      empty-queue no-op);
+    - ``outputs`` — read-only ``{txn_id: (value, ...)}`` over the whole
+      batch (empty when rejected);
+    - ``user_outputs`` — read-only ``{user: ((value, ...), ...)}``, each
+      user's outputs in submission order (empty when rejected);
+    - ``tickets`` — the resolved :class:`UserTicket` objects of the batch;
+    - ``timing`` — the server's :class:`TimingReport` (``None`` for the
+      empty no-op);
+    - ``metrics`` — a :meth:`repro.obs.MetricsRegistry.snapshot` taken
+      right after verification (read-only mapping).
+    """
+
+    accepted: bool
+    reason: str = ""
+    num_txns: int = 0
+    outputs: Mapping[int, tuple[int, ...]] = field(
+        default_factory=lambda: _frozen_mapping({})
+    )
+    user_outputs: Mapping[str, tuple[tuple[int, ...], ...]] = field(
+        default_factory=lambda: _frozen_mapping({})
+    )
+    tickets: tuple[UserTicket, ...] = ()
+    timing: TimingReport | None = None
+    metrics: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=lambda: _frozen_mapping({})
+    )
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    @classmethod
+    def empty(cls) -> "BatchResult":
+        """The documented result of flushing an empty queue."""
+        return cls(accepted=True, reason="", num_txns=0)
+
+
+class LitmusSession:
+    """One coherent client surface over server + verifier + user batching."""
+
+    def __init__(
+        self,
+        server: LitmusServer,
+        client: LitmusClient | None = None,
+        max_batch: int = 1024,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        if max_batch < 1:
+            raise ReproError("batch capacity must be positive")
+        self.server = server
+        self.tracer = tracer if tracer is not None else server.tracer
+        self.registry = registry if registry is not None else get_metrics()
+        if client is None:
+            client = LitmusClient(
+                server.group,
+                server.digest,
+                config=server.config,
+                invariants=server.invariants,
+                tracer=self.tracer,
+            )
+        self.client = client
+        self.max_batch = max_batch
+        self._next_id = 1
+        self._pending: list[tuple[UserTicket, Transaction]] = []
+        self.batches_verified = 0
+        self.batches_rejected = 0
+
+    @classmethod
+    def create(
+        cls,
+        initial: Mapping[tuple, int] | None = None,
+        config: LitmusConfig | None = None,
+        group: RSAGroup | None = None,
+        cost_model: CostModel | None = None,
+        invariants: tuple = (),
+        max_batch: int = 1024,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "LitmusSession":
+        """Build a server + verifying client pair and wrap them in a session.
+
+        This is the quickstart path: one call replaces the old four-object
+        setup (group, server, client, proxy).
+        """
+        tracer = tracer if tracer is not None else get_tracer()
+        server = LitmusServer(
+            initial=initial,
+            config=config,
+            group=group,
+            cost_model=cost_model,
+            invariants=invariants,
+            tracer=tracer,
+        )
+        return cls(server, max_batch=max_batch, tracer=tracer, registry=registry)
+
+    # -- user-facing API ---------------------------------------------------------
+
+    @property
+    def digest(self) -> int:
+        """The client-side (verified) database digest."""
+        return self.client.digest
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)
+
+    def submit(self, user: str, program: Program, **params: int) -> UserTicket:
+        """Enqueue one stored-procedure call on behalf of *user*.
+
+        Parameters are keyword arguments (``session.submit("alice",
+        PURCHASE, buyer=0, price=120)``).  Reaching ``max_batch`` queued
+        requests flushes automatically.
+        """
+        txn = Transaction(self._next_id, program, dict(params))
+        self._next_id += 1
+        ticket = UserTicket(user=user, txn_id=txn.txn_id)
+        self._pending.append((ticket, txn))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    def flush(self) -> BatchResult:
+        """Drive one verification round over the queued requests.
+
+        Empty queue: a documented no-op returning :meth:`BatchResult.empty`
+        — accepted, ``num_txns == 0``, no server round-trip.
+        """
+        if not self._pending:
+            return BatchResult.empty()
+        pending, self._pending = self._pending, []
+        txns = [txn for _ticket, txn in pending]
+        response = self.server.execute_batch(txns)
+        verdict = self.client.verify_response(txns, response)
+        outputs = dict(verdict.outputs or {}) if verdict.accepted else {}
+        user_outputs: dict[str, list[tuple[int, ...]]] = {}
+        for ticket, txn in pending:
+            if verdict.accepted:
+                ticket._resolve(True, outputs.get(txn.txn_id, ()), "")
+                user_outputs.setdefault(ticket.user, []).append(ticket._outputs)
+            else:
+                ticket._resolve(False, (), verdict.reason)
+        if verdict.accepted:
+            self.batches_verified += 1
+        else:
+            self.batches_rejected += 1
+        return BatchResult(
+            accepted=verdict.accepted,
+            reason=verdict.reason,
+            num_txns=len(txns),
+            outputs=_frozen_mapping(outputs),
+            user_outputs=_frozen_mapping(
+                {user: tuple(values) for user, values in user_outputs.items()}
+            ),
+            tickets=tuple(ticket for ticket, _txn in pending),
+            timing=response.timing,
+            metrics=_frozen_mapping(self.registry.snapshot()),
+        )
+
+    # -- observability -----------------------------------------------------------
+
+    def export(self, exporter: Exporter) -> None:
+        """Push every finished span and the current metrics snapshot."""
+        exporter.export(self.tracer.finished(), self.registry.snapshot())

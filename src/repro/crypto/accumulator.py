@@ -22,11 +22,15 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..errors import CryptoError, ProofError
+from ..obs.metrics import get_metrics, timed
 from .cache import prime_product
 from .poe import PoEProof, prove_exponentiation, verify_exponentiation
 from .rsa_group import RSAGroup, bezout
 
 __all__ = ["RSAAccumulator", "NonMembershipWitness"]
+
+_WITNESS_SECONDS = get_metrics().histogram("accumulator.witness_seconds")
+_WITNESSES = get_metrics().counter("accumulator.witnesses")
 
 
 @dataclass(frozen=True)
@@ -85,10 +89,12 @@ class RSAAccumulator:
         element (with multiplicity respected: a prime queried twice must be
         accumulated at least twice).
         """
-        total = prime_product(primes)
-        if total < 1 or self._product % total != 0:
-            raise CryptoError("a queried prime is not in the accumulator")
-        return self.group.power(self.group.generator, self._product // total)
+        _WITNESSES.inc()
+        with timed(_WITNESS_SECONDS):
+            total = prime_product(primes)
+            if total < 1 or self._product % total != 0:
+                raise CryptoError("a queried prime is not in the accumulator")
+            return self.group.power(self.group.generator, self._product // total)
 
     @staticmethod
     def verify_membership(
@@ -101,10 +107,14 @@ class RSAAccumulator:
 
     def nonmembership_witness(self, prime_product: int) -> NonMembershipWitness:
         """Bezout witness that no prime dividing *prime_product* is accumulated."""
-        a, b, g = bezout(self._product, prime_product)
-        if g != 1:
-            raise CryptoError("an element of the queried set is in the accumulator")
-        return NonMembershipWitness(a=a, b=b)
+        _WITNESSES.inc()
+        with timed(_WITNESS_SECONDS):
+            a, b, g = bezout(self._product, prime_product)
+            if g != 1:
+                raise CryptoError(
+                    "an element of the queried set is in the accumulator"
+                )
+            return NonMembershipWitness(a=a, b=b)
 
     @staticmethod
     def verify_nonmembership(

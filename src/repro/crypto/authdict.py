@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..errors import CryptoError, ProofError
+from ..obs.metrics import get_metrics, timed
 from ..serialization import encode
 from .cache import cached_key_prime, cached_pair_representative, prime_product
 from .categorization import (
@@ -44,6 +45,11 @@ __all__ = [
 ]
 
 DEFAULT_PRIME_BITS = 128
+
+_LOOKUP_SECONDS = get_metrics().histogram("authdict.lookup_seconds")
+_UPDATE_SECONDS = get_metrics().histogram("authdict.update_seconds")
+_LOOKUPS = get_metrics().counter("authdict.lookups")
+_UPDATES = get_metrics().counter("authdict.updates")
 
 
 @dataclass(frozen=True)
@@ -168,15 +174,19 @@ class AuthenticatedDictionary:
 
     def prove_lookup(self, keys: Iterable[object]) -> LookupProof:
         """Aggregated proof that each queried key holds its current value."""
-        remaining = self._product
-        for key in keys:
-            if key not in self._store:
-                raise CryptoError(f"key {key!r} is not in the dictionary")
-            h = self._h(key, self._store[key])
-            if remaining % h != 0:
-                raise CryptoError("internal state corrupt: product mismatch")
-            remaining //= h
-        return LookupProof(witness=self.group.power(self.group.generator, remaining))
+        _LOOKUPS.inc()
+        with timed(_LOOKUP_SECONDS):
+            remaining = self._product
+            for key in keys:
+                if key not in self._store:
+                    raise CryptoError(f"key {key!r} is not in the dictionary")
+                h = self._h(key, self._store[key])
+                if remaining % h != 0:
+                    raise CryptoError("internal state corrupt: product mismatch")
+                remaining //= h
+            return LookupProof(
+                witness=self.group.power(self.group.generator, remaining)
+            )
 
     def ver_lookup(
         self,
@@ -239,22 +249,24 @@ class AuthenticatedDictionary:
         nothing to the proof exponent, matching the agreed-initial-value
         semantics of Section 6.1.1).
         """
-        existing = [key for key in changes if key in self._store]
-        proof = self.prove_lookup(existing)
-        for key in existing:
-            h_old = self._h(key, self._store[key])
-            self._product //= h_old
-        new_representatives = []
-        for key, value in changes.items():
-            new_representatives.append(self._h(key, value))
-            self._store[key] = value
-        roll_forward = prime_product(new_representatives)
-        self._product *= roll_forward
-        # d' = pi^(prod H(k, v_new)): the witness excludes exactly the old
-        # pairs of the changed keys, so raising it by the new pairs lands on
-        # g^S' without touching the rest of the dictionary.
-        self._digest = self.group.power(proof.witness, roll_forward)
-        return self._digest, proof
+        _UPDATES.inc()
+        with timed(_UPDATE_SECONDS):
+            existing = [key for key in changes if key in self._store]
+            proof = self.prove_lookup(existing)
+            for key in existing:
+                h_old = self._h(key, self._store[key])
+                self._product //= h_old
+            new_representatives = []
+            for key, value in changes.items():
+                new_representatives.append(self._h(key, value))
+                self._store[key] = value
+            roll_forward = prime_product(new_representatives)
+            self._product *= roll_forward
+            # d' = pi^(prod H(k, v_new)): the witness excludes exactly the old
+            # pairs of the changed keys, so raising it by the new pairs lands
+            # on g^S' without touching the rest of the dictionary.
+            self._digest = self.group.power(proof.witness, roll_forward)
+            return self._digest, proof
 
     def digest_after_update(
         self,

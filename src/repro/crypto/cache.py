@@ -34,6 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence
 
+from ..obs.metrics import get_metrics
 from ..serialization import encode
 from .pocklington import PocklingtonCertificate, build_certified_prime
 from .primes import hash_to_prime
@@ -95,6 +96,14 @@ class LRUCache:
         self.stats = CacheStats()
         self._data: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
+        # Mirror the per-cache stats into the process-local metrics registry
+        # (repro.obs) so exporters see cache behaviour without reaching into
+        # this module.  Handles are bound once; they survive registry resets.
+        metric = f"cache.{name or 'anonymous'}"
+        registry = get_metrics()
+        self._hits_counter = registry.counter(f"{metric}.hits")
+        self._misses_counter = registry.counter(f"{metric}.misses")
+        self._evictions_counter = registry.counter(f"{metric}.evictions")
 
     def __len__(self) -> int:
         with self._lock:
@@ -111,15 +120,21 @@ class LRUCache:
             if key in self._data:
                 self._data.move_to_end(key)
                 self.stats.hits += 1
+                self._hits_counter.inc()
                 return self._data[key]
             self.stats.misses += 1
+        self._misses_counter.inc()
         value = compute()
+        evicted = 0
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self.stats.evictions += 1
+                evicted += 1
+        if evicted:
+            self._evictions_counter.inc(evicted)
         return value
 
     def clear(self) -> None:

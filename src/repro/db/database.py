@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from ..errors import ConcurrencyError
+from ..obs.metrics import get_metrics
 from .detreserve import DeterministicReservationExecutor
 from .executor import ExecutionReport
 from .kvstore import KVStore
@@ -12,6 +13,10 @@ from .twopl import TwoPhaseLockingExecutor
 from .txn import Transaction
 
 __all__ = ["Database"]
+
+_COMMITTED = get_metrics().counter("db.committed")
+_ABORT_RETRIES = get_metrics().counter("db.aborted_retries")
+_RUNS = get_metrics().counter("db.runs")
 
 
 class Database:
@@ -40,8 +45,17 @@ class Database:
             raise ConcurrencyError(f"unknown concurrency control algorithm {cc!r}")
 
     def run(self, txns: Sequence[Transaction]) -> ExecutionReport:
-        """Execute *txns* to completion and return the full report."""
-        return self._executor.run(txns)
+        """Execute *txns* to completion and return the full report.
+
+        Publishes the CC outcome counters (commits, CC-level retries) to
+        the process-local metrics registry — the ``db.*`` rows every
+        exporter and Fig 8 contention run reads.
+        """
+        report = self._executor.run(txns)
+        _RUNS.inc()
+        _COMMITTED.inc(report.stats.committed)
+        _ABORT_RETRIES.inc(report.stats.aborted_retries)
+        return report
 
     def get(self, key: tuple) -> int:
         return self.store.get(key)

@@ -68,3 +68,36 @@ class WorkloadError(ReproError):
 
 class VerificationFailure(ReproError):
     """The client rejected a server response (proof or digest chain invalid)."""
+
+
+class ClientAPIError(ReproError):
+    """Misuse of the client-facing session surface (tickets, batches).
+
+    The consolidated root for everything :class:`repro.core.session`
+    raises, so applications embedding Litmus can separate "I used the API
+    wrong" (:class:`ClientAPIError`) from "the server misbehaved"
+    (:class:`VerificationFailure`) with two except clauses.
+    """
+
+
+class TicketUnresolvedError(ClientAPIError):
+    """A :class:`~repro.core.session.UserTicket` was read before its batch
+    flushed; call ``session.flush()`` first."""
+
+
+class BatchRejectedError(ClientAPIError):
+    """Outputs were requested from a ticket whose batch failed verification.
+
+    Carries the client's rejection reason as ``args[0]``; the paper's threat
+    model treats this as a detected server attack, not a user error, so it
+    is deliberately loud rather than a sentinel value.
+    """
+
+
+class LitmusDeprecationWarning(DeprecationWarning):
+    """A deprecated repro API was used (e.g. ``ClientProxy``).
+
+    A dedicated subclass so CI can turn *our own* deprecations into errors
+    (pytest ``filterwarnings = error::repro.errors.LitmusDeprecationWarning``)
+    without being hostage to third-party DeprecationWarnings.
+    """

@@ -1,0 +1,69 @@
+"""``repro.obs`` — zero-dependency tracing + metrics for the verify pipeline.
+
+The observability layer the rest of the system reports through:
+
+- :mod:`repro.obs.spans` — hierarchical wall-clock spans
+  (``with tracer.span("prove_piece", piece=i): ...``) with a process-local
+  default :class:`Tracer`;
+- :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  process-local :class:`MetricsRegistry` (``get_metrics()``);
+- :mod:`repro.obs.exporters` — no-op, JSON-lines, and console-summary
+  exporters plus the :func:`read_jsonl` round-trip reader.
+
+Span taxonomy of one verification batch (see DESIGN.md "Observability")::
+
+    batch                     one LitmusServer.execute_batch call
+    ├── execute               the normal DBMS run (CC layer)
+    ├── certify_unit*         serial memory-integrity certification
+    ├── build_circuit*        per-piece circuit construction (dispatcher)
+    ├── prove_piece*          per-piece prover job (pool worker thread)
+    │   ├── replay            honest re-execution -> witness context
+    │   ├── setup             trusted setup (or SetupCache hit)
+    │   └── prove             backend proof generation
+    └── respond               response assembly
+    verify                    one LitmusClient.verify_response call
+    └── verify_piece*         per-piece circuit match + proof check
+
+``TimingReport.measured_*`` is derived from exactly these spans.
+"""
+
+from .exporters import (
+    ConsoleSummaryExporter,
+    Exporter,
+    JsonLinesExporter,
+    NoopExporter,
+    export_all,
+    read_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    timed,
+)
+from .spans import Span, SpanRecord, Tracer, get_tracer, set_tracer, stage_totals
+
+__all__ = [
+    "ConsoleSummaryExporter",
+    "Counter",
+    "Exporter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "NoopExporter",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "export_all",
+    "get_metrics",
+    "get_tracer",
+    "read_jsonl",
+    "set_metrics",
+    "set_tracer",
+    "stage_totals",
+    "timed",
+]

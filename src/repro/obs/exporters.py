@@ -1,0 +1,130 @@
+"""Exporters: where spans and metric snapshots go.
+
+Three implementations, all sharing one two-method surface
+(:class:`Exporter`):
+
+- :class:`NoopExporter` — the default; observing costs nothing extra;
+- :class:`JsonLinesExporter` — one JSON object per line.  Span lines are
+  ``{"kind": "span", ...}`` (see ``SpanRecord.as_dict``), metric lines are
+  ``{"kind": "metric", "name": ..., "type": ..., ...}``.  The format is
+  append-friendly (two batches exported to the same path concatenate) and
+  round-trips through :func:`read_jsonl`;
+- :class:`ConsoleSummaryExporter` — a human-readable per-stage and
+  per-metric summary for terminals and benchmark logs.
+
+``benchmarks/check_metrics_schema.py`` validates emitted files against this
+format in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Iterable, Mapping, Protocol, Sequence, TextIO
+
+from .spans import SpanRecord, stage_totals
+
+__all__ = [
+    "Exporter",
+    "NoopExporter",
+    "JsonLinesExporter",
+    "ConsoleSummaryExporter",
+    "read_jsonl",
+]
+
+
+class Exporter(Protocol):
+    """Anything that can receive one export of spans + metrics."""
+
+    def export(
+        self,
+        spans: Sequence[SpanRecord],
+        metrics: Mapping[str, Mapping[str, Any]],
+    ) -> None: ...
+
+
+class NoopExporter:
+    """Discards everything (the zero-cost default)."""
+
+    def export(self, spans, metrics) -> None:
+        return None
+
+
+class JsonLinesExporter:
+    """Appends spans and metrics to a JSON-lines file.
+
+    Each call to :meth:`export` appends every span as its own line followed
+    by every metric as its own line; repeated exports append, so callers
+    exporting per batch get a chronological log.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def export(self, spans, metrics) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for record in spans:
+                handle.write(json.dumps(record.as_dict(), sort_keys=True))
+                handle.write("\n")
+            for snapshot in metrics.values():
+                line = {"kind": "metric"}
+                line.update(snapshot)
+                handle.write(json.dumps(line, sort_keys=True))
+                handle.write("\n")
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a JSON-lines export back into a list of dicts (round-trip)."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class ConsoleSummaryExporter:
+    """Human-readable summary: per-stage span totals, then metric values."""
+
+    def __init__(self, stream: TextIO | None = None):
+        self.stream = stream if stream is not None else sys.stdout
+
+    def export(self, spans, metrics) -> None:
+        write = self.stream.write
+        write("== observability summary ==\n")
+        totals = stage_totals(spans)
+        if totals:
+            write(f"-- spans ({len(spans)} finished) --\n")
+            width = max(len(name) for name in totals)
+            for name in sorted(totals, key=totals.get, reverse=True):
+                count = sum(1 for s in spans if s.name == name)
+                write(
+                    f"  {name:<{width}}  total {totals[name]:9.4f}s"
+                    f"  count {count}\n"
+                )
+        if metrics:
+            write(f"-- metrics ({len(metrics)}) --\n")
+            for name in sorted(metrics):
+                snap = metrics[name]
+                if snap.get("type") == "histogram":
+                    write(
+                        f"  {name}: count {snap['count']}"
+                        f" mean {snap['mean']:.6f}"
+                        f" p50 {snap['p50']:.6f} p95 {snap['p95']:.6f}\n"
+                    )
+                else:
+                    write(f"  {name}: {snap['value']}\n")
+
+
+def export_all(
+    exporters: Iterable[Exporter],
+    spans: Sequence[SpanRecord],
+    metrics: Mapping[str, Mapping[str, Any]],
+) -> None:
+    """Fan one (spans, metrics) export out to several exporters."""
+    for exporter in exporters:
+        exporter.export(spans, metrics)
+
+
+__all__.append("export_all")

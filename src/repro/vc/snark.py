@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence
 
 from ..errors import ProofError
+from ..obs.metrics import get_metrics, timed
 from ..serialization import encode
 from .circuit import Circuit
 
@@ -58,6 +59,17 @@ _key_counter = itertools.count()
 # the concurrent prover pool runs setup/prove/verify from worker threads.
 _AUTHORITY: dict[int, tuple[bytes, bytes]] = {}
 _AUTHORITY_LOCK = threading.Lock()
+
+# Observability handles (repro.obs): every backend reports through these, so
+# exporters see SNARK activity regardless of which backend a config picks.
+_OBS = get_metrics()
+_SETUP_SECONDS = _OBS.histogram("snark.setup_seconds")
+_PROVE_SECONDS = _OBS.histogram("snark.prove_seconds")
+_VERIFY_SECONDS = _OBS.histogram("snark.verify_seconds")
+_PROOFS_MINTED = _OBS.counter("snark.proofs")
+_PROOFS_VERIFIED = _OBS.counter("snark.verifies")
+_SETUP_CACHE_HITS = _OBS.counter("snark.setup_cache.hits")
+_SETUP_CACHE_MISSES = _OBS.counter("snark.setup_cache.misses")
 
 
 @dataclass(frozen=True)
@@ -140,11 +152,12 @@ class Groth16Simulator:
         count, matching the paper's note that "the key pair has a large
         size".
         """
-        key_id = next(_key_counter)
-        secret = os.urandom(32)
-        circuit_hash = circuit.structural_hash()
-        with _AUTHORITY_LOCK:
-            _AUTHORITY[key_id] = (secret, circuit_hash)
+        with timed(_SETUP_SECONDS):
+            key_id = next(_key_counter)
+            secret = os.urandom(32)
+            circuit_hash = circuit.structural_hash()
+            with _AUTHORITY_LOCK:
+                _AUTHORITY[key_id] = (secret, circuit_hash)
         proving_key = ProvingKey(
             key_id=key_id,
             circuit_hash=circuit_hash,
@@ -167,15 +180,17 @@ class Groth16Simulator:
         """
         if proving_key.circuit_hash != circuit.structural_hash():
             raise ProofError("proving key was generated for a different circuit")
-        witness = circuit.generate_witness(inputs, context)
-        public_values = [witness[i] for i in circuit.public_indices]
-        with _AUTHORITY_LOCK:
-            entry = _AUTHORITY.get(proving_key.key_id)
-        if entry is None:
-            raise ProofError("unknown proving key (no trusted setup ran)")
-        secret, registered_hash = entry
-        statement = _statement_hash(registered_hash, public_values)
-        payload = _expand_mac(secret, statement, self.proof_size)
+        with timed(_PROVE_SECONDS):
+            witness = circuit.generate_witness(inputs, context)
+            public_values = [witness[i] for i in circuit.public_indices]
+            with _AUTHORITY_LOCK:
+                entry = _AUTHORITY.get(proving_key.key_id)
+            if entry is None:
+                raise ProofError("unknown proving key (no trusted setup ran)")
+            secret, registered_hash = entry
+            statement = _statement_hash(registered_hash, public_values)
+            payload = _expand_mac(secret, statement, self.proof_size)
+        _PROOFS_MINTED.inc()
         return Proof(payload=payload, key_id=proving_key.key_id), public_values
 
     def verify(
@@ -185,16 +200,18 @@ class Groth16Simulator:
         proof: Proof,
     ) -> bool:
         """Constant-time verification of the 312-byte payload."""
-        with _AUTHORITY_LOCK:
-            entry = _AUTHORITY.get(verification_key.key_id)
-        if entry is None or proof.key_id != verification_key.key_id:
-            return False
-        secret, circuit_hash = entry
-        if circuit_hash != verification_key.circuit_hash:
-            return False
-        statement = _statement_hash(circuit_hash, public_values)
-        expected = _expand_mac(secret, statement, len(proof.payload))
-        return hmac.compare_digest(expected, proof.payload)
+        _PROOFS_VERIFIED.inc()
+        with timed(_VERIFY_SECONDS):
+            with _AUTHORITY_LOCK:
+                entry = _AUTHORITY.get(verification_key.key_id)
+            if entry is None or proof.key_id != verification_key.key_id:
+                return False
+            secret, circuit_hash = entry
+            if circuit_hash != verification_key.circuit_hash:
+                return False
+            statement = _statement_hash(circuit_hash, public_values)
+            expected = _expand_mac(secret, statement, len(proof.payload))
+            return hmac.compare_digest(expected, proof.payload)
 
 
 class SetupCache:
@@ -226,14 +243,17 @@ class SetupCache:
             cached = self._keys.get(structural)
             if cached is not None:
                 self.hits += 1
+                _SETUP_CACHE_HITS.inc()
                 return cached
         pair = self._backend.setup(circuit)
         with self._lock:
             winner = self._keys.setdefault(structural, pair)
             if winner is pair:
                 self.misses += 1
+                _SETUP_CACHE_MISSES.inc()
             else:
                 self.hits += 1
+                _SETUP_CACHE_HITS.inc()
         return winner
 
     def clear(self) -> None:

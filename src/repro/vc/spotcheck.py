@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..errors import ProofError
+from ..obs.metrics import get_metrics, timed
 from ..serialization import encode
 from .circuit import Circuit
 from .field import FIELD_PRIME
@@ -41,6 +42,15 @@ __all__ = ["SpotCheckBackend", "SpotCheckProof", "DEFAULT_CHALLENGES"]
 DEFAULT_CHALLENGES = 40
 
 _key_counter = itertools.count(1_000_000)
+
+# Same instrument names as the Groth16 simulator: get-or-create on the
+# process-local registry hands back the shared handles, so "snark.*" metrics
+# cover whichever backend the config selected.
+_OBS = get_metrics()
+_PROVE_SECONDS = _OBS.histogram("snark.prove_seconds")
+_VERIFY_SECONDS = _OBS.histogram("snark.verify_seconds")
+_PROOFS_MINTED = _OBS.counter("snark.proofs")
+_PROOFS_VERIFIED = _OBS.counter("snark.verifies")
 
 
 @dataclass(frozen=True)
@@ -106,6 +116,16 @@ class SpotCheckBackend:
     ) -> tuple[SpotCheckProof, Sequence[int]]:
         if proving_key.circuit_hash != circuit.structural_hash():
             raise ProofError("proving key was generated for a different circuit")
+        with timed(_PROVE_SECONDS):
+            return self._prove(proving_key, circuit, inputs, context)
+
+    def _prove(
+        self,
+        proving_key: ProvingKey,
+        circuit: Circuit,
+        inputs: Mapping[str, int],
+        context: dict | None = None,
+    ) -> tuple[SpotCheckProof, Sequence[int]]:
         witness = circuit.generate_witness(inputs, context)
         public_values = [witness[i] for i in circuit.public_indices]
         commitment = WitnessCommitment(witness)
@@ -129,6 +149,7 @@ class SpotCheckBackend:
             num_constraints=len(circuit.r1cs.constraints),
             key_id=proving_key.key_id,
         )
+        _PROOFS_MINTED.inc()
         return proof, public_values
 
     def verify(
@@ -146,6 +167,17 @@ class SpotCheckBackend:
         """
         if circuit is None:
             raise ProofError("spot-check verification requires the circuit")
+        _PROOFS_VERIFIED.inc()
+        with timed(_VERIFY_SECONDS):
+            return self._verify(verification_key, public_values, proof, circuit)
+
+    def _verify(
+        self,
+        verification_key: VerificationKey,
+        public_values: Sequence[int],
+        proof: SpotCheckProof,
+        circuit: Circuit,
+    ) -> bool:
         circuit_hash = circuit.structural_hash()
         if verification_key.circuit_hash != circuit_hash:
             return False

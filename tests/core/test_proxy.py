@@ -1,25 +1,41 @@
-"""Tests for the client proxy (multi-user batching)."""
+"""Tests for the deprecated client proxy shim (multi-user batching).
+
+``ClientProxy`` is now a deprecation shim over ``LitmusSession``; the suite
+runs with the repo's own deprecation warnings promoted to errors, so every
+construction here opts back in explicitly and asserts the warn-once
+behaviour on the way.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
 from repro.core import LitmusClient, LitmusConfig, LitmusServer
 from repro.core.proxy import ClientProxy
-from repro.errors import ReproError
+from repro.core.session import BatchResult
+from repro.errors import LitmusDeprecationWarning, ReproError
 
 from ..db.helpers import INCREMENT, READ_ONLY, TRANSFER
 
 PRIME_BITS = 64
 
 
+def _make_proxy(group, max_batch=16, processing_batch_size=8, initial=None):
+    config = LitmusConfig(
+        cc="dr", processing_batch_size=processing_batch_size, prime_bits=PRIME_BITS
+    )
+    server = LitmusServer(initial=initial or {}, config=config, group=group)
+    client = LitmusClient(group, server.digest, config=config)
+    ClientProxy._warned = False
+    with pytest.warns(LitmusDeprecationWarning, match="LitmusSession"):
+        return ClientProxy(server, client, max_batch=max_batch)
+
+
 @pytest.fixture()
 def proxy(group) -> ClientProxy:
-    config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
-    initial = {("acct", i): 100 for i in range(4)}
-    server = LitmusServer(initial=initial, config=config, group=group)
-    client = LitmusClient(group, server.digest, config=config)
-    return ClientProxy(server, client, max_batch=16)
+    return _make_proxy(group, initial={("acct", i): 100 for i in range(4)})
 
 
 class TestProxy:
@@ -40,10 +56,7 @@ class TestProxy:
         assert ticket.accepted
 
     def test_auto_flush_at_capacity(self, group):
-        config = LitmusConfig(cc="dr", processing_batch_size=4, prime_bits=PRIME_BITS)
-        server = LitmusServer(initial={}, config=config, group=group)
-        client = LitmusClient(group, server.digest, config=config)
-        proxy = ClientProxy(server, client, max_batch=3)
+        proxy = _make_proxy(group, max_batch=3, processing_batch_size=4)
         tickets = [proxy.submit(f"user{i}", INCREMENT, {"k": i}) for i in range(3)]
         # The third submit crossed the capacity: the batch flushed itself.
         assert proxy.queued == 0
@@ -63,5 +76,19 @@ class TestProxy:
         assert proxy.server.db.get(("row", 7)) == 3
 
     def test_empty_flush_is_noop(self, proxy):
-        assert proxy.flush()
+        result = proxy.flush()
+        assert result  # old bool contract survives BatchResult
+        assert isinstance(result, BatchResult) and result.num_txns == 0
         assert proxy.batches_verified == 0
+
+    def test_warns_exactly_once(self, group):
+        config = LitmusConfig(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+        server = LitmusServer(initial={}, config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        ClientProxy._warned = False
+        with pytest.warns(LitmusDeprecationWarning):
+            ClientProxy(server, client)
+        # A second construction stays silent (warn-once shim).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ClientProxy(server, client)

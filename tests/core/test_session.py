@@ -1,0 +1,167 @@
+"""Tests for the LitmusSession facade and the typed BatchResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BatchResult,
+    LitmusClient,
+    LitmusConfig,
+    LitmusServer,
+    LitmusSession,
+    UserTicket,
+)
+from repro.errors import BatchRejectedError, ReproError, TicketUnresolvedError
+from repro.obs import MetricsRegistry, Tracer
+
+from ..db.helpers import INCREMENT, READ_ONLY, TRANSFER
+
+PRIME_BITS = 64
+
+
+def _config(**overrides) -> LitmusConfig:
+    defaults = dict(cc="dr", processing_batch_size=8, prime_bits=PRIME_BITS)
+    defaults.update(overrides)
+    return LitmusConfig(**defaults)
+
+
+@pytest.fixture()
+def session(group) -> LitmusSession:
+    return LitmusSession.create(
+        initial={("acct", i): 100 for i in range(4)},
+        config=_config(),
+        group=group,
+        max_batch=16,
+        tracer=Tracer(),
+        registry=MetricsRegistry(),
+    )
+
+
+class TestSubmitFlush:
+    def test_tickets_resolve_after_flush(self, session):
+        a = session.submit("alice", TRANSFER, src=0, dst=1, amount=10)
+        b = session.submit("bob", READ_ONLY, k=1)
+        assert isinstance(a, UserTicket)
+        assert not a.resolved and session.queued == 2
+        result = session.flush()
+        assert result.accepted and isinstance(result, BatchResult)
+        assert a.resolved and b.resolved and a.accepted and b.accepted
+        assert a.outputs == (200,)
+
+    def test_result_outputs_and_user_outputs(self, session):
+        session.submit("alice", INCREMENT, k=1)
+        session.submit("alice", INCREMENT, k=1)
+        session.submit("bob", READ_ONLY, k=1)
+        result = session.flush()
+        assert result.num_txns == 3
+        assert set(result.outputs) == {1, 2, 3}
+        # alice's two increments, in submission order: read 0 then 1.
+        assert result.user_outputs["alice"] == ((0,), (1,))
+        assert result.user_outputs["bob"] == ((2,),)
+        assert len(result.tickets) == 3
+
+    def test_result_mappings_are_read_only(self, session):
+        session.submit("alice", INCREMENT, k=1)
+        result = session.flush()
+        with pytest.raises(TypeError):
+            result.outputs[99] = ()
+        with pytest.raises(TypeError):
+            result.user_outputs["mallory"] = ()
+
+    def test_result_carries_timing_and_metrics(self, group):
+        # Uses the process-default registry: the db/crypto layers bound
+        # their counters to it at import, so only its snapshots carry them.
+        session = LitmusSession.create(
+            initial={}, config=_config(), group=group, tracer=Tracer()
+        )
+        session.submit("alice", INCREMENT, k=1)
+        result = session.flush()
+        assert result.timing is not None
+        assert result.timing.num_txns == 1
+        breakdown = result.timing.breakdown()
+        assert list(breakdown) == [
+            "process_traces",
+            "circuit_generation",
+            "key_generation",
+            "proving",
+            "verification",
+            "proof_output",
+        ]
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert result.metrics["db.committed"]["value"] >= 1
+        assert result.metrics["server.batches"]["value"] >= 1
+
+    def test_auto_flush_at_capacity(self, group):
+        session = LitmusSession.create(
+            initial={},
+            config=_config(processing_batch_size=4),
+            group=group,
+            max_batch=3,
+            tracer=Tracer(),
+            registry=MetricsRegistry(),
+        )
+        tickets = [session.submit(f"user{i}", INCREMENT, k=i) for i in range(3)]
+        assert session.queued == 0
+        assert all(t.resolved and t.accepted for t in tickets)
+        assert session.batches_verified == 1
+
+    def test_multiple_rounds_share_digest_chain(self, session):
+        for _ in range(3):
+            session.submit("alice", INCREMENT, k=7)
+            assert session.flush()
+        assert session.batches_verified == 3
+        assert session.server.db.get(("row", 7)) == 3
+        assert session.digest == session.server.digest
+
+    def test_rejects_nonpositive_capacity(self, session):
+        with pytest.raises(ReproError):
+            LitmusSession(session.server, session.client, max_batch=0)
+
+
+class TestEmptyFlush:
+    def test_empty_flush_is_documented_noop(self, session):
+        """Regression: empty flush returns BatchResult.empty(), no round."""
+        digest_before = session.digest
+        result = session.flush()
+        assert result.accepted and bool(result)
+        assert result.num_txns == 0
+        assert result.timing is None
+        assert result.outputs == {} and result.tickets == ()
+        assert session.batches_verified == 0
+        assert session.digest == digest_before
+        # No server round happened: no batch counter movement either.
+        assert "server.batches" not in result.metrics or (
+            result.metrics["server.batches"]["value"] == 0
+        )
+
+
+class TestTicketErrors:
+    def test_unresolved_ticket_raises_typed_error(self, session):
+        ticket = session.submit("alice", INCREMENT, k=3)
+        with pytest.raises(TicketUnresolvedError):
+            _ = ticket.accepted
+        with pytest.raises(TicketUnresolvedError):
+            _ = ticket.outputs
+        # ...and the typed error still is a ReproError (old handlers work).
+        with pytest.raises(ReproError):
+            _ = ticket.accepted
+        session.flush()
+        assert ticket.accepted and ticket.reason == ""
+
+    def test_rejected_batch_raises_on_outputs(self, session, monkeypatch):
+        ticket = session.submit("alice", INCREMENT, k=3)
+        real_verify = session.client.verify_response
+
+        def tampered(txns, response):
+            verdict = real_verify(txns, response)
+            return type(verdict)(accepted=False, reason="injected failure")
+
+        monkeypatch.setattr(session.client, "verify_response", tampered)
+        result = session.flush()
+        assert not result and result.reason == "injected failure"
+        assert ticket.resolved and not ticket.accepted
+        assert ticket.reason == "injected failure"
+        with pytest.raises(BatchRejectedError, match="injected failure"):
+            _ = ticket.outputs
+        assert session.batches_rejected == 1

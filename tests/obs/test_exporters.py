@@ -1,0 +1,95 @@
+"""Unit tests for repro.obs exporters: JSONL round-trip, console summary."""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import (
+    ConsoleSummaryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    NoopExporter,
+    Tracer,
+    export_all,
+    read_jsonl,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _sample_data():
+    tracer = Tracer()
+    with tracer.span("batch", num_txns=2):
+        with tracer.span("execute"):
+            pass
+    registry = MetricsRegistry()
+    registry.counter("db.committed").inc(2)
+    registry.histogram("snark.prove_seconds").observe(0.25)
+    return tracer.finished(), registry.snapshot()
+
+
+class TestJsonLines:
+    def test_round_trip(self, tmp_path):
+        spans, metrics = _sample_data()
+        path = tmp_path / "obs.jsonl"
+        JsonLinesExporter(str(path)).export(spans, metrics)
+        records = read_jsonl(str(path))
+        span_lines = [r for r in records if r["kind"] == "span"]
+        metric_lines = [r for r in records if r["kind"] == "metric"]
+        assert [r["name"] for r in span_lines] == ["execute", "batch"]
+        assert span_lines[1]["attrs"] == {"num_txns": 2}
+        assert span_lines[0]["parent_id"] == span_lines[1]["span_id"]
+        by_name = {r["name"]: r for r in metric_lines}
+        assert by_name["db.committed"]["value"] == 2
+        assert by_name["snark.prove_seconds"]["count"] == 1
+
+    def test_appends_across_exports(self, tmp_path):
+        spans, metrics = _sample_data()
+        path = tmp_path / "obs.jsonl"
+        exporter = JsonLinesExporter(str(path))
+        exporter.export(spans, metrics)
+        exporter.export(spans, metrics)
+        assert len(read_jsonl(str(path))) == 2 * (len(spans) + len(metrics))
+
+    def test_output_passes_ci_schema_checker(self, tmp_path):
+        spans, metrics = _sample_data()
+        path = tmp_path / "obs.jsonl"
+        JsonLinesExporter(str(path)).export(spans, metrics)
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks/check_metrics_schema.py"), str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_schema_checker_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span", "name": ""}\n')
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks/check_metrics_schema.py"), str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "SCHEMA ERROR" in proc.stderr
+
+
+class TestConsoleSummary:
+    def test_summarizes_stages_and_metrics(self):
+        spans, metrics = _sample_data()
+        stream = io.StringIO()
+        ConsoleSummaryExporter(stream).export(spans, metrics)
+        text = stream.getvalue()
+        assert "batch" in text and "execute" in text
+        assert "db.committed: 2" in text
+        assert "snark.prove_seconds" in text
+
+
+def test_noop_and_fanout():
+    spans, metrics = _sample_data()
+    stream = io.StringIO()
+    export_all([NoopExporter(), ConsoleSummaryExporter(stream)], spans, metrics)
+    assert "observability summary" in stream.getvalue()

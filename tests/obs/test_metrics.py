@@ -1,0 +1,123 @@
+"""Unit tests for repro.obs metrics: instruments, registry, thread-safety."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, timed
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("db.committed")
+        c.inc(3)
+        assert c.snapshot() == {"name": "db.committed", "type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("queue.depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7.0
+        assert g.snapshot()["type"] == "gauge"
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("t")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert h.percentile(50) == pytest.approx(50, abs=1)
+        assert h.percentile(95) == pytest.approx(95, abs=1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("t").percentile(99) == 0.0
+
+    def test_snapshot_fields(self):
+        h = Histogram("snark.prove_seconds")
+        for v in (0.5, 1.5, 1.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(3.0)
+        assert snap["min"] == 0.5 and snap["max"] == 1.5
+        assert snap["mean"] == pytest.approx(1.0)
+        assert set(snap) >= {"p50", "p95", "p99"}
+
+    def test_window_bounds_samples_but_not_totals(self):
+        h = Histogram("t", maxsamples=4)
+        for v in range(10):
+            h.observe(v)
+        assert h.count == 10
+        assert h.sum == pytest.approx(sum(range(10)))
+        # Percentiles now only see the newest 4 samples (6..9).
+        assert h.percentile(0) == 6
+
+    def test_timed_observes_block(self):
+        h = Histogram("t")
+        with timed(h):
+            pass
+        assert h.count == 1 and h.sum >= 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_reset_keeps_handles_valid(self):
+        reg = MetricsRegistry()
+        c = reg.counter("cache.x.hits")
+        c.inc(7)
+        reg.reset()
+        assert c.value == 0
+        c.inc()  # the pre-reset handle still feeds the registry
+        assert reg.counter("cache.x.hits").value == 1
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2)
+        reg.histogram("c").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["b"] == {"name": "b", "type": "counter", "value": 1}
+
+    def test_thread_safety_under_prover_pool(self):
+        """Many workers hammering one counter + histogram: nothing lost."""
+        reg = MetricsRegistry()
+        counter = reg.counter("cache.hot.hits")
+        hist = reg.histogram("snark.prove_seconds")
+
+        def work(_: int) -> None:
+            for _ in range(200):
+                counter.inc()
+                hist.observe(0.001)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert counter.value == 8 * 200
+        assert hist.count == 8 * 200
+        assert hist.sum == pytest.approx(8 * 200 * 0.001)
