@@ -3,7 +3,8 @@
 
 Usage::
 
-    python benchmarks/check_metrics_schema.py FILE [FILE ...]
+    python benchmarks/check_metrics_schema.py FILE [FILE ...] \
+        [--require METRIC_NAME ...]
 
 Every line of every file must be a JSON object with ``kind`` either
 ``"span"`` or ``"metric"``:
@@ -15,6 +16,12 @@ Every line of every file must be a JSON object with ``kind`` either
   {``counter``, ``gauge``, ``histogram``}; counters/gauges need a numeric
   ``value`` (counters non-negative integers), histograms need numeric
   ``count``/``sum``/``min``/``max``/``mean``/``p50``/``p95``/``p99``.
+
+``--require NAME`` (repeatable) additionally demands that a metric with
+that exact name appears somewhere in the inputs — CI uses it to pin the
+documented fault/recovery metric names (``faults.injected``,
+``server.rollbacks``, ``session.resyncs``, ...) so a rename cannot slip
+through silently.
 
 Exit status 0 iff every line of every file validates and at least one
 record was seen; CI runs this against the ``--metrics-out``/``--trace-out``
@@ -82,7 +89,7 @@ def check_metric(record: dict, path: str, lineno: int, errors: list[str]) -> Non
         errors.append(_fail(path, lineno, "counter 'value' must be a non-negative int"))
 
 
-def check_file(path: str, errors: list[str]) -> int:
+def check_file(path: str, errors: list[str], metric_names: set[str]) -> int:
     seen = 0
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -108,23 +115,41 @@ def check_file(path: str, errors: list[str]) -> int:
             check_span(record, path, lineno, errors)
         elif kind == "metric":
             check_metric(record, path, lineno, errors)
+            if isinstance(record.get("name"), str):
+                metric_names.add(record["name"])
         else:
             errors.append(_fail(path, lineno, "'kind' must be 'span' or 'metric'"))
     return seen
 
 
 def main(argv: list[str]) -> int:
-    if not argv:
+    paths: list[str] = []
+    required: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--require":
+            name = next(it, None)
+            if name is None:
+                print("SCHEMA ERROR: --require needs a metric name", file=sys.stderr)
+                return 2
+            required.append(name)
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__, file=sys.stderr)
         return 2
     errors: list[str] = []
     total = 0
-    for path in argv:
-        count = check_file(path, errors)
+    metric_names: set[str] = set()
+    for path in paths:
+        count = check_file(path, errors, metric_names)
         total += count
         print(f"{path}: {count} record(s)")
     if total == 0:
         errors.append("no records found in any input file")
+    for name in required:
+        if name not in metric_names:
+            errors.append(f"required metric {name!r} missing from the inputs")
     if errors:
         for message in errors:
             print(f"SCHEMA ERROR: {message}", file=sys.stderr)

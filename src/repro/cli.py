@@ -20,6 +20,15 @@ rates, SNARK counters, db commit/abort totals, ...) as JSON lines after the
 command ran; ``--trace-out`` writes every finished span of the run.  Both
 files follow the format of :mod:`repro.obs.exporters` and are validated in
 CI by ``benchmarks/check_metrics_schema.py``.
+
+The adversarial demo runs the rejected-batch recovery story end-to-end::
+
+    python -m repro --faults [--fault-kind corrupt_proof] [--seed 7]
+
+It injects one fault into a real verification round (via
+:mod:`repro.faults`), shows the client rejecting, the server rolling back,
+``resync()`` re-deriving the trusted digest, and the retried batch
+verifying — exiting non-zero if any of that fails to happen.
 """
 
 from __future__ import annotations
@@ -136,6 +145,114 @@ _COMMANDS = {
     "elle": _elle,
 }
 
+_FAULT_KINDS = (
+    "corrupt_proof",
+    "tamper_statement",
+    "tamper_digest",
+    "drop_piece",
+    "reorder_pieces",
+    "bitflip_witness",
+    "kill_prover",
+    "drop_message",
+)
+
+
+def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
+    """One scripted adversarial run; returns (transcript, recovered)."""
+    from .core import LitmusConfig, LitmusSession, RetryPolicy
+    from .crypto.rsa_group import default_group
+    from .faults import (
+        BitFlipWitness,
+        CorruptProofPiece,
+        DropMessage,
+        DropPiece,
+        FaultPlan,
+        KillProver,
+        ReorderPieces,
+        TamperEndDigest,
+        TamperPublicStatement,
+    )
+    from .vc.program import (
+        Add,
+        Emit,
+        KeyTemplate,
+        Param,
+        Program,
+        ReadStmt,
+        ReadVal,
+        Sub,
+        WriteStmt,
+    )
+
+    transfer = Program(
+        name="transfer",
+        params=("src", "dst", "amount"),
+        statements=(
+            ReadStmt("s", KeyTemplate(("acct", Param("src")))),
+            ReadStmt("d", KeyTemplate(("acct", Param("dst")))),
+            WriteStmt(
+                KeyTemplate(("acct", Param("src"))),
+                Sub(ReadVal("s"), Param("amount")),
+            ),
+            WriteStmt(
+                KeyTemplate(("acct", Param("dst"))),
+                Add(ReadVal("d"), Param("amount")),
+            ),
+            Emit(Add(ReadVal("s"), ReadVal("d"))),
+        ),
+    )
+    injectors = {
+        "corrupt_proof": lambda: CorruptProofPiece(piece=0),
+        "tamper_statement": lambda: TamperPublicStatement(piece=0),
+        "tamper_digest": lambda: TamperEndDigest(piece=0),
+        "drop_piece": lambda: DropPiece(piece=0),
+        "reorder_pieces": lambda: ReorderPieces(),
+        "bitflip_witness": lambda: BitFlipWitness(unit=0, which="write"),
+        "kill_prover": lambda: KillProver(piece=0),
+        "drop_message": lambda: DropMessage(direction="response"),
+    }
+    plan = FaultPlan(injectors[kind](), seed=seed)
+    session = LitmusSession.create(
+        initial={("acct", i): 100 for i in range(8)},
+        config=LitmusConfig(
+            cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+        ),
+        group=default_group(bits=512),
+        retry_policy=RetryPolicy(max_attempts=3, backoff=0.0),
+        fault_plan=plan,
+    )
+    for i in range(6):
+        session.submit(f"user{i % 3}", transfer, src=i, dst=(i + 1) % 8, amount=5)
+    digest_before = session.digest
+    result = session.flush()
+
+    lines = [f"Adversarial run — fault kind {kind!r}, seed {seed}"]
+    for event in plan.events:
+        lines.append(f"  injected : {event.kind} at {event.stage} ({event.target})")
+    if not plan.events:
+        lines.append("  injected : nothing fired (fault target absent in this run)")
+    lines.append(
+        f"  detection: client rejected {session.batches_rejected} round(s); "
+        f"server rolled back, {session.resyncs} resync(s) re-derived the digest"
+    )
+    agree = session.digest == session.server.digest
+    lines.append(
+        f"  recovery : batch {'ACCEPTED' if result.accepted else 'REJECTED'} "
+        f"after {result.attempts} attempt(s)"
+    )
+    lines.append(
+        f"  digests  : client {session.digest:#x}"
+        f" {'==' if agree else '!='} server {session.server.digest:#x}"
+        f" (moved from {digest_before:#x})"
+    )
+    balance = sum(session.server.db.get(("acct", i)) for i in range(8))
+    lines.append(f"  oracle   : total balance conserved: {balance == 800}")
+    recovered = bool(
+        result.accepted and agree and plan.injected >= 1 and balance == 800
+    )
+    lines.append(f"  verdict  : {'RECOVERED' if recovered else 'FAILED'}")
+    return "\n".join(lines), recovered
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -144,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(_COMMANDS) + ["all"],
         help="which figure/table to regenerate",
     )
@@ -152,6 +270,24 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=800,
         help="size of the real scaled executions feeding the model",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the scripted adversarial demo (inject, reject, rollback, "
+        "resync, retry) instead of a figure",
+    )
+    parser.add_argument(
+        "--fault-kind",
+        choices=_FAULT_KINDS,
+        default="corrupt_proof",
+        help="which fault class the --faults demo injects",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed of the --faults demo's fault plan",
     )
     parser.add_argument(
         "--metrics-out",
@@ -166,6 +302,13 @@ def main(argv: list[str] | None = None) -> int:
         help="append every finished span of this run (JSON lines) to PATH",
     )
     args = parser.parse_args(argv)
+    if args.faults:
+        transcript, recovered = _faults_demo(args.fault_kind, args.seed)
+        print(transcript)
+        _export_observability(args.metrics_out, args.trace_out)
+        return 0 if recovered else 1
+    if args.experiment is None:
+        parser.error("an experiment (or --faults) is required")
     if args.experiment == "all":
         for name in ("constants", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "elle"):
             print(f"\n{'=' * 72}")

@@ -39,7 +39,7 @@ from .merkle_server import MerkleServerClient
 from .protocol import PieceResult, ServerResponse, TimingReport
 from .proxy import ClientProxy
 from .server import LitmusServer
-from .session import BatchResult, LitmusSession, UserTicket
+from .session import BatchResult, LitmusSession, RetryPolicy, UserTicket
 from .snapshot import restore_server, snapshot_server
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "restore_server",
     "snapshot_server",
     "ReadCertificate",
+    "RetryPolicy",
     "ServerResponse",
     "SumInvariant",
     "TimingReport",

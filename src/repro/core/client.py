@@ -162,6 +162,19 @@ class LitmusClient:
                 span.set(accepted=False, reason=str(failure))
                 metrics.counter("client.batches_rejected").inc()
                 return ClientVerdict(accepted=False, reason=str(failure))
+            except Exception as exc:
+                # A response malformed enough to crash the checks (foreign
+                # txn ids in unit compositions, garbage proof objects, ...)
+                # is an attack in this threat model, not a client bug — the
+                # docstring's "never raises on a bad server" must hold for
+                # arbitrary byte-level tampering, not just protocol-shaped
+                # deviations.
+                reason = (
+                    f"malformed server response ({exc.__class__.__name__}: {exc})"
+                )
+                span.set(accepted=False, reason=reason)
+                metrics.counter("client.batches_rejected").inc()
+                return ClientVerdict(accepted=False, reason=reason)
             span.set(accepted=True)
         metrics.counter("client.batches_accepted").inc()
         self.digest = response.final_digest

@@ -121,6 +121,19 @@ class MemoryIntegrityProvider:
         write_cert = self.apply_writes(dict(writes)) if writes else None
         return read_cert, write_cert
 
+    def state(self) -> tuple[dict, int, int]:
+        """Capture the provider's AD state for a later :meth:`restore`."""
+        return self._ad.state()
+
+    def restore(self, state: tuple[dict, int, int]) -> None:
+        """Rewind the provider to a previously captured state.
+
+        Used by the server's rejected-batch recovery: certificates minted
+        after the capture become invalid against the restored digest, which
+        is exactly the point — the rolled-back batch never happened.
+        """
+        self._ad.restore(state)
+
     @staticmethod
     def cache_stats() -> dict:
         """Hit/miss counters of the crypto hot-path caches feeding the AD."""

@@ -31,7 +31,7 @@ from typing import Mapping, Sequence
 from ..db.database import Database
 from ..db.txn import Transaction
 from ..crypto.rsa_group import RSAGroup
-from ..errors import ReproError
+from ..errors import ProofCorruptionDetected, ProverKilled, ReproError
 from ..obs.metrics import get_metrics
 from ..obs.spans import Span, Tracer, get_tracer
 from ..sim.costmodel import CostModel
@@ -97,8 +97,12 @@ class LitmusServer:
         cost_model: CostModel | None = None,
         invariants: tuple = (),
         tracer: Tracer | None = None,
+        fault_plan=None,
     ):
         self.config = config or LitmusConfig()
+        # Optional repro.faults.FaultPlan consulted at the certify and prove
+        # stages; None (the default) means an honest, reliable server.
+        self.fault_plan = fault_plan
         # All pipeline spans go here; defaults to the process-local tracer
         # so CLI/benchmark exporters see every server in the process.
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -129,6 +133,10 @@ class LitmusServer:
         # Cost model recalibrated from the last batch's measured wall-clock
         # (None until a batch ran); lets benchmarks report modeled vs real.
         self.measured_cost_model: CostModel | None = None
+        # Pre-batch state snapshot (store contents + provider AD state),
+        # captured at the top of every execute_batch so a rejected or
+        # crashed batch can be rolled back (see rollback()).
+        self._pre_batch: tuple[dict, tuple] | None = None
 
     @property
     def digest(self) -> int:
@@ -148,6 +156,52 @@ class LitmusServer:
         if len(txns_by_id) != len(txns):
             raise ReproError("duplicate transaction ids in the batch")
 
+        # Snapshot *before* any mutation: the store and the provider's AD
+        # state both move during a batch, and until the client has verified
+        # the response nothing is trusted.  A mid-batch failure rolls back
+        # here immediately; a client rejection rolls back via rollback().
+        snapshot = (self.db.snapshot(), self.provider.state())
+        self._pre_batch = snapshot
+        try:
+            return self._run_batch(txns, txns_by_id)
+        except Exception as exc:
+            self._restore(snapshot)
+            self._pre_batch = None
+            get_metrics().counter("server.rollbacks").inc()
+            if isinstance(exc, ProverKilled):
+                raise ProofCorruptionDetected(
+                    f"prover pipeline failed mid-batch: {exc}"
+                ) from exc
+            raise
+
+    def rollback(self) -> bool:
+        """Rewind to the snapshot taken before the last ``execute_batch``.
+
+        The rejected-batch recovery path: when the client refuses a
+        response, the optimistically applied writes and the advanced
+        provider digest must both be undone, otherwise every later batch
+        starts from a digest the client never accepted and fails
+        verification forever.  Returns True if state was restored; False
+        when there is nothing to roll back (no batch ran, or the last
+        batch already rolled itself back).
+        """
+        if self._pre_batch is None:
+            return False
+        with self.tracer.span("rollback"):
+            self._restore(self._pre_batch)
+        self._pre_batch = None
+        get_metrics().counter("server.rollbacks").inc()
+        return True
+
+    def _restore(self, snapshot: tuple[dict, tuple]) -> None:
+        store_contents, provider_state = snapshot
+        self.db.restore(store_contents)
+        self.provider.restore(provider_state)
+        self.last_circuits.clear()
+
+    def _run_batch(
+        self, txns: Sequence[Transaction], txns_by_id: Mapping[int, Transaction]
+    ) -> ServerResponse:
         tracer = self.tracer
         metrics = get_metrics()
         initial_digest = self.provider.digest
@@ -222,6 +276,10 @@ class LitmusServer:
                         read_cert, write_cert = self.provider.certify_unit(
                             dict(unit.reads) if unit.reads else None,
                             dict(unit.writes) if unit.writes else None,
+                        )
+                    if self.fault_plan is not None:
+                        read_cert, write_cert = self.fault_plan.on_certificates(
+                            unit_index, read_cert, write_cert
                         )
                     buffer.append(
                         WrappedUnit(
@@ -321,6 +379,11 @@ class LitmusServer:
         the dispatcher is building.
         """
         tracer = self.tracer
+        if self.fault_plan is not None:
+            # May raise ProverKilled: the worker dies, the dispatcher sees
+            # the exception at collection time, and execute_batch rolls the
+            # whole batch back.
+            self.fault_plan.on_prove(piece.piece_index)
         with tracer.span(
             "prove_piece", parent=batch_span, piece=piece.piece_index
         ) as piece_span:

@@ -28,10 +28,42 @@ Design points:
   :meth:`BatchResult.empty` (accepted, zero transactions) without touching
   the server — the regression the old ``ClientProxy.flush() -> bool``
   surface made untestable;
+- every non-empty flush — including the auto-flush ``submit`` triggers at
+  ``max_batch`` — records its result as :attr:`LitmusSession.last_result`,
+  so a rejected auto-flush is never silently discarded;
 - ticket misuse raises the dedicated exceptions
   :class:`~repro.errors.TicketUnresolvedError` and
   :class:`~repro.errors.BatchRejectedError` instead of a generic
   ``ReproError``.
+
+Recovery semantics (the robustness layer)
+-----------------------------------------
+
+A rejected batch is not the end of the conversation.  When a
+:class:`RetryPolicy` is configured, ``flush`` runs this loop per batch:
+
+1. **attempt** — send the batch (through the
+   :class:`~repro.faults.FaultPlan`, when one is injected), let the server
+   execute and prove it, verify the response;
+2. **reject → rollback** — if the client rejects (or the message/prover
+   layer failed), tell the server to rewind to its pre-batch snapshot, so
+   its store and provider digest return to the last state the client
+   actually verified;
+3. **resync** — replay the trusted command log (every *verified* batch
+   since the last checkpoint, see :mod:`repro.db.commandlog`) against the
+   checkpoint state and rebuild the server from the re-derived contents;
+   if the rebuilt digest disagrees with the client's verified digest the
+   divergence is unrecoverable and :class:`~repro.errors.ServerDesyncError`
+   is raised;
+4. **retry** — after ``RetryPolicy.delay(attempt)`` seconds of backoff,
+   re-submit the same transactions.  Exhausting ``max_attempts`` returns
+   the rejected :class:`BatchResult` (or raises
+   :class:`~repro.errors.RetryExhausted` when the policy says so).
+
+Without a policy the old single-shot behavior is preserved exactly, except
+that the server is still rolled back on rejection — the bug where a
+rejected batch left the server's digest permanently ahead of the client's
+(so every later batch failed verification forever) is gone either way.
 
 The old ``ClientProxy`` remains as a one-warning deprecation shim in
 :mod:`repro.core.proxy`, delegating everything to a session.
@@ -39,24 +71,66 @@ The old ``ClientProxy`` remains as a one-warning deprecation shim in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Mapping
 
 from ..crypto.rsa_group import RSAGroup
+from ..db.commandlog import decode_batch, encode_batch
+from ..db.database import Database
 from ..db.txn import Transaction
-from ..errors import BatchRejectedError, ReproError, TicketUnresolvedError
+from ..errors import (
+    BatchRejectedError,
+    MessageDropped,
+    ProofCorruptionDetected,
+    ReproError,
+    RetryExhausted,
+    ServerDesyncError,
+    TicketUnresolvedError,
+)
 from ..obs.exporters import Exporter
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.spans import Tracer, get_tracer
 from ..sim.costmodel import CostModel
 from ..vc.program import Program
-from .client import LitmusClient
+from .checkpoint import DigestLog
+from .client import ClientVerdict, LitmusClient
 from .config import LitmusConfig
-from .protocol import TimingReport
+from .protocol import ServerResponse, TimingReport
 from .server import LitmusServer
 
-__all__ = ["BatchResult", "LitmusSession", "UserTicket"]
+__all__ = ["BatchResult", "LitmusSession", "RetryPolicy", "UserTicket"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How ``flush`` handles a rejected or failed verification round.
+
+    - ``max_attempts`` — total tries per batch (1 = the old single-shot
+      behavior);
+    - ``backoff`` — base delay in seconds; attempt *n* waits
+      ``backoff * 2**(n-1)`` before retrying (0.0 = no waiting, the right
+      setting for tests and simulations);
+    - ``raise_on_exhaustion`` — when True, exhausting every attempt raises
+      :class:`~repro.errors.RetryExhausted` (after resolving tickets and
+      recording ``last_result``) instead of returning the rejected
+      :class:`BatchResult`.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+    raise_on_exhaustion: bool = False
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ReproError("max_attempts must be at least 1")
+        if self.backoff < 0:
+            raise ReproError("backoff must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number *attempt* (1-based)."""
+        return self.backoff * (2 ** (attempt - 1))
 
 
 @dataclass
@@ -122,13 +196,16 @@ class BatchResult:
     - ``reason`` — rejection reason, ``""`` when accepted;
     - ``num_txns`` — transactions in the flushed batch (0 for the
       empty-queue no-op);
+    - ``attempts`` — verification rounds this batch took (1 on the happy
+      path; > 1 means the retry policy recovered from rejections);
     - ``outputs`` — read-only ``{txn_id: (value, ...)}`` over the whole
       batch (empty when rejected);
     - ``user_outputs`` — read-only ``{user: ((value, ...), ...)}``, each
       user's outputs in submission order (empty when rejected);
     - ``tickets`` — the resolved :class:`UserTicket` objects of the batch;
     - ``timing`` — the server's :class:`TimingReport` (``None`` for the
-      empty no-op);
+      empty no-op and for batches whose final attempt produced no
+      response);
     - ``metrics`` — a :meth:`repro.obs.MetricsRegistry.snapshot` taken
       right after verification (read-only mapping).
     """
@@ -136,6 +213,7 @@ class BatchResult:
     accepted: bool
     reason: str = ""
     num_txns: int = 0
+    attempts: int = 1
     outputs: Mapping[int, tuple[int, ...]] = field(
         default_factory=lambda: _frozen_mapping({})
     )
@@ -167,9 +245,14 @@ class LitmusSession:
         max_batch: int = 1024,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        checkpoint_every: int = 64,
     ):
         if max_batch < 1:
             raise ReproError("batch capacity must be positive")
+        if checkpoint_every < 1:
+            raise ReproError("checkpoint interval must be positive")
         self.server = server
         self.tracer = tracer if tracer is not None else server.tracer
         self.registry = registry if registry is not None else get_metrics()
@@ -183,10 +266,30 @@ class LitmusSession:
             )
         self.client = client
         self.max_batch = max_batch
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.bind_registry(self.registry)
+            # The server consults the plan at the certify/prove stages.
+            server.fault_plan = fault_plan
+        self.checkpoint_every = checkpoint_every
         self._next_id = 1
         self._pending: list[tuple[UserTicket, Transaction]] = []
         self.batches_verified = 0
         self.batches_rejected = 0
+        self.retries = 0
+        self.resyncs = 0
+        # The most recent non-empty flush's result; the only way to observe
+        # a rejected auto-flush triggered by submit() reaching max_batch.
+        self.last_result: BatchResult | None = None
+        # Recovery anchors: the checkpoint state (trusted contents at the
+        # last checkpoint), the command log of verified batches since then,
+        # the program registry replay needs, and the hash-chained history
+        # of verified digests.
+        self._base_state: dict[tuple, int] = server.db.snapshot()
+        self._command_log: list[bytes] = []
+        self._programs: dict[str, Program] = {}
+        self.digest_log = DigestLog(self.client.digest)
 
     @classmethod
     def create(
@@ -199,6 +302,9 @@ class LitmusSession:
         max_batch: int = 1024,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        checkpoint_every: int = 64,
     ) -> "LitmusSession":
         """Build a server + verifying client pair and wrap them in a session.
 
@@ -214,7 +320,15 @@ class LitmusSession:
             invariants=invariants,
             tracer=tracer,
         )
-        return cls(server, max_batch=max_batch, tracer=tracer, registry=registry)
+        return cls(
+            server,
+            max_batch=max_batch,
+            tracer=tracer,
+            registry=registry,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            checkpoint_every=checkpoint_every,
+        )
 
     # -- user-facing API ---------------------------------------------------------
 
@@ -232,8 +346,11 @@ class LitmusSession:
 
         Parameters are keyword arguments (``session.submit("alice",
         PURCHASE, buyer=0, price=120)``).  Reaching ``max_batch`` queued
-        requests flushes automatically.
+        requests flushes automatically; the auto-flush's outcome lands in
+        :attr:`last_result` (and a rejected one resolves the tickets, so it
+        is observable either way).
         """
+        self._programs.setdefault(program.name, program)
         txn = Transaction(self._next_id, program, dict(params))
         self._next_id += 1
         ticket = UserTicket(user=user, txn_id=txn.txn_id)
@@ -247,29 +364,142 @@ class LitmusSession:
 
         Empty queue: a documented no-op returning :meth:`BatchResult.empty`
         — accepted, ``num_txns == 0``, no server round-trip.
+
+        With a :class:`RetryPolicy`, a rejected round triggers the recovery
+        loop documented in the module docstring (rollback → resync →
+        backoff → retry) before giving up.
         """
         if not self._pending:
             return BatchResult.empty()
         pending, self._pending = self._pending, []
         txns = [txn for _ticket, txn in pending]
-        response = self.server.execute_batch(txns)
+        policy = self.retry_policy or RetryPolicy(max_attempts=1)
+
+        attempt = 0
+        while True:
+            attempt += 1
+            verdict, reason, server_advanced, response = self._attempt_round(txns)
+            if verdict is not None and verdict.accepted:
+                return self._finish_accepted(
+                    pending, txns, verdict, response, attempt
+                )
+            self.batches_rejected += 1
+            self.registry.counter("session.rejections").inc()
+            if server_advanced:
+                # The server optimistically applied the batch; rewind it to
+                # the last client-verified state before anything else.
+                self.server.rollback()
+            if attempt >= policy.max_attempts:
+                result = self._finish_rejected(pending, txns, reason, attempt)
+                if policy.raise_on_exhaustion:
+                    raise RetryExhausted(reason, attempt)
+                return result
+            self.retries += 1
+            self.registry.counter("session.retries").inc()
+            delay = policy.delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            self.resync()
+
+    def resync(self) -> int:
+        """Re-derive a trusted server from the verified history.
+
+        Replays the command log of every verified batch since the last
+        checkpoint (:mod:`repro.db.commandlog` — determinism of the CC
+        algorithm makes the log sufficient) against the checkpoint state,
+        rebuilds the server (store *and* authenticated dictionary) from the
+        re-derived contents, and cross-checks the rebuilt digest against
+        the client's verified digest.  Agreement proves the recovery
+        produced exactly the state the client last accepted; disagreement
+        means the durable history itself has diverged and raises
+        :class:`~repro.errors.ServerDesyncError`.
+
+        Returns the re-derived digest (== ``self.digest``).
+        """
+        self.resyncs += 1
+        self.registry.counter("session.resyncs").inc()
+        config = self.server.config
+        with self.tracer.span("resync", batches=len(self._command_log)):
+            replayed = Database(
+                initial=self._base_state,
+                cc=config.cc,
+                processing_batch_size=config.processing_batch_size,
+                num_threads=config.num_db_threads,
+            )
+            for log in self._command_log:
+                replayed.run(decode_batch(log, self._programs))
+            rebuilt = LitmusServer(
+                initial=replayed.snapshot(),
+                config=config,
+                group=self.server.group,
+                cost_model=self.server.cost_model,
+                invariants=self.server.invariants,
+                tracer=self.tracer,
+                fault_plan=self.fault_plan,
+            )
+            if rebuilt.digest != self.client.digest:
+                self.registry.counter("session.resync_failures").inc()
+                raise ServerDesyncError(
+                    "replaying the verified command log does not reproduce the "
+                    f"client's digest (got {rebuilt.digest:#x}, expected "
+                    f"{self.client.digest:#x}); server history has diverged"
+                )
+        self.server = rebuilt
+        return rebuilt.digest
+
+    # -- the per-attempt round ---------------------------------------------------
+
+    def _attempt_round(
+        self, txns: list[Transaction]
+    ) -> tuple[ClientVerdict | None, str, bool, ServerResponse | None]:
+        """One request→execute→respond→verify round.
+
+        Returns ``(verdict, reason, server_advanced, response)`` where
+        *verdict* is None when no response reached the client and
+        *server_advanced* tells the caller whether the server applied the
+        batch and still holds that (unverified) state.
+        """
+        plan = self.fault_plan
+        try:
+            if plan is not None:
+                plan.on_request(txns)
+        except MessageDropped as exc:
+            return None, str(exc), False, None
+        try:
+            response = self.server.execute_batch(txns)
+        except (ProofCorruptionDetected, MessageDropped) as exc:
+            # execute_batch already rolled the server back before raising.
+            return None, str(exc), False, None
+        try:
+            if plan is not None:
+                response = plan.on_response(response)
+        except MessageDropped as exc:
+            return None, str(exc), True, None
         verdict = self.client.verify_response(txns, response)
-        outputs = dict(verdict.outputs or {}) if verdict.accepted else {}
+        return verdict, verdict.reason, not verdict.accepted, response
+
+    # -- outcome assembly --------------------------------------------------------
+
+    def _finish_accepted(
+        self,
+        pending: list[tuple[UserTicket, Transaction]],
+        txns: list[Transaction],
+        verdict: ClientVerdict,
+        response: ServerResponse,
+        attempts: int,
+    ) -> BatchResult:
+        outputs = dict(verdict.outputs or {})
         user_outputs: dict[str, list[tuple[int, ...]]] = {}
         for ticket, txn in pending:
-            if verdict.accepted:
-                ticket._resolve(True, outputs.get(txn.txn_id, ()), "")
-                user_outputs.setdefault(ticket.user, []).append(ticket._outputs)
-            else:
-                ticket._resolve(False, (), verdict.reason)
-        if verdict.accepted:
-            self.batches_verified += 1
-        else:
-            self.batches_rejected += 1
-        return BatchResult(
-            accepted=verdict.accepted,
-            reason=verdict.reason,
+            ticket._resolve(True, outputs.get(txn.txn_id, ()), "")
+            user_outputs.setdefault(ticket.user, []).append(ticket._outputs)
+        self.batches_verified += 1
+        self._record_verified(txns)
+        result = BatchResult(
+            accepted=True,
+            reason="",
             num_txns=len(txns),
+            attempts=attempts,
             outputs=_frozen_mapping(outputs),
             user_outputs=_frozen_mapping(
                 {user: tuple(values) for user, values in user_outputs.items()}
@@ -278,6 +508,45 @@ class LitmusSession:
             timing=response.timing,
             metrics=_frozen_mapping(self.registry.snapshot()),
         )
+        self.last_result = result
+        return result
+
+    def _finish_rejected(
+        self,
+        pending: list[tuple[UserTicket, Transaction]],
+        txns: list[Transaction],
+        reason: str,
+        attempts: int,
+    ) -> BatchResult:
+        for ticket, _txn in pending:
+            ticket._resolve(False, (), reason)
+        result = BatchResult(
+            accepted=False,
+            reason=reason,
+            num_txns=len(txns),
+            attempts=attempts,
+            tickets=tuple(ticket for ticket, _txn in pending),
+            timing=None,
+            metrics=_frozen_mapping(self.registry.snapshot()),
+        )
+        self.last_result = result
+        return result
+
+    def _record_verified(self, txns: list[Transaction]) -> None:
+        """Append the verified batch to the recovery anchors.
+
+        The digest log chains the newly verified digest; the command log
+        gains the batch (resync's replay input).  Every ``checkpoint_every``
+        verified batches the current store contents become the new
+        checkpoint and the log resets — a checkpoint is only *provisionally*
+        trusted: the next resync re-derives the digest from it and fails
+        loudly (``ServerDesyncError``) if it was tampered with.
+        """
+        self.digest_log.record(self.client.digest, len(txns))
+        self._command_log.append(encode_batch(txns))
+        if len(self._command_log) >= self.checkpoint_every:
+            self._base_state = self.server.db.snapshot()
+            self._command_log.clear()
 
     # -- observability -----------------------------------------------------------
 

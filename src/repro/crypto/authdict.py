@@ -154,6 +154,22 @@ class AuthenticatedDictionary:
     def snapshot(self) -> dict[object, object]:
         return dict(self._store)
 
+    def state(self) -> tuple[dict[object, object], int, int]:
+        """The complete mutable state ``(store, product, digest)``.
+
+        Cheap to take (one dict copy, two int references); feeding it back
+        to :meth:`restore` rewinds the dictionary exactly — the rollback
+        primitive the server's pre-batch snapshots are built on.
+        """
+        return dict(self._store), self._product, self._digest
+
+    def restore(self, state: tuple[dict[object, object], int, int]) -> None:
+        """Rewind to a state previously captured with :meth:`state`."""
+        store, product, digest = state
+        self._store = dict(store)
+        self._product = product
+        self._digest = digest
+
     # -- Commit (stateless) ------------------------------------------------------
 
     @classmethod

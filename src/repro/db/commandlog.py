@@ -19,7 +19,7 @@ import json
 import zlib
 from typing import Mapping, Sequence
 
-from ..errors import ReproError
+from ..errors import CommandLogError
 from ..vc.program import Program
 from .database import Database
 from .txn import Transaction
@@ -44,21 +44,44 @@ def encode_batch(txns: Sequence[Transaction]) -> bytes:
 def decode_batch(
     log: bytes, programs: Mapping[str, Program]
 ) -> list[Transaction]:
-    """Reconstruct the batch; *programs* registers the known templates."""
+    """Reconstruct the batch; *programs* registers the known templates.
+
+    Raises :class:`~repro.errors.CommandLogError` on any malformed input —
+    a truncated payload, corrupt compression, broken JSON, or entries with
+    missing fields.  The log is a recovery-critical artifact (``resync()``
+    replays it), so the codec's internal exceptions (``zlib.error``,
+    ``KeyError``, ``json.JSONDecodeError``) must not leak raw.
+    """
     if log[:4] != _MAGIC:
-        raise ReproError("not a Litmus command log")
-    entries = json.loads(zlib.decompress(log[4:]))
+        raise CommandLogError("not a Litmus command log")
+    try:
+        entries = json.loads(zlib.decompress(log[4:]))
+    except zlib.error as exc:
+        raise CommandLogError(f"corrupt command log payload: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CommandLogError(f"command log is not valid JSON: {exc}") from exc
+    if not isinstance(entries, list):
+        raise CommandLogError("command log payload must be a list of entries")
     txns: list[Transaction] = []
-    for entry in entries:
-        name = entry["p"]
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise CommandLogError(f"command log entry {index} is not an object")
+        try:
+            txn_id, name, params = entry["id"], entry["p"], entry["a"]
+        except KeyError as exc:
+            raise CommandLogError(
+                f"command log entry {index} is missing field {exc.args[0]!r}"
+            ) from exc
         if name not in programs:
-            raise ReproError(f"unknown stored procedure {name!r} in command log")
-        txns.append(
-            Transaction(
-                txn_id=entry["id"],
-                program=programs[name],
-                params=dict(entry["a"]),
+            raise CommandLogError(
+                f"unknown stored procedure {name!r} in command log"
             )
+        if not isinstance(params, dict):
+            raise CommandLogError(
+                f"command log entry {index} has malformed parameters"
+            )
+        txns.append(
+            Transaction(txn_id=txn_id, program=programs[name], params=dict(params))
         )
     return txns
 

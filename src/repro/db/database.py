@@ -69,5 +69,9 @@ class Database:
     def snapshot(self) -> dict[tuple, int]:
         return self.store.snapshot()
 
+    def restore(self, contents: Mapping[tuple, int]) -> None:
+        """Replace the store with *contents* (see :meth:`KVStore.restore`)."""
+        self.store.restore(contents)
+
     def __len__(self) -> int:
         return len(self.store)

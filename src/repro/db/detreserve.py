@@ -66,7 +66,9 @@ class DeterministicReservationExecutor:
         retry_counts: dict[int, int] = {}
         last_writer: dict[tuple, int | None] = {}
 
-        remaining: list[Transaction] = sorted(txns, key=lambda t: t.priority)
+        remaining: list[Transaction] = sorted(
+            txns, key=lambda t: (t.priority, t.txn_id)
+        )
         while remaining:
             batch = remaining[: self.processing_batch_size]
             committed_ids = self._round(
@@ -91,8 +93,13 @@ class DeterministicReservationExecutor:
         stats.rounds += 1
 
         # -- Reserve phase: execute everyone against the round snapshot. ----
+        # Reservations are keyed by (priority, txn_id), not bare priority:
+        # with two equal-priority writers of the same key, a bare-priority
+        # R[x] satisfies *both* commit checks and lets a write-write
+        # conflict into one "non-conflicting" batch.  The txn id (unique by
+        # construction) breaks ties deterministically.
         attempts: list[_Attempt] = []
-        reservations: dict[tuple, int] = {}  # R[x], smaller priority wins
+        reservations: dict[tuple, tuple[int, int]] = {}  # R[x], smaller wins
         for txn in batch:
             result = txn.program.execute(txn.params, self.store.get)
             attempt = _Attempt(
@@ -102,10 +109,11 @@ class DeterministicReservationExecutor:
                 outputs=result.outputs,
             )
             attempts.append(attempt)
+            rank = (txn.priority, txn.txn_id)
             for key, _value in attempt.writes:
                 current = reservations.get(key)
-                if current is None or txn.priority < current:
-                    reservations[key] = txn.priority
+                if current is None or rank < current:
+                    reservations[key] = rank
 
         # -- Commit phase -------------------------------------------------
         # A transaction commits iff it holds the reservation on every key it
@@ -120,15 +128,15 @@ class DeterministicReservationExecutor:
         # each other forever.
         committed: list[_Attempt] = []
         for attempt in attempts:
-            priority = attempt.txn.priority
+            rank = (attempt.txn.priority, attempt.txn.txn_id)
             write_keys = {key for key, _v in attempt.writes}
-            wins = all(reservations.get(key) == priority for key in write_keys)
+            wins = all(reservations.get(key) == rank for key in write_keys)
             if wins:
                 for key, _value in attempt.reads:
                     if key in write_keys:
                         continue
                     holder = reservations.get(key)
-                    if holder is not None and holder < priority:
+                    if holder is not None and holder < rank:
                         wins = False
                         break
             if wins:

@@ -41,3 +41,11 @@ class KVStore:
 
     def load(self, contents: Mapping[tuple, int]) -> None:
         self._data.update(contents)
+
+    def restore(self, contents: Mapping[tuple, int]) -> None:
+        """Replace the whole store with *contents* (rollback semantics).
+
+        Unlike :meth:`load`, keys absent from *contents* are removed —
+        restoring a snapshot must undo inserts, not merge over them.
+        """
+        self._data = dict(contents)

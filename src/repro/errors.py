@@ -70,6 +70,65 @@ class VerificationFailure(ReproError):
     """The client rejected a server response (proof or digest chain invalid)."""
 
 
+class CommandLogError(ReproError):
+    """A command log could not be decoded (truncated, corrupt, or foreign).
+
+    The command log is a recovery-critical artifact — ``resync()`` replays
+    it to re-derive a trusted digest — so decoding failures must be typed
+    and catchable rather than leaking ``zlib.error`` / ``KeyError`` /
+    ``json.JSONDecodeError`` from the codec internals.
+    """
+
+
+class FaultInjected(ReproError):
+    """Base class for failures raised *by* the fault-injection layer.
+
+    These model infrastructure misbehavior (a crashed prover worker, a
+    dropped message), not detected attacks: the recovery machinery is
+    expected to absorb them via rollback + retry.
+    """
+
+
+class ProverKilled(FaultInjected):
+    """A fault plan killed a prover-pool worker mid-batch."""
+
+
+class MessageDropped(FaultInjected):
+    """The (simulated) network dropped a client/server message."""
+
+
+class ProofCorruptionDetected(ReproError):
+    """The server's proving pipeline failed to produce a sound batch proof.
+
+    Raised by :meth:`repro.core.server.LitmusServer.execute_batch` after it
+    has rolled its own state back to the pre-batch snapshot — e.g. when a
+    prover worker died mid-batch.  The batch had no effect; callers may
+    retry it.
+    """
+
+
+class ServerDesyncError(ReproError):
+    """Client and server digests cannot be reconciled by ``resync()``.
+
+    Replaying the trusted command log from the last verified checkpoint
+    produced a digest that still disagrees with the client's — the server's
+    durable state (not just its in-memory digest) has diverged from the
+    verified history, which recovery cannot paper over.
+    """
+
+
+class RetryExhausted(ReproError):
+    """``LitmusSession.flush`` gave up after ``RetryPolicy.max_attempts``.
+
+    Carries the last rejection reason as ``args[0]``; the attempt count is
+    available as the ``attempts`` attribute.
+    """
+
+    def __init__(self, reason: str, attempts: int):
+        super().__init__(reason)
+        self.attempts = attempts
+
+
 class ClientAPIError(ReproError):
     """Misuse of the client-facing session surface (tickets, batches).
 

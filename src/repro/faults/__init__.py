@@ -1,0 +1,54 @@
+"""Fault injection for the Litmus pipeline (the robustness layer).
+
+Litmus's value proposition is surviving a *misbehaving* server (paper
+Sections 4 and 6.2), so its reproduction needs a first-class way to
+misbehave on purpose.  This package provides deterministic, seedable fault
+injectors — proof corruption, certificate/witness bit-flips, dropped and
+reordered proof pieces, prover-worker deaths, and message drops/delays via
+:mod:`repro.sim.network` — wired into the real server and session through a
+:class:`FaultPlan` hook, plus the recovery semantics the rest of the system
+builds on (see :mod:`repro.core.session` for ``RetryPolicy`` and
+``resync()``).
+
+Quickstart::
+
+    from repro.core import LitmusSession, RetryPolicy
+    from repro.faults import CorruptProofPiece, FaultPlan
+
+    plan = FaultPlan(CorruptProofPiece(piece=0), seed=7)
+    session = LitmusSession.create(
+        initial=data, fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=3, backoff=0.0),
+    )
+    session.submit("alice", TRANSFER, src=0, dst=1, amount=10)
+    result = session.flush()   # reject -> rollback -> resync -> retry -> OK
+    assert result.accepted and plan.injected == 1
+"""
+
+from .injectors import (
+    BitFlipWitness,
+    CorruptProofPiece,
+    DropMessage,
+    DropPiece,
+    KillProver,
+    NetworkFault,
+    ReorderPieces,
+    TamperEndDigest,
+    TamperPublicStatement,
+)
+from .plan import FaultEvent, FaultInjector, FaultPlan
+
+__all__ = [
+    "BitFlipWitness",
+    "CorruptProofPiece",
+    "DropMessage",
+    "DropPiece",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "KillProver",
+    "NetworkFault",
+    "ReorderPieces",
+    "TamperEndDigest",
+    "TamperPublicStatement",
+]

@@ -18,7 +18,14 @@ accesses), and this package converts counts into virtual seconds:
 
 from .clock import VirtualClock
 from .costmodel import CostModel
-from .network import NetworkModel
+from .network import NetworkModel, SimulatedChannel
 from .scheduler import ProverTask, schedule_tasks
 
-__all__ = ["CostModel", "NetworkModel", "ProverTask", "VirtualClock", "schedule_tasks"]
+__all__ = [
+    "CostModel",
+    "NetworkModel",
+    "ProverTask",
+    "SimulatedChannel",
+    "VirtualClock",
+    "schedule_tasks",
+]

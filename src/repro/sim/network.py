@@ -1,14 +1,22 @@
-"""Simulated client-server network latencies.
+"""Simulated client-server network latencies and message-level faults.
 
 The paper simulates "a thread sleep of 1 ms or 100 ms" for the interactive
-baselines; here the sleep is virtual time.
+baselines; here the sleep is virtual time.  :class:`SimulatedChannel` adds
+the message-level fault surface the robustness layer injects through:
+deterministic, seedable drops and extra delays on top of a base
+:class:`NetworkModel`.  Nothing actually sleeps — the channel *accounts*
+for latency and *raises* :class:`~repro.errors.MessageDropped` for drops,
+so tests and benchmarks stay fast and reproducible.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-__all__ = ["NetworkModel", "LAN", "WAN"]
+from ..errors import MessageDropped
+
+__all__ = ["NetworkModel", "SimulatedChannel", "LAN", "WAN"]
 
 
 @dataclass(frozen=True)
@@ -24,3 +32,60 @@ class NetworkModel:
 
 LAN = NetworkModel(rtt_seconds=1e-3)  # paper's 1 ms setting
 WAN = NetworkModel(rtt_seconds=100e-3)  # paper's 100 ms setting (LA -> Tokyo)
+
+
+class SimulatedChannel:
+    """A lossy, delaying message channel over a :class:`NetworkModel`.
+
+    Every :meth:`deliver` call charges the base round-trip cost, then —
+    driven by a private ``random.Random(seed)`` stream, so a given seed
+    always drops/delays the same message sequence —
+
+    - raises :class:`~repro.errors.MessageDropped` with probability
+      ``drop_probability`` (the message never arrives);
+    - otherwise adds ``extra_delay_seconds`` with probability
+      ``delay_probability``.
+
+    The channel keeps running totals (``delivered``, ``dropped``,
+    ``virtual_seconds``) so callers can report what the simulated network
+    did to them.
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel = LAN,
+        seed: int = 0,
+        drop_probability: float = 0.0,
+        delay_probability: float = 0.0,
+        extra_delay_seconds: float = 0.0,
+    ):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if not 0.0 <= delay_probability <= 1.0:
+            raise ValueError("delay_probability must be in [0, 1]")
+        self.model = model
+        self.drop_probability = drop_probability
+        self.delay_probability = delay_probability
+        self.extra_delay_seconds = extra_delay_seconds
+        self._rng = random.Random(seed)
+        self.delivered = 0
+        self.dropped = 0
+        self.virtual_seconds = 0.0
+
+    def deliver(self, payload_bytes: int = 0, label: str = "message") -> float:
+        """Account one message; returns its virtual latency in seconds.
+
+        Raises :class:`~repro.errors.MessageDropped` when the seeded stream
+        decides this message is lost (the latency of the lost attempt is
+        still charged to ``virtual_seconds`` — the sender waited for it).
+        """
+        latency = self.model.roundtrip(payload_bytes)
+        self.virtual_seconds += latency
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            raise MessageDropped(f"simulated network dropped {label}")
+        if self.delay_probability and self._rng.random() < self.delay_probability:
+            latency += self.extra_delay_seconds
+            self.virtual_seconds += self.extra_delay_seconds
+        self.delivered += 1
+        return latency

@@ -10,6 +10,7 @@ from repro.core import (
     LitmusConfig,
     LitmusServer,
     LitmusSession,
+    RetryPolicy,
     UserTicket,
 )
 from repro.errors import BatchRejectedError, ReproError, TicketUnresolvedError
@@ -164,4 +165,125 @@ class TestTicketErrors:
         assert ticket.reason == "injected failure"
         with pytest.raises(BatchRejectedError, match="injected failure"):
             _ = ticket.outputs
+        assert session.batches_rejected == 1
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff=-1.0)
+
+    def test_exponential_delay(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.5)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+        assert RetryPolicy().delay(5) == 0.0
+
+    def test_happy_path_is_one_attempt(self, session):
+        session.submit("alice", INCREMENT, k=1)
+        assert session.flush().attempts == 1
+
+    def test_transient_rejection_is_retried(self, group, monkeypatch):
+        session = LitmusSession.create(
+            initial={("acct", 0): 100},
+            config=_config(),
+            group=group,
+            registry=MetricsRegistry(),
+            retry_policy=RetryPolicy(max_attempts=3, backoff=0.0),
+        )
+        from repro.core.client import ClientVerdict
+
+        real_verify = session.client.verify_response
+        failures = iter([True])  # reject once, then behave
+
+        def flaky(txns, response):
+            # A true rejection never advances the client digest, so the
+            # failing attempt must not run the real (accepting) verifier.
+            if next(failures, False):
+                return ClientVerdict(accepted=False, reason="transient")
+            return real_verify(txns, response)
+
+        monkeypatch.setattr(session.client, "verify_response", flaky)
+        ticket = session.submit("alice", INCREMENT, k=0)
+        result = session.flush()
+        assert result.accepted
+        assert result.attempts == 2
+        assert session.retries == 1
+        assert session.resyncs == 1
+        assert ticket.accepted
+
+    def test_backoff_sleeps_between_attempts(self, group, monkeypatch):
+        import repro.core.session as session_module
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(session_module.time, "sleep", sleeps.append)
+        session = LitmusSession.create(
+            initial={("acct", 0): 100},
+            config=_config(),
+            group=group,
+            registry=MetricsRegistry(),
+            retry_policy=RetryPolicy(max_attempts=3, backoff=0.25),
+        )
+        monkeypatch.setattr(
+            session.client,
+            "verify_response",
+            lambda txns, response: session_module.ClientVerdict(
+                accepted=False, reason="always"
+            ),
+        )
+        session.submit("alice", INCREMENT, k=0)
+        result = session.flush()
+        assert not result.accepted and result.attempts == 3
+        assert sleeps == [0.25, 0.5]
+
+
+class TestLastResult:
+    def test_explicit_flush_records_last_result(self, session):
+        session.submit("alice", INCREMENT, k=1)
+        result = session.flush()
+        assert session.last_result is result
+
+    def test_auto_flush_result_is_recorded(self, group):
+        session = LitmusSession.create(
+            initial={("row", 1): 0},
+            config=_config(),
+            group=group,
+            max_batch=2,
+            registry=MetricsRegistry(),
+        )
+        session.submit("alice", INCREMENT, k=1)
+        assert session.last_result is None  # below capacity: nothing flushed
+        session.submit("bob", INCREMENT, k=1)
+        assert session.last_result is not None
+        assert session.last_result.accepted
+        assert session.last_result.num_txns == 2
+
+    def test_rejected_auto_flush_is_not_silently_discarded(
+        self, group, monkeypatch
+    ):
+        """Regression: submit()'s auto-flush used to drop its BatchResult,
+        making a rejected batch invisible to callers who never saw the
+        flush happen."""
+        session = LitmusSession.create(
+            initial={("row", 1): 0},
+            config=_config(),
+            group=group,
+            max_batch=1,
+            registry=MetricsRegistry(),
+        )
+        from repro.core.client import ClientVerdict
+
+        monkeypatch.setattr(
+            session.client,
+            "verify_response",
+            lambda txns, response: ClientVerdict(
+                accepted=False, reason="auto-flush rejection"
+            ),
+        )
+        ticket = session.submit("alice", INCREMENT, k=1)
+        assert session.last_result is not None
+        assert not session.last_result.accepted
+        assert session.last_result.reason == "auto-flush rejection"
+        assert ticket.resolved and not ticket.accepted
         assert session.batches_rejected == 1

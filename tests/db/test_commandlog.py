@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import json
+import zlib
+
 import pytest
 
 from repro.db.commandlog import decode_batch, encode_batch, replay
 from repro.db.database import Database
-from repro.errors import ReproError
+from repro.errors import CommandLogError, ReproError
 
 from .helpers import INCREMENT, TRANSFER, increment, transfer
 
@@ -37,6 +40,56 @@ class TestEncoding:
         log = encode_batch([increment(1, 1)])
         with pytest.raises(ReproError):
             decode_batch(log, {})
+
+
+class TestCorruptLogs:
+    """Regression: the codec's internal exceptions must not leak raw.
+
+    ``resync()`` replays these logs, so every malformed shape has to
+    surface as the typed :class:`CommandLogError` — never a bare
+    ``zlib.error``, ``json.JSONDecodeError``, or ``KeyError``.
+    """
+
+    def _encode(self, payload) -> bytes:
+        return b"LCL1" + zlib.compress(json.dumps(payload).encode())
+
+    def test_truncated_log(self):
+        log = encode_batch([increment(i, i) for i in range(1, 9)])
+        with pytest.raises(CommandLogError, match="corrupt command log"):
+            decode_batch(log[: len(log) // 2], PROGRAMS)
+
+    def test_bit_flipped_payload(self):
+        log = bytearray(encode_batch([transfer(1, 0, 1, 5)]))
+        log[10] ^= 0xFF  # inside the compressed stream
+        with pytest.raises(CommandLogError):
+            decode_batch(bytes(log), PROGRAMS)
+
+    def test_compressed_garbage_is_not_json(self):
+        log = b"LCL1" + zlib.compress(b"{not json")
+        with pytest.raises(CommandLogError, match="not valid JSON"):
+            decode_batch(log, PROGRAMS)
+
+    def test_payload_must_be_a_list(self):
+        with pytest.raises(CommandLogError, match="list of entries"):
+            decode_batch(self._encode({"id": 1}), PROGRAMS)
+
+    def test_entry_must_be_an_object(self):
+        with pytest.raises(CommandLogError, match="entry 0 is not an object"):
+            decode_batch(self._encode([42]), PROGRAMS)
+
+    def test_entry_missing_field(self):
+        entry = {"id": 1, "p": INCREMENT.name}  # no "a"
+        with pytest.raises(CommandLogError, match="missing field 'a'"):
+            decode_batch(self._encode([entry]), PROGRAMS)
+
+    def test_entry_malformed_params(self):
+        entry = {"id": 1, "p": INCREMENT.name, "a": [1, 2]}
+        with pytest.raises(CommandLogError, match="malformed parameters"):
+            decode_batch(self._encode([entry]), PROGRAMS)
+
+    def test_command_log_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            decode_batch(b"XXXX", PROGRAMS)
 
 
 class TestReplay:

@@ -7,8 +7,17 @@ from hypothesis import strategies as st
 
 from repro.db.detreserve import DeterministicReservationExecutor
 from repro.db.kvstore import KVStore
+from repro.db.txn import Transaction
 
-from .helpers import blind_write, increment, read_only, transfer
+from .helpers import BLIND_WRITE, INCREMENT, blind_write, increment, read_only, transfer
+
+
+class _SamePriority(Transaction):
+    """A transaction whose priority ignores its id (ties on purpose)."""
+
+    @property
+    def priority(self) -> int:
+        return 0
 
 
 class TestBasics:
@@ -135,6 +144,50 @@ class TestDeterminism:
         report = executor.run([increment(i, 9) for i in (5, 3, 8)])
         # Smallest id commits first.
         assert report.schedule[0].txn_ids == (3,)
+
+
+class TestDuplicatePriorities:
+    """Regression: reservations must tie-break by ``(priority, txn_id)``.
+
+    With ``R[x]`` keyed by bare priority, two equal-priority writers of the
+    same key each see "their own" reservation in the commit check, so a
+    write-write conflict lands inside one claimed-non-conflicting batch
+    (and read-modify-writes lose updates).
+    """
+
+    def test_equal_priority_blind_writers_never_share_a_batch(self):
+        store = KVStore()
+        executor = DeterministicReservationExecutor(store, processing_batch_size=8)
+        txns = [
+            _SamePriority(i, BLIND_WRITE, {"k": 1, "v": 100 + i}) for i in (1, 2, 3)
+        ]
+        report = executor.run(txns)
+        assert report.stats.committed == 3
+        # One writer of ("row", 1) per batch: three rounds of one.
+        assert [unit.txn_ids for unit in report.schedule] == [(1,), (2,), (3,)]
+        # Ties break by txn id, so the largest id writes last.
+        assert store.get(("row", 1)) == 103
+
+    def test_equal_priority_increments_lose_no_updates(self):
+        store = KVStore({("row", 1): 0})
+        executor = DeterministicReservationExecutor(store, processing_batch_size=8)
+        report = executor.run(
+            [_SamePriority(i, INCREMENT, {"k": 1}) for i in (1, 2, 3)]
+        )
+        # Under the bare-priority bug all three commit in round one, each
+        # having read 0 — the final value collapses to 1.
+        assert store.get(("row", 1)) == 3
+        assert report.stats.rounds == 3
+
+    def test_equal_priority_disjoint_writers_still_batch_together(self):
+        store = KVStore()
+        executor = DeterministicReservationExecutor(store, processing_batch_size=8)
+        report = executor.run(
+            [_SamePriority(i, BLIND_WRITE, {"k": i, "v": i}) for i in (1, 2, 3)]
+        )
+        # The tie-break must not cost parallelism on disjoint key sets.
+        assert report.stats.rounds == 1
+        assert report.schedule[0].txn_ids == (1, 2, 3)
 
 
 class TestEquivalenceToSerial:

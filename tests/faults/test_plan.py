@@ -1,0 +1,108 @@
+"""Unit tests for the fault-plan machinery (determinism, firing control)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MessageDropped
+from repro.faults import DropMessage, FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+
+class _Noisy(FaultInjector):
+    """Records every firing opportunity it wins."""
+
+    kind = "noisy"
+
+    def on_request(self, plan, txns):
+        if self._take(plan):
+            plan.record(self, "request", "noop")
+
+
+class TestFiringControl:
+    def test_one_shot_by_default(self):
+        plan = FaultPlan(_Noisy())
+        for _ in range(5):
+            plan.on_request([])
+        assert plan.injected == 1
+
+    def test_times_bounds_firings(self):
+        plan = FaultPlan(_Noisy(times=3))
+        for _ in range(10):
+            plan.on_request([])
+        assert plan.injected == 3
+
+    def test_unlimited_with_times_none(self):
+        plan = FaultPlan(_Noisy(times=None))
+        for _ in range(7):
+            plan.on_request([])
+        assert plan.injected == 7
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            _Noisy(times=0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            _Noisy(probability=0.0)
+        with pytest.raises(ValueError):
+            _Noisy(probability=1.5)
+
+
+class TestDeterminism:
+    def _fired_pattern(self, seed: int) -> list[bool]:
+        injector = _Noisy(times=None, probability=0.5)
+        plan = FaultPlan(injector, seed=seed)
+        pattern = []
+        for _ in range(32):
+            before = plan.injected
+            plan.on_request([])
+            pattern.append(plan.injected > before)
+        return pattern
+
+    def test_same_seed_same_schedule(self):
+        assert self._fired_pattern(7) == self._fired_pattern(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._fired_pattern(7) != self._fired_pattern(8)
+
+    def test_unconditional_injectors_never_touch_the_stream(self):
+        """An always-firing injector must not perturb the seeded stream."""
+        solo = FaultPlan(_Noisy(times=None, probability=0.5), seed=3)
+        mixed = FaultPlan(
+            _Noisy(times=None), _Noisy(times=None, probability=0.5), seed=3
+        )
+        solo_pattern, mixed_pattern = [], []
+        for _ in range(32):
+            a, b = solo.injected, mixed.injected
+            solo.on_request([])
+            mixed.on_request([])
+            solo_pattern.append(solo.injected - a)
+            # Subtract the unconditional injector's guaranteed firing.
+            mixed_pattern.append(mixed.injected - b - 1)
+        assert solo_pattern == mixed_pattern
+
+
+class TestRecording:
+    def test_events_and_counters(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan(_Noisy(times=2)).bind_registry(registry)
+        plan.on_request([])
+        plan.on_request([])
+        plan.on_request([])
+        assert plan.injected == 2
+        assert [e.kind for e in plan.events] == ["noisy", "noisy"]
+        assert [e.stage for e in plan.events] == ["request", "request"]
+        snap = registry.snapshot()
+        assert snap["faults.injected"]["value"] == 2
+        assert snap["faults.injected.noisy"]["value"] == 2
+
+    def test_drop_message_raises_and_records(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan(DropMessage(direction="request")).bind_registry(registry)
+        with pytest.raises(MessageDropped):
+            plan.on_request([1, 2, 3])
+        # One-shot: the retry goes through.
+        plan.on_request([1, 2, 3])
+        assert plan.injected == 1
+        assert registry.snapshot()["faults.injected.drop_message"]["value"] == 1
