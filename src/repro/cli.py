@@ -29,6 +29,17 @@ It injects one fault into a real verification round (via
 :mod:`repro.faults`), shows the client rejecting, the server rolling back,
 ``resync()`` re-deriving the trusted digest, and the retried batch
 verifying — exiting non-zero if any of that fails to happen.
+
+The crash-recovery demo does the same for the durability layer::
+
+    python -m repro --recover /tmp/litmus-crash-demo [--seed 7]
+
+It runs a durable session into an injected mid-run crash
+(:class:`~repro.faults.CrashPoint`), tears the WAL tail
+(:class:`~repro.faults.TornWrite`), then restarts via
+``LitmusSession.recover`` and prints the digest cross-check — exiting
+non-zero unless every acknowledged batch survived and the rebuilt digest
+matches the journaled one.
 """
 
 from __future__ import annotations
@@ -157,21 +168,8 @@ _FAULT_KINDS = (
 )
 
 
-def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
-    """One scripted adversarial run; returns (transcript, recovered)."""
-    from .core import LitmusConfig, LitmusSession, RetryPolicy
-    from .crypto.rsa_group import default_group
-    from .faults import (
-        BitFlipWitness,
-        CorruptProofPiece,
-        DropMessage,
-        DropPiece,
-        FaultPlan,
-        KillProver,
-        ReorderPieces,
-        TamperEndDigest,
-        TamperPublicStatement,
-    )
+def _demo_transfer():
+    """The bank-transfer stored procedure both demos run."""
     from .vc.program import (
         Add,
         Emit,
@@ -184,7 +182,7 @@ def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
         WriteStmt,
     )
 
-    transfer = Program(
+    return Program(
         name="transfer",
         params=("src", "dst", "amount"),
         statements=(
@@ -201,6 +199,30 @@ def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
             Emit(Add(ReadVal("s"), ReadVal("d"))),
         ),
     )
+
+
+_DEMO_CONFIG = dict(
+    cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+)
+
+
+def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
+    """One scripted adversarial run; returns (transcript, recovered)."""
+    from .core import LitmusConfig, LitmusSession, RetryPolicy
+    from .crypto.rsa_group import default_group
+    from .faults import (
+        BitFlipWitness,
+        CorruptProofPiece,
+        DropMessage,
+        DropPiece,
+        FaultPlan,
+        KillProver,
+        ReorderPieces,
+        TamperEndDigest,
+        TamperPublicStatement,
+    )
+
+    transfer = _demo_transfer()
     injectors = {
         "corrupt_proof": lambda: CorruptProofPiece(piece=0),
         "tamper_statement": lambda: TamperPublicStatement(piece=0),
@@ -214,9 +236,7 @@ def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
     plan = FaultPlan(injectors[kind](), seed=seed)
     session = LitmusSession.create(
         initial={("acct", i): 100 for i in range(8)},
-        config=LitmusConfig(
-            cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
-        ),
+        config=LitmusConfig(**_DEMO_CONFIG),
         group=default_group(bits=512),
         retry_policy=RetryPolicy(max_attempts=3, backoff=0.0),
         fault_plan=plan,
@@ -254,6 +274,83 @@ def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
     return "\n".join(lines), recovered
 
 
+def _recover_demo(directory: str, seed: int) -> tuple[str, bool]:
+    """Crash a durable run mid-flight, tear the WAL, restart, recover."""
+    import os
+
+    from .core import DurabilityConfig, LitmusConfig, LitmusSession
+    from .crypto.rsa_group import default_group
+    from .errors import SimulatedCrash
+    from .faults import CrashPoint, FaultPlan, TornWrite
+
+    if os.path.isdir(directory) and os.listdir(directory):
+        return (
+            f"refusing to run the crash demo in non-empty directory "
+            f"{directory!r}; point --recover at a fresh path",
+            False,
+        )
+
+    transfer = _demo_transfer()
+    group = default_group(bits=512)
+    lines = [f"Crash-recovery run — directory {directory!r}, seed {seed}"]
+
+    # Phase 1: a durable deployment that dies mid-run.  The crash fires at
+    # the after-log stage of the third batch: its record is on the platter,
+    # the acknowledgement never happens.
+    plan = FaultPlan(CrashPoint("after-log", skip=2), seed=seed)
+    session = LitmusSession.create(
+        initial={("acct", i): 100 for i in range(8)},
+        config=LitmusConfig(**_DEMO_CONFIG),
+        group=group,
+        fault_plan=plan,
+        durability=DurabilityConfig(directory=directory),
+        checkpoint_every=2,
+    )
+    acked_digests: list[int] = []
+    try:
+        for i in range(6):
+            session.submit(f"user{i % 3}", transfer, src=i, dst=(i + 1) % 8, amount=5)
+            assert session.flush().accepted
+            acked_digests.append(session.digest)
+    except SimulatedCrash as exc:
+        lines.append(f"  crash    : {exc}")
+    else:
+        return "\n".join(lines + ["  crash    : never fired — FAILED"]), False
+    lines.append(f"  acked    : {len(acked_digests)} batch(es) acknowledged pre-crash")
+
+    # Phase 2: the crash left a partial record behind (torn write).
+    lines.append(f"  damage   : {TornWrite().apply(directory)}")
+
+    # Phase 3: a fresh process recovers from the directory alone.
+    recovered_session = LitmusSession.recover(directory, [transfer], group=group)
+    report = recovered_session.recovery_report
+    lines.append(
+        f"  recovery : checkpoint seq {report.checkpoint_seq}, replayed "
+        f"{report.replayed_batches} batch(es), repaired {report.truncations} "
+        f"torn tail(s) ({report.truncated_bytes} bytes) in "
+        f"{report.duration_seconds:.3f}s"
+    )
+    digest_ok = (
+        not acked_digests or acked_digests[-1] == recovered_session.digest
+    )
+    lines.append(
+        f"  digests  : rebuilt {recovered_session.digest:#x} "
+        f"{'==' if digest_ok else '!='} last acknowledged "
+        f"{(acked_digests[-1] if acked_digests else recovered_session.digest):#x}"
+    )
+
+    # Phase 4: liveness — the recovered deployment keeps verifying.
+    recovered_session.submit("user0", transfer, src=0, dst=1, amount=5)
+    liveness = recovered_session.flush().accepted
+    balance = sum(recovered_session.server.db.get(("acct", i)) for i in range(8))
+    recovered_session.close()
+    lines.append(f"  liveness : post-recovery batch {'ACCEPTED' if liveness else 'REJECTED'}")
+    lines.append(f"  oracle   : total balance conserved: {balance == 800}")
+    verdict = bool(digest_ok and liveness and balance == 800 and acked_digests)
+    lines.append(f"  verdict  : {'RECOVERED' if verdict else 'FAILED'}")
+    return "\n".join(lines), verdict
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -284,10 +381,17 @@ def main(argv: list[str] | None = None) -> int:
         help="which fault class the --faults demo injects",
     )
     parser.add_argument(
+        "--recover",
+        metavar="DIR",
+        default=None,
+        help="run the crash-recovery demo (durable session, injected crash, "
+        "torn WAL tail, restart + recover) in a fresh directory DIR",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=7,
-        help="seed of the --faults demo's fault plan",
+        help="seed of the --faults / --recover demo's fault plan",
     )
     parser.add_argument(
         "--metrics-out",
@@ -307,8 +411,13 @@ def main(argv: list[str] | None = None) -> int:
         print(transcript)
         _export_observability(args.metrics_out, args.trace_out)
         return 0 if recovered else 1
+    if args.recover:
+        transcript, recovered = _recover_demo(args.recover, args.seed)
+        print(transcript)
+        _export_observability(args.metrics_out, args.trace_out)
+        return 0 if recovered else 1
     if args.experiment is None:
-        parser.error("an experiment (or --faults) is required")
+        parser.error("an experiment (or --faults / --recover) is required")
     if args.experiment == "all":
         for name in ("constants", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "elle"):
             print(f"\n{'=' * 72}")

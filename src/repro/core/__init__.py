@@ -39,7 +39,14 @@ from .merkle_server import MerkleServerClient
 from .protocol import PieceResult, ServerResponse, TimingReport
 from .proxy import ClientProxy
 from .server import LitmusServer
-from .session import BatchResult, LitmusSession, RetryPolicy, UserTicket
+from .session import (
+    BatchResult,
+    DurabilityConfig,
+    LitmusSession,
+    RecoveryReport,
+    RetryPolicy,
+    UserTicket,
+)
 from .snapshot import restore_server, snapshot_server
 
 __all__ = [
@@ -49,6 +56,7 @@ __all__ = [
     "ClientProxy",
     "ClientVerdict",
     "DigestLog",
+    "DurabilityConfig",
     "HybridLitmus",
     "InteractiveServerClient",
     "InvariantViolation",
@@ -60,6 +68,7 @@ __all__ = [
     "MemoryIntegrityProvider",
     "MerkleServerClient",
     "PieceResult",
+    "RecoveryReport",
     "restore_server",
     "snapshot_server",
     "ReadCertificate",

@@ -71,15 +71,23 @@ The old ``ClientProxy`` remains as a one-warning deprecation shim in
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from time import perf_counter
 from types import MappingProxyType
-from typing import Any, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from ..crypto.rsa_group import RSAGroup
 from ..db.commandlog import decode_batch, encode_batch
 from ..db.database import Database
 from ..db.txn import Transaction
+from ..db.wal import (
+    DurabilityConfig,
+    DurabilityManager,
+    load_latest_checkpoint,
+    scan_wal,
+)
 from ..errors import (
     BatchRejectedError,
     MessageDropped,
@@ -88,6 +96,8 @@ from ..errors import (
     RetryExhausted,
     ServerDesyncError,
     TicketUnresolvedError,
+    VerificationFailure,
+    WalError,
 )
 from ..obs.exporters import Exporter
 from ..obs.metrics import MetricsRegistry, get_metrics
@@ -100,7 +110,14 @@ from .config import LitmusConfig
 from .protocol import ServerResponse, TimingReport
 from .server import LitmusServer
 
-__all__ = ["BatchResult", "LitmusSession", "RetryPolicy", "UserTicket"]
+__all__ = [
+    "BatchResult",
+    "DurabilityConfig",
+    "LitmusSession",
+    "RecoveryReport",
+    "RetryPolicy",
+    "UserTicket",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +129,14 @@ class RetryPolicy:
     - ``backoff`` — base delay in seconds; attempt *n* waits
       ``backoff * 2**(n-1)`` before retrying (0.0 = no waiting, the right
       setting for tests and simulations);
+    - ``jitter`` — fractional randomization of each delay: the wait is
+      multiplied by a factor drawn uniformly from ``[1-jitter, 1+jitter]``
+      (0.0 = deterministic, the default; the draw comes from the rng
+      handed to :meth:`delay`, so a seeded fault plan keeps retries
+      replayable);
+    - ``sleep`` — the callable that actually waits (``time.sleep`` by
+      default).  Injectable so retry tests assert the exact backoff
+      schedule without burning wall-clock;
     - ``raise_on_exhaustion`` — when True, exhausting every attempt raises
       :class:`~repro.errors.RetryExhausted` (after resolving tickets and
       recording ``last_result``) instead of returning the rejected
@@ -121,16 +146,31 @@ class RetryPolicy:
     max_attempts: int = 3
     backoff: float = 0.0
     raise_on_exhaustion: bool = False
+    jitter: float = 0.0
+    sleep: Callable[[float], None] = time.sleep
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ReproError("max_attempts must be at least 1")
         if self.backoff < 0:
             raise ReproError("backoff must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError("jitter must be in [0, 1]")
+        if not callable(self.sleep):
+            raise ReproError("sleep must be callable")
 
-    def delay(self, attempt: int) -> float:
-        """Seconds to wait after failed attempt number *attempt* (1-based)."""
-        return self.backoff * (2 ** (attempt - 1))
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to wait after failed attempt number *attempt* (1-based).
+
+        With ``jitter`` set, the exponential delay is scaled by a factor
+        from ``[1-jitter, 1+jitter]`` drawn from *rng* (the module-level
+        ``random`` when none is given).
+        """
+        base = self.backoff * (2 ** (attempt - 1))
+        if self.jitter and base > 0:
+            source = rng if rng is not None else random
+            base *= 1.0 + source.uniform(-self.jitter, self.jitter)
+        return base
 
 
 @dataclass
@@ -235,6 +275,38 @@ class BatchResult:
         return cls(accepted=True, reason="", num_txns=0)
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one ``LitmusSession.recover`` run found, replayed and repaired.
+
+    - ``checkpoint_seq`` — batch sequence the loaded checkpoint covered;
+    - ``replayed_batches`` — WAL records replayed past the checkpoint;
+    - ``last_seq`` — the recovered tip of the durable history;
+    - ``digest`` — the journaled client digest the rebuilt state matched;
+    - ``truncations`` / ``truncated_bytes`` / ``dropped_segments`` — tail
+      damage the scan repaired (torn writes, bit rot) instead of raising;
+    - ``duration_seconds`` — wall-clock of the whole recovery.
+    """
+
+    checkpoint_seq: int
+    replayed_batches: int
+    last_seq: int
+    digest: int
+    truncations: int
+    truncated_bytes: int
+    dropped_segments: int
+    duration_seconds: float
+
+
+@dataclass(frozen=True)
+class _ResumeState:
+    """Private recover() → __init__ handoff: continue, don't start over."""
+
+    next_txn_id: int
+    last_seq: int
+    digest_log: DigestLog
+
+
 class LitmusSession:
     """One coherent client surface over server + verifier + user batching."""
 
@@ -248,6 +320,8 @@ class LitmusSession:
         retry_policy: RetryPolicy | None = None,
         fault_plan=None,
         checkpoint_every: int = 64,
+        durability: DurabilityConfig | None = None,
+        _resume: _ResumeState | None = None,
     ):
         if max_batch < 1:
             raise ReproError("batch capacity must be positive")
@@ -290,6 +364,39 @@ class LitmusSession:
         self._command_log: list[bytes] = []
         self._programs: dict[str, Program] = {}
         self.digest_log = DigestLog(self.client.digest)
+        # Durability: when configured, every verified batch is journaled to
+        # the on-disk WAL *before* flush() acknowledges it, and every
+        # in-memory checkpoint also lands as an atomic checkpoint file.
+        self.durability = durability
+        self._manager: DurabilityManager | None = None
+        self._batch_seq = 0  # sequence number of the last journaled batch
+        # The report of the recover() run that produced this session (None
+        # for sessions that started fresh).
+        self.recovery_report: RecoveryReport | None = None
+        if _resume is not None:
+            self._next_id = _resume.next_txn_id
+            self._batch_seq = _resume.last_seq
+            self.digest_log = _resume.digest_log
+            if self.digest_log.latest_digest != self.client.digest:
+                raise VerificationFailure(
+                    "recovered digest log does not end at the client's digest"
+                )
+        if durability is not None:
+            self._manager = DurabilityManager(
+                durability, registry=self.registry, fault_plan=fault_plan
+            )
+            if _resume is None and self._manager.has_existing_state():
+                raise WalError(
+                    f"durability directory {durability.directory!r} already "
+                    "holds checkpoints or WAL segments; restart with "
+                    "LitmusSession.recover() instead of overwriting history"
+                )
+            self._manager.start(last_seq=self._batch_seq)
+            # Anchor the directory: a fresh session writes the seq-0
+            # checkpoint (so recover() always has a base state), a resumed
+            # one consolidates its replayed history into a new checkpoint
+            # and lets the scanned segments retire.
+            self._write_durable_checkpoint()
 
     @classmethod
     def create(
@@ -305,11 +412,16 @@ class LitmusSession:
         retry_policy: RetryPolicy | None = None,
         fault_plan=None,
         checkpoint_every: int = 64,
+        durability: DurabilityConfig | None = None,
     ) -> "LitmusSession":
         """Build a server + verifying client pair and wrap them in a session.
 
         This is the quickstart path: one call replaces the old four-object
-        setup (group, server, client, proxy).
+        setup (group, server, client, proxy).  Passing ``durability`` makes
+        the session crash-safe: every verified batch is journaled to the
+        on-disk WAL before ``flush()`` acknowledges it, and
+        :meth:`recover` rebuilds the session from the directory after a
+        restart.
         """
         tracer = tracer if tracer is not None else get_tracer()
         server = LitmusServer(
@@ -328,7 +440,151 @@ class LitmusSession:
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             checkpoint_every=checkpoint_every,
+            durability=durability,
         )
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        programs: Iterable[Program] | Mapping[str, Program] = (),
+        *,
+        group: RSAGroup | None = None,
+        cost_model: CostModel | None = None,
+        invariants: tuple = (),
+        max_batch: int = 1024,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        checkpoint_every: int = 64,
+    ) -> "LitmusSession":
+        """Rebuild a durable session from its directory after a restart.
+
+        The restart recovery algorithm:
+
+        1. load the newest checkpoint that validates (checksum + internal
+           consistency; rotted candidates fall back to older ones);
+        2. scan the WAL, *repairing* tail damage — a torn or bit-rotted
+           suffix is truncated away (``wal.torn_tail_truncated``), never
+           raised;
+        3. replay every record past the checkpoint through a fresh
+           :class:`~repro.db.database.Database` (*programs* supplies the
+           stored procedures the journaled command logs name);
+        4. rebuild the server — store *and* authenticated dictionary — from
+           the replayed contents and cross-check the rebuilt digest against
+           the journaled client-verified digest.  Agreement proves the
+           recovered state is exactly what the client last acknowledged;
+           disagreement raises :class:`~repro.errors.ServerDesyncError`;
+        5. resume: the new session continues the sequence/txn-id spaces and
+           the hash-chained digest log, and immediately consolidates the
+           replayed history into a fresh checkpoint.
+
+        *group* optionally reuses an existing :class:`RSAGroup` (it must
+        match the journaled parameters; with it, servers keep the trapdoor
+        speedup) — by default the group is rebuilt from the checkpoint.
+        The :class:`RecoveryReport` lands on ``session.recovery_report``.
+        """
+        start = perf_counter()
+        tracer = tracer if tracer is not None else get_tracer()
+        registry = registry if registry is not None else get_metrics()
+        if isinstance(programs, Mapping):
+            program_map = dict(programs)
+        else:
+            program_map = {program.name: program for program in programs}
+        checkpoint = load_latest_checkpoint(directory)
+        records, scan = scan_wal(directory, registry=registry, repair=True)
+        replay = [record for record in records if record.seq > checkpoint.seq]
+        if replay and replay[0].seq != checkpoint.seq + 1:
+            raise WalError(
+                f"WAL resumes at sequence {replay[0].seq} but the newest "
+                f"valid checkpoint covers up to {checkpoint.seq}; "
+                "acknowledged batches in between are unrecoverable"
+            )
+        config = LitmusConfig(**checkpoint.config)
+        if group is None:
+            group = RSAGroup(checkpoint.group_modulus, checkpoint.group_generator)
+        elif (
+            group.modulus != checkpoint.group_modulus
+            or group.generator != checkpoint.group_generator
+        ):
+            raise WalError(
+                "supplied RSA group disagrees with the journaled parameters"
+            )
+        digest_log = DigestLog.from_json(checkpoint.digest_log_json)
+        if digest_log.latest_digest != checkpoint.digest:
+            raise VerificationFailure(
+                "journaled digest log does not end at the checkpoint digest"
+            )
+        with tracer.span("recover", batches=len(replay)):
+            replayed = Database(
+                initial=checkpoint.rows,
+                cc=config.cc,
+                processing_batch_size=config.processing_batch_size,
+                num_threads=config.num_db_threads,
+            )
+            next_txn_id = checkpoint.next_txn_id
+            for record in replay:
+                txns = decode_batch(record.command_log, program_map)
+                replayed.run(txns)
+                digest_log.record(record.digest, len(txns))
+                next_txn_id = max(
+                    next_txn_id, max(txn.txn_id for txn in txns) + 1
+                )
+            rebuilt = LitmusServer(
+                initial=replayed.snapshot(),
+                config=config,
+                group=group,
+                cost_model=cost_model,
+                invariants=invariants,
+                tracer=tracer,
+                fault_plan=fault_plan,
+            )
+            # The digest cross-check: the AD digest is a pure function of
+            # the contents, so the rebuilt digest matching the journaled
+            # client-verified digest proves the recovered state is exactly
+            # the one the client last acknowledged.
+            expected = replay[-1].digest if replay else checkpoint.digest
+            if rebuilt.digest != expected:
+                registry.counter("recovery.digest_mismatches").inc()
+                raise ServerDesyncError(
+                    "recovered state does not reproduce the journaled "
+                    f"client-verified digest (got {rebuilt.digest:#x}, "
+                    f"expected {expected:#x}); the durable history has "
+                    "diverged from what the client acknowledged"
+                )
+        durability = DurabilityConfig(directory=directory, **checkpoint.durability)
+        resume = _ResumeState(
+            next_txn_id=next_txn_id,
+            last_seq=replay[-1].seq if replay else checkpoint.seq,
+            digest_log=digest_log,
+        )
+        session = cls(
+            rebuilt,
+            max_batch=max_batch,
+            tracer=tracer,
+            registry=registry,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            checkpoint_every=checkpoint_every,
+            durability=durability,
+            _resume=resume,
+        )
+        session._programs.update(program_map)
+        duration = perf_counter() - start
+        registry.counter("recovery.replayed_batches").inc(len(replay))
+        registry.histogram("recovery.duration").observe(duration)
+        session.recovery_report = RecoveryReport(
+            checkpoint_seq=checkpoint.seq,
+            replayed_batches=len(replay),
+            last_seq=resume.last_seq,
+            digest=session.client.digest,
+            truncations=scan.truncations,
+            truncated_bytes=scan.truncated_bytes,
+            dropped_segments=scan.dropped_segments,
+            duration_seconds=duration,
+        )
+        return session
 
     # -- user-facing API ---------------------------------------------------------
 
@@ -396,9 +652,10 @@ class LitmusSession:
                 return result
             self.retries += 1
             self.registry.counter("session.retries").inc()
-            delay = policy.delay(attempt)
+            rng = self.fault_plan.rng if self.fault_plan is not None else None
+            delay = policy.delay(attempt, rng=rng)
             if delay > 0:
-                time.sleep(delay)
+                policy.sleep(delay)
             self.resync()
 
     def resync(self) -> int:
@@ -489,12 +746,16 @@ class LitmusSession:
         attempts: int,
     ) -> BatchResult:
         outputs = dict(verdict.outputs or {})
+        # Durability barrier first: journal the verified batch (and any due
+        # durable checkpoint) before any acknowledgement escapes — ticket
+        # resolution included — so a crash here can never leave the caller
+        # holding an accepted ticket the WAL does not cover.
+        self.batches_verified += 1
+        self._record_verified(txns)
         user_outputs: dict[str, list[tuple[int, ...]]] = {}
         for ticket, txn in pending:
             ticket._resolve(True, outputs.get(txn.txn_id, ()), "")
             user_outputs.setdefault(ticket.user, []).append(ticket._outputs)
-        self.batches_verified += 1
-        self._record_verified(txns)
         result = BatchResult(
             accepted=True,
             reason="",
@@ -541,12 +802,47 @@ class LitmusSession:
         checkpoint and the log resets — a checkpoint is only *provisionally*
         trusted: the next resync re-derives the digest from it and fails
         loudly (``ServerDesyncError``) if it was tampered with.
+
+        With durability on, the WAL append comes *first* — it is the
+        pre-acknowledgement barrier — and the periodic checkpoint also
+        lands on disk as an atomic checkpoint file.
         """
+        encoded = encode_batch(txns)
+        self._batch_seq += 1
+        if self._manager is not None:
+            self._manager.log_batch(self._batch_seq, self.client.digest, encoded)
         self.digest_log.record(self.client.digest, len(txns))
-        self._command_log.append(encode_batch(txns))
+        self._command_log.append(encoded)
         if len(self._command_log) >= self.checkpoint_every:
             self._base_state = self.server.db.snapshot()
             self._command_log.clear()
+            self._write_durable_checkpoint()
+
+    def _write_durable_checkpoint(self) -> None:
+        """Mirror the in-memory checkpoint as an atomic on-disk one."""
+        if self._manager is None:
+            return
+        self._manager.checkpoint(
+            seq=self._batch_seq,
+            digest=self.client.digest,
+            rows=self.server.db.snapshot(),
+            provider_state=self.server.provider.state(),
+            next_txn_id=self._next_id,
+            config=asdict(self.server.config),
+            group_modulus=self.server.group.modulus,
+            group_generator=self.server.group.generator,
+            digest_log_json=self.digest_log.to_json(),
+        )
+
+    def close(self) -> None:
+        """Release durability resources (sync + close the active segment).
+
+        Idempotent; a session without durability is a no-op.  The WAL stays
+        valid without it — ``close`` just flushes the last sync window of
+        the ``"batch"`` policy eagerly.
+        """
+        if self._manager is not None:
+            self._manager.close()
 
     # -- observability -----------------------------------------------------------
 

@@ -14,6 +14,10 @@ layer consumes:
 Values are integers and keys are canonical tuples; richer rows (TPC-C) are
 decomposed into one key per column by the workload layer, which keeps every
 value circuit-representable.
+
+:mod:`repro.db.wal` is the durability substrate: on-disk WAL segments of
+verified command logs plus atomic checkpoints (see that package for the
+crash-recovery story).
 """
 
 from .commandlog import decode_batch, encode_batch, replay
@@ -25,21 +29,35 @@ from .locks import LockManager, LockMode
 from .traces import DependencyEdge, RuntimeTraces
 from .twopl import TwoPhaseLockingExecutor
 from .txn import Transaction, TxnResult
+from .wal import (
+    Checkpoint,
+    DurabilityConfig,
+    DurabilityManager,
+    WriteAheadLog,
+    load_latest_checkpoint,
+    scan_wal,
+)
 
 __all__ = [
+    "Checkpoint",
     "Database",
     "decode_batch",
     "encode_batch",
     "replay",
     "DependencyEdge",
     "DeterministicReservationExecutor",
+    "DurabilityConfig",
+    "DurabilityManager",
     "ExecutionReport",
     "KVStore",
     "LockManager",
     "LockMode",
+    "load_latest_checkpoint",
     "RuntimeTraces",
     "ScheduleUnit",
+    "scan_wal",
     "Transaction",
     "TwoPhaseLockingExecutor",
     "TxnResult",
+    "WriteAheadLog",
 ]

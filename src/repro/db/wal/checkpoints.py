@@ -1,0 +1,234 @@
+"""Atomic checkpoint files: the WAL's replay anchor.
+
+A checkpoint journals everything a restarted deployment needs to resume
+without replaying history from genesis:
+
+- the KVStore snapshot (``rows``),
+- the authenticated-dictionary provider state (store, exponent product,
+  digest) — journaled so a checkpoint is a *complete* server image and so
+  its self-consistency can be validated on load,
+- the client's verified digest and its hash-chained :class:`DigestLog`,
+- the deployment's :class:`~repro.core.config.LitmusConfig`, RSA group
+  parameters, durability settings, and the next transaction id.
+
+Write protocol (the atomicity story): serialize to ``<name>.tmp`` in the
+same directory, ``fsync`` the temp file, then ``os.replace`` onto the
+final name and ``fsync`` the directory.  POSIX rename atomicity means a
+reader sees either the whole new checkpoint or none of it — a crash
+between the two steps leaves a ``.tmp`` file that loaders ignore and the
+next writer garbage-collects.  A SHA-256 checksum over the canonical body
+catches bit rot that rename atomicity cannot.
+
+Loading walks candidates newest-first and returns the first one that
+validates, so one rotted checkpoint degrades recovery to the previous
+checkpoint plus more WAL replay instead of failing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ...errors import CheckpointError, ReproError
+from ...serialization import encode
+from .segments import _fsync_directory
+
+__all__ = [
+    "Checkpoint",
+    "checkpoint_path",
+    "list_checkpoints",
+    "load_latest_checkpoint",
+    "write_checkpoint",
+]
+
+_FORMAT = "litmus-wal-checkpoint-v1"
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{16})\.ckpt$")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One decoded checkpoint (see module docstring for field meanings)."""
+
+    seq: int  # last batch sequence number the checkpoint covers
+    digest: int  # client-verified digest at that point
+    rows: dict  # KVStore contents, tuple keys
+    provider_store: dict  # AD contents, tuple keys
+    provider_product: int  # AD exponent product S
+    provider_digest: int  # AD digest (must equal `digest`)
+    next_txn_id: int
+    config: dict  # LitmusConfig fields
+    group_modulus: int
+    group_generator: int
+    durability: dict  # DurabilityConfig fields minus the directory
+    digest_log_json: str  # DigestLog.to_json payload
+    path: str = ""
+
+    @property
+    def provider_state(self) -> tuple[dict, int, int]:
+        """The tuple :meth:`MemoryIntegrityProvider.restore` accepts."""
+        return dict(self.provider_store), self.provider_product, self.provider_digest
+
+
+def checkpoint_path(directory: str, seq: int) -> str:
+    return os.path.join(directory, f"checkpoint-{seq:016d}.ckpt")
+
+
+def list_checkpoints(directory: str) -> list[str]:
+    """Checkpoint files (no temps), newest sequence first."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    found = []
+    for name in names:
+        match = _CHECKPOINT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return [path for _seq, path in sorted(found, reverse=True)]
+
+
+def _encode_key(key: tuple) -> list:
+    for part in key:
+        if not isinstance(part, (int, str)) or isinstance(part, bool):
+            raise ReproError(
+                f"checkpoints support int/str key parts, got {part!r}"
+            )
+    return list(key)
+
+
+def _encode_rows(rows: Mapping[tuple, int]) -> list:
+    return [
+        [_encode_key(key), value]
+        for key, value in sorted(rows.items(), key=lambda item: encode(item[0]))
+    ]
+
+
+def _decode_rows(raw: list) -> dict:
+    return {tuple(key): value for key, value in raw}
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def write_checkpoint(
+    directory: str,
+    *,
+    seq: int,
+    digest: int,
+    rows: Mapping[tuple, int],
+    provider_state: tuple[dict, int, int],
+    next_txn_id: int,
+    config: Mapping[str, object],
+    group_modulus: int,
+    group_generator: int,
+    durability: Mapping[str, object],
+    digest_log_json: str,
+    fsync: bool = True,
+    on_stage: Callable[[str], None] | None = None,
+    keep: int = 2,
+) -> str:
+    """Write one checkpoint atomically; returns the final path.
+
+    *on_stage* is the durability fault hook: it fires with
+    ``"after-checkpoint-temp"`` once the temp file is durable (before the
+    rename) and ``"after-checkpoint"`` once the rename is — the two
+    crash points the recovery story must survive.
+    """
+    provider_store, provider_product, provider_digest = provider_state
+    body = {
+        "format": _FORMAT,
+        "seq": seq,
+        "digest": hex(digest),
+        "rows": _encode_rows(rows),
+        "provider": {
+            "rows": _encode_rows(provider_store),
+            "product": hex(provider_product),
+            "digest": hex(provider_digest),
+        },
+        "next_txn_id": next_txn_id,
+        "config": dict(config),
+        "group": {"modulus": hex(group_modulus), "generator": hex(group_generator)},
+        "durability": dict(durability),
+        "digest_log": json.loads(digest_log_json),
+    }
+    body["checksum"] = hashlib.sha256(_canonical(body)).hexdigest()
+    final = checkpoint_path(directory, seq)
+    temp = final + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(body, handle)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    if on_stage is not None:
+        on_stage("after-checkpoint-temp")
+    os.replace(temp, final)
+    if fsync:
+        _fsync_directory(directory)
+    if on_stage is not None:
+        on_stage("after-checkpoint")
+    # Garbage-collect: stale temps from old crashes and checkpoints beyond
+    # the retention window (the newest `keep` stay as rot fallbacks).
+    for name in os.listdir(directory):
+        if name.endswith(".ckpt.tmp") and os.path.join(directory, name) != temp:
+            os.unlink(os.path.join(directory, name))
+    for old in list_checkpoints(directory)[max(keep, 1) :]:
+        os.unlink(old)
+    return final
+
+
+def _load_one(path: str) -> Checkpoint:
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict) or raw.get("format") != _FORMAT:
+        raise CheckpointError(f"{path}: not a Litmus WAL checkpoint")
+    body = dict(raw)
+    recorded = body.pop("checksum", None)
+    actual = hashlib.sha256(_canonical(body)).hexdigest()
+    if recorded != actual:
+        raise CheckpointError(f"{path}: checksum mismatch (bit rot or tampering)")
+    provider = raw["provider"]
+    checkpoint = Checkpoint(
+        seq=raw["seq"],
+        digest=int(raw["digest"], 16),
+        rows=_decode_rows(raw["rows"]),
+        provider_store=_decode_rows(provider["rows"]),
+        provider_product=int(provider["product"], 16),
+        provider_digest=int(provider["digest"], 16),
+        next_txn_id=raw["next_txn_id"],
+        config=dict(raw["config"]),
+        group_modulus=int(raw["group"]["modulus"], 16),
+        group_generator=int(raw["group"]["generator"], 16),
+        durability=dict(raw["durability"]),
+        digest_log_json=json.dumps(raw["digest_log"]),
+        path=path,
+    )
+    if checkpoint.provider_digest != checkpoint.digest:
+        raise CheckpointError(
+            f"{path}: journaled provider digest disagrees with the verified "
+            "digest — the checkpoint is internally inconsistent"
+        )
+    return checkpoint
+
+
+def load_latest_checkpoint(directory: str) -> Checkpoint:
+    """The newest checkpoint that validates; raises :class:`CheckpointError`.
+
+    Invalid candidates (truncated JSON, checksum mismatch, foreign format)
+    are skipped in favour of older ones — recovery then simply replays
+    more WAL.  Only when *no* candidate validates does this raise.
+    """
+    failures: list[str] = []
+    for path in list_checkpoints(directory):
+        try:
+            return _load_one(path)
+        except (CheckpointError, OSError, ValueError, KeyError, TypeError) as exc:
+            failures.append(f"{os.path.basename(path)}: {exc}")
+    detail = "; ".join(failures) if failures else "no checkpoint files present"
+    raise CheckpointError(
+        f"no valid checkpoint in {directory!r} ({detail})"
+    )

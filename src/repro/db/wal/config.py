@@ -1,0 +1,55 @@
+"""Durability configuration: one frozen knob-set for the crash-safety layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import WalError
+from .segments import FSYNC_POLICIES
+
+__all__ = ["DurabilityConfig"]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How (and where) a :class:`~repro.core.session.LitmusSession` persists.
+
+    - ``directory`` — the durability directory: WAL segments plus
+      checkpoint files.  One directory == one logical database;
+    - ``fsync`` — ``"always"`` (fsync before every acknowledgement; the
+      zero-acknowledged-loss setting), ``"batch"`` (fsync every
+      ``sync_every`` records and at rotation/checkpoint/close), or
+      ``"never"`` (OS page cache only);
+    - ``segment_max_bytes`` — rotate the active segment beyond this size;
+    - ``sync_every`` — the ``"batch"`` policy's sync window, in records;
+    - ``checkpoint_keep`` — how many old checkpoints to retain as bit-rot
+      fallbacks (the newest is always kept).
+    """
+
+    directory: str
+    fsync: str = "always"
+    segment_max_bytes: int = 1 << 20
+    sync_every: int = 8
+    checkpoint_keep: int = 2
+
+    def __post_init__(self):
+        if not self.directory:
+            raise WalError("durability needs a directory")
+        if self.fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {self.fsync!r} (want one of {FSYNC_POLICIES})"
+            )
+        if self.segment_max_bytes < 64:
+            raise WalError("segment_max_bytes must be at least 64 bytes")
+        if self.sync_every < 1 or self.checkpoint_keep < 1:
+            raise WalError("sync_every and checkpoint_keep must be positive")
+
+    def settings(self) -> dict:
+        """The journal-able fields (everything but the directory), for
+        embedding in a checkpoint so ``recover`` can reuse the policy."""
+        return {
+            "fsync": self.fsync,
+            "segment_max_bytes": self.segment_max_bytes,
+            "sync_every": self.sync_every,
+            "checkpoint_keep": self.checkpoint_keep,
+        }

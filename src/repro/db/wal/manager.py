@@ -1,0 +1,134 @@
+"""The durability manager: what a session holds when persistence is on.
+
+Owns the :class:`WriteAheadLog` and the checkpoint writer for one
+durability directory, and threads the crash-point fault hook
+(``FaultPlan.on_durability``) through every stage so the fault-injection
+layer can kill the "process" at the exact boundaries that matter:
+
+==========================  ================================================
+stage                       meaning
+==========================  ================================================
+``before-log``              batch verified, nothing durable yet
+``after-log``               record durable, acknowledgement not yet sent
+``after-checkpoint-temp``   temp checkpoint durable, rename pending
+``after-checkpoint``        rename durable, old segments not yet retired
+==========================  ================================================
+
+Also the keeper of the acknowledged-batch invariant: ``log_batch`` runs
+*before* ``flush()`` returns its accepted :class:`BatchResult`, so under
+``fsync="always"`` an acknowledged batch is always recoverable.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ...obs.metrics import MetricsRegistry, get_metrics
+from .checkpoints import list_checkpoints, write_checkpoint
+from .config import DurabilityConfig
+from .segments import WriteAheadLog, list_segments
+
+__all__ = ["DurabilityManager"]
+
+
+class DurabilityManager:
+    """One session's handle on its durability directory."""
+
+    def __init__(
+        self,
+        config: DurabilityConfig,
+        registry: MetricsRegistry | None = None,
+        fault_plan=None,
+    ):
+        self.config = config
+        self.registry = registry if registry is not None else get_metrics()
+        self.fault_plan = fault_plan
+        os.makedirs(config.directory, exist_ok=True)
+        self.wal: WriteAheadLog | None = None
+        self.last_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def has_existing_state(self) -> bool:
+        """True when the directory already holds checkpoints or segments."""
+        return bool(
+            list_checkpoints(self.config.directory)
+            or list_segments(self.config.directory)
+        )
+
+    def start(self, last_seq: int = 0) -> None:
+        """Open the log for appending, continuing after *last_seq*.
+
+        Stale ``.tmp`` checkpoint leftovers from an earlier crash are
+        garbage-collected here; real checkpoints and segments are never
+        touched (recovery owns those).
+        """
+        for name in os.listdir(self.config.directory):
+            if name.endswith(".ckpt.tmp"):
+                os.unlink(os.path.join(self.config.directory, name))
+        self.last_seq = last_seq
+        self.wal = WriteAheadLog(
+            self.config.directory,
+            fsync=self.config.fsync,
+            segment_max_bytes=self.config.segment_max_bytes,
+            sync_every=self.config.sync_every,
+            registry=self.registry,
+        )
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    # -- the two durable writes --------------------------------------------------
+
+    def log_batch(self, seq: int, digest: int, command_log: bytes) -> None:
+        """Journal one verified batch; returns only once it is as durable
+        as the fsync policy promises (the pre-acknowledgement barrier)."""
+        self._stage("before-log")
+        self.wal.append(seq, digest, command_log)
+        self.last_seq = seq
+        self._stage("after-log")
+
+    def checkpoint(
+        self,
+        *,
+        seq: int,
+        digest: int,
+        rows,
+        provider_state,
+        next_txn_id: int,
+        config,
+        group_modulus: int,
+        group_generator: int,
+        digest_log_json: str,
+    ) -> str:
+        """Write an atomic checkpoint, then retire the covered segments."""
+        path = write_checkpoint(
+            self.config.directory,
+            seq=seq,
+            digest=digest,
+            rows=rows,
+            provider_state=provider_state,
+            next_txn_id=next_txn_id,
+            config=config,
+            group_modulus=group_modulus,
+            group_generator=group_generator,
+            durability=self.config.settings(),
+            digest_log_json=digest_log_json,
+            fsync=self.config.fsync != "never",
+            on_stage=self._stage,
+            keep=self.config.checkpoint_keep,
+        )
+        # Only after the rename is durable may the WAL shrink: a crash
+        # before this line leaves both the checkpoint and the old segments,
+        # and recovery skips the doubly-covered records by sequence number.
+        self.wal.reset()
+        self.registry.counter("wal.checkpoints").inc()
+        return path
+
+    # -- fault hook --------------------------------------------------------------
+
+    def _stage(self, name: str) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.on_durability(name)

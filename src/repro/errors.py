@@ -80,6 +80,28 @@ class CommandLogError(ReproError):
     """
 
 
+class WalError(ReproError):
+    """The durable write-ahead log is malformed or was misused.
+
+    Covers unreadable segment framing, sequence-number gaps that survive
+    the torn-tail truncation pass, and opening a directory that already
+    holds durable state without going through ``LitmusSession.recover``.
+    """
+
+
+class CheckpointError(WalError):
+    """No valid checkpoint could be loaded from a durability directory.
+
+    Either the directory holds no checkpoint files at all, or every
+    candidate failed validation (bad format tag, checksum mismatch,
+    undecodable contents).  A checkpoint that validates structurally but
+    whose *contents* disagree with the verified digest raises
+    :class:`ServerDesyncError` instead — that distinction matters, because
+    a checksum failure means storage corruption while a digest failure
+    means the durable history itself diverged.
+    """
+
+
 class FaultInjected(ReproError):
     """Base class for failures raised *by* the fault-injection layer.
 
@@ -95,6 +117,17 @@ class ProverKilled(FaultInjected):
 
 class MessageDropped(FaultInjected):
     """The (simulated) network dropped a client/server message."""
+
+
+class SimulatedCrash(FaultInjected):
+    """A :class:`repro.faults.CrashPoint` simulated process death.
+
+    Deliberately never caught by the library: it must propagate out of
+    ``flush()`` exactly like a real crash would end the process, leaving
+    whatever the durability layer already made it to disk.  Tests (and the
+    ``--recover`` CLI demo) catch it at top level, abandon the session
+    object, and drive ``LitmusSession.recover`` against the directory.
+    """
 
 
 class ProofCorruptionDetected(ReproError):

@@ -10,6 +10,13 @@ reordered proof pieces, prover-worker deaths, and message drops/delays via
 builds on (see :mod:`repro.core.session` for ``RetryPolicy`` and
 ``resync()``).
 
+The durability layer (:mod:`repro.db.wal`) has its own adversaries in
+:mod:`repro.faults.durability`: :class:`CrashPoint` simulates process death
+at named WAL/checkpoint stage boundaries, while :class:`TornWrite`,
+:class:`TruncateSegment` and :class:`BitRotSegment` damage the on-disk log
+between a crash and a recovery — ``LitmusSession.recover`` must absorb all
+of them.
+
 Quickstart::
 
     from repro.core import LitmusSession, RetryPolicy
@@ -25,6 +32,7 @@ Quickstart::
     assert result.accepted and plan.injected == 1
 """
 
+from .durability import BitRotSegment, CrashPoint, TornWrite, TruncateSegment
 from .injectors import (
     BitFlipWitness,
     CorruptProofPiece,
@@ -40,7 +48,9 @@ from .plan import FaultEvent, FaultInjector, FaultPlan
 
 __all__ = [
     "BitFlipWitness",
+    "BitRotSegment",
     "CorruptProofPiece",
+    "CrashPoint",
     "DropMessage",
     "DropPiece",
     "FaultEvent",
@@ -51,4 +61,6 @@ __all__ = [
     "ReorderPieces",
     "TamperEndDigest",
     "TamperPublicStatement",
+    "TornWrite",
+    "TruncateSegment",
 ]

@@ -1,0 +1,187 @@
+"""Durability fault injectors: crashes and storage corruption.
+
+Two families, matching how real durability bugs surface:
+
+**In-flight crashes** — :class:`CrashPoint` plugs into the normal
+:class:`~repro.faults.FaultPlan` hook surface (``on_durability``) and
+raises :class:`~repro.errors.SimulatedCrash` at a named stage boundary of
+the WAL/checkpoint protocol.  The exception is deliberately not absorbed
+anywhere in the library: it models the process dying, so the test (or the
+``--recover`` CLI demo) catches it at top level, abandons the session, and
+recovers from disk.
+
+**At-rest corruption** — :class:`TornWrite`, :class:`TruncateSegment` and
+:class:`BitRotSegment` mutate the WAL files *post-write*, modeling what a
+crash mid-``write(2)``, a lost tail, or silent media rot leave behind.
+They run between a crash and a recovery (there is no live pipeline to hook
+into), so they expose ``apply(directory)`` instead of a plan stage; each
+returns a human-readable description of the damage done.  Recovery must
+absorb all three: torn and rotted tails are truncated away
+(``wal.torn_tail_truncated``), never raised past ``recover()``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import SimulatedCrash, WalError
+from ..db.wal.records import WalRecord
+from ..db.wal.segments import list_segments, segment_records
+from .plan import FaultInjector, FaultPlan
+
+__all__ = ["BitRotSegment", "CrashPoint", "TornWrite", "TruncateSegment"]
+
+CRASH_STAGES = (
+    "before-log",
+    "after-log",  # record durable, acknowledgement pending
+    "after-checkpoint-temp",  # temp file durable, rename pending
+    "after-checkpoint",  # rename durable, old segments not yet retired
+)
+
+
+class CrashPoint(FaultInjector):
+    """Simulate process death at a named durability stage.
+
+    ``skip`` ignores the first *n* times the stage is reached, so a test
+    can let a few batches land before killing the process ("crash while
+    logging batch 3" is ``CrashPoint("after-log", skip=2)``).  One-shot by
+    default, like every injector: after firing once, later runs of the
+    same plan sail through — which is exactly what a restarted process
+    does.
+    """
+
+    kind = "crash_point"
+
+    def __init__(self, stage: str = "after-log", skip: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        if stage not in CRASH_STAGES:
+            raise ValueError(f"unknown crash stage {stage!r} (want {CRASH_STAGES})")
+        if skip < 0:
+            raise ValueError("skip must be non-negative")
+        self.stage = stage
+        self.skip = skip
+        self._seen = 0
+
+    def on_durability(self, plan: FaultPlan, stage: str) -> None:
+        if stage != self.stage:
+            return
+        self._seen += 1
+        if self._seen <= self.skip or not self._take(plan):
+            return
+        plan.record(
+            self, "durability", f"crash at {stage} (occurrence {self._seen})"
+        )
+        raise SimulatedCrash(
+            f"injected crash at durability stage {stage!r} "
+            f"(occurrence {self._seen})"
+        )
+
+
+class _SegmentCorruption(FaultInjector):
+    """Shared plumbing: find the last record on disk and damage it."""
+
+    def _tail(self, directory: str) -> tuple[str, list[WalRecord]]:
+        """The newest segment that actually holds records, plus them."""
+        for path in reversed(list_segments(directory)):
+            records, _intact, _status = segment_records(path)
+            if records:
+                return path, records
+        raise WalError(f"no WAL records to corrupt in {directory!r}")
+
+    def apply(self, directory: str) -> str:
+        """Damage the directory; returns a description of what was done."""
+        raise NotImplementedError
+
+    def _done(self, description: str) -> str:
+        self.fired += 1
+        return description
+
+
+class TornWrite(_SegmentCorruption):
+    """Leave a partial record at the segment tail (crash mid-``write``).
+
+    ``keep_fraction`` controls how much of the final record's bytes
+    survive; anything in ``(0, 1)`` leaves a record whose framing promises
+    more bytes than exist — the torn-tail shape recovery must truncate.
+    """
+
+    kind = "torn_write"
+
+    def __init__(self, keep_fraction: float = 0.5, **kwargs):
+        super().__init__(**kwargs)
+        if not 0.0 < keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in (0, 1)")
+        self.keep_fraction = keep_fraction
+
+    def apply(self, directory: str) -> str:
+        path, records = self._tail(directory)
+        last = records[-1]
+        keep = max(1, min(last.size - 1, int(last.size * self.keep_fraction)))
+        with open(path, "r+b") as handle:
+            handle.truncate(last.offset + keep)
+        return self._done(
+            f"tore record seq {last.seq} in {os.path.basename(path)}: kept "
+            f"{keep}/{last.size} bytes"
+        )
+
+
+class TruncateSegment(_SegmentCorruption):
+    """Cleanly drop the last *records* whole records (a lost tail).
+
+    Models an fsync-less crash where the final appends never reached the
+    platter at all: framing stays valid, history is just shorter.  Under
+    ``fsync="never"``/``"batch"`` this is the loss recovery must tolerate;
+    under ``"always"`` it can only remove unacknowledged work.
+    """
+
+    kind = "truncate_segment"
+
+    def __init__(self, records: int = 1, **kwargs):
+        super().__init__(**kwargs)
+        if records < 1:
+            raise ValueError("records must be positive")
+        self.records = records
+
+    def apply(self, directory: str) -> str:
+        path, records = self._tail(directory)
+        cut = records[max(0, len(records) - self.records)]
+        with open(path, "r+b") as handle:
+            handle.truncate(cut.offset)
+        dropped = len(records) - max(0, len(records) - self.records)
+        return self._done(
+            f"truncated {dropped} record(s) from {os.path.basename(path)} "
+            f"(first dropped seq {cut.seq})"
+        )
+
+
+class BitRotSegment(_SegmentCorruption):
+    """Flip one byte inside the last record's payload (silent media rot).
+
+    The flip lands *past* the CRC header, so the frame still parses but the
+    checksum no longer matches — recovery must classify the record as
+    corrupt and truncate it, proving the CRC actually gates replay.
+    """
+
+    kind = "bit_rot"
+
+    def __init__(self, flip_mask: int = 0x40, **kwargs):
+        super().__init__(**kwargs)
+        if not 1 <= flip_mask <= 255:
+            raise ValueError("flip_mask must be a non-zero byte")
+        self.flip_mask = flip_mask
+
+    def apply(self, directory: str) -> str:
+        path, records = self._tail(directory)
+        last = records[-1]
+        # Aim at the middle of the payload: safely past the 8-byte frame
+        # header, inside CRC-covered bytes.
+        position = last.offset + 8 + (last.size - 8) // 2
+        with open(path, "r+b") as handle:
+            handle.seek(position)
+            original = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([original[0] ^ self.flip_mask]))
+        return self._done(
+            f"flipped bits {self.flip_mask:#04x} at byte {position} of "
+            f"{os.path.basename(path)} (record seq {last.seq})"
+        )

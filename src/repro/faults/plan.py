@@ -10,7 +10,12 @@ owns a list of :class:`FaultInjector` instances and is consulted by the
   certificates (server side, the serial certification stage);
 - ``on_prove`` — each piece's prover-pool worker, as its job starts;
 - ``on_response`` — the server→client response (session side, before
-  client verification).
+  client verification);
+- ``on_durability`` — the durability layer's named stages
+  (``before-log``, ``after-log``, ``after-checkpoint-temp``,
+  ``after-checkpoint``; see :mod:`repro.db.wal.manager`), where a
+  :class:`~repro.faults.CrashPoint` can simulate process death at the
+  exact boundary being tested.
 
 Determinism contract: a plan constructed with the same injectors and seed
 injects the same faults at the same points on every run.  All randomness
@@ -39,7 +44,7 @@ class FaultEvent:
     """One applied injection: what kind, at which stage, against what."""
 
     kind: str
-    stage: str  # "request" | "certify" | "prove" | "response"
+    stage: str  # "request" | "certify" | "prove" | "response" | "durability"
     target: str  # human-readable description of the tampered object
 
 
@@ -90,6 +95,9 @@ class FaultInjector:
         """Server→client delivery; returns the (possibly tampered) response
         or raises MessageDropped."""
         return response
+
+    def on_durability(self, plan: "FaultPlan", stage: str) -> None:
+        """A durability-layer stage boundary; may raise SimulatedCrash."""
 
 
 class FaultPlan:
@@ -143,3 +151,7 @@ class FaultPlan:
         for injector in self.injectors:
             response = injector.on_response(self, response)
         return response
+
+    def on_durability(self, stage: str) -> None:
+        for injector in self.injectors:
+            injector.on_durability(self, stage)

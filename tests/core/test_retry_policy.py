@@ -1,0 +1,90 @@
+"""RetryPolicy scheduling: injectable sleep, exponential backoff, jitter.
+
+The policy is pure scheduling logic, so it gets pinned without a server in
+the loop: ``delay()`` is exercised directly, and the injected ``sleep``
+callable proves a flush's exact backoff schedule is observable without
+burning wall-clock (the reason the hook exists).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import RetryPolicy
+from repro.errors import ReproError
+
+
+class TestDelaySchedule:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.25)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+    def test_zero_backoff_never_waits(self):
+        policy = RetryPolicy(max_attempts=3, backoff=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [0.0, 0.0, 0.0]
+
+    def test_no_jitter_is_deterministic_without_rng(self):
+        policy = RetryPolicy(backoff=0.1)
+        assert policy.delay(2) == policy.delay(2) == 0.2
+
+
+class TestJitter:
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff=1.0, jitter=0.5)
+        rng = random.Random(0)
+        for attempt in (1, 2, 3):
+            base = 1.0 * 2 ** (attempt - 1)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng=rng)
+                assert base * 0.5 <= delay <= base * 1.5
+
+    def test_seeded_rng_makes_jitter_replayable(self):
+        policy = RetryPolicy(backoff=0.5, jitter=0.3)
+        one = [policy.delay(n, rng=random.Random(7)) for n in (1, 2, 3)]
+        two = [policy.delay(n, rng=random.Random(7)) for n in (1, 2, 3)]
+        assert one == two
+        assert one != [0.5, 1.0, 2.0]  # the jitter actually moved something
+
+    def test_jitter_without_backoff_stays_zero(self):
+        policy = RetryPolicy(backoff=0.0, jitter=0.5)
+        assert policy.delay(3, rng=random.Random(1)) == 0.0
+
+    def test_jitter_falls_back_to_module_random(self):
+        policy = RetryPolicy(backoff=1.0, jitter=0.1)
+        assert 0.9 <= policy.delay(1) <= 1.1
+
+
+class TestInjectableSleep:
+    def test_recorded_schedule(self):
+        sleeps: list[float] = []
+        policy = RetryPolicy(max_attempts=3, backoff=0.25, sleep=sleeps.append)
+        for attempt in (1, 2):
+            delay = policy.delay(attempt)
+            if delay > 0:
+                policy.sleep(delay)
+        assert sleeps == [0.25, 0.5]
+
+    def test_default_sleep_is_time_sleep(self):
+        import time
+
+        assert RetryPolicy().sleep is time.sleep
+
+
+class TestValidation:
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_rejects_non_callable_sleep(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(sleep="nap")  # type: ignore[arg-type]
+
+    def test_rejects_bad_attempts_and_backoff(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff=-1.0)

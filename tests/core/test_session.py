@@ -217,13 +217,14 @@ class TestRetryPolicy:
         import repro.core.session as session_module
 
         sleeps: list[float] = []
-        monkeypatch.setattr(session_module.time, "sleep", sleeps.append)
         session = LitmusSession.create(
             initial={("acct", 0): 100},
             config=_config(),
             group=group,
             registry=MetricsRegistry(),
-            retry_policy=RetryPolicy(max_attempts=3, backoff=0.25),
+            retry_policy=RetryPolicy(
+                max_attempts=3, backoff=0.25, sleep=sleeps.append
+            ),
         )
         monkeypatch.setattr(
             session.client,

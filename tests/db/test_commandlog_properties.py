@@ -1,0 +1,131 @@
+"""Property-based tests of the LCL1 command-log codec.
+
+The command log is recovery-critical twice over: ``resync()`` replays it in
+memory and the WAL journals it on disk, so the codec must (a) round-trip
+any batch a program can produce — unicode names, huge ints, empty batches —
+and (b) degrade *typed* on damaged bytes: every truncation or corruption
+raises :class:`~repro.errors.CommandLogError`, never a raw ``IndexError``,
+``UnicodeDecodeError``, ``zlib.error`` or ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.commandlog import decode_batch, encode_batch
+from repro.db.txn import Transaction
+from repro.errors import CommandLogError
+from repro.vc.program import Program
+
+# Program/parameter names exercise the full unicode range the JSON payload
+# must survive (ASCII, accents, CJK, emoji, control-adjacent chars).
+_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=12
+)
+# Values cover the ints a workload can produce, far past 64 bits.
+_values = st.integers(min_value=-(2**256), max_value=2**256)
+
+
+@st.composite
+def _batches(draw):
+    programs = {}
+    txns = []
+    next_id = 1
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        name = draw(_names)
+        params = draw(
+            st.dictionaries(_names, _values, min_size=0, max_size=4)
+        )
+        program = programs.setdefault(
+            name, Program(name=name, params=tuple(params), statements=())
+        )
+        txns.append(Transaction(txn_id=next_id, program=program, params=params))
+        next_id += 1
+    return txns, programs
+
+
+@given(_batches())
+@settings(max_examples=150)
+def test_round_trip_any_batch(batch):
+    txns, programs = batch
+    decoded = decode_batch(encode_batch(txns), programs)
+    assert [(t.txn_id, t.program.name, t.params) for t in decoded] == [
+        (t.txn_id, t.program.name, t.params) for t in txns
+    ]
+
+
+def test_empty_batch_round_trips():
+    assert decode_batch(encode_batch([]), {}) == []
+
+
+def test_unicode_and_large_ints_round_trip():
+    program = Program(name="transfér-α-💸", params=("сумма",), statements=())
+    txns = [
+        Transaction(
+            txn_id=1, program=program, params={"сумма": 2**200 + 17}
+        )
+    ]
+    decoded = decode_batch(encode_batch(txns), {program.name: program})
+    assert decoded[0].params == {"сумма": 2**200 + 17}
+    assert decoded[0].program is program
+
+
+def _sample_log():
+    program = Program(name="näme-☃", params=("k", "amount"), statements=())
+    txns = [
+        Transaction(txn_id=i, program=program, params={"k": i, "amount": 2**80})
+        for i in range(1, 4)
+    ]
+    return encode_batch(txns), {program.name: program}
+
+
+def test_every_truncation_length_raises_commandlog_error():
+    """A sweep over all prefixes: the codec's only failure mode is typed."""
+    log, programs = _sample_log()
+    for cut in range(len(log)):
+        with pytest.raises(CommandLogError):
+            decode_batch(log[:cut], programs)
+
+
+@given(
+    position=st.integers(min_value=0, max_value=10_000),
+    mask=st.integers(min_value=1, max_value=255),
+)
+@settings(max_examples=150)
+def test_corruption_raises_commandlog_error_or_decodes(position, mask):
+    """Flipping any byte either still decodes (flip landed in slack) or
+    raises CommandLogError — never a raw codec exception."""
+    log, programs = _sample_log()
+    data = bytearray(log)
+    data[position % len(data)] ^= mask
+    try:
+        decode_batch(bytes(data), programs)
+    except CommandLogError:
+        pass
+
+
+def test_unknown_program_is_a_typed_error():
+    log, _programs = _sample_log()
+    with pytest.raises(CommandLogError, match="unknown stored procedure"):
+        decode_batch(log, {})
+
+
+def test_malformed_entries_are_typed_errors():
+    import json
+    import zlib
+
+    def forge(payload) -> bytes:
+        return b"LCL1" + zlib.compress(json.dumps(payload).encode())
+
+    program = Program(name="p", params=(), statements=())
+    programs = {"p": program}
+    for payload in (
+        {"not": "a list"},
+        ["not an object"],
+        [{"p": "p", "a": {}}],  # missing id
+        [{"id": 1, "p": "p", "a": "not a dict"}],
+    ):
+        with pytest.raises(CommandLogError):
+            decode_batch(forge(payload), programs)

@@ -1,0 +1,240 @@
+"""Integration tests for crash-safe durability: WAL, checkpoints, recover().
+
+The unmarked tests are acceptance-critical and run in tier-1: a durable
+session survives a mid-run crash plus a torn WAL tail, recovery's rebuilt
+authenticated-dictionary digest equals the journaled client digest, and no
+acknowledged batch is ever lost under ``fsync="always"``.
+
+The exhaustive crash-stage × corruption matrix carries
+``@pytest.mark.crash`` and runs in its own CI job (``pytest -m crash``);
+the default ``addopts`` excludes the marker.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DurabilityConfig, LitmusConfig, LitmusSession
+from repro.db.wal import list_segments, segment_records
+from repro.db.wal.records import encode_record
+from repro.errors import (
+    CheckpointError,
+    ServerDesyncError,
+    SimulatedCrash,
+    WalError,
+)
+from repro.faults import (
+    BitRotSegment,
+    CrashPoint,
+    FaultPlan,
+    TornWrite,
+    TruncateSegment,
+)
+from repro.obs.metrics import MetricsRegistry
+
+from .test_fault_recovery import CONFIG, NUM_ACCOUNTS, TRANSFER
+
+CRASH_STAGES = (
+    "before-log",
+    "after-log",
+    "after-checkpoint-temp",
+    "after-checkpoint",
+)
+CORRUPTIONS = {
+    "none": lambda: None,
+    "torn_write": TornWrite,
+    "truncate": TruncateSegment,
+    "bit_rot": BitRotSegment,
+}
+
+
+def _durable_session(group, directory, plan=None, registry=None, **kwargs):
+    return LitmusSession.create(
+        initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+        config=CONFIG,
+        group=group,
+        registry=registry,
+        fault_plan=plan,
+        durability=DurabilityConfig(directory=str(directory), **kwargs),
+        checkpoint_every=2,
+    )
+
+
+def _run_until_crash(session, batches=5):
+    """Flush one-transaction batches until the injected crash fires.
+
+    Returns the digests of every *acknowledged* batch (flush returned).
+    """
+    acked = []
+    with pytest.raises(SimulatedCrash):
+        for i in range(batches):
+            session.submit(
+                f"user{i % 3}", TRANSFER, src=i % 4, dst=(i + 1) % 4, amount=5
+            )
+            assert session.flush().accepted
+            acked.append(session.digest)
+    return acked
+
+
+def _assert_recovered(recovered, acked):
+    """The acceptance predicate: nothing acknowledged was lost, the rebuilt
+    digest is the journaled one, and the deployment stays live."""
+    report = recovered.recovery_report
+    assert report is not None
+    assert report.last_seq >= len(acked), "acknowledged batch lost"
+    recovered_digests = [e.digest for e in recovered.digest_log.entries()]
+    for digest in acked:
+        assert digest in recovered_digests, "acknowledged digest missing"
+    assert recovered.digest == recovered.server.digest
+    # liveness: the recovered session keeps verifying batches
+    recovered.submit("alice", TRANSFER, src=0, dst=1, amount=1)
+    assert recovered.flush().accepted
+    recovered.close()
+
+
+class TestAcceptance:
+    """Tier-1 (unmarked): the core crash-recovery guarantees."""
+
+    def test_clean_restart_reproduces_the_digest(self, group, tmp_path):
+        session = _durable_session(group, tmp_path)
+        for i in range(3):
+            session.submit("alice", TRANSFER, src=i, dst=i + 1, amount=5)
+            assert session.flush().accepted
+        digest = session.digest
+        session.close()
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        assert recovered.digest == digest
+        assert recovered.recovery_report.duration_seconds > 0
+        _assert_recovered(recovered, [digest])
+
+    def test_crash_after_log_with_torn_tail(self, group, tmp_path):
+        registry = MetricsRegistry()
+        plan = FaultPlan(CrashPoint("after-log", skip=2), seed=7)
+        session = _durable_session(group, tmp_path, plan=plan, registry=registry)
+        acked = _run_until_crash(session)
+        assert len(acked) == 2
+        TornWrite().apply(str(tmp_path))
+        recovered = LitmusSession.recover(
+            str(tmp_path), [TRANSFER], group=group, registry=registry
+        )
+        assert recovered.recovery_report.truncations == 1
+        assert registry.counter("wal.torn_tail_truncated").value == 1
+        # the torn record was never acknowledged, so truncating it is lossless
+        assert recovered.digest == acked[-1]
+        _assert_recovered(recovered, acked)
+
+    def test_fresh_directory_guard(self, group, tmp_path):
+        session = _durable_session(group, tmp_path)
+        session.close()
+        with pytest.raises(WalError, match="recover"):
+            _durable_session(group, tmp_path)
+
+    def test_recover_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            LitmusSession.recover(str(tmp_path), [TRANSFER])
+
+    def test_desync_detected_on_forged_digest(self, group, tmp_path):
+        session = _durable_session(group, tmp_path)
+        for i in range(3):
+            session.submit("alice", TRANSFER, src=i, dst=i + 1, amount=5)
+            assert session.flush().accepted
+        session.close()
+        # Forge the last record: valid framing, journaled digest off by one.
+        # Recovery must refuse the history rather than trust it.
+        path = list_segments(str(tmp_path))[-1]
+        records, _intact, _status = segment_records(path)
+        last = records[-1]
+        with open(path, "r+b") as handle:
+            handle.truncate(last.offset)
+            handle.seek(0, os.SEEK_END)
+            handle.write(
+                encode_record(last.seq, last.digest ^ 1, last.command_log)
+            )
+        with pytest.raises(ServerDesyncError):
+            LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+
+    def test_tampered_checkpoint_falls_back_to_older(self, group, tmp_path):
+        # Crash right after the periodic checkpoint's rename: the new
+        # checkpoint exists but the covered segments were NOT retired.
+        # Rotting that newest checkpoint must degrade recovery to the
+        # previous one plus WAL replay — with zero loss.
+        plan = FaultPlan(CrashPoint("after-checkpoint", skip=1), seed=7)
+        session = _durable_session(group, tmp_path, plan=plan)
+        acked = _run_until_crash(session)
+        # The crash fired inside batch 2's periodic checkpoint, before its
+        # flush returned: batch 2 is durable (WAL + checkpoint) but only
+        # batch 1 was acknowledged.
+        assert len(acked) == 1
+        newest = max(
+            (p for p in os.listdir(str(tmp_path)) if p.endswith(".ckpt"))
+        )
+        with open(os.path.join(str(tmp_path), newest), "r+b") as handle:
+            handle.seek(40)
+            byte = handle.read(1)
+            handle.seek(40)
+            handle.write(bytes([byte[0] ^ 0x08]))
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        assert recovered.recovery_report.checkpoint_seq == 0
+        assert recovered.recovery_report.replayed_batches == 2
+        _assert_recovered(recovered, acked)
+
+    def test_session_resumes_sequence_and_txn_ids(self, group, tmp_path):
+        session = _durable_session(group, tmp_path)
+        session.submit("alice", TRANSFER, src=0, dst=1, amount=5)
+        assert session.flush().accepted
+        next_id = session._next_id
+        session.close()
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        assert recovered._next_id >= next_id
+        ticket = recovered.submit("bob", TRANSFER, src=2, dst=3, amount=5)
+        assert ticket.txn_id >= next_id
+        assert recovered.flush().accepted
+        recovered.close()
+
+
+@pytest.mark.crash
+class TestCrashMatrix:
+    """Every crash stage × every at-rest corruption, fsync=always: recovery
+    restores a state whose rebuilt digest equals the journaled one, with
+    zero acknowledged-but-lost batches, and torn tails never raise."""
+
+    @pytest.mark.parametrize("stage", CRASH_STAGES)
+    @pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+    def test_crash_then_corrupt_then_recover(
+        self, group, tmp_path, stage, corruption
+    ):
+        skip = 1 if stage.startswith("after-checkpoint") else 2
+        plan = FaultPlan(CrashPoint(stage, skip=skip), seed=11)
+        session = _durable_session(group, tmp_path, plan=plan)
+        acked = _run_until_crash(session)
+        assert acked, "no batch was acknowledged before the crash"
+        damage = CORRUPTIONS[corruption]()
+        if damage is not None:
+            try:
+                damage.apply(str(tmp_path))
+            except WalError:
+                # the crash stage may have left no WAL records to damage
+                # (e.g. right after a checkpoint retired every segment)
+                pass
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        _assert_recovered(recovered, acked)
+
+    @pytest.mark.parametrize("fsync", ["batch", "never"])
+    def test_relaxed_fsync_still_recovers_consistently(
+        self, group, tmp_path, fsync
+    ):
+        """Relaxed policies may lose tail batches but never consistency:
+        whatever prefix survives, the digest cross-check still holds."""
+        plan = FaultPlan(CrashPoint("after-log", skip=3), seed=3)
+        session = _durable_session(
+            group, tmp_path, plan=plan, fsync=fsync, sync_every=2
+        )
+        _run_until_crash(session)
+        TruncateSegment(records=1).apply(str(tmp_path))
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        assert recovered.digest == recovered.server.digest
+        recovered.submit("alice", TRANSFER, src=0, dst=1, amount=1)
+        assert recovered.flush().accepted
+        recovered.close()
