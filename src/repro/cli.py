@@ -34,12 +34,29 @@ The crash-recovery demo does the same for the durability layer::
 
     python -m repro --recover /tmp/litmus-crash-demo [--seed 7]
 
-It runs a durable session into an injected mid-run crash
-(:class:`~repro.faults.CrashPoint`), tears the WAL tail
-(:class:`~repro.faults.TornWrite`), then restarts via
+Pointed at an *empty* directory it runs a durable session into an
+injected mid-run crash (:class:`~repro.faults.CrashPoint`), tears the WAL
+tail (:class:`~repro.faults.TornWrite`), then restarts via
 ``LitmusSession.recover`` and prints the digest cross-check — exiting
 non-zero unless every acknowledged batch survived and the rebuilt digest
-matches the journaled one.
+matches the journaled one.  Pointed at a *non-empty* directory it
+attempts a real recovery of that deployment and prints the report; a
+missing directory or an unrecoverable (corrupt) one exits non-zero with
+a one-line diagnosis, never a traceback.
+
+The networked deployment (DESIGN.md §12)::
+
+    python -m repro --serve 127.0.0.1:7433 [--data-dir DIR]
+    python -m repro --connect 127.0.0.1:7433
+
+``--serve`` runs a :class:`~repro.net.LitmusService` (WAL-backed when
+``--data-dir`` is given) until SIGTERM/SIGINT, then drains gracefully:
+in-flight batches finish and ack through the WAL, new work is refused,
+the final checkpoint is fsynced.  ``--connect`` is the client quickstart:
+it submits a handful of bank transfers through a
+:class:`~repro.net.RemoteSession` with a retry policy and prints the
+verified result.  A port already in use or an unreachable server is a
+clean one-line error, not a traceback.
 """
 
 from __future__ import annotations
@@ -274,21 +291,64 @@ def _faults_demo(kind: str, seed: int) -> tuple[str, bool]:
     return "\n".join(lines), recovered
 
 
-def _recover_demo(directory: str, seed: int) -> tuple[str, bool]:
-    """Crash a durable run mid-flight, tear the WAL, restart, recover."""
+def _recover_cmd(directory: str, seed: int) -> tuple[str, int]:
+    """Dispatch ``--recover``: demo on an empty dir, real recovery otherwise.
+
+    Failure paths are first-class: a missing directory exits 2 and an
+    unrecoverable (corrupt or foreign) one exits 1, each with a one-line
+    diagnosis instead of a traceback.
+    """
     import os
 
+    if not os.path.isdir(directory):
+        return (
+            f"error: --recover directory {directory!r} does not exist; "
+            "create an empty directory for the crash demo, or point at an "
+            "existing durable deployment",
+            2,
+        )
+    if os.listdir(directory):
+        return _recover_existing(directory)
+    transcript, recovered = _recover_demo(directory, seed)
+    return transcript, 0 if recovered else 1
+
+
+def _recover_existing(directory: str) -> tuple[str, int]:
+    """Real recovery of a non-empty durability directory; report or fail."""
+    from .core import LitmusSession
+    from .errors import ReproError
+
+    try:
+        session = LitmusSession.recover(directory, [_demo_transfer()])
+    except ReproError as exc:
+        return (
+            f"error: recovery from {directory!r} failed: {exc}",
+            1,
+        )
+    except OSError as exc:
+        return (f"error: cannot read {directory!r}: {exc}", 1)
+    report = session.recovery_report
+    session.close()
+    lines = [
+        f"Recovered durable deployment at {directory!r}",
+        f"  checkpoint : seq {report.checkpoint_seq}",
+        f"  replayed   : {report.replayed_batches} batch(es) "
+        f"(tip seq {report.last_seq})",
+        f"  repaired   : {report.truncations} torn tail(s), "
+        f"{report.truncated_bytes} byte(s), "
+        f"{report.dropped_segments} dropped segment(s)",
+        f"  digest     : {report.digest:#x}",
+        f"  duration   : {report.duration_seconds:.3f}s",
+    ]
+    return "\n".join(lines), 0
+
+
+def _recover_demo(directory: str, seed: int) -> tuple[str, bool]:
+    """Crash a durable run mid-flight, tear the WAL, restart, recover."""
     from .core import DurabilityConfig, LitmusConfig, LitmusSession
     from .crypto.rsa_group import default_group
     from .errors import SimulatedCrash
     from .faults import CrashPoint, FaultPlan, TornWrite
-
-    if os.path.isdir(directory) and os.listdir(directory):
-        return (
-            f"refusing to run the crash demo in non-empty directory "
-            f"{directory!r}; point --recover at a fresh path",
-            False,
-        )
 
     transfer = _demo_transfer()
     group = default_group(bits=512)
@@ -351,6 +411,117 @@ def _recover_demo(directory: str, seed: int) -> tuple[str, bool]:
     return "\n".join(lines), verdict
 
 
+def _parse_address(address: str) -> tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address {address!r} is not of the form host:port")
+    return host, int(port)
+
+
+def _serve(address: str, data_dir: str | None) -> int:
+    """Run the networked service until SIGTERM/SIGINT, then drain."""
+    import os
+    import signal
+
+    from .core import DurabilityConfig, LitmusConfig, LitmusSession
+    from .crypto.rsa_group import default_group
+    from .net import LitmusService, ServiceConfig
+
+    try:
+        host, port = _parse_address(address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    transfer = _demo_transfer()
+    durability = None
+    if data_dir is not None:
+        os.makedirs(data_dir, exist_ok=True)
+        durability = DurabilityConfig(directory=data_dir)
+    if durability is not None and os.listdir(data_dir):
+        session = LitmusSession.recover(data_dir, [transfer])
+    else:
+        session = LitmusSession.create(
+            initial={("acct", i): 100 for i in range(8)},
+            config=LitmusConfig(**_DEMO_CONFIG),
+            group=default_group(bits=512),
+            durability=durability,
+        )
+    service = LitmusService(
+        session, programs=[transfer], config=ServiceConfig(host=host, port=port)
+    )
+    try:
+        bound = service.start()
+    except OSError as exc:
+        session.close()
+        print(
+            f"error: cannot listen on {host}:{port}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def _drain(_signum, _frame):
+        print("draining: finishing in-flight batches, refusing new work ...")
+        service.shutdown()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(
+        f"litmus service listening on {bound[0]}:{bound[1]} "
+        f"(durability: {data_dir or 'off'}); SIGTERM drains gracefully"
+    )
+    service.serve_forever()
+    print("service stopped; WAL synced")
+    return 0
+
+
+def _connect_demo(address: str) -> int:
+    """Client quickstart: a few verified transfers through RemoteSession."""
+    from .core import RetryPolicy
+    from .errors import NetworkError
+    from .net import RemoteSession
+
+    try:
+        host, port = _parse_address(address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        client = RemoteSession(
+            host,
+            port,
+            retry_policy=RetryPolicy(max_attempts=5, backoff=0.05, jitter=0.1),
+            connect_timeout=5.0,
+        )
+    except NetworkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        tickets = [
+            client.submit("demo", "transfer", src=i, dst=(i + 1) % 8, amount=1)
+            for i in range(4)
+        ]
+        result = client.flush(timeout=60.0)
+        print(
+            f"flushed {result.num_txns} txn(s) in {result.attempts} attempt(s): "
+            f"{'ACCEPTED' if result.accepted else 'REJECTED ' + result.reason}"
+        )
+        for ticket in tickets:
+            print(f"  txn {ticket.txn_id}: outputs {ticket.outputs}")
+        print(f"  verified digest: {client.digest:#x}")
+        status = client.status()
+        print(
+            f"  server: {status['connections']} connection(s), "
+            f"queue depth {status['queued']}, "
+            f"{status['batches_verified']} batch(es) verified"
+        )
+    except NetworkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0 if result.accepted else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -394,6 +565,26 @@ def main(argv: list[str] | None = None) -> int:
         help="seed of the --faults / --recover demo's fault plan",
     )
     parser.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        default=None,
+        help="run the networked Litmus service on HOST:PORT until "
+        "SIGTERM/SIGINT, then drain gracefully",
+    )
+    parser.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="durability directory for --serve (WAL + checkpoints); "
+        "recovers automatically when non-empty",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="run the client quickstart against a --serve instance",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -412,12 +603,21 @@ def main(argv: list[str] | None = None) -> int:
         _export_observability(args.metrics_out, args.trace_out)
         return 0 if recovered else 1
     if args.recover:
-        transcript, recovered = _recover_demo(args.recover, args.seed)
-        print(transcript)
+        transcript, code = _recover_cmd(args.recover, args.seed)
+        print(transcript, file=sys.stderr if code == 2 else sys.stdout)
         _export_observability(args.metrics_out, args.trace_out)
-        return 0 if recovered else 1
+        return code
+    if args.serve:
+        return _serve(args.serve, args.data_dir)
+    if args.connect:
+        code = _connect_demo(args.connect)
+        _export_observability(args.metrics_out, args.trace_out)
+        return code
     if args.experiment is None:
-        parser.error("an experiment (or --faults / --recover) is required")
+        parser.error(
+            "an experiment (or --faults / --recover / --serve / --connect) "
+            "is required"
+        )
     if args.experiment == "all":
         for name in ("constants", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "elle"):
             print(f"\n{'=' * 72}")

@@ -90,6 +90,7 @@ from ..db.wal import (
 )
 from ..errors import (
     BatchRejectedError,
+    DeadlineExceeded,
     MessageDropped,
     ProofCorruptionDetected,
     ReproError,
@@ -159,17 +160,32 @@ class RetryPolicy:
         if not callable(self.sleep):
             raise ReproError("sleep must be callable")
 
-    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+    def delay(
+        self,
+        attempt: int,
+        rng: random.Random | None = None,
+        retry_after: float | None = None,
+    ) -> float:
         """Seconds to wait after failed attempt number *attempt* (1-based).
 
         With ``jitter`` set, the exponential delay is scaled by a factor
         from ``[1-jitter, 1+jitter]`` drawn from *rng* (the module-level
         ``random`` when none is given).
+
+        *retry_after* is a server-supplied hint (seconds), e.g. the one an
+        :class:`~repro.errors.Overloaded` shed carries: the wait becomes
+        ``max(hint, backoff)`` so a loaded server is never hammered sooner
+        than it asked, while an already-longer exponential backoff is kept.
+        The jitter draw happens exactly as without a hint (one draw per
+        call whenever ``jitter`` is set and the base is positive), so
+        seeded schedules stay replayable whether or not a hint arrives.
         """
         base = self.backoff * (2 ** (attempt - 1))
         if self.jitter and base > 0:
             source = rng if rng is not None else random
             base *= 1.0 + source.uniform(-self.jitter, self.jitter)
+        if retry_after is not None:
+            return max(retry_after, base)
         return base
 
 
@@ -615,7 +631,7 @@ class LitmusSession:
             self.flush()
         return ticket
 
-    def flush(self) -> BatchResult:
+    def flush(self, deadline: float | None = None) -> BatchResult:
         """Drive one verification round over the queued requests.
 
         Empty queue: a documented no-op returning :meth:`BatchResult.empty`
@@ -624,6 +640,17 @@ class LitmusSession:
         With a :class:`RetryPolicy`, a rejected round triggers the recovery
         loop documented in the module docstring (rollback → resync →
         backoff → retry) before giving up.
+
+        *deadline* is an absolute ``time.monotonic()`` instant (the shape a
+        network service propagates server-side).  It is checked at stage
+        boundaries — before each attempt and after server execution but
+        before verification.  On expiry the round is **cancelled, not
+        half-committed**: the server is rolled back to the last verified
+        state if it had advanced, the un-acknowledged transactions are
+        re-queued in order, their tickets stay unresolved, and
+        :class:`~repro.errors.DeadlineExceeded` is raised.  A later flush
+        (with a fresh deadline or none) retries them; nothing is lost and
+        the digest chain never moves for a cancelled round.
         """
         if not self._pending:
             return BatchResult.empty()
@@ -633,8 +660,20 @@ class LitmusSession:
 
         attempt = 0
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self._abandon_for_deadline(pending)
+                raise DeadlineExceeded(
+                    f"deadline expired before attempt {attempt + 1}; "
+                    f"{len(txns)} transaction(s) re-queued"
+                )
             attempt += 1
-            verdict, reason, server_advanced, response = self._attempt_round(txns)
+            try:
+                verdict, reason, server_advanced, response = self._attempt_round(
+                    txns, deadline
+                )
+            except DeadlineExceeded:
+                self._abandon_for_deadline(pending)
+                raise
             if verdict is not None and verdict.accepted:
                 return self._finish_accepted(
                     pending, txns, verdict, response, attempt
@@ -706,8 +745,15 @@ class LitmusSession:
 
     # -- the per-attempt round ---------------------------------------------------
 
+    def _abandon_for_deadline(
+        self, pending: list[tuple[UserTicket, Transaction]]
+    ) -> None:
+        """Re-queue a deadline-cancelled batch ahead of anything newer."""
+        self._pending = pending + self._pending
+        self.registry.counter("session.deadline_aborts").inc()
+
     def _attempt_round(
-        self, txns: list[Transaction]
+        self, txns: list[Transaction], deadline: float | None = None
     ) -> tuple[ClientVerdict | None, str, bool, ServerResponse | None]:
         """One request→execute→respond→verify round.
 
@@ -715,6 +761,14 @@ class LitmusSession:
         *verdict* is None when no response reached the client and
         *server_advanced* tells the caller whether the server applied the
         batch and still holds that (unverified) state.
+
+        A *deadline* that expires while the server executes cancels the
+        round here: the server is rolled back (its optimistic state was
+        never verified) and :class:`~repro.errors.DeadlineExceeded`
+        propagates to ``flush``, which re-queues the batch.  The check
+        sits *before* verification on purpose — once the client verifies
+        and advances its digest the work must be acknowledged, so the
+        deadline is best-effort at stage boundaries, never mid-digest.
         """
         plan = self.fault_plan
         try:
@@ -727,6 +781,12 @@ class LitmusSession:
         except (ProofCorruptionDetected, MessageDropped) as exc:
             # execute_batch already rolled the server back before raising.
             return None, str(exc), False, None
+        if deadline is not None and time.monotonic() >= deadline:
+            self.server.rollback()
+            raise DeadlineExceeded(
+                "server execution overran the request deadline; the batch "
+                "was rolled back before verification"
+            )
         try:
             if plan is not None:
                 response = plan.on_response(response)

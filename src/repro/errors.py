@@ -162,6 +162,87 @@ class RetryExhausted(ReproError):
         self.attempts = attempts
 
 
+class DeadlineExceeded(ReproError):
+    """A per-request deadline expired before the work could be acknowledged.
+
+    Raised client-side when the response did not arrive within the caller's
+    timeout, and server-side when :meth:`repro.core.session.LitmusSession.flush`
+    finds the propagated deadline already expired at a stage boundary.  In
+    the server-side case the session has *cancelled* the round: the server
+    was rolled back to the last client-verified state and the un-acknowledged
+    transactions were re-queued, so nothing is lost and nothing desyncs —
+    a later flush (or a retry with a longer deadline) picks them up.
+    """
+
+
+class NetworkError(ReproError):
+    """Base class for the client/server transport layer (:mod:`repro.net`).
+
+    Everything that can go wrong *between* the session and its caller when
+    they are separated by a socket derives from here, so applications can
+    separate "the network misbehaved" (retryable) from "verification
+    failed" (an attack) with two except clauses.
+    """
+
+
+class WireFormatError(NetworkError):
+    """A frame on the wire is malformed or speaks an incompatible version.
+
+    Covers bad magic, unknown protocol versions, oversized or truncated
+    length prefixes, CRC mismatches, and undecodable payloads.  The framing
+    layer treats these as fatal for the connection — after a framing error
+    the stream offset can no longer be trusted.
+    """
+
+
+class ConnectionLost(NetworkError):
+    """The peer closed (or the transport tore down) mid-conversation.
+
+    Retryable: the client reconnects and uses the idempotent resolve path
+    to find out what the server actually committed before re-sending.
+    """
+
+
+class Overloaded(NetworkError):
+    """The server shed this request because its admission queue is full.
+
+    Carries ``retry_after`` — the server's own estimate (seconds) of when
+    capacity will free up, derived from the live queue depth and a moving
+    average of recent service times.  :class:`repro.core.session.RetryPolicy`
+    honors the hint: the retry delay becomes ``max(hint, backoff)``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(NetworkError):
+    """The server refused new work because it is draining for shutdown.
+
+    Unlike :class:`Overloaded` this is not a capacity signal — the server
+    is going away.  ``retry_after`` hints how long a restart supervisor
+    typically needs; clients should reconnect, not hammer.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RemoteError(NetworkError):
+    """The server answered with a typed application error.
+
+    Carries the wire error ``code`` (``"unknown_program"``,
+    ``"bad_request"``, ``"internal"``, ...) so callers can branch without
+    string-matching the human-readable message.
+    """
+
+    def __init__(self, message: str, code: str = "internal"):
+        super().__init__(message)
+        self.code = code
+
+
 class ClientAPIError(ReproError):
     """Misuse of the client-facing session surface (tickets, batches).
 

@@ -1,0 +1,45 @@
+"""The network boundary: Litmus as a service (DESIGN.md §12).
+
+This package lifts the in-process :class:`~repro.core.session.LitmusSession`
+onto a socket without moving the trust boundary:
+
+- :mod:`repro.net.codec` — the length-prefixed, versioned, checksummed
+  wire format and the blocking frame :class:`~repro.net.codec.Transport`;
+- :mod:`repro.net.service` — :class:`LitmusService`, the threaded server
+  with bounded admission, load shedding, deadline propagation, idle
+  reaping, heartbeats, an idempotency journal, and graceful draining
+  shutdown;
+- :mod:`repro.net.client` — :class:`RemoteSession`, the client mirroring
+  the ``LitmusSession`` API that absorbs overload, deadlines, and lost
+  connections through :class:`~repro.core.session.RetryPolicy`;
+- :mod:`repro.net.channel` — :class:`FaultyTransport`, proxy mode routing
+  live connections through :class:`~repro.sim.network.SimulatedChannel`
+  for seeded wire-fault injection.
+"""
+
+from .channel import FaultyTransport
+from .client import RemoteSession
+from .codec import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Frame,
+    Transport,
+    decode_frame,
+    encode_frame,
+    message_name,
+)
+from .service import LitmusService, ServiceConfig
+
+__all__ = [
+    "FaultyTransport",
+    "Frame",
+    "LitmusService",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "RemoteSession",
+    "ServiceConfig",
+    "Transport",
+    "decode_frame",
+    "encode_frame",
+    "message_name",
+]

@@ -1,0 +1,89 @@
+"""Proxy mode: route the live transport through a simulated channel.
+
+The in-process robustness layer injects message faults through
+:class:`repro.sim.network.SimulatedChannel`; :class:`FaultyTransport` lifts
+the same seeded drop/delay stream onto *real* socket connections, so the
+fault vocabulary of :mod:`repro.faults` applies to the networked
+deployment without new adversary code:
+
+- a **dropped send** never reaches the wire — the frame is swallowed
+  before ``sendall`` and :class:`~repro.errors.MessageDropped` is raised
+  to the local caller (exactly what a lost packet looks like to the peer,
+  who simply never hears anything);
+- a **dropped recv** discards a frame that did arrive — the bytes are
+  consumed off the socket and thrown away, modeling loss on the return
+  path;
+- a **delay** spends real or virtual time through the channel's
+  :class:`~repro.sim.clock.Clock` before the frame proceeds, so a
+  :class:`~repro.sim.clock.SystemClock` makes live connections genuinely
+  slow while a :class:`~repro.sim.clock.ManualClock` keeps tests instant.
+
+Both ends can be wrapped: the client (``RemoteSession(channel=...)``)
+models a lossy last mile, the server (``LitmusService(channel=...)``)
+models loss in front of every connection.  Either way the retry/resolve
+machinery must absorb the losses — that is the point.
+"""
+
+from __future__ import annotations
+
+from ..errors import MessageDropped
+from ..sim.network import SimulatedChannel
+from .codec import Frame, Transport, encode_frame, message_name
+
+__all__ = ["FaultyTransport"]
+
+
+class FaultyTransport:
+    """A :class:`~repro.net.codec.Transport` filtered through a
+    :class:`~repro.sim.network.SimulatedChannel`.
+
+    Presents the same ``send``/``recv``/``close`` surface, so the service
+    and the client use it interchangeably with the plain transport.
+    Separate channels may be supplied per direction; a single *channel*
+    serves both (one seeded stream across the conversation, matching how
+    :class:`~repro.faults.NetworkFault` accounts the in-process pipeline).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        channel: SimulatedChannel,
+        recv_channel: SimulatedChannel | None = None,
+    ):
+        self.transport = transport
+        self.send_channel = channel
+        self.recv_channel = recv_channel if recv_channel is not None else channel
+
+    @property
+    def closed(self) -> bool:
+        return self.transport.closed
+
+    @property
+    def registry(self):
+        return self.transport.registry
+
+    def send(self, msg_type: int, payload=None) -> None:
+        # Size the delivery by the real frame so per-byte cost models see
+        # the true payload, then drop *before* any bytes hit the socket.
+        frame_bytes = len(encode_frame(msg_type, payload))
+        self.send_channel.deliver(
+            frame_bytes, label=f"send {message_name(msg_type)}"
+        )
+        self.transport.send(msg_type, payload)
+
+    def recv(self) -> Frame:
+        while True:
+            frame = self.transport.recv()
+            try:
+                self.recv_channel.deliver(
+                    0, label=f"recv {message_name(frame.msg_type)}"
+                )
+            except MessageDropped:
+                # The bytes arrived but the simulated return path lost
+                # them; keep reading — from the caller's perspective the
+                # response simply never comes (until a timeout fires).
+                continue
+            return frame
+
+    def close(self) -> None:
+        self.transport.close()

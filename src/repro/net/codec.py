@@ -1,0 +1,301 @@
+"""Length-prefixed, versioned wire codec for the Litmus client/server link.
+
+One frame on the wire is::
+
+    +-------+---------+----------+-----------+---------+----------------+
+    | magic | version | msg type | length    | crc32   | payload        |
+    | LNP1  | 1 byte  | 1 byte   | 4 bytes   | 4 bytes | length bytes   |
+    +-------+---------+----------+-----------+---------+----------------+
+
+- ``magic`` pins the protocol family (``LNP1`` — Litmus Network Protocol
+  v1 framing); anything else is garbage or a port collision and fails
+  fast with :class:`~repro.errors.WireFormatError`;
+- ``version`` is the *semantic* protocol version
+  (:data:`PROTOCOL_VERSION`); a peer speaking a newer one is rejected
+  instead of misinterpreted;
+- ``length`` is the payload byte count, capped at
+  :data:`MAX_FRAME_BYTES` so a corrupt or hostile length prefix cannot
+  make the receiver allocate gigabytes;
+- ``crc32`` covers the payload, catching in-flight corruption before the
+  JSON layer can produce a confusing half-parse.
+
+Payloads are canonical UTF-8 JSON objects.  The message vocabulary is the
+existing protocol surface lifted onto the wire — submit / flush / response
+/ error plus the connection-management messages (hello, heartbeat, status,
+resolve, close) the networked deployment needs.
+
+Transaction-output maps are JSON objects keyed by stringified txn ids
+(:func:`outputs_to_wire` / :func:`outputs_from_wire`): JSON object keys
+must be strings, and Python's arbitrary-precision ints make the digest
+fields round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ConnectionLost, WireFormatError
+from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "MSG_CLOSE",
+    "MSG_CLOSE_OK",
+    "MSG_ERROR",
+    "MSG_FLUSH",
+    "MSG_HELLO",
+    "MSG_HELLO_OK",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_RESOLVE",
+    "MSG_RESOLVED",
+    "MSG_RESULT",
+    "MSG_STATUS",
+    "MSG_STATUS_OK",
+    "MSG_SUBMIT",
+    "MSG_TICKET",
+    "PROTOCOL_VERSION",
+    "Transport",
+    "decode_frame",
+    "encode_frame",
+    "message_name",
+    "outputs_from_wire",
+    "outputs_to_wire",
+]
+
+MAGIC = b"LNP1"
+PROTOCOL_VERSION = 1
+# 64 MiB: generous for command logs and output maps, small enough that a
+# corrupt length prefix cannot exhaust memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">4sBBII")
+
+# -- message vocabulary ------------------------------------------------------
+
+MSG_HELLO = 1  # client → server: {client_id, protocol}
+MSG_HELLO_OK = 2  # server → client: {server, protocol, digest}
+MSG_SUBMIT = 3  # client → server: {op, user, program, params, timeout}
+MSG_TICKET = 4  # server → client: {txn_id}
+MSG_FLUSH = 5  # client → server: {op, txns, timeout}
+MSG_RESULT = 6  # server → client: {txns, digest, attempts, num_txns, ...}
+MSG_PING = 7  # client → server: {} (heartbeat)
+MSG_PONG = 8  # server → client: {}
+MSG_STATUS = 9  # client → server: {}
+MSG_STATUS_OK = 10  # server → client: {digest, queued, connections, draining}
+MSG_RESOLVE = 11  # client → server: {txns} (after reconnect)
+MSG_RESOLVED = 12  # server → client: {txns, pending, unknown}
+MSG_CLOSE = 13  # client → server: {}
+MSG_CLOSE_OK = 14  # server → client: {}
+MSG_ERROR = 15  # server → client: {code, message, retry_after}
+
+_NAMES = {
+    MSG_HELLO: "hello",
+    MSG_HELLO_OK: "hello_ok",
+    MSG_SUBMIT: "submit",
+    MSG_TICKET: "ticket",
+    MSG_FLUSH: "flush",
+    MSG_RESULT: "result",
+    MSG_PING: "ping",
+    MSG_PONG: "pong",
+    MSG_STATUS: "status",
+    MSG_STATUS_OK: "status_ok",
+    MSG_RESOLVE: "resolve",
+    MSG_RESOLVED: "resolved",
+    MSG_CLOSE: "close",
+    MSG_CLOSE_OK: "close_ok",
+    MSG_ERROR: "error",
+}
+
+
+def message_name(msg_type: int) -> str:
+    """Human-readable name of a message type (for logs and errors)."""
+    return _NAMES.get(msg_type, f"unknown({msg_type})")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame: a message type plus its JSON payload."""
+
+    msg_type: int
+    payload: dict
+
+
+def encode_frame(msg_type: int, payload: Mapping | None = None) -> bytes:
+    """Serialize one message into its on-wire byte representation."""
+    if msg_type not in _NAMES:
+        raise WireFormatError(f"unknown message type {msg_type}")
+    body = json.dumps(
+        dict(payload or {}), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"payload of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "frame cap"
+        )
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, msg_type, len(body), zlib.crc32(body) & 0xFFFFFFFF
+    )
+    return header + body
+
+
+def decode_frame(buffer: bytes) -> tuple[Frame, int]:
+    """Decode one frame from the head of *buffer*.
+
+    Returns ``(frame, consumed_bytes)``.  Raises
+    :class:`~repro.errors.WireFormatError` on bad magic, version, length,
+    checksum, or payload — and :class:`~repro.errors.ConnectionLost` when
+    the buffer holds only a prefix of a frame (the stream ended mid-frame).
+    """
+    if len(buffer) < _HEADER.size:
+        raise ConnectionLost(
+            f"stream ended inside a frame header ({len(buffer)} of "
+            f"{_HEADER.size} bytes)"
+        )
+    magic, version, msg_type, length, crc = _HEADER.unpack_from(buffer)
+    _validate_header(magic, version, msg_type, length)
+    end = _HEADER.size + length
+    if len(buffer) < end:
+        raise ConnectionLost(
+            f"stream ended inside a {length}-byte payload "
+            f"({len(buffer) - _HEADER.size} bytes received)"
+        )
+    body = buffer[_HEADER.size : end]
+    _validate_body(body, crc, msg_type)
+    return Frame(msg_type, _parse_payload(body)), end
+
+
+def _validate_header(magic: bytes, version: int, msg_type: int, length: int) -> None:
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise WireFormatError(
+            f"peer speaks protocol version {version}; this build only "
+            f"understands {PROTOCOL_VERSION}"
+        )
+    if msg_type not in _NAMES:
+        raise WireFormatError(f"unknown message type {msg_type}")
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame claims a {length}-byte payload, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+
+
+def _validate_body(body: bytes, crc: int, msg_type: int) -> None:
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != crc:
+        raise WireFormatError(
+            f"payload checksum mismatch on {message_name(msg_type)} frame "
+            f"(got {actual:#010x}, header says {crc:#010x})"
+        )
+
+
+def _parse_payload(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireFormatError("frame payload must be a JSON object")
+    return payload
+
+
+# -- output-map wire shape ---------------------------------------------------
+
+
+def outputs_to_wire(outputs: Mapping[int, tuple]) -> dict[str, list]:
+    """``{txn_id: (value, ...)}`` → JSON-safe ``{"txn_id": [value, ...]}``."""
+    return {str(txn_id): list(values) for txn_id, values in outputs.items()}
+
+
+def outputs_from_wire(wire: Mapping[str, list]) -> dict[int, tuple[int, ...]]:
+    """Inverse of :func:`outputs_to_wire`; rejects non-integer keys."""
+    try:
+        return {int(key): tuple(values) for key, values in wire.items()}
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed output map on the wire: {exc}") from exc
+
+
+# -- blocking socket transport ----------------------------------------------
+
+
+class Transport:
+    """Frame-at-a-time blocking transport over a connected socket.
+
+    ``send``/``recv`` move whole frames; partial reads are retried until
+    the frame completes or the peer disappears (:class:`ConnectionLost`).
+    A ``socket.timeout`` from the underlying socket propagates unchanged —
+    the server turns it into idle reaping, the client into a deadline.
+
+    When *registry* is provided, ``net.bytes_sent`` / ``net.bytes_received``
+    and per-direction frame counters are maintained, so byte-level traffic
+    shows up in the standard metrics export.
+    """
+
+    def __init__(self, sock: socket.socket, registry: MetricsRegistry | None = None):
+        self.sock = sock
+        self.registry = registry
+        self._recv_buffer = b""
+        self.closed = False
+
+    def send(self, msg_type: int, payload: Mapping | None = None) -> None:
+        data = encode_frame(msg_type, payload)
+        try:
+            self.sock.sendall(data)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            self.closed = True
+            raise ConnectionLost(f"send failed: {exc}") from exc
+        if self.registry is not None:
+            self.registry.counter("net.bytes_sent").inc(len(data))
+            self.registry.counter("net.frames_sent").inc()
+
+    def recv(self) -> Frame:
+        header = self._read_exact(_HEADER.size)
+        magic, version, msg_type, length, crc = _HEADER.unpack(header)
+        _validate_header(magic, version, msg_type, length)
+        body = self._read_exact(length)
+        _validate_body(body, crc, msg_type)
+        if self.registry is not None:
+            self.registry.counter("net.bytes_received").inc(_HEADER.size + length)
+            self.registry.counter("net.frames_received").inc()
+        return Frame(msg_type, _parse_payload(body))
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._recv_buffer) < count:
+            try:
+                chunk = self.sock.recv(65536)
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                self.closed = True
+                raise ConnectionLost(f"recv failed: {exc}") from exc
+            if not chunk:
+                self.closed = True
+                raise ConnectionLost(
+                    "peer closed the connection mid-frame"
+                    if self._recv_buffer
+                    else "peer closed the connection"
+                )
+            self._recv_buffer += chunk
+        data, self._recv_buffer = (
+            self._recv_buffer[:count],
+            self._recv_buffer[count:],
+        )
+        return data
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

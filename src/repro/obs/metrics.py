@@ -17,7 +17,15 @@ Metric naming taxonomy (dotted, lowercase):
 - ``snark.{prove,verify}_seconds`` (histograms), ``snark.{proofs,verifies}``;
 - ``accumulator.witness_seconds`` / ``authdict.{lookup,update}_seconds``;
 - ``db.{committed,aborted_retries}`` — CC-layer outcomes per batch;
-- ``server.{batches,pieces}`` / ``client.{batches_accepted,batches_rejected}``.
+- ``server.{batches,pieces}`` / ``client.{batches_accepted,batches_rejected}``;
+- ``session.{deadline_aborts,...}`` — facade-level round outcomes;
+- ``net.*`` — the socket service and remote client (``repro.net``):
+  ``net.{bytes,frames}_{sent,received}``, ``net.connections_{active,total,
+  refused}`` (active is a gauge), ``net.{requests,errors,op_replays}``,
+  ``net.queue_depth`` (gauge) + ``net.sheds`` + ``net.deadline_hits`` for
+  admission control, ``net.{idle_reaped,heartbeats}``, ``net.op_seconds``
+  (histogram), and client-side ``net.client_{deadline_hits,reconnects,
+  resubmits,sheds_seen}``.
 """
 
 from __future__ import annotations

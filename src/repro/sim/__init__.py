@@ -16,16 +16,19 @@ accesses), and this package converts counts into virtual seconds:
   interactive baselines.
 """
 
-from .clock import VirtualClock
+from .clock import Clock, ManualClock, SystemClock, VirtualClock
 from .costmodel import CostModel
 from .network import NetworkModel, SimulatedChannel
 from .scheduler import ProverTask, schedule_tasks
 
 __all__ = [
+    "Clock",
     "CostModel",
+    "ManualClock",
     "NetworkModel",
     "ProverTask",
     "SimulatedChannel",
+    "SystemClock",
     "VirtualClock",
     "schedule_tasks",
 ]

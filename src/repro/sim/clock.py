@@ -1,10 +1,79 @@
-"""Named virtual-time accounting."""
+"""Named virtual-time accounting and injectable clocks.
+
+Two related facilities live here:
+
+- :class:`VirtualClock` — accumulates *modeled* seconds into named
+  segments (the paper's Figure 7 time breakdown);
+- the :class:`Clock` family — an injectable ``now()``/``sleep()`` pair so
+  code that must actually *wait* (network latency injection, retry
+  backoff, deadline checks) can run against real time in production
+  (:class:`SystemClock`) and against deterministic fake time in tests
+  (:class:`ManualClock`).  Anything that would call ``time.sleep`` or
+  ``time.monotonic`` directly should take a :class:`Clock` instead; that
+  is what keeps fault-plan tests with latency fast and replayable.
+"""
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 
-__all__ = ["VirtualClock"]
+__all__ = ["Clock", "ManualClock", "SystemClock", "VirtualClock"]
+
+
+class Clock:
+    """Injectable time source: ``now()`` plus ``sleep(seconds)``.
+
+    The interface mirrors ``time.monotonic``/``time.sleep`` so call sites
+    read naturally; only the two implementations below exist on purpose
+    (a third would usually mean a test is re-implementing
+    :class:`ManualClock`).
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real wall-clock time: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """Deterministic fake time for tests: sleeping just advances ``now``.
+
+    Every sleep is recorded on :attr:`sleeps` so a test can assert the
+    exact latency schedule a channel or retry loop produced without
+    burning any wall-clock.  ``advance`` moves time without recording a
+    sleep (an external event, not a wait).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds
 
 
 class VirtualClock:

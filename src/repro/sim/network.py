@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 
 from ..errors import MessageDropped
+from .clock import Clock
 
 __all__ = ["NetworkModel", "SimulatedChannel", "LAN", "WAN"]
 
@@ -49,6 +50,15 @@ class SimulatedChannel:
     The channel keeps running totals (``delivered``, ``dropped``,
     ``virtual_seconds``) so callers can report what the simulated network
     did to them.
+
+    By default nothing waits — latency is pure accounting.  When the
+    channel is attached to a *live* transport (:mod:`repro.net` proxy
+    mode), pass a :class:`~repro.sim.clock.Clock`: every delivered latency
+    is then spent through ``clock.sleep``, so a :class:`SystemClock` makes
+    real connections genuinely slow while a
+    :class:`~repro.sim.clock.ManualClock` keeps latency-heavy fault-plan
+    tests deterministic and instant.  The seeded drop/delay stream is
+    identical with or without a clock.
     """
 
     def __init__(
@@ -58,6 +68,7 @@ class SimulatedChannel:
         drop_probability: float = 0.0,
         delay_probability: float = 0.0,
         extra_delay_seconds: float = 0.0,
+        clock: Clock | None = None,
     ):
         if not 0.0 <= drop_probability <= 1.0:
             raise ValueError("drop_probability must be in [0, 1]")
@@ -67,6 +78,7 @@ class SimulatedChannel:
         self.drop_probability = drop_probability
         self.delay_probability = delay_probability
         self.extra_delay_seconds = extra_delay_seconds
+        self.clock = clock
         self._rng = random.Random(seed)
         self.delivered = 0
         self.dropped = 0
@@ -78,14 +90,24 @@ class SimulatedChannel:
         Raises :class:`~repro.errors.MessageDropped` when the seeded stream
         decides this message is lost (the latency of the lost attempt is
         still charged to ``virtual_seconds`` — the sender waited for it).
+
+        With a :attr:`clock` attached the latency is also *spent* via
+        ``clock.sleep`` before the message is considered delivered (or the
+        drop is surfaced), so live transports wrapped in this channel see
+        real delays without the channel ever touching ``time.sleep``
+        directly.
         """
         latency = self.model.roundtrip(payload_bytes)
         self.virtual_seconds += latency
         if self.drop_probability and self._rng.random() < self.drop_probability:
             self.dropped += 1
+            if self.clock is not None:
+                self.clock.sleep(latency)
             raise MessageDropped(f"simulated network dropped {label}")
         if self.delay_probability and self._rng.random() < self.delay_probability:
             latency += self.extra_delay_seconds
             self.virtual_seconds += self.extra_delay_seconds
         self.delivered += 1
+        if self.clock is not None:
+            self.clock.sleep(latency)
         return latency

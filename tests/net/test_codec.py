@@ -1,0 +1,145 @@
+"""The wire codec: framing, versioning, checksums, and hostile input.
+
+A codec bug is a protocol desync, so these tests pin the byte layout
+(magic, version, type, length, crc) and every rejection path — bad magic,
+future versions, unknown types, oversized lengths, corrupt payloads,
+truncated streams — as typed errors, never silent misparses.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ConnectionLost, WireFormatError
+from repro.net import MAX_FRAME_BYTES, PROTOCOL_VERSION, decode_frame, encode_frame
+from repro.net.codec import (
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_SUBMIT,
+    message_name,
+    outputs_from_wire,
+    outputs_to_wire,
+)
+
+HEADER = struct.Struct(">4sBBII")
+
+
+class TestRoundTrip:
+    def test_frame_round_trips(self):
+        payload = {"user": "alice", "params": {"src": 0, "amount": 120}}
+        data = encode_frame(MSG_SUBMIT, payload)
+        frame, consumed = decode_frame(data)
+        assert consumed == len(data)
+        assert frame.msg_type == MSG_SUBMIT
+        assert frame.payload == payload
+
+    def test_empty_payload_defaults_to_object(self):
+        frame, _ = decode_frame(encode_frame(MSG_HELLO))
+        assert frame.payload == {}
+
+    def test_big_integers_round_trip_exactly(self):
+        # Digests are hundreds of bits; the JSON layer must not lose them.
+        digest = 2**521 - 1
+        frame, _ = decode_frame(encode_frame(MSG_ERROR, {"digest": digest}))
+        assert frame.payload["digest"] == digest
+
+    def test_header_layout_is_pinned(self):
+        data = encode_frame(MSG_HELLO, {"a": 1})
+        magic, version, msg_type, length, crc = HEADER.unpack_from(data)
+        assert magic == b"LNP1"
+        assert version == PROTOCOL_VERSION
+        assert msg_type == MSG_HELLO
+        assert length == len(data) - HEADER.size
+        assert crc == zlib.crc32(data[HEADER.size :]) & 0xFFFFFFFF
+
+    def test_consumed_supports_back_to_back_frames(self):
+        stream = encode_frame(MSG_HELLO, {"n": 1}) + encode_frame(
+            MSG_SUBMIT, {"n": 2}
+        )
+        first, consumed = decode_frame(stream)
+        second, _ = decode_frame(stream[consumed:])
+        assert (first.payload["n"], second.payload["n"]) == (1, 2)
+
+
+class TestRejections:
+    def test_bad_magic(self):
+        data = b"XXXX" + encode_frame(MSG_HELLO)[4:]
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_frame(data)
+
+    def test_future_version(self):
+        body = b"{}"
+        data = HEADER.pack(b"LNP1", 99, MSG_HELLO, len(body), zlib.crc32(body)) + body
+        with pytest.raises(WireFormatError, match="version 99"):
+            decode_frame(data)
+
+    def test_unknown_message_type(self):
+        body = b"{}"
+        data = HEADER.pack(b"LNP1", 1, 200, len(body), zlib.crc32(body)) + body
+        with pytest.raises(WireFormatError, match="message type 200"):
+            decode_frame(data)
+        with pytest.raises(WireFormatError):
+            encode_frame(200, {})
+
+    def test_oversized_length_prefix(self):
+        data = HEADER.pack(b"LNP1", 1, MSG_HELLO, MAX_FRAME_BYTES + 1, 0)
+        with pytest.raises(WireFormatError, match="cap"):
+            decode_frame(data)
+
+    def test_corrupt_payload_fails_the_checksum(self):
+        data = bytearray(encode_frame(MSG_SUBMIT, {"user": "alice"}))
+        data[-1] ^= 0xFF
+        with pytest.raises(WireFormatError, match="checksum"):
+            decode_frame(bytes(data))
+
+    def test_crc_names_the_message_kind(self):
+        data = bytearray(encode_frame(MSG_SUBMIT, {"user": "alice"}))
+        data[-1] ^= 0xFF
+        with pytest.raises(WireFormatError, match=message_name(MSG_SUBMIT)):
+            decode_frame(bytes(data))
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1,2,3]"
+        data = HEADER.pack(
+            b"LNP1", 1, MSG_HELLO, len(body), zlib.crc32(body)
+        ) + body
+        with pytest.raises(WireFormatError, match="object"):
+            decode_frame(data)
+
+    def test_undecodable_payload_rejected(self):
+        body = b"\xff\xfe{"
+        data = HEADER.pack(
+            b"LNP1", 1, MSG_HELLO, len(body), zlib.crc32(body)
+        ) + body
+        with pytest.raises(WireFormatError, match="JSON"):
+            decode_frame(data)
+
+
+class TestTruncation:
+    def test_truncated_header_is_connection_lost(self):
+        with pytest.raises(ConnectionLost):
+            decode_frame(encode_frame(MSG_HELLO)[:7])
+
+    def test_truncated_payload_is_connection_lost(self):
+        data = encode_frame(MSG_SUBMIT, {"user": "alice"})
+        with pytest.raises(ConnectionLost):
+            decode_frame(data[:-3])
+
+
+class TestOutputMaps:
+    def test_round_trip(self):
+        outputs = {7: (1, 2, 3), 12: ()}
+        assert outputs_from_wire(outputs_to_wire(outputs)) == outputs
+
+    def test_wire_shape_is_json_safe(self):
+        wire = outputs_to_wire({5: (10,)})
+        assert wire == {"5": [10]}
+        assert json.loads(json.dumps(wire)) == wire
+
+    def test_malformed_keys_rejected(self):
+        with pytest.raises(WireFormatError):
+            outputs_from_wire({"not-a-number": [1]})

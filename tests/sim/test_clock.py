@@ -1,0 +1,136 @@
+"""Injectable clocks and the SimulatedChannel's clock routing.
+
+The contract under test: ``SimulatedChannel`` never calls ``time.sleep``
+itself — *all* waiting flows through the injected
+:class:`~repro.sim.clock.Clock`, so a :class:`ManualClock` makes
+latency-heavy channels instant and fully assertable, and the seeded
+drop/delay stream is byte-identical with or without a clock attached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MessageDropped
+from repro.sim import Clock, ManualClock, NetworkModel, SimulatedChannel, SystemClock
+
+
+class TestManualClock:
+    def test_sleep_advances_and_records(self):
+        clock = ManualClock(start=10.0)
+        clock.sleep(0.5)
+        clock.sleep(0.25)
+        assert clock.now() == pytest.approx(10.75)
+        assert clock.sleeps == [0.5, 0.25]
+
+    def test_advance_moves_time_without_recording(self):
+        clock = ManualClock()
+        clock.advance(3.0)
+        assert clock.now() == 3.0
+        assert clock.sleeps == []
+
+    def test_negative_durations_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_non_positive_sleep_returns_immediately(self):
+        # No time assertion needed: a negative sleep passed through to
+        # time.sleep would raise ValueError.
+        SystemClock().sleep(0.0)
+        SystemClock().sleep(-5.0)
+
+    def test_is_a_clock(self):
+        assert isinstance(SystemClock(), Clock)
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestChannelClockRouting:
+    MODEL = NetworkModel(rtt_seconds=0.010, seconds_per_byte=0.001)
+
+    def test_delivery_latency_spent_through_clock(self):
+        clock = ManualClock()
+        channel = SimulatedChannel(model=self.MODEL, clock=clock)
+        latency = channel.deliver(payload_bytes=5)
+        assert latency == pytest.approx(0.015)
+        assert clock.sleeps == [pytest.approx(0.015)]
+        assert clock.now() == pytest.approx(0.015)
+
+    def test_drop_still_charges_the_wait(self):
+        # The sender waited for the message that never arrived: the drop
+        # spends the base latency through the clock before raising.
+        clock = ManualClock()
+        channel = SimulatedChannel(
+            model=self.MODEL, seed=3, drop_probability=1.0, clock=clock
+        )
+        with pytest.raises(MessageDropped):
+            channel.deliver(payload_bytes=0)
+        assert clock.sleeps == [pytest.approx(0.010)]
+        assert channel.dropped == 1
+
+    def test_extra_delay_rides_the_same_sleep(self):
+        clock = ManualClock()
+        channel = SimulatedChannel(
+            model=self.MODEL,
+            seed=1,
+            delay_probability=1.0,
+            extra_delay_seconds=0.1,
+            clock=clock,
+        )
+        latency = channel.deliver()
+        assert latency == pytest.approx(0.110)
+        assert clock.sleeps == [pytest.approx(0.110)]
+
+    def test_no_clock_means_pure_accounting(self):
+        channel = SimulatedChannel(model=self.MODEL)
+        channel.deliver(payload_bytes=10)
+        assert channel.virtual_seconds == pytest.approx(0.020)
+
+    def test_seeded_stream_identical_with_and_without_clock(self):
+        # The clock must not perturb the rng draws: the same seed produces
+        # the same drop/delay sequence either way.
+        def outcomes(clock):
+            channel = SimulatedChannel(
+                model=self.MODEL,
+                seed=42,
+                drop_probability=0.3,
+                delay_probability=0.3,
+                extra_delay_seconds=0.05,
+                clock=clock,
+            )
+            events = []
+            for _ in range(50):
+                try:
+                    events.append(round(channel.deliver(), 6))
+                except MessageDropped:
+                    events.append("drop")
+            return events
+
+        assert outcomes(None) == outcomes(ManualClock())
+
+    def test_virtual_seconds_matches_manual_clock_total(self):
+        clock = ManualClock()
+        channel = SimulatedChannel(
+            model=self.MODEL,
+            seed=9,
+            drop_probability=0.2,
+            delay_probability=0.2,
+            extra_delay_seconds=0.02,
+            clock=clock,
+        )
+        for _ in range(30):
+            try:
+                channel.deliver(payload_bytes=2)
+            except MessageDropped:
+                pass
+        assert clock.now() == pytest.approx(channel.virtual_seconds)

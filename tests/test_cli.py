@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import socket
+
 import pytest
 
 from repro.cli import main
@@ -33,3 +35,52 @@ class TestCli:
         assert main(["elle", "--scale", "500"]) == 0
         out = capsys.readouterr().out
         assert "serializable" in out
+
+
+class TestFailurePaths:
+    """Operational mistakes exit nonzero with one-line diagnoses, never
+    tracebacks — main() returns a code instead of letting anything raise."""
+
+    def test_recover_missing_directory_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["--recover", missing]) == 2
+        captured = capsys.readouterr()
+        assert "does not exist" in captured.err
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_recover_corrupt_directory_exits_1(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        (corrupt / "junk.bin").write_bytes(b"\x00garbage\xff" * 16)
+        assert main(["--recover", str(corrupt)]) == 1
+        captured = capsys.readouterr()
+        assert "recovery from" in captured.out and "failed" in captured.out
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_serve_malformed_address_exits_2(self, capsys):
+        assert main(["--serve", "not-an-address"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_serve_port_in_use_reports_cleanly(self, capsys):
+        holder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        holder.bind(("127.0.0.1", 0))
+        holder.listen(1)
+        port = holder.getsockname()[1]
+        try:
+            assert main(["--serve", f"127.0.0.1:{port}"]) == 2
+        finally:
+            holder.close()
+        captured = capsys.readouterr()
+        assert "cannot listen on" in captured.err
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_connect_unreachable_server_exits_2(self, capsys):
+        # Grab a port that is definitely closed right now.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["--connect", f"127.0.0.1:{port}"]) == 2
+        captured = capsys.readouterr()
+        assert "cannot reach" in captured.err
+        assert "Traceback" not in captured.err + captured.out
