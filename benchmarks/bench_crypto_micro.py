@@ -88,3 +88,84 @@ def test_merkle_path_prove_verify(benchmark):
         assert MerkleTree.verify(tree.root, path, 42)
 
     benchmark(run)
+
+
+# --- orchestrated trial (python -m repro --bench) ---------------------------
+
+from repro.bench.experiment import TrialMeasurement, TrialSpec, register
+
+
+def run_crypto_trial(config: dict, seed: int) -> TrialMeasurement:
+    """Seeded AD lookup prove/verify loop plus one PoE round (wall-clock)."""
+    import random
+    import time
+
+    rng = random.Random(seed)
+    grp = default_group(bits=config["group_bits"])
+    table = {("row", i): i for i in range(config["rows"])}
+    authdict = AuthenticatedDictionary(
+        grp, initial=table, prime_bits=config["prime_bits"]
+    )
+    lookup_seconds = []
+    for _ in range(config["ops"]):
+        index = rng.randrange(config["rows"])
+        start = time.perf_counter()
+        proof = authdict.prove_lookup([("row", index)])
+        accepted = authdict.ver_lookup(
+            authdict.digest, {("row", index): index}, proof
+        )
+        lookup_seconds.append(time.perf_counter() - start)
+        if not accepted:
+            raise AssertionError("AD lookup proof rejected")
+
+    exponent = 1
+    for i in range(16):
+        exponent *= (1 << 63) + 2 * i + 1
+    start = time.perf_counter()
+    result, proof = prove_exponentiation(grp, grp.generator, exponent)
+    if not verify_exponentiation(grp, grp.generator, exponent, result, proof):
+        raise AssertionError("PoE proof rejected")
+    poe_seconds = time.perf_counter() - start
+
+    ordered = sorted(lookup_seconds)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    total = sum(lookup_seconds)
+    rows = (
+        {
+            "op": "ad_lookup_prove_verify",
+            "ops": config["ops"],
+            "ops_per_s": round(config["ops"] / total, 1),
+            "p95_ms": round(p95 * 1e3, 3),
+        },
+        {
+            "op": "poe_prove_verify",
+            "ops": 1,
+            "ops_per_s": round(1 / poe_seconds, 1),
+            "p95_ms": round(poe_seconds * 1e3, 3),
+        },
+    )
+    metrics = {
+        "throughput": config["ops"] / total,
+        "latency_p95": p95,
+        "poe_seconds": poe_seconds,
+    }
+    counts = {
+        "lookups": config["ops"],
+        "poe_proofs": 1,
+        "table_rows": config["rows"],
+    }
+    return TrialMeasurement(rows=rows, counts=counts, metrics=metrics)
+
+
+CRYPTO_TRIAL = register(
+    TrialSpec(
+        name="crypto/ad_poe_micro",
+        area="crypto",
+        bench_file="bench_crypto_micro.py",
+        runner=run_crypto_trial,
+        config={"ops": 12, "rows": 32, "prime_bits": PRIME_BITS, "group_bits": 512},
+        seed=7,
+        headline=("throughput", "latency_p95"),
+        description="AD lookup prove/verify microbenchmark plus one PoE round.",
+    )
+)

@@ -175,3 +175,35 @@ if __name__ == "__main__":
     import sys
 
     sys.exit(main())
+
+
+# --- orchestrated trial (python -m repro --bench) ---------------------------
+
+from repro.bench.experiment import TrialMeasurement, TrialSpec, register
+
+
+def run_faults_trial(config: dict, seed: int) -> TrialMeasurement:
+    """One adversarial verification round per fault class; not gated."""
+    rows = run_fault_matrix(kinds=tuple(config["kinds"]), seed=seed)
+    metrics = {"recovery_seconds_total": sum(row["seconds"] for row in rows)}
+    counts = {
+        "faults": len(rows),
+        "injected": sum(row["injected"] for row in rows),
+        "rejections": sum(row["rejections"] for row in rows),
+        "recovered": sum(1 for row in rows if row["recovered"]),
+    }
+    return TrialMeasurement(rows=tuple(rows), counts=counts, metrics=metrics)
+
+
+FAULTS_TRIAL = register(
+    TrialSpec(
+        name="faults/recovery_matrix",
+        area="faults",
+        bench_file="bench_faults.py",
+        runner=run_faults_trial,
+        config={"kinds": ["corrupt_proof", "tamper_digest", "drop_message"]},
+        seed=SEED,
+        headline=(),
+        description="Fault-injection rounds: detection and recovery per class.",
+    )
+)

@@ -44,3 +44,45 @@ def test_fig4_tpcc(benchmark):
         assert peak(subset, "Litmus-DRM") > peak(subset, "Litmus-DR")
         assert peak(subset, "Litmus-DR") > peak(subset, "Litmus-2PL")
         assert peak(subset, "No-Verification-DR") > peak(subset, "Litmus-DRM")
+
+
+# --- orchestrated trial (python -m repro --bench) ---------------------------
+
+from repro.bench.experiment import TrialMeasurement, TrialSpec, register
+from repro.bench.experiment.counts import tpcc_counts
+
+
+def run_fig4_trial(config: dict, seed: int) -> TrialMeasurement:
+    """Reduced-scale Fig 4; headline = peak New Order DRM throughput."""
+    rows = fig4_tpcc_throughput(
+        batch_sizes=tuple(config["batch_sizes"]), scale=config["scale"]
+    )
+
+    def peak(transaction: str) -> float:
+        return max(
+            row["throughput"]
+            for row in rows
+            if row["transaction"] == transaction
+            and row["baseline"] == "Litmus-DRM"
+        )
+
+    metrics = {
+        "throughput": peak("new_order"),
+        "throughput_payment": peak("payment"),
+    }
+    counts = tpcc_counts("new_order", config["scale"])
+    return TrialMeasurement(rows=tuple(rows), counts=counts, metrics=metrics)
+
+
+FIG4_TRIAL = register(
+    TrialSpec(
+        name="figures/fig4_tpcc",
+        area="figures",
+        bench_file="bench_fig4_tpcc.py",
+        runner=run_fig4_trial,
+        config={"batch_sizes": [320, 5_120], "scale": 60},
+        seed=13,
+        headline=("throughput",),
+        description="Fig 4 TPC-C: peak Litmus-DRM New Order throughput.",
+    )
+)

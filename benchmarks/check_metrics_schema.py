@@ -4,7 +4,7 @@
 Usage::
 
     python benchmarks/check_metrics_schema.py FILE [FILE ...] \
-        [--require METRIC_NAME ...]
+        [--require METRIC_NAME ...] [--bench BENCH_FILE ...]
 
 Every line of every file must be a JSON object with ``kind`` either
 ``"span"`` or ``"metric"``:
@@ -22,6 +22,13 @@ that exact name appears somewhere in the inputs — CI uses it to pin the
 documented fault/recovery metric names (``faults.injected``,
 ``server.rollbacks``, ``session.resyncs``, ...) so a rename cannot slip
 through silently.
+
+``--bench PATH`` (repeatable) validates an orchestrated ``BENCH_<area>.json``
+trajectory instead: the file is loaded through
+``repro.bench.experiment.load_trajectory``, which re-checks every trial
+record against the versioned schema (including the identity
+``record_hash``) — CI runs it over every trajectory at the repo root after
+``python -m repro --bench``.
 
 Exit status 0 iff every line of every file validates and at least one
 record was seen; CI runs this against the ``--metrics-out``/``--trace-out``
@@ -122,8 +129,33 @@ def check_file(path: str, errors: list[str], metric_names: set[str]) -> int:
     return seen
 
 
+def check_bench_trajectory(path: str, errors: list[str]) -> int:
+    """Validate one BENCH_<area>.json through the experiment schema."""
+    try:
+        from repro.bench.experiment import load_trajectory
+        from repro.errors import BenchError
+    except ImportError:
+        import pathlib
+
+        sys.path.insert(
+            0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        )
+        from repro.bench.experiment import load_trajectory
+        from repro.errors import BenchError
+    try:
+        doc = load_trajectory(path)
+    except BenchError as exc:
+        errors.append(f"{path}: {exc}")
+        return 0
+    if not doc["entries"]:
+        errors.append(f"{path}: trajectory has no entries")
+        return 0
+    return sum(len(entry["trials"]) for entry in doc["entries"])
+
+
 def main(argv: list[str]) -> int:
     paths: list[str] = []
+    bench_paths: list[str] = []
     required: list[str] = []
     it = iter(argv)
     for arg in it:
@@ -133,9 +165,15 @@ def main(argv: list[str]) -> int:
                 print("SCHEMA ERROR: --require needs a metric name", file=sys.stderr)
                 return 2
             required.append(name)
+        elif arg == "--bench":
+            name = next(it, None)
+            if name is None:
+                print("SCHEMA ERROR: --bench needs a file path", file=sys.stderr)
+                return 2
+            bench_paths.append(name)
         else:
             paths.append(arg)
-    if not paths:
+    if not paths and not bench_paths:
         print(__doc__, file=sys.stderr)
         return 2
     errors: list[str] = []
@@ -145,6 +183,10 @@ def main(argv: list[str]) -> int:
         count = check_file(path, errors, metric_names)
         total += count
         print(f"{path}: {count} record(s)")
+    for path in bench_paths:
+        count = check_bench_trajectory(path, errors)
+        total += count
+        print(f"{path}: {count} trial record(s)")
     if total == 0:
         errors.append("no records found in any input file")
     for name in required:

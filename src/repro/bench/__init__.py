@@ -14,6 +14,12 @@ Each ``fig*`` function in :mod:`repro.bench.figures` returns the rows or
 series of the corresponding paper figure/table; :mod:`repro.bench.report`
 formats them for terminal output, and ``benchmarks/`` wraps each one in a
 pytest-benchmark target.
+
+The orchestrated path lives next to it: :mod:`repro.bench.experiment`
+declares the trial matrix (each ``benchmarks/bench_*.py`` registers a
+:class:`~repro.bench.experiment.TrialSpec`), ``python -m repro --bench``
+runs it into the repo-root ``BENCH_<area>.json`` trajectories, and
+:mod:`repro.bench.gate` fails CI on headline perf regressions.
 """
 
 from .model import LitmusModel, ModeledRun, WorkloadProfile

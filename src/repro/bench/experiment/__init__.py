@@ -1,0 +1,78 @@
+"""Experiment orchestrator: the trial matrix behind ``python -m repro --bench``.
+
+The 16 ad-hoc ``benchmarks/bench_*.py`` scripts each register one (or more)
+:class:`TrialSpec` — workload × backend × configuration declared as *data*
+— into a process-wide registry.  The orchestrator (:mod:`.runner`) executes
+registered trials with fixed seeds, per-trial timeouts, and warmup/repeat
+counts, captures the environment (python version, host, git sha), and
+persists schema-validated records (:mod:`.schema`) to append-only
+``BENCH_<area>.json`` trajectories at the repo root (:mod:`.trajectory`).
+:mod:`repro.bench.gate` then compares the newest trajectory entry against
+the baseline and fails CI on headline perf regressions.
+
+Orchestrated and ad-hoc paths share one code path: every registered runner
+reuses the same functions the pytest benchmarks call, and each orchestrated
+run writes both the legacy ``benchmarks/results/*.txt`` report and the JSON
+trial record from the same in-memory rows.
+"""
+
+from .spec import (
+    TrialMatrix,
+    TrialMeasurement,
+    TrialSpec,
+    bench_dir,
+    discover,
+    register,
+    repo_root,
+    trial_matrix,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    decode_record,
+    encode_record,
+    finalize_record,
+    record_hash,
+    validate_record,
+)
+from .trajectory import (
+    append_entry,
+    load_trajectory,
+    trajectory_areas,
+    trajectory_path,
+    validate_trajectory,
+)
+from .runner import (
+    capture_environment,
+    render_trial_report,
+    run_areas,
+    run_trial,
+)
+from .counts import tpcc_counts, ycsb_counts
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TrialMatrix",
+    "TrialMeasurement",
+    "TrialSpec",
+    "append_entry",
+    "bench_dir",
+    "capture_environment",
+    "decode_record",
+    "discover",
+    "encode_record",
+    "finalize_record",
+    "load_trajectory",
+    "record_hash",
+    "register",
+    "render_trial_report",
+    "repo_root",
+    "run_areas",
+    "run_trial",
+    "tpcc_counts",
+    "trajectory_areas",
+    "trajectory_path",
+    "trial_matrix",
+    "validate_record",
+    "validate_trajectory",
+    "ycsb_counts",
+]

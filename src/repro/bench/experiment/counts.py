@@ -1,0 +1,53 @@
+"""Deterministic execution counters for workload-driven trials.
+
+The figure benchmarks model paper-scale *timing*, but the underlying
+scaled executions are real and seeded — the committed-transaction, batch
+(schedule round), and conflict counts they produce are exactly
+reproducible.  Trials store these counters in ``counts`` (part of the
+record identity hash), which is what makes the determinism contract of
+:mod:`.runner` checkable at all.
+"""
+
+from __future__ import annotations
+
+from ...db.database import Database
+from ...workloads.tpcc import TPCCWorkload
+from ...workloads.ycsb import YCSBWorkload
+
+__all__ = ["tpcc_counts", "ycsb_counts"]
+
+
+def _run_counts(txns, initial, processing_batch_size: int) -> dict[str, int]:
+    db = Database(
+        initial=dict(initial),
+        cc="dr",
+        processing_batch_size=processing_batch_size,
+        num_threads=4,
+    )
+    report = db.run(list(txns))
+    return {
+        "txns": int(report.stats.committed),
+        "batches": int(len(report.schedule)),
+        "conflicts": int(report.stats.aborted_retries),
+    }
+
+
+def ycsb_counts(
+    scale: int, theta: float = 0.6, rows: int = 4096, seed: int = 11
+) -> dict[str, int]:
+    """Counters of the same seeded YCSB run the figure profiles measure."""
+    workload = YCSBWorkload(num_rows=rows, theta=theta, seed=seed)
+    txns = workload.generate(scale)
+    return _run_counts(txns, workload.initial_data(), max(64, scale // 4))
+
+
+def tpcc_counts(kind: str, scale: int, seed: int = 13) -> dict[str, int]:
+    """Counters of the seeded TPC-C run behind the Fig 4 trials."""
+    workload = TPCCWorkload(
+        num_warehouses=8, num_items=200, order_lines=10, seed=seed
+    )
+    if kind == "new_order":
+        txns = workload.generate_new_orders(scale)
+    else:
+        txns = workload.generate_payments(scale)
+    return _run_counts(txns, workload.initial_data(), max(32, scale // 4))

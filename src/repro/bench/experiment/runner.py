@@ -1,0 +1,270 @@
+"""The trial runner: seeded, bounded, environment-stamped executions.
+
+``run_trial`` executes one :class:`~.spec.TrialSpec`: *warmup* discarded
+executions, then *repeats* measured ones, each bounded by the spec's
+timeout.  The deterministic counters must agree across repeats (else
+:class:`~repro.errors.TrialNondeterminism`); timing metrics are the
+per-key median across repeats.  The finished record carries the captured
+environment (python version, host, git sha) and the identity hash of
+:mod:`.schema`.
+
+``run_areas`` is what ``python -m repro --bench`` calls: it runs every
+registered trial of the selected areas, writes the legacy
+``benchmarks/results/orchestrated_*.txt`` report and the JSON trial record
+from the same in-memory rows, and appends one entry per area to the
+``BENCH_<area>.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+import platform
+import socket
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from ...errors import (
+    BenchError,
+    TrialExecutionError,
+    TrialNondeterminism,
+    TrialTimeout,
+)
+from ..report import format_table
+from .schema import SCHEMA_VERSION, finalize_record
+from .spec import TrialMatrix, TrialMeasurement, TrialSpec, bench_dir, discover
+from .trajectory import append_entry, trajectory_path
+
+__all__ = [
+    "capture_environment",
+    "git_sha",
+    "render_trial_report",
+    "results_dir",
+    "run_areas",
+    "run_trial",
+]
+
+
+def git_sha(root: Path | str | None = None) -> str:
+    """HEAD of the repo the trajectory lives in; 'unknown' off-repo."""
+    override = os.environ.get("REPRO_BENCH_GIT_SHA")
+    if override:
+        return override
+    cwd = Path(root) if root is not None else Path(__file__).resolve().parents[4]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def capture_environment() -> dict[str, str]:
+    """Host facts stamped onto every record (excluded from the hash)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "host": socket.gethostname(),
+        "git_sha": git_sha(),
+    }
+
+
+def _utc_now() -> str:
+    return _dt.datetime.now(_dt.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _call_bounded(fn: Callable[[], TrialMeasurement], spec: TrialSpec) -> TrialMeasurement:
+    """Run one trial execution on a daemon thread with a hard deadline.
+
+    A timed-out trial thread is abandoned (daemon), never joined — the
+    orchestrator reports the timeout and moves on.
+    """
+    box: dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — re-raised on the caller
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=target, daemon=True, name=f"trial-{spec.name.replace('/', '-')}"
+    )
+    thread.start()
+    thread.join(spec.timeout_seconds)
+    if thread.is_alive():
+        raise TrialTimeout(
+            f"trial {spec.name!r} exceeded its {spec.timeout_seconds:g}s timeout"
+        )
+    if "error" in box:
+        error = box["error"]
+        if isinstance(error, BenchError):
+            raise error
+        raise TrialExecutionError(f"trial {spec.name!r} failed: {error!r}") from error
+    value = box["value"]
+    if not isinstance(value, TrialMeasurement):
+        raise TrialExecutionError(
+            f"trial {spec.name!r} runner returned {type(value).__name__}, "
+            "expected TrialMeasurement"
+        )
+    return value
+
+
+def run_trial(spec: TrialSpec) -> dict:
+    """Execute one spec end to end and return the finalized record."""
+    started_at = _utc_now()
+    start = time.perf_counter()
+
+    def once() -> TrialMeasurement:
+        return _call_bounded(
+            lambda: spec.runner(config=dict(spec.config), seed=spec.seed), spec
+        )
+
+    for _ in range(spec.warmup):
+        once()
+
+    measurements = [once() for _ in range(spec.repeats)]
+    elapsed = time.perf_counter() - start
+
+    counts = dict(measurements[0].counts)
+    for index, measurement in enumerate(measurements[1:], start=2):
+        if dict(measurement.counts) != counts:
+            raise TrialNondeterminism(
+                f"trial {spec.name!r}: repeat {index} produced counts "
+                f"{dict(measurement.counts)} != repeat 1 counts {counts} "
+                f"(seed {spec.seed})"
+            )
+
+    metric_keys = set(measurements[0].metrics)
+    for index, measurement in enumerate(measurements[1:], start=2):
+        if set(measurement.metrics) != metric_keys:
+            raise TrialExecutionError(
+                f"trial {spec.name!r}: repeat {index} reported different "
+                f"metric names than repeat 1"
+            )
+    metrics = {
+        key: float(statistics.median(float(m.metrics[key]) for m in measurements))
+        for key in sorted(metric_keys)
+    }
+
+    return finalize_record(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "trial": spec.name,
+            "area": spec.area,
+            "bench_file": spec.bench_file,
+            "seed": spec.seed,
+            "config": dict(spec.config),
+            "warmup": spec.warmup,
+            "repeats": spec.repeats,
+            "headline": list(spec.headline),
+            "counts": counts,
+            "metrics": metrics,
+            "rows": [dict(row) for row in measurements[-1].rows],
+            "env": capture_environment(),
+            "started_at": started_at,
+            "elapsed_seconds": round(elapsed, 6),
+        }
+    )
+
+
+def render_trial_report(record: Mapping) -> str:
+    """The legacy text report, derived *only* from the JSON record.
+
+    Both the orchestrator's ``.txt`` output and the txt/JSON agreement test
+    call this, so the two artifacts cannot drift: they are renderings of
+    the same rows.
+    """
+    header = (
+        f"{record['trial']} — orchestrated trial "
+        f"(seed {record['seed']}, repeats {record['repeats']})"
+    )
+    metrics = record["metrics"]
+    metric_lines = [
+        f"  {name}: {metrics[name]:.6g}"
+        + ("  [headline]" if name in record["headline"] else "")
+        for name in sorted(metrics)
+    ]
+    counts = record["counts"]
+    count_line = "  " + "  ".join(f"{k}={counts[k]}" for k in sorted(counts))
+    if record["rows"]:
+        # Canonical column order: the trajectory file stores rows with
+        # sorted keys, so the rendering must not depend on dict order.
+        columns = sorted({key for row in record["rows"] for key in row})
+        body = format_table(record["rows"], columns=columns)
+    else:
+        body = "(no rows)"
+    return "\n".join([header, body, "", "metrics:", *metric_lines, "counts:", count_line, ""])
+
+
+def results_dir() -> Path:
+    """Where the legacy per-trial text reports go."""
+    override = os.environ.get("REPRO_BENCH_RESULTS")
+    if override:
+        return Path(override)
+    return bench_dir() / "results"
+
+
+def run_areas(
+    areas: Iterable[str] | None = None,
+    *,
+    matrix: TrialMatrix | None = None,
+    root: Path | str | None = None,
+    results: Path | str | None = None,
+    bless: bool = False,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, list[dict]]:
+    """Run the matrix for *areas* (default: every registered area).
+
+    Per area: every trial runs, the text report and the trajectory entry
+    are written from the same in-memory records, and the appended entry is
+    stamped with the current git sha.  Returns ``{area: [records]}``.
+    """
+    say = echo if echo is not None else (lambda message: None)
+    matrix = matrix if matrix is not None else discover()
+    chosen = tuple(areas) if areas is not None else matrix.areas()
+    out_results = Path(results) if results is not None else results_dir()
+    out_results.mkdir(parents=True, exist_ok=True)
+    sha = git_sha(root)
+    recorded: dict[str, list[dict]] = {}
+    for area in chosen:
+        records: list[dict] = []
+        for spec in matrix.for_area(area):
+            say(f"[bench] {spec.name} (seed {spec.seed}, config {dict(spec.config)})")
+            record = run_trial(spec)
+            records.append(record)
+            txt_path = out_results / (
+                "orchestrated_" + spec.name.replace("/", "_") + ".txt"
+            )
+            txt_path.write_text(render_trial_report(record), encoding="utf-8")
+            say(
+                f"[bench]   {record['elapsed_seconds']:.2f}s; report {txt_path}"
+            )
+        entry = append_entry(
+            area,
+            records,
+            git_sha=sha,
+            recorded_at=_utc_now(),
+            blessed=bless,
+            root=root,
+        )
+        say(
+            f"[bench] {trajectory_path(area, root)}: appended entry for "
+            f"{entry['git_sha'][:12]} ({len(records)} trial(s)"
+            + (", blessed)" if bless else ")")
+        )
+        recorded[area] = records
+    return recorded

@@ -1,0 +1,239 @@
+"""Versioned trial-record schema: validation, canonical encoding, hashing.
+
+A trial record is a flat JSON object with a fixed field set (unknown fields
+are rejected — a renamed metric cannot slip into a trajectory silently).
+The schema is hand-rolled as data + checks, like
+``benchmarks/check_metrics_schema.py``: the repo takes no jsonschema
+dependency on purpose.
+
+Fields split into two classes:
+
+- **identity fields** (``schema_version``, ``trial``, ``area``,
+  ``bench_file``, ``seed``, ``config``, ``warmup``, ``repeats``,
+  ``headline``, ``counts``) — deterministic for a seeded trial; their
+  canonical JSON is hashed into ``record_hash``, so two runs of the same
+  :class:`~.spec.TrialSpec` produce the *same* hash;
+- **timing fields** (``metrics``, ``rows``, ``env``, ``started_at``,
+  ``elapsed_seconds``) — wall-clock- and host-dependent; excluded from the
+  hash but still type-checked.
+
+``decode_record`` re-derives the hash and rejects records whose identity
+fields were tampered with, with typed errors throughout
+(:class:`~repro.errors.BenchSchemaError`,
+:class:`~repro.errors.SchemaVersionError`) — never a raw ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from ...errors import BenchSchemaError, SchemaVersionError
+
+__all__ = [
+    "HASH_FIELDS",
+    "RECORD_FIELDS",
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "canonical_json",
+    "decode_record",
+    "encode_record",
+    "finalize_record",
+    "record_hash",
+    "validate_record",
+]
+
+SCHEMA_VERSION = 1
+
+# Identity fields, in canonical (hash) order.
+HASH_FIELDS = (
+    "schema_version",
+    "trial",
+    "area",
+    "bench_file",
+    "seed",
+    "config",
+    "warmup",
+    "repeats",
+    "headline",
+    "counts",
+)
+
+# Host/wall-clock dependent fields: type-checked, never hashed.
+TIMING_FIELDS = ("metrics", "rows", "env", "started_at", "elapsed_seconds")
+
+RECORD_FIELDS = HASH_FIELDS + TIMING_FIELDS + ("record_hash",)
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise BenchSchemaError(f"value is not canonically JSON-encodable: {exc}") from exc
+
+
+def record_hash(record: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of the identity fields only."""
+    try:
+        identity = {name: record[name] for name in HASH_FIELDS}
+    except KeyError as exc:
+        raise BenchSchemaError(f"record is missing identity field {exc.args[0]!r}") from exc
+    digest = hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def _check_config_value(value: Any, label: str) -> None:
+    if isinstance(value, list):
+        for index, item in enumerate(value):
+            _check_config_value(item, f"{label}[{index}]")
+        return
+    _expect(
+        value is None or isinstance(value, _SCALAR_TYPES),
+        f"{label} must be a JSON scalar or a list of scalars",
+    )
+
+
+def validate_record(record: Any) -> None:
+    """Typed validation of one trial record; raises on the first defect."""
+    _expect(isinstance(record, dict), "trial record must be a JSON object")
+    unknown = set(record) - set(RECORD_FIELDS)
+    _expect(not unknown, f"unknown record field(s): {', '.join(sorted(unknown))}")
+    missing = set(RECORD_FIELDS) - set(record)
+    _expect(not missing, f"missing record field(s): {', '.join(sorted(missing))}")
+
+    version = record["schema_version"]
+    if not isinstance(version, int) or isinstance(version, bool) or version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"record schema_version {version!r} != supported {SCHEMA_VERSION}",
+            found=version,
+            expected=SCHEMA_VERSION,
+        )
+
+    for name in ("trial", "area", "bench_file", "started_at"):
+        _expect(
+            isinstance(record[name], str) and record[name],
+            f"{name!r} must be a non-empty string",
+        )
+    _expect("/" in record["trial"], "'trial' must be '<area>/<slug>'")
+    _expect(
+        record["trial"].split("/", 1)[0] == record["area"],
+        f"trial {record['trial']!r} is not in area {record['area']!r}",
+    )
+
+    for name in ("seed", "warmup", "repeats"):
+        value = record[name]
+        _expect(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"{name!r} must be an integer",
+        )
+    _expect(record["warmup"] >= 0, "'warmup' must be >= 0")
+    _expect(record["repeats"] >= 1, "'repeats' must be >= 1")
+
+    _expect(isinstance(record["config"], dict), "'config' must be a JSON object")
+    for key, value in record["config"].items():
+        _expect(isinstance(key, str) and key, "'config' keys must be non-empty strings")
+        _check_config_value(value, f"config[{key!r}]")
+
+    counts = record["counts"]
+    _expect(isinstance(counts, dict) and counts, "'counts' must be a non-empty object")
+    for key, value in counts.items():
+        _expect(isinstance(key, str) and key, "'counts' keys must be non-empty strings")
+        _expect(
+            isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+            f"counts[{key!r}] must be a non-negative integer",
+        )
+
+    metrics = record["metrics"]
+    _expect(isinstance(metrics, dict), "'metrics' must be a JSON object")
+    for key, value in metrics.items():
+        _expect(isinstance(key, str) and key, "'metrics' keys must be non-empty strings")
+        _expect(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"metrics[{key!r}] must be a number",
+        )
+
+    headline = record["headline"]
+    _expect(
+        isinstance(headline, list)
+        and all(isinstance(name, str) and name for name in headline),
+        "'headline' must be a list of metric names",
+    )
+    for name in headline:
+        _expect(name in metrics, f"headline metric {name!r} is not in 'metrics'")
+
+    rows = record["rows"]
+    _expect(isinstance(rows, list), "'rows' must be a list of objects")
+    for index, row in enumerate(rows):
+        _expect(isinstance(row, dict) and row, f"rows[{index}] must be a non-empty object")
+        for key, value in row.items():
+            _expect(
+                isinstance(key, str) and key,
+                f"rows[{index}] keys must be non-empty strings",
+            )
+            _expect(
+                isinstance(value, _SCALAR_TYPES),
+                f"rows[{index}][{key!r}] must be a JSON scalar",
+            )
+
+    env = record["env"]
+    _expect(isinstance(env, dict) and env, "'env' must be a non-empty object")
+    for key, value in env.items():
+        _expect(
+            isinstance(key, str) and key and isinstance(value, str),
+            "'env' must map non-empty strings to strings",
+        )
+
+    elapsed = record["elapsed_seconds"]
+    _expect(
+        isinstance(elapsed, (int, float))
+        and not isinstance(elapsed, bool)
+        and elapsed >= 0,
+        "'elapsed_seconds' must be a non-negative number",
+    )
+
+    stated = record["record_hash"]
+    _expect(
+        isinstance(stated, str) and stated.startswith("sha256:"),
+        "'record_hash' must be a 'sha256:...' string",
+    )
+    expected = record_hash(record)
+    _expect(
+        stated == expected,
+        f"record_hash mismatch: stated {stated}, identity fields hash to {expected}",
+    )
+
+
+def finalize_record(partial: Mapping[str, Any]) -> dict:
+    """Stamp ``record_hash`` onto an un-hashed record and validate it."""
+    record = dict(partial)
+    record["record_hash"] = record_hash(record)
+    validate_record(record)
+    return record
+
+
+def encode_record(record: Mapping[str, Any]) -> str:
+    """Validate and render one record as canonical JSON."""
+    record = dict(record)
+    validate_record(record)
+    return canonical_json(record)
+
+
+def decode_record(text: str) -> dict:
+    """Parse and validate one record; every failure mode is typed."""
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"trial record is not valid JSON: {exc}") from exc
+    validate_record(record)
+    return record

@@ -1,0 +1,241 @@
+"""Trial declarations: benchmarks as data (after benchalot's ``Benchmark``).
+
+A :class:`TrialSpec` names one orchestrated benchmark run — which
+``benchmarks/bench_*.py`` file owns it, the configuration point of the
+workload × backend × knob matrix it pins (provers, fsync policy, batch
+size, scale), the seed, the warmup/repeat counts, the timeout, and which
+metrics are *headline* (gated by :mod:`repro.bench.gate`).  The runner
+callable reuses the exact functions the pytest benchmark in the same file
+calls, so the orchestrated and ad-hoc paths cannot drift apart.
+
+Registration happens at import time of the bench file; :func:`discover`
+imports every ``benchmarks/bench_*.py`` so the matrix is always complete —
+a bench file that forgets to register fails the registry-completeness test
+by name.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ...errors import TrialSpecError
+
+__all__ = [
+    "TrialMatrix",
+    "TrialMeasurement",
+    "TrialSpec",
+    "bench_dir",
+    "discover",
+    "register",
+    "repo_root",
+    "trial_matrix",
+]
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+/[a-z0-9_]+$")
+_AREA_RE = re.compile(r"^[a-z0-9_]+$")
+
+# Bench modules are imported under this synthetic package prefix so a second
+# discovery (or a discovery racing a pytest collection of benchmarks/) never
+# executes the same file twice under the orchestrator's name.
+_MODULE_PREFIX = "litmus_bench_targets"
+
+
+@dataclass(frozen=True)
+class TrialMeasurement:
+    """What one execution of a trial runner returns.
+
+    ``rows`` are the report rows (the same in-memory rows the legacy
+    ``benchmarks/results/*.txt`` table is rendered from); ``counts`` are
+    the deterministic counters of the seeded run (txns, batches,
+    conflicts, fsyncs, ...) — identical across repeats by contract;
+    ``metrics`` are the timing-derived numbers (throughput, latency_*)
+    that the gate compares but the identity hash ignores.
+    """
+
+    rows: tuple[Mapping[str, Any], ...]
+    counts: Mapping[str, int]
+    metrics: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One declared point of the experiment matrix."""
+
+    name: str  # "<area>/<slug>", e.g. "wal/append_fsync"
+    area: str  # trajectory file: BENCH_<area>.json
+    bench_file: str  # owning benchmarks/bench_*.py file name
+    runner: Callable[..., TrialMeasurement] = field(compare=False)
+    config: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 7
+    warmup: int = 0
+    repeats: int = 1
+    timeout_seconds: float = 300.0
+    headline: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise TrialSpecError(
+                f"trial name {self.name!r} must look like '<area>/<slug>' "
+                "(lowercase, digits, underscores)"
+            )
+        if not _AREA_RE.match(self.area):
+            raise TrialSpecError(f"trial area {self.area!r} is not a valid slug")
+        if not self.name.startswith(self.area + "/"):
+            raise TrialSpecError(
+                f"trial {self.name!r} must be prefixed by its area {self.area!r}"
+            )
+        if not self.bench_file.startswith("bench_") or not self.bench_file.endswith(
+            ".py"
+        ):
+            raise TrialSpecError(
+                f"trial {self.name!r}: bench_file {self.bench_file!r} must be a "
+                "benchmarks/bench_*.py file name"
+            )
+        if self.repeats < 1:
+            raise TrialSpecError(f"trial {self.name!r}: repeats must be >= 1")
+        if self.warmup < 0:
+            raise TrialSpecError(f"trial {self.name!r}: warmup must be >= 0")
+        if self.timeout_seconds <= 0:
+            raise TrialSpecError(f"trial {self.name!r}: timeout must be positive")
+
+    def identity(self) -> tuple:
+        """Everything that defines the trial except the runner callable.
+
+        Re-importing a bench file under a second module name (pytest and the
+        orchestrator use different ones) produces a *different* function
+        object for the same trial; identity is what must not conflict.
+        """
+        return (
+            self.name,
+            self.area,
+            self.bench_file,
+            json.dumps(dict(self.config), sort_keys=True, default=str),
+            self.seed,
+            self.warmup,
+            self.repeats,
+            self.timeout_seconds,
+            tuple(self.headline),
+        )
+
+
+_REGISTRY: dict[str, TrialSpec] = {}
+
+
+def register(spec: TrialSpec) -> TrialSpec:
+    """Add *spec* to the process-wide matrix (idempotent per identity).
+
+    A re-registration with the same identity (the same bench file imported
+    again under another module name) refreshes the runner callable; a
+    conflicting one raises :class:`TrialSpecError` naming the trial.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.identity() != spec.identity():
+        raise TrialSpecError(
+            f"trial {spec.name!r} already registered by {existing.bench_file} "
+            "with different parameters"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+@dataclass(frozen=True)
+class TrialMatrix:
+    """An immutable snapshot of registered trials."""
+
+    specs: tuple[TrialSpec, ...]
+
+    def __iter__(self) -> Iterator[TrialSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def areas(self) -> tuple[str, ...]:
+        return tuple(sorted({spec.area for spec in self.specs}))
+
+    def for_area(self, area: str) -> tuple[TrialSpec, ...]:
+        chosen = tuple(s for s in self.specs if s.area == area)
+        if not chosen:
+            raise TrialSpecError(
+                f"no trials registered for area {area!r} "
+                f"(known areas: {', '.join(self.areas()) or 'none'})"
+            )
+        return chosen
+
+    def get(self, name: str) -> TrialSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise TrialSpecError(f"unknown trial {name!r}")
+
+    def bench_files(self) -> tuple[str, ...]:
+        return tuple(sorted({spec.bench_file for spec in self.specs}))
+
+
+def trial_matrix() -> TrialMatrix:
+    """Snapshot of everything registered so far (without discovery)."""
+    return TrialMatrix(specs=tuple(sorted(_REGISTRY.values(), key=lambda s: s.name)))
+
+
+def repo_root() -> Path:
+    """The repository root (where ``BENCH_<area>.json`` files live).
+
+    ``REPRO_BENCH_ROOT`` overrides the layout-derived default — tests and
+    scratch runs point it at a temporary directory.
+    """
+    override = os.environ.get("REPRO_BENCH_ROOT")
+    if override:
+        return Path(override)
+    # src/repro/bench/experiment/spec.py -> repo root is four levels up.
+    return Path(__file__).resolve().parents[4]
+
+
+def bench_dir() -> Path:
+    """Where the registered bench files live (``<repo>/benchmarks``)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[4] / "benchmarks"
+
+
+def _import_bench_module(path: Path):
+    module_name = f"{_MODULE_PREFIX}.{path.stem}"
+    if module_name in sys.modules:
+        return sys.modules[module_name]
+    module_spec = importlib.util.spec_from_file_location(module_name, path)
+    if module_spec is None or module_spec.loader is None:
+        raise TrialSpecError(f"cannot load bench target {path}")
+    module = importlib.util.module_from_spec(module_spec)
+    sys.modules[module_name] = module
+    try:
+        module_spec.loader.exec_module(module)
+    except TrialSpecError:
+        sys.modules.pop(module_name, None)
+        raise
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise TrialSpecError(f"bench target {path.name} failed to import: {exc}") from exc
+    return module
+
+
+def discover(directory: Path | str | None = None) -> TrialMatrix:
+    """Import every ``bench_*.py`` under *directory* and return the matrix.
+
+    Import is what registers trials, so after discovery the matrix is the
+    ground truth of what the orchestrator can run — and the completeness
+    test can diff it against the file listing.
+    """
+    directory = Path(directory) if directory is not None else bench_dir()
+    if not directory.is_dir():
+        raise TrialSpecError(f"bench directory {directory} does not exist")
+    for path in sorted(directory.glob("bench_*.py")):
+        _import_bench_module(path)
+    return trial_matrix()

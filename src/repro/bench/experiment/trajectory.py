@@ -1,0 +1,191 @@
+"""Append-only ``BENCH_<area>.json`` trajectories at the repo root.
+
+Each trajectory holds the per-commit history of one benchmark area: an
+ordered list of entries, each keyed by the git sha it was recorded at and
+carrying the schema-validated trial records of that run.  The file is
+never rewritten in place except to append (plus the ``blessed`` flag an
+operator sets to pin an intentional baseline) — the gate walks the entry
+list newest-first.
+
+Every read path raises typed errors: a damaged file is a
+:class:`~repro.errors.TrajectoryError`, a future format is a
+:class:`~repro.errors.SchemaVersionError` — callers never see raw
+``json``/``KeyError`` internals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ...errors import BenchSchemaError, SchemaVersionError, TrajectoryError
+from .schema import SCHEMA_VERSION, validate_record
+from .spec import repo_root
+
+__all__ = [
+    "append_entry",
+    "baseline_entry",
+    "load_trajectory",
+    "new_trajectory",
+    "trajectory_areas",
+    "trajectory_path",
+    "validate_trajectory",
+    "write_trajectory",
+]
+
+_ENTRY_FIELDS = {"git_sha", "recorded_at", "blessed", "trials"}
+
+
+def trajectory_path(area: str, root: Path | str | None = None) -> Path:
+    base = Path(root) if root is not None else repo_root()
+    return base / f"BENCH_{area}.json"
+
+
+def trajectory_areas(root: Path | str | None = None) -> tuple[str, ...]:
+    """Areas that have a trajectory file at *root*, by file listing."""
+    base = Path(root) if root is not None else repo_root()
+    return tuple(
+        sorted(path.name[len("BENCH_") : -len(".json")] for path in base.glob("BENCH_*.json"))
+    )
+
+
+def new_trajectory(area: str) -> dict:
+    return {"schema_version": SCHEMA_VERSION, "area": area, "entries": []}
+
+
+def validate_trajectory(doc: Any, *, path: str = "<trajectory>") -> None:
+    """Validate a whole trajectory document, including every record."""
+    if not isinstance(doc, dict):
+        raise TrajectoryError(f"{path}: trajectory must be a JSON object")
+    unknown = set(doc) - {"schema_version", "area", "entries"}
+    if unknown:
+        raise TrajectoryError(
+            f"{path}: unknown trajectory field(s): {', '.join(sorted(unknown))}"
+        )
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) or version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{path}: trajectory schema_version {version!r} != supported {SCHEMA_VERSION}",
+            found=version,
+            expected=SCHEMA_VERSION,
+        )
+    area = doc.get("area")
+    if not isinstance(area, str) or not area:
+        raise TrajectoryError(f"{path}: 'area' must be a non-empty string")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise TrajectoryError(f"{path}: 'entries' must be a list")
+    for index, entry in enumerate(entries):
+        label = f"{path}: entries[{index}]"
+        if not isinstance(entry, dict):
+            raise TrajectoryError(f"{label} must be a JSON object")
+        if set(entry) != _ENTRY_FIELDS:
+            raise TrajectoryError(
+                f"{label} must have exactly the fields "
+                f"{', '.join(sorted(_ENTRY_FIELDS))}"
+            )
+        if not isinstance(entry["git_sha"], str) or not entry["git_sha"]:
+            raise TrajectoryError(f"{label}: 'git_sha' must be a non-empty string")
+        if not isinstance(entry["recorded_at"], str) or not entry["recorded_at"]:
+            raise TrajectoryError(f"{label}: 'recorded_at' must be a non-empty string")
+        if not isinstance(entry["blessed"], bool):
+            raise TrajectoryError(f"{label}: 'blessed' must be a boolean")
+        trials = entry["trials"]
+        if not isinstance(trials, dict) or not trials:
+            raise TrajectoryError(f"{label}: 'trials' must be a non-empty object")
+        for name, record in trials.items():
+            try:
+                validate_record(record)
+            except SchemaVersionError:
+                raise
+            except BenchSchemaError as exc:
+                raise TrajectoryError(f"{label}: trial {name!r}: {exc}") from exc
+            if record["trial"] != name:
+                raise TrajectoryError(
+                    f"{label}: trial keyed {name!r} but record says "
+                    f"{record['trial']!r}"
+                )
+            if record["area"] != area:
+                raise TrajectoryError(
+                    f"{label}: trial {name!r} belongs to area "
+                    f"{record['area']!r}, not {area!r}"
+                )
+
+
+def load_trajectory(path: Path | str) -> dict:
+    """Read and fully validate one trajectory file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TrajectoryError(f"cannot read trajectory {path}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TrajectoryError(f"trajectory {path} is not valid JSON: {exc}") from exc
+    validate_trajectory(doc, path=str(path))
+    return doc
+
+
+def write_trajectory(path: Path | str, doc: Mapping[str, Any]) -> None:
+    """Validate and atomically replace the trajectory file."""
+    path = Path(path)
+    validate_trajectory(dict(doc), path=str(path))
+    text = json.dumps(doc, indent=1, sort_keys=True) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def append_entry(
+    area: str,
+    records: Iterable[Mapping[str, Any]],
+    *,
+    git_sha: str,
+    recorded_at: str,
+    blessed: bool = False,
+    root: Path | str | None = None,
+) -> dict:
+    """Append one run's records as a new trajectory entry; returns the entry.
+
+    A missing trajectory file starts a fresh one; an existing file is fully
+    validated before the append so a corrupt trajectory can never be
+    silently extended.
+    """
+    path = trajectory_path(area, root)
+    doc = load_trajectory(path) if path.exists() else new_trajectory(area)
+    if doc["area"] != area:
+        raise TrajectoryError(
+            f"trajectory {path} is for area {doc['area']!r}, not {area!r}"
+        )
+    trials = {record["trial"]: dict(record) for record in records}
+    if not trials:
+        raise TrajectoryError(f"refusing to append an empty entry to {path}")
+    entry = {
+        "git_sha": git_sha,
+        "recorded_at": recorded_at,
+        "blessed": bool(blessed),
+        "trials": trials,
+    }
+    doc["entries"].append(entry)
+    write_trajectory(path, doc)
+    return entry
+
+
+def baseline_entry(doc: Mapping[str, Any]) -> Mapping[str, Any] | None:
+    """The entry the newest one is gated against.
+
+    The latest *blessed* entry among the predecessors wins (that is what
+    blessing an intentional regression means); with no blessed entry the
+    immediate predecessor is the baseline; with fewer than two entries
+    there is no baseline at all.
+    """
+    entries = doc["entries"]
+    if len(entries) < 2:
+        return None
+    for entry in reversed(entries[:-1]):
+        if entry["blessed"]:
+            return entry
+    return entries[-2]

@@ -1,0 +1,335 @@
+"""Perf-regression gate over the ``BENCH_<area>.json`` trajectories.
+
+The gate loads each area's trajectory, picks the baseline entry (latest
+*blessed* predecessor, else the immediate predecessor — see
+:func:`~repro.bench.experiment.trajectory.baseline_entry`), and compares
+every *headline* metric of the newest entry against it:
+
+- throughput-style metrics (higher is better) fail on a drop of more than
+  15%;
+- ``latency*`` metrics (lower is better) fail on a rise of more than 20%.
+
+Within the noise band a change is OK; beyond the band in the *good*
+direction it is reported as an improvement.  A trajectory with fewer than
+two entries has no baseline and passes with a note — the first recorded
+run can never fail its own gate.
+
+Run it standalone (CI does)::
+
+    PYTHONPATH=src python -m repro.bench.gate [--area wal ...] \
+        [--mode report|enforce] [--root DIR]
+
+or through the main CLI as ``python -m repro --bench-gate``.  Enforcing
+mode exits 1 with a human-readable diff report when any regression is
+found; report mode prints the same report but always exits 0 (CI uses it
+on pull requests, enforcing on main).
+
+To bless an intentional regression, re-record with
+``python -m repro --bench --bless``: the blessed entry becomes the pinned
+baseline for every later gate run.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..errors import BenchError, TrajectoryError
+from .experiment.trajectory import (
+    baseline_entry,
+    load_trajectory,
+    trajectory_areas,
+    trajectory_path,
+)
+
+__all__ = [
+    "GateReport",
+    "GateThresholds",
+    "MetricCheck",
+    "compare_entries",
+    "format_report",
+    "gate_areas",
+    "gate_trajectory",
+    "main",
+    "metric_direction",
+]
+
+THROUGHPUT_DROP_LIMIT = 0.15
+LATENCY_RISE_LIMIT = 0.20
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Relative regression limits on the headline metrics."""
+
+    throughput_drop: float = THROUGHPUT_DROP_LIMIT
+    latency_rise: float = LATENCY_RISE_LIMIT
+
+
+def metric_direction(name: str) -> str:
+    """'lower' for latency-style metrics, 'higher' for everything else."""
+    return "lower" if name.startswith("latency") else "higher"
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One gated (area, trial, metric) comparison."""
+
+    area: str
+    trial: str
+    metric: str
+    baseline: float
+    current: float
+    change: float  # relative: (current - baseline) / baseline
+    limit: float  # the relative threshold that applied
+    status: str  # "ok" | "regression" | "improvement"
+
+    @property
+    def direction(self) -> str:
+        return metric_direction(self.metric)
+
+
+@dataclass
+class GateReport:
+    """Everything one gate run decided."""
+
+    checks: list[MetricCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricCheck]:
+        return [check for check in self.checks if check.status == "regression"]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions)
+
+
+def _check_metric(
+    area: str,
+    trial: str,
+    metric: str,
+    baseline: float,
+    current: float,
+    thresholds: GateThresholds,
+) -> MetricCheck:
+    change = (current - baseline) / baseline
+    if metric_direction(metric) == "lower":
+        limit = thresholds.latency_rise
+        if change > limit:
+            status = "regression"
+        elif change < -limit:
+            status = "improvement"
+        else:
+            status = "ok"
+    else:
+        limit = thresholds.throughput_drop
+        if change < -limit:
+            status = "regression"
+        elif change > limit:
+            status = "improvement"
+        else:
+            status = "ok"
+    return MetricCheck(
+        area=area,
+        trial=trial,
+        metric=metric,
+        baseline=baseline,
+        current=current,
+        change=change,
+        limit=limit,
+        status=status,
+    )
+
+
+def compare_entries(
+    area: str,
+    baseline: Mapping,
+    current: Mapping,
+    thresholds: GateThresholds,
+    report: GateReport,
+) -> None:
+    """Append the checks for one (baseline entry, current entry) pair."""
+    for name, record in sorted(current["trials"].items()):
+        base_record = baseline["trials"].get(name)
+        if base_record is None:
+            report.notes.append(
+                f"{area}: trial {name!r} is new (not in baseline entry "
+                f"{baseline['git_sha'][:12]}) — not gated"
+            )
+            continue
+        for metric in record["headline"]:
+            if metric not in base_record["metrics"]:
+                report.notes.append(
+                    f"{area}: {name} headline metric {metric!r} missing from "
+                    "the baseline record — not gated"
+                )
+                continue
+            base_value = float(base_record["metrics"][metric])
+            value = float(record["metrics"][metric])
+            if base_value <= 0:
+                report.notes.append(
+                    f"{area}: {name} {metric} baseline is {base_value:g} — "
+                    "not gated"
+                )
+                continue
+            report.checks.append(
+                _check_metric(area, name, metric, base_value, value, thresholds)
+            )
+    for name in sorted(set(baseline["trials"]) - set(current["trials"])):
+        report.notes.append(
+            f"{area}: trial {name!r} present in the baseline but missing from "
+            "the newest entry"
+        )
+
+
+def gate_trajectory(
+    doc: Mapping, thresholds: GateThresholds, report: GateReport
+) -> None:
+    """Gate one loaded trajectory document into *report*."""
+    area = doc["area"]
+    entries = doc["entries"]
+    if not entries:
+        report.notes.append(f"{area}: trajectory has no entries — nothing to gate")
+        return
+    baseline = baseline_entry(doc)
+    if baseline is None:
+        report.notes.append(
+            f"{area}: no baseline yet (single entry "
+            f"{entries[-1]['git_sha'][:12]}) — PASS by default"
+        )
+        return
+    current = entries[-1]
+    report.notes.append(
+        f"{area}: gating {current['git_sha'][:12]} against "
+        f"{baseline['git_sha'][:12]}"
+        + (" (blessed baseline)" if baseline["blessed"] else "")
+    )
+    compare_entries(area, baseline, current, thresholds, report)
+
+
+def gate_areas(
+    areas: Sequence[str] | None = None,
+    *,
+    root: Path | str | None = None,
+    thresholds: GateThresholds | None = None,
+) -> GateReport:
+    """Gate the trajectories of *areas* (default: every BENCH_*.json)."""
+    thresholds = thresholds or GateThresholds()
+    chosen = tuple(areas) if areas else trajectory_areas(root)
+    if not chosen:
+        raise TrajectoryError(
+            "no BENCH_*.json trajectories found — run `python -m repro --bench` first"
+        )
+    report = GateReport()
+    for area in chosen:
+        doc = load_trajectory(trajectory_path(area, root))
+        gate_trajectory(doc, thresholds, report)
+    return report
+
+
+def format_report(report: GateReport) -> str:
+    """Human-readable gate verdict: one line per check, notes, summary."""
+    lines = ["Perf gate — newest trajectory entry vs baseline"]
+    for note in report.notes:
+        lines.append(f"  note: {note}")
+    if report.checks:
+        lines.append(
+            f"  {'verdict':<12} {'trial':<28} {'metric':<18} "
+            f"{'baseline':>12} {'current':>12} {'change':>8}"
+        )
+    for check in report.checks:
+        limit_label = (
+            f"drop > {check.limit:.0%}"
+            if check.direction == "higher"
+            else f"rise > {check.limit:.0%}"
+        )
+        lines.append(
+            f"  {check.status.upper():<12} {check.trial:<28} "
+            f"{check.metric:<18} {check.baseline:>12.4g} {check.current:>12.4g} "
+            f"{check.change:>+7.1%}"
+            + (
+                f"  (limit: {limit_label})"
+                if check.status == "regression"
+                else ""
+            )
+        )
+    if report.failed:
+        worst = max(report.regressions, key=lambda c: abs(c.change))
+        lines.append(
+            f"GATE FAILED: {len(report.regressions)} headline regression(s); "
+            f"worst: {worst.trial} {worst.metric} {worst.change:+.1%} "
+            f"(limit {worst.limit:.0%}). To accept intentionally, re-record "
+            "with `python -m repro --bench --bless`."
+        )
+    else:
+        lines.append(
+            f"GATE OK: {len(report.checks)} headline metric(s) within the "
+            "noise band"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.gate",
+        description="Compare the newest BENCH_*.json entries against their baselines.",
+    )
+    parser.add_argument(
+        "--area",
+        action="append",
+        default=None,
+        metavar="AREA",
+        help="gate only this area (repeatable; default: every BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory holding the BENCH_*.json trajectories (default: repo root)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("report", "enforce"),
+        default="enforce",
+        help="'enforce' exits 1 on a regression; 'report' always exits 0",
+    )
+    parser.add_argument(
+        "--throughput-limit",
+        type=float,
+        default=THROUGHPUT_DROP_LIMIT,
+        metavar="FRAC",
+        help="maximum tolerated relative throughput drop (default 0.15)",
+    )
+    parser.add_argument(
+        "--latency-limit",
+        type=float,
+        default=LATENCY_RISE_LIMIT,
+        metavar="FRAC",
+        help="maximum tolerated relative latency rise (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = gate_areas(
+            args.area,
+            root=args.root,
+            thresholds=GateThresholds(
+                throughput_drop=args.throughput_limit,
+                latency_rise=args.latency_limit,
+            ),
+        )
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.mode == "enforce" and report.failed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

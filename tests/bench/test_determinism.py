@@ -1,0 +1,99 @@
+"""Determinism contract of the orchestrated runner.
+
+Two runs of the same seeded spec must produce identical deterministic
+counters (txns / batches / conflicts) and identical ``record_hash``
+values — the hash covers exactly the identity fields, so host-dependent
+timing cannot perturb it.  A runner whose counts drift across repeats is
+reported as :class:`~repro.errors.TrialNondeterminism`, and a hung runner
+as :class:`~repro.errors.TrialTimeout`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.bench.experiment import TrialMeasurement, TrialSpec, discover, run_trial
+from repro.errors import TrialExecutionError, TrialNondeterminism, TrialTimeout
+
+
+@pytest.fixture(scope="module")
+def fig9_spec():
+    spec = discover().get("figures/fig9_table_size")
+    # Shrink the registered config so the double run stays fast.
+    return dataclasses.replace(
+        spec, config={"doublings": [0, 1], "num_txns": 20_480, "scale": 120}
+    )
+
+
+def test_same_seed_same_counts_and_hash(fig9_spec):
+    first = run_trial(fig9_spec)
+    second = run_trial(fig9_spec)
+    assert first["counts"] == second["counts"]
+    assert first["record_hash"] == second["record_hash"]
+    # The modeled figure metrics are analytic over seeded executions, so
+    # they are bit-identical too — only env/timestamps may differ.
+    assert first["metrics"] == second["metrics"]
+    assert first["counts"]["txns"] > 0 and first["counts"]["batches"] > 0
+
+
+def test_nondeterministic_counts_are_reported():
+    calls = {"n": 0}
+
+    def flaky(config, seed):
+        calls["n"] += 1
+        return TrialMeasurement(
+            rows=(), counts={"txns": calls["n"]}, metrics={"throughput": 1.0}
+        )
+
+    spec = TrialSpec(
+        name="unit/flaky",
+        area="unit",
+        bench_file="bench_unit.py",
+        runner=flaky,
+        repeats=2,
+    )
+    with pytest.raises(TrialNondeterminism, match="seed"):
+        run_trial(spec)
+
+
+def test_hung_runner_times_out():
+    def hang(config, seed):
+        time.sleep(30)
+        return TrialMeasurement(rows=(), counts={"x": 1}, metrics={})
+
+    spec = TrialSpec(
+        name="unit/hang",
+        area="unit",
+        bench_file="bench_unit.py",
+        runner=hang,
+        timeout_seconds=0.2,
+    )
+    start = time.perf_counter()
+    with pytest.raises(TrialTimeout):
+        run_trial(spec)
+    assert time.perf_counter() - start < 5
+
+
+def test_wrong_return_type_is_typed():
+    spec = TrialSpec(
+        name="unit/badtype",
+        area="unit",
+        bench_file="bench_unit.py",
+        runner=lambda config, seed: {"not": "a measurement"},
+    )
+    with pytest.raises(TrialExecutionError, match="TrialMeasurement"):
+        run_trial(spec)
+
+
+def test_runner_exception_is_wrapped():
+    def boom(config, seed):
+        raise ValueError("kaput")
+
+    spec = TrialSpec(
+        name="unit/boom", area="unit", bench_file="bench_unit.py", runner=boom
+    )
+    with pytest.raises(TrialExecutionError, match="kaput"):
+        run_trial(spec)

@@ -1,0 +1,168 @@
+"""Gate unit tests against synthetic trajectories.
+
+Each scenario builds a real on-disk ``BENCH_unit.json`` with controlled
+metric movements and asserts the gate's verdict and exit code: a 20%
+throughput drop fails, an improvement and a noise-band wiggle pass, a
+single-entry trajectory passes by default, and a blessed entry pins the
+baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import gate
+from repro.bench.experiment.schema import SCHEMA_VERSION, finalize_record
+from repro.bench.experiment.trajectory import append_entry, load_trajectory
+from repro.errors import TrajectoryError
+
+AREA = "unit"
+
+
+def make_record(metrics, headline=("throughput",), trial=f"{AREA}/t1"):
+    return finalize_record(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "trial": trial,
+            "area": AREA,
+            "bench_file": "bench_unit.py",
+            "seed": 7,
+            "config": {},
+            "warmup": 0,
+            "repeats": 1,
+            "headline": list(headline),
+            "counts": {"txns": 10},
+            "metrics": dict(metrics),
+            "rows": [],
+            "env": {"host": "unit"},
+            "started_at": "2026-08-08T00:00:00Z",
+            "elapsed_seconds": 0.1,
+        }
+    )
+
+
+def record_entries(tmp_path, *metric_sets, blessed=None, headline=("throughput",)):
+    for index, metrics in enumerate(metric_sets):
+        append_entry(
+            AREA,
+            [make_record(metrics, headline=headline)],
+            git_sha=f"sha{index:07d}00000",
+            recorded_at=f"2026-08-0{index + 1}T00:00:00Z",
+            blessed=bool(blessed and index in blessed),
+            root=tmp_path,
+        )
+
+
+def run_gate(tmp_path):
+    return gate.gate_areas([AREA], root=tmp_path)
+
+
+def test_throughput_regression_fails(tmp_path):
+    record_entries(tmp_path, {"throughput": 100.0}, {"throughput": 80.0})
+    report = run_gate(tmp_path)
+    assert report.failed
+    (check,) = report.regressions
+    assert check.metric == "throughput" and check.change == pytest.approx(-0.20)
+    text = gate.format_report(report)
+    assert "GATE FAILED" in text and "--bless" in text
+
+
+def test_gate_main_exit_codes(tmp_path, capsys):
+    record_entries(tmp_path, {"throughput": 100.0}, {"throughput": 80.0})
+    assert gate.main(["--root", str(tmp_path), "--mode", "enforce"]) == 1
+    assert gate.main(["--root", str(tmp_path), "--mode", "report"]) == 0
+    assert "GATE FAILED" in capsys.readouterr().out
+
+
+def test_improvement_passes(tmp_path):
+    record_entries(tmp_path, {"throughput": 100.0}, {"throughput": 140.0})
+    report = run_gate(tmp_path)
+    assert not report.failed
+    (check,) = report.checks
+    assert check.status == "improvement"
+
+
+def test_noise_band_passes(tmp_path):
+    record_entries(tmp_path, {"throughput": 100.0}, {"throughput": 91.0})
+    report = run_gate(tmp_path)
+    assert not report.failed and report.checks[0].status == "ok"
+
+
+def test_latency_rise_fails(tmp_path):
+    record_entries(
+        tmp_path,
+        {"latency_p95": 1.0},
+        {"latency_p95": 1.25},
+        headline=("latency_p95",),
+    )
+    report = run_gate(tmp_path)
+    assert report.failed
+    assert report.regressions[0].direction == "lower"
+
+
+def test_latency_within_band_passes(tmp_path):
+    record_entries(
+        tmp_path, {"latency_p95": 1.0}, {"latency_p95": 1.1}, headline=("latency_p95",)
+    )
+    assert not run_gate(tmp_path).failed
+
+
+def test_missing_baseline_passes(tmp_path):
+    record_entries(tmp_path, {"throughput": 100.0})
+    report = run_gate(tmp_path)
+    assert not report.failed and not report.checks
+    assert any("no baseline" in note for note in report.notes)
+
+
+def test_blessed_entry_pins_the_baseline(tmp_path):
+    # vs the immediate predecessor (100.0) the newest entry (-22%) fails;
+    # vs the blessed entry (80.0) it is within the band.
+    record_entries(
+        tmp_path,
+        {"throughput": 80.0},
+        {"throughput": 100.0},
+        {"throughput": 78.0},
+        blessed={0},
+    )
+    report = run_gate(tmp_path)
+    assert not report.failed
+    assert any("blessed baseline" in note for note in report.notes)
+
+
+def test_unblessed_history_uses_immediate_predecessor(tmp_path):
+    record_entries(
+        tmp_path, {"throughput": 80.0}, {"throughput": 100.0}, {"throughput": 78.0}
+    )
+    assert run_gate(tmp_path).failed
+
+
+def test_custom_thresholds(tmp_path):
+    record_entries(tmp_path, {"throughput": 100.0}, {"throughput": 89.0})
+    tight = gate.GateThresholds(throughput_drop=0.05)
+    assert gate.gate_areas([AREA], root=tmp_path, thresholds=tight).failed
+
+
+def test_no_trajectories_is_typed(tmp_path):
+    with pytest.raises(TrajectoryError, match="--bench"):
+        gate.gate_areas(root=tmp_path)
+
+
+def test_new_trial_is_noted_not_gated(tmp_path):
+    record_entries(tmp_path, {"throughput": 100.0})
+    append_entry(
+        AREA,
+        [
+            make_record({"throughput": 10.0}),
+            make_record({"throughput": 5.0}, trial=f"{AREA}/t2"),
+        ],
+        git_sha="shaAAAAA00000",
+        recorded_at="2026-08-08T00:00:00Z",
+        root=tmp_path,
+    )
+    report = run_gate(tmp_path)
+    # t1 regressed hugely; t2 is new and only noted.
+    assert report.failed
+    assert all(check.trial == f"{AREA}/t1" for check in report.checks)
+    assert any("new" in note and "t2" in note for note in report.notes)
+    doc = load_trajectory(tmp_path / f"BENCH_{AREA}.json")
+    assert len(doc["entries"]) == 2

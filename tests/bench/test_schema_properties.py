@@ -1,0 +1,165 @@
+"""Property tests of the trial-record schema and trajectory loader.
+
+Hypothesis drives arbitrary (valid and corrupted) payloads through the
+encode/decode/validate path; every failure mode must surface as a typed
+:class:`~repro.errors.BenchSchemaError` /
+:class:`~repro.errors.SchemaVersionError` /
+:class:`~repro.errors.TrajectoryError` — never a raw ``KeyError`` or
+``json.JSONDecodeError``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.experiment.schema import (
+    HASH_FIELDS,
+    SCHEMA_VERSION,
+    TIMING_FIELDS,
+    decode_record,
+    encode_record,
+    finalize_record,
+    record_hash,
+    validate_record,
+)
+from repro.bench.experiment.trajectory import load_trajectory, validate_trajectory
+from repro.errors import BenchSchemaError, SchemaVersionError, TrajectoryError
+
+_slugs = st.text(alphabet="abcdefgh_", min_size=1, max_size=8)
+_config_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**6), 10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+_config = st.dictionaries(
+    _slugs, st.one_of(_config_scalars, st.lists(_config_scalars, max_size=3)), max_size=4
+)
+_counts = st.dictionaries(_slugs, st.integers(0, 10**9), min_size=1, max_size=4)
+_metrics = st.dictionaries(
+    _slugs,
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=4,
+)
+
+
+@st.composite
+def records(draw):
+    metrics = draw(_metrics)
+    headline = draw(
+        st.lists(st.sampled_from(sorted(metrics)), unique=True, max_size=2)
+    )
+    area = draw(st.sampled_from(["pipeline", "wal", "crypto", "figures"]))
+    return finalize_record(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "trial": f"{area}/{draw(_slugs)}",
+            "area": area,
+            "bench_file": f"bench_{draw(_slugs)}.py",
+            "seed": draw(st.integers(0, 2**31)),
+            "config": draw(_config),
+            "warmup": draw(st.integers(0, 3)),
+            "repeats": draw(st.integers(1, 5)),
+            "headline": headline,
+            "counts": draw(_counts),
+            "metrics": metrics,
+            "rows": [{"k": 1.5, "label": "x"}],
+            "env": {"python": "3.12", "host": "unit"},
+            "started_at": "2026-08-08T00:00:00Z",
+            "elapsed_seconds": draw(st.floats(min_value=0, max_value=1e4)),
+        }
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(records())
+def test_encode_decode_round_trip(record):
+    assert decode_record(encode_record(record)) == record
+
+
+@settings(max_examples=40, deadline=None)
+@given(records(), _slugs)
+def test_unknown_field_rejected(record, name):
+    tampered = dict(record)
+    tampered[f"zz_{name}"] = 1
+    with pytest.raises(BenchSchemaError):
+        validate_record(tampered)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records(), st.integers(2, 99))
+def test_schema_version_bump_detected(record, bump):
+    future = dict(record)
+    future["schema_version"] = SCHEMA_VERSION + bump
+    with pytest.raises(SchemaVersionError) as excinfo:
+        validate_record(future)
+    assert excinfo.value.found == SCHEMA_VERSION + bump
+    assert excinfo.value.expected == SCHEMA_VERSION
+
+
+@settings(max_examples=40, deadline=None)
+@given(records())
+def test_identity_tamper_invalidates_hash(record):
+    tampered = dict(record)
+    tampered["counts"] = dict(tampered["counts"])
+    key = sorted(tampered["counts"])[0]
+    tampered["counts"][key] = tampered["counts"][key] + 1
+    with pytest.raises(BenchSchemaError, match="record_hash"):
+        validate_record(tampered)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records(), st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_timing_fields_do_not_affect_hash(record, elapsed):
+    retimed = dict(record)
+    retimed["elapsed_seconds"] = elapsed
+    retimed["env"] = {"python": "9.9", "host": "elsewhere"}
+    retimed["metrics"] = {k: v * 2 + 1 for k, v in record["metrics"].items()}
+    retimed["started_at"] = "1999-01-01T00:00:00Z"
+    assert record_hash(retimed) == record["record_hash"]
+    assert set(TIMING_FIELDS).isdisjoint(HASH_FIELDS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(max_size=200))
+def test_corrupted_trajectory_errors_are_typed(tmp_path_factory, text):
+    path = tmp_path_factory.mktemp("traj") / "BENCH_unit.json"
+    path.write_text(text, encoding="utf-8")
+    try:
+        load_trajectory(path)
+    except (TrajectoryError, SchemaVersionError):
+        pass  # the only acceptable failure modes
+    # json.JSONDecodeError / KeyError / TypeError must never escape.
+
+
+def test_missing_trajectory_file_is_typed(tmp_path):
+    with pytest.raises(TrajectoryError):
+        load_trajectory(tmp_path / "BENCH_void.json")
+
+
+@settings(max_examples=30, deadline=None)
+@given(records())
+def test_trajectory_record_cross_checks(record):
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "area": record["area"],
+        "entries": [
+            {
+                "git_sha": "cafe",
+                "recorded_at": "2026-08-08T00:00:00Z",
+                "blessed": False,
+                "trials": {record["trial"]: record},
+            }
+        ],
+    }
+    validate_trajectory(doc)
+    mislabeled = json.loads(json.dumps(doc))
+    mislabeled["entries"][0]["trials"] = {"wrong/name": record}
+    with pytest.raises(TrajectoryError):
+        validate_trajectory(mislabeled)

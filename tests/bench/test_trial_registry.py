@@ -1,0 +1,90 @@
+"""Registry completeness: every bench_*.py must register a TrialSpec.
+
+The orchestrator only runs what is registered — a benchmark file without a
+spec silently drops out of the BENCH_*.json trajectories and the perf
+gate.  This test fails with the orphan's file name so the omission is
+caught the moment the file lands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.experiment import TrialSpec, bench_dir, discover, register
+from repro.errors import TrialSpecError
+
+REQUIRED_AREAS = {"crypto", "pipeline", "wal", "network"}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return discover()
+
+
+def test_every_bench_file_registers_a_trial(matrix):
+    present = {path.name for path in bench_dir().glob("bench_*.py")}
+    registered = set(matrix.bench_files())
+    orphans = sorted(present - registered)
+    assert not orphans, (
+        "bench files without a registered TrialSpec (add a register(TrialSpec(...)) "
+        f"block): {', '.join(orphans)}"
+    )
+
+
+def test_registered_files_exist(matrix):
+    present = {path.name for path in bench_dir().glob("bench_*.py")}
+    ghosts = sorted(set(matrix.bench_files()) - present)
+    assert not ghosts, f"specs registered for missing bench files: {', '.join(ghosts)}"
+
+
+def test_required_areas_present(matrix):
+    missing = REQUIRED_AREAS - set(matrix.areas())
+    assert not missing, f"trial matrix lost required area(s): {', '.join(sorted(missing))}"
+
+
+def test_trial_names_unique_and_well_formed(matrix):
+    names = [spec.name for spec in matrix.specs]
+    assert len(names) == len(set(names))
+    for spec in matrix.specs:
+        area, _, slug = spec.name.partition("/")
+        assert area == spec.area and slug
+
+
+def test_rediscovery_is_idempotent(matrix):
+    again = discover()
+    assert {spec.name for spec in again.specs} == {spec.name for spec in matrix.specs}
+
+
+def test_conflicting_reregistration_rejected(matrix):
+    spec = matrix.specs[0]
+    conflicting = dataclasses.replace(spec, seed=spec.seed + 1)
+    with pytest.raises(TrialSpecError):
+        register(conflicting)
+    # Identical identity is a refresh, not an error.
+    register(spec)
+
+
+def test_spec_validation_rejects_bad_shapes():
+    def runner(config, seed):  # pragma: no cover - never called
+        raise AssertionError
+
+    with pytest.raises(TrialSpecError):
+        TrialSpec(name="no_slash", area="x", bench_file="bench_x.py", runner=runner)
+    with pytest.raises(TrialSpecError):
+        TrialSpec(
+            name="wal/ok", area="crypto", bench_file="bench_x.py", runner=runner
+        )
+    with pytest.raises(TrialSpecError):
+        TrialSpec(
+            name="wal/ok", area="wal", bench_file="not_a_bench.py", runner=runner
+        )
+    with pytest.raises(TrialSpecError):
+        TrialSpec(
+            name="wal/ok",
+            area="wal",
+            bench_file="bench_x.py",
+            runner=runner,
+            repeats=0,
+        )
