@@ -19,9 +19,13 @@ Every line of every file must be a JSON object with ``kind`` either
 
 ``--require NAME`` (repeatable) additionally demands that a metric with
 that exact name appears somewhere in the inputs — CI uses it to pin the
-documented fault/recovery metric names (``faults.injected``,
-``server.rollbacks``, ``session.resyncs``, ...) so a rename cannot slip
-through silently.
+documented metric families so a rename cannot slip through silently:
+the fault/recovery names (``faults.injected``, ``server.rollbacks``,
+``session.resyncs``, ...), the ``net.*`` service names, and the
+``shard.*`` family of the sharded engine (``shard.single_txns``,
+``shard.cross_txns``, ``shard.flush_fanout``, ``shard.flush_seconds``,
+``shard.cross_rounds``, ``shard.reserve_conflicts``,
+``shard.partial_releases``).
 
 ``--bench PATH`` (repeatable) validates an orchestrated ``BENCH_<area>.json``
 trajectory instead: the file is loaded through

@@ -7,9 +7,6 @@ balance checks concurrently; the :class:`~repro.LitmusSession` groups them
 into verification batches, and every user's answer comes back only after
 the whole batch's proof verified.
 
-(This example previously used ``repro.core.proxy.ClientProxy``, which is
-now a deprecation shim over the session shown here.)
-
 Run:  python examples/multi_user_proxy.py
 """
 

@@ -29,6 +29,7 @@ paper-versus-measured comparison of every table and figure.
 from .core import (
     BatchResult,
     ClientVerdict,
+    DigestVector,
     HybridLitmus,
     InteractiveServerClient,
     LitmusClient,
@@ -37,8 +38,11 @@ from .core import (
     LitmusSession,
     MerkleServerClient,
     ServerResponse,
+    ShardMap,
+    ShardedSession,
     SumInvariant,
     UserTicket,
+    VerifiedSession,
 )
 from .crypto import AuthenticatedDictionary, MerkleTree, RSAGroup
 from .db import Database, Transaction, TxnResult
@@ -61,6 +65,7 @@ __all__ = [
     "ClientVerdict",
     "CostModel",
     "Database",
+    "DigestVector",
     "ElleChecker",
     "Groth16Simulator",
     "HybridLitmus",
@@ -73,12 +78,15 @@ __all__ = [
     "Program",
     "RSAGroup",
     "ServerResponse",
+    "ShardMap",
+    "ShardedSession",
     "SpotCheckBackend",
     "SqlCatalog",
     "compile_procedure",
     "SumInvariant",
     "TPCCWorkload",
     "Transaction",
+    "VerifiedSession",
     "TxnResult",
     "YCSBWorkload",
     "ZipfSampler",

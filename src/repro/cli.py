@@ -63,13 +63,17 @@ a one-line diagnosis, never a traceback.
 
 The networked deployment (DESIGN.md §12)::
 
-    python -m repro --serve 127.0.0.1:7433 [--data-dir DIR]
+    python -m repro --serve 127.0.0.1:7433 [--data-dir DIR] [--shards S]
     python -m repro --connect 127.0.0.1:7433
 
 ``--serve`` runs a :class:`~repro.net.LitmusService` (WAL-backed when
 ``--data-dir`` is given) until SIGTERM/SIGINT, then drains gracefully:
 in-flight batches finish and ack through the WAL, new work is refused,
-the final checkpoint is fsynced.  ``--connect`` is the client quickstart:
+the final checkpoint is fsynced.  ``--shards S`` (S > 1) partitions the
+keyspace across S independently verified engines behind one
+:class:`~repro.core.ShardedSession` — same wire protocol, per-shard WAL
+directories under ``DIR/shard-NN/``, and a per-shard digest vector in
+every response.  ``--connect`` is the client quickstart:
 it submits a handful of bank transfers through a
 :class:`~repro.net.RemoteSession` with a retry policy and prints the
 verified result.  A port already in use or an unreachable server is a
@@ -490,13 +494,19 @@ def _parse_address(address: str) -> tuple[str, int]:
     return host, int(port)
 
 
-def _serve(address: str, data_dir: str | None) -> int:
+def _serve(address: str, data_dir: str | None, shards: int) -> int:
     """Run the networked service until SIGTERM/SIGINT, then drain."""
     import os
     import signal
 
-    from .core import DurabilityConfig, LitmusConfig, LitmusSession
+    from .core import (
+        DurabilityConfig,
+        LitmusConfig,
+        LitmusSession,
+        ShardedSession,
+    )
     from .crypto.rsa_group import default_group
+    from .errors import ReproError
     from .net import LitmusService, ServiceConfig
 
     try:
@@ -504,22 +514,54 @@ def _serve(address: str, data_dir: str | None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if shards < 1:
+        print(f"error: --shards must be >= 1, got {shards}", file=sys.stderr)
+        return 2
     transfer = _demo_transfer()
     durability = None
     if data_dir is not None:
         os.makedirs(data_dir, exist_ok=True)
         durability = DurabilityConfig(directory=data_dir)
-    if durability is not None and os.listdir(data_dir):
-        session = LitmusSession.recover(data_dir, [transfer])
-    else:
-        session = LitmusSession.create(
-            initial={("acct", i): 100 for i in range(8)},
-            config=LitmusConfig(**_DEMO_CONFIG),
-            group=default_group(bits=512),
-            durability=durability,
-        )
+    initial = {("acct", i): 100 for i in range(8)}
+    try:
+        if durability is not None and os.listdir(data_dir):
+            # Recover whatever layout is on disk: shard-NN subdirectories
+            # mean a sharded deployment, anything else the scalar one.
+            if os.path.isdir(os.path.join(data_dir, "shard-00")):
+                session = ShardedSession.recover(data_dir, [transfer])
+            else:
+                session = LitmusSession.recover(data_dir, [transfer])
+            recovered = getattr(session, "num_shards", 1)
+            if recovered != shards and shards != 1:
+                session.close()
+                print(
+                    f"error: {data_dir!r} holds a {recovered}-shard deployment; "
+                    f"--shards {shards} cannot change that",
+                    file=sys.stderr,
+                )
+                return 2
+            shards = recovered
+        elif shards > 1:
+            session = ShardedSession.create(
+                initial=initial,
+                config=LitmusConfig(**_DEMO_CONFIG),
+                num_shards=shards,
+                durability=durability,
+            )
+        else:
+            session = LitmusSession.create(
+                initial=initial,
+                config=LitmusConfig(**_DEMO_CONFIG),
+                group=default_group(bits=512),
+                durability=durability,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     service = LitmusService(
-        session, programs=[transfer], config=ServiceConfig(host=host, port=port)
+        session,
+        programs=[transfer],
+        config=ServiceConfig(host=host, port=port, num_shards=shards),
     )
     try:
         bound = service.start()
@@ -539,7 +581,8 @@ def _serve(address: str, data_dir: str | None) -> int:
     signal.signal(signal.SIGINT, _drain)
     print(
         f"litmus service listening on {bound[0]}:{bound[1]} "
-        f"(durability: {data_dir or 'off'}); SIGTERM drains gracefully"
+        f"(durability: {data_dir or 'off'}, shards: {shards}); "
+        "SIGTERM drains gracefully"
     )
     service.serve_forever()
     print("service stopped; WAL synced")
@@ -651,6 +694,14 @@ def main(argv: list[str] | None = None) -> int:
         "recovers automatically when non-empty",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="S",
+        help="partition the --serve keyspace across S independently "
+        "verified engines (default: 1, the unsharded engine)",
+    )
+    parser.add_argument(
         "--connect",
         metavar="HOST:PORT",
         default=None,
@@ -725,7 +776,7 @@ def main(argv: list[str] | None = None) -> int:
         _export_observability(args.metrics_out, args.trace_out)
         return code
     if args.serve:
-        return _serve(args.serve, args.data_dir)
+        return _serve(args.serve, args.data_dir, args.shards)
     if args.connect:
         code = _connect_demo(args.connect)
         _export_observability(args.metrics_out, args.trace_out)

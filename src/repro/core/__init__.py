@@ -16,12 +16,18 @@ Wires the substrates together exactly as Figure 1 describes:
 - :mod:`repro.core.hybrid`, :mod:`repro.core.consistency` — the Section 9
   extensions (real-time hybrid mode; verifiable consistency invariants);
 - :mod:`repro.core.session` — the client-facing facade
-  (:class:`LitmusSession` / :class:`BatchResult`); :mod:`repro.core.proxy`
-  is its deprecation shim.
+  (:class:`LitmusSession` / :class:`BatchResult`);
+- :mod:`repro.core.api` — the :class:`VerifiedSession` protocol every
+  session implementation satisfies, and the :class:`DigestVector` digest
+  type;
+- :mod:`repro.core.sharding` — the keyspace partitioned across S
+  independently verified engines (:class:`ShardedSession` /
+  :class:`ShardMap`).
 
 Both server and client report spans/metrics through :mod:`repro.obs`.
 """
 
+from .api import DigestVector, VerifiedSession
 from .audit import AuditRecord, AuditTrail
 from .checkpoint import DigestLog
 from .client import ClientVerdict, LitmusClient
@@ -37,7 +43,6 @@ from .memory_integrity import (
 )
 from .merkle_server import MerkleServerClient
 from .protocol import PieceResult, ServerResponse, TimingReport
-from .proxy import ClientProxy
 from .server import LitmusServer
 from .session import (
     BatchResult,
@@ -47,15 +52,16 @@ from .session import (
     RetryPolicy,
     UserTicket,
 )
+from .sharding import ShardMap, ShardedSession
 from .snapshot import restore_server, snapshot_server
 
 __all__ = [
     "AuditRecord",
     "AuditTrail",
     "BatchResult",
-    "ClientProxy",
     "ClientVerdict",
     "DigestLog",
+    "DigestVector",
     "DurabilityConfig",
     "HybridLitmus",
     "InteractiveServerClient",
@@ -74,8 +80,11 @@ __all__ = [
     "ReadCertificate",
     "RetryPolicy",
     "ServerResponse",
+    "ShardMap",
+    "ShardedSession",
     "SumInvariant",
     "TimingReport",
     "UserTicket",
+    "VerifiedSession",
     "WriteCertificate",
 ]

@@ -1,0 +1,153 @@
+"""The unified client API surface: ``VerifiedSession`` and ``DigestVector``.
+
+Three session implementations now exist — the in-process
+:class:`~repro.core.session.LitmusSession`, the networked
+:class:`~repro.net.client.RemoteSession`, and the sharded
+:class:`~repro.core.sharding.ShardedSession` — and application code should
+be able to swap between them by changing only the constructor.
+:class:`VerifiedSession` is the :class:`typing.Protocol` that pins the
+shared surface (``submit`` / ``flush`` / ``digest`` / ``queued`` /
+``recover`` / ``close``), checked by a conformance test parametrized over
+all three implementations.
+
+``digest`` uniformly returns a :class:`DigestVector`: the client's
+constant-size verified digest *per shard*.  The unsharded case is simply a
+vector of length one.  ``DigestVector`` subclasses :class:`int` — its
+integer value is the single digest when ``len == 1`` and a deterministic
+SHA-256 fold of the per-shard digests otherwise — so every existing
+consumer of the old bare-``int`` digest (equality checks, ``{:#x}``
+formatting, JSON payloads, set membership) keeps working unchanged while
+new consumers can iterate the per-shard components and use the versioned
+wire form (:meth:`DigestVector.to_wire`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Protocol, runtime_checkable
+
+__all__ = ["DigestVector", "VerifiedSession"]
+
+# Version tag of the serialized DigestVector wire/journal form.  Bump when
+# the encoded shape changes; decoders reject versions they do not know
+# instead of guessing.
+DIGEST_VECTOR_WIRE_VERSION = 1
+
+_FOLD_DOMAIN = b"litmus-digest-vector-v1"
+
+
+def _fold(shards: tuple[int, ...]) -> int:
+    """Deterministic combined digest of a multi-shard vector."""
+    hasher = hashlib.sha256(_FOLD_DOMAIN)
+    for digest in shards:
+        blob = digest.to_bytes((digest.bit_length() + 7) // 8 or 1, "big")
+        hasher.update(len(blob).to_bytes(4, "big"))
+        hasher.update(blob)
+    return int.from_bytes(hasher.digest(), "big")
+
+
+class DigestVector(int):
+    """S constant-size verified digests, one per shard; behaves like an int.
+
+    - ``len(v)`` / ``v[i]`` / ``iter(v)`` expose the per-shard digests;
+    - as an ``int`` the vector is the shard digest itself (length 1) or a
+      SHA-256 fold of the components (length > 1), so ``==`` against a
+      bare digest, hashing, and ``{:#x}`` formatting all behave exactly
+      like the historical scalar digest;
+    - :meth:`to_wire` / :meth:`from_wire` are the versioned serialization
+      used by the LNP1 ``digest_vector`` payload field and anywhere a
+      journaled form is needed.
+    """
+
+    def __new__(cls, shards: Iterable[int]) -> "DigestVector":
+        parts = tuple(int(s) for s in shards)
+        if not parts:
+            raise ValueError("a DigestVector needs at least one shard digest")
+        if any(s < 0 for s in parts):
+            raise ValueError("shard digests must be non-negative")
+        combined = parts[0] if len(parts) == 1 else _fold(parts)
+        self = super().__new__(cls, combined)
+        self._shards = parts
+        return self
+
+    @classmethod
+    def single(cls, digest: int) -> "DigestVector":
+        """The unsharded case: a vector of length one."""
+        return cls((digest,))
+
+    @classmethod
+    def coerce(cls, value) -> "DigestVector":
+        """Accept a DigestVector, a bare int, or the wire form."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_wire(value)
+        if isinstance(value, int):
+            return cls.single(value)
+        raise TypeError(f"cannot coerce {type(value).__name__} to DigestVector")
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __iter__(self):
+        return iter(self._shards)
+
+    def __getitem__(self, index: int) -> int:
+        return self._shards[index]
+
+    def to_wire(self) -> dict:
+        """The versioned JSON-safe form: ``{"v": 1, "shards": ["0x..."]}``."""
+        return {
+            "v": DIGEST_VECTOR_WIRE_VERSION,
+            "shards": [hex(s) for s in self._shards],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "DigestVector":
+        version = payload.get("v")
+        if version != DIGEST_VECTOR_WIRE_VERSION:
+            raise ValueError(
+                f"unknown DigestVector wire version {version!r} "
+                f"(this build speaks {DIGEST_VECTOR_WIRE_VERSION})"
+            )
+        shards = payload.get("shards")
+        if not isinstance(shards, list) or not shards:
+            raise ValueError("DigestVector wire form needs a non-empty shard list")
+        return cls(int(s, 16) if isinstance(s, str) else int(s) for s in shards)
+
+    def __repr__(self) -> str:  # json uses int.__repr__, so this is safe
+        inner = ", ".join(f"{s:#x}" for s in self._shards)
+        return f"DigestVector([{inner}])"
+
+
+@runtime_checkable
+class VerifiedSession(Protocol):
+    """The one client surface every session implementation satisfies.
+
+    ``recover`` is intentionally loose: the durable implementations
+    (:class:`~repro.core.session.LitmusSession`,
+    :class:`~repro.core.sharding.ShardedSession`) expose it as a
+    classmethod rebuilding a session from a durability directory, while
+    :class:`~repro.net.client.RemoteSession.recover` re-establishes the
+    connection and resolves outstanding work from the server's result
+    journal.  Conformance is checked with ``isinstance`` (presence of the
+    members), plus behavioral assertions in the parametrized test.
+    """
+
+    @property
+    def digest(self) -> DigestVector: ...
+
+    @property
+    def queued(self) -> int: ...
+
+    def submit(self, user: str, program, **params: int): ...
+
+    def flush(self, *args, **kwargs): ...
+
+    def recover(self, *args, **kwargs): ...
+
+    def close(self) -> None: ...

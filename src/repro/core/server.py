@@ -98,11 +98,16 @@ class LitmusServer:
         invariants: tuple = (),
         tracer: Tracer | None = None,
         fault_plan=None,
+        shard: int | None = None,
     ):
         self.config = config or LitmusConfig()
         # Optional repro.faults.FaultPlan consulted at the certify and prove
         # stages; None (the default) means an honest, reliable server.
         self.fault_plan = fault_plan
+        # Which shard of a sharded deployment this engine serves (None for
+        # a standalone server); stamped on every batch span so traces from
+        # parallel shard flushes stay attributable.
+        self.shard = shard
         # All pipeline spans go here; defaults to the process-local tracer
         # so CLI/benchmark exporters see every server in the process.
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -210,9 +215,10 @@ class LitmusServer:
         prover_tasks: list[ProverTask] = []
         total_constraints = 0
 
-        with tracer.span(
-            "batch", num_txns=len(txns), cc=self.config.cc
-        ) as batch_span:
+        span_attrs = {"num_txns": len(txns), "cc": self.config.cc}
+        if self.shard is not None:
+            span_attrs["shard"] = self.shard
+        with tracer.span("batch", **span_attrs) as batch_span:
             with tracer.span("execute", cc=self.config.cc):
                 report = self.db.run(txns)
 

@@ -2,7 +2,7 @@
 
 Before this module the client side of Litmus was three objects glued by the
 caller: a :class:`~repro.core.client.LitmusClient` (digest keeper /
-verifier), a ``ClientProxy`` (user batching), and raw
+verifier), a user-batching proxy, and raw
 :class:`~repro.db.txn.Transaction` construction.  :class:`LitmusSession`
 collapses them into the one facade applications use::
 
@@ -26,8 +26,8 @@ Design points:
   :mod:`repro.obs`;
 - ``flush`` on an empty queue is a **documented no-op**: it returns
   :meth:`BatchResult.empty` (accepted, zero transactions) without touching
-  the server — the regression the old ``ClientProxy.flush() -> bool``
-  surface made untestable;
+  the server — the regression the old bare-``bool`` flush surface made
+  untestable;
 - every non-empty flush — including the auto-flush ``submit`` triggers at
   ``max_batch`` — records its result as :attr:`LitmusSession.last_result`,
   so a rejected auto-flush is never silently discarded;
@@ -65,8 +65,11 @@ that the server is still rolled back on rejection — the bug where a
 rejected batch left the server's digest permanently ahead of the client's
 (so every later batch failed verification forever) is gone either way.
 
-The old ``ClientProxy`` remains as a one-warning deprecation shim in
-:mod:`repro.core.proxy`, delegating everything to a session.
+:class:`LitmusSession` is one of the three implementations of the
+:class:`~repro.core.api.VerifiedSession` protocol (alongside
+:class:`~repro.net.client.RemoteSession` and
+:class:`~repro.core.sharding.ShardedSession`); ``digest`` returns a
+length-1 :class:`~repro.core.api.DigestVector`.
 """
 
 from __future__ import annotations
@@ -105,6 +108,7 @@ from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.spans import Tracer, get_tracer
 from ..sim.costmodel import CostModel
 from ..vc.program import Program
+from .api import DigestVector
 from .checkpoint import DigestLog
 from .client import ClientVerdict, LitmusClient
 from .config import LitmusConfig
@@ -337,6 +341,7 @@ class LitmusSession:
         fault_plan=None,
         checkpoint_every: int = 64,
         durability: DurabilityConfig | None = None,
+        shard_index: int | None = None,
         _resume: _ResumeState | None = None,
     ):
         if max_batch < 1:
@@ -380,6 +385,13 @@ class LitmusSession:
         self._command_log: list[bytes] = []
         self._programs: dict[str, Program] = {}
         self.digest_log = DigestLog(self.client.digest)
+        # Which shard of a ShardedSession this engine is (None standalone);
+        # threaded to the durability fault hooks so CrashPoint(shard=...)
+        # can target exactly this engine, and stamped on the server for
+        # span attribution.
+        self.shard_index = shard_index
+        if shard_index is not None:
+            server.shard = shard_index
         # Durability: when configured, every verified batch is journaled to
         # the on-disk WAL *before* flush() acknowledges it, and every
         # in-memory checkpoint also lands as an atomic checkpoint file.
@@ -399,7 +411,10 @@ class LitmusSession:
                 )
         if durability is not None:
             self._manager = DurabilityManager(
-                durability, registry=self.registry, fault_plan=fault_plan
+                durability,
+                registry=self.registry,
+                fault_plan=fault_plan,
+                shard=shard_index,
             )
             if _resume is None and self._manager.has_existing_state():
                 raise WalError(
@@ -429,6 +444,7 @@ class LitmusSession:
         fault_plan=None,
         checkpoint_every: int = 64,
         durability: DurabilityConfig | None = None,
+        shard_index: int | None = None,
     ) -> "LitmusSession":
         """Build a server + verifying client pair and wrap them in a session.
 
@@ -457,6 +473,7 @@ class LitmusSession:
             fault_plan=fault_plan,
             checkpoint_every=checkpoint_every,
             durability=durability,
+            shard_index=shard_index,
         )
 
     @classmethod
@@ -474,6 +491,7 @@ class LitmusSession:
         retry_policy: RetryPolicy | None = None,
         fault_plan=None,
         checkpoint_every: int = 64,
+        shard_index: int | None = None,
     ) -> "LitmusSession":
         """Rebuild a durable session from its directory after a restart.
 
@@ -584,6 +602,7 @@ class LitmusSession:
             fault_plan=fault_plan,
             checkpoint_every=checkpoint_every,
             durability=durability,
+            shard_index=shard_index,
             _resume=resume,
         )
         session._programs.update(program_map)
@@ -605,9 +624,11 @@ class LitmusSession:
     # -- user-facing API ---------------------------------------------------------
 
     @property
-    def digest(self) -> int:
-        """The client-side (verified) database digest."""
-        return self.client.digest
+    def digest(self) -> DigestVector:
+        """The client-side (verified) database digest, as a length-1
+        :class:`~repro.core.api.DigestVector` (its int value is the digest
+        itself, so every scalar consumer keeps working)."""
+        return DigestVector.single(self.client.digest)
 
     @property
     def queued(self) -> int:
@@ -622,12 +643,33 @@ class LitmusSession:
         :attr:`last_result` (and a rejected one resolves the tickets, so it
         is observable either way).
         """
+        return self.submit_call(user, program, params)
+
+    def submit_call(
+        self,
+        user: str,
+        program: Program,
+        params: Mapping[str, int],
+        *,
+        txn_id: int | None = None,
+        auto_flush: bool = True,
+    ) -> UserTicket:
+        """Non-kwargs :meth:`submit` for programmatic callers.
+
+        The sharded router uses this to pin a globally allocated *txn_id*
+        (so ranks agree across shards) and to defer the auto-flush to its
+        own fan-out logic; plain callers can ignore both knobs.
+        """
         self._programs.setdefault(program.name, program)
-        txn = Transaction(self._next_id, program, dict(params))
-        self._next_id += 1
+        if txn_id is None:
+            txn_id = self._next_id
+            self._next_id += 1
+        else:
+            self._next_id = max(self._next_id, txn_id + 1)
+        txn = Transaction(txn_id, program, dict(params))
         ticket = UserTicket(user=user, txn_id=txn.txn_id)
         self._pending.append((ticket, txn))
-        if len(self._pending) >= self.max_batch:
+        if auto_flush and len(self._pending) >= self.max_batch:
             self.flush()
         return ticket
 

@@ -1,0 +1,663 @@
+"""Sharded verification: S independently verified engines behind one session.
+
+The unsharded :class:`~repro.core.session.LitmusSession` funnels every
+transaction through one verification pipeline — one accumulator digest, one
+WAL, one prover pool.  This module partitions the keyspace across *S* such
+engines and puts a router in front:
+
+- :class:`ShardMap` — the deterministic key → shard function (SHA-256 over
+  a canonical type-tagged key encoding, so it is stable across processes
+  and immune to ``PYTHONHASHSEED``);
+- :class:`ShardedSession` — owns S per-shard ``LitmusSession``s, each with
+  its own digest, prover pool, and WAL directory under
+  ``<dir>/shard-NN/``.  ``digest`` is the S-component
+  :class:`~repro.core.api.DigestVector`; ``flush`` fans out to the
+  involved shards in parallel threads and merges the per-shard
+  :class:`~repro.core.session.BatchResult`s; ``recover`` replays each
+  shard's WAL independently (each shard cross-checks its own journaled
+  digest).
+
+Routing
+-------
+
+A transaction whose statically derived footprint (read keys ∪ write keys —
+derivable before execution because write targets are functions of the
+parameters only, the paper's Section 7.1 assumption) lands on one shard is
+submitted to that shard's engine verbatim: full certified-read
+verification, nothing new.
+
+A **cross-shard** transaction goes through two phases:
+
+1. **Reserve** — its write set is reserved across shards by
+   :class:`~repro.db.detreserve.CrossShardReserver`: strictly rank-ordered
+   acquisition in ascending shard order, with full release of shards
+   ``< k`` when shard *k* conflicts, so no shard-order deadlock or
+   blocked-by-a-loser starvation is possible.  Each reservation round's
+   winners are mutually non-conflicting.
+2. **Execute + apply** — the coordinator executes the program once,
+   routing every read to the key's owner shard, and derives the final
+   write set.  The writes are then submitted to every involved shard as a
+   read-free *apply program* (``<name>@apply`` — the same write-key
+   templates with the computed values as parameters), which each shard
+   runs through its full verified pipeline: executed, proven, client
+   verified, and journaled in that shard's WAL.  Apply programs are
+   derived deterministically from the registered program, so WAL replay
+   at recovery re-derives them by name.
+
+Every shard involved in a cross-shard apply journals the *entire* write
+set; keys a shard does not own become stale copies in its store, which is
+harmless because no read ever consults a non-owner: single-shard
+transactions run on the owner and coordinator reads route to the owner.
+
+Trust model note: the per-shard *write application* is fully verified, but
+the coordinator's cross-shard reads come from the owner shards' local
+stores without per-read certificates — the cross-shard read path is
+trusted-coordinator in this revision (DESIGN.md §14 spells out the gap and
+the planned fix).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from time import perf_counter
+from typing import Iterable, Mapping
+
+from ..crypto.rsa_group import RSAGroup
+from ..db.detreserve import CrossShardPlan, CrossShardReserver
+from ..db.wal.config import DurabilityConfig
+from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.spans import Tracer, get_tracer
+from ..vc.program import Param, Program, WriteStmt
+from .api import DigestVector
+from .config import LitmusConfig
+from .session import (
+    BatchResult,
+    LitmusSession,
+    RetryPolicy,
+    UserTicket,
+    _frozen_mapping,
+)
+
+__all__ = ["ShardMap", "ShardedSession", "derive_apply_program"]
+
+APPLY_SUFFIX = "@apply"
+_APPLY_PARAM_PREFIX = "__w"
+_SHARD_DOMAIN = b"litmus-shard-map-v1"
+
+
+class ShardMap:
+    """The deterministic key → shard function, shared by client and router.
+
+    Keys are tuples mixing strings, ints and other atoms; each part is
+    type-tagged and length-prefixed before hashing so ``("acct", 1)`` and
+    ``("acct1",)`` can never collide, and the result is independent of the
+    process's hash seed — the same property the command-log codec relies
+    on for replay determinism.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ReproError("num_shards must be positive")
+        self.num_shards = num_shards
+
+    @staticmethod
+    def _encode_part(part) -> bytes:
+        if isinstance(part, bool):  # before int: bool is an int subclass
+            return b"B" + (b"1" if part else b"0")
+        if isinstance(part, int):
+            return b"I" + str(part).encode("ascii")
+        if isinstance(part, str):
+            return b"S" + part.encode("utf-8")
+        if isinstance(part, bytes):
+            return b"Y" + part
+        return b"R" + repr(part).encode("utf-8")
+
+    def shard_of(self, key: tuple) -> int:
+        if self.num_shards == 1:
+            return 0
+        hasher = hashlib.sha256(_SHARD_DOMAIN)
+        parts = key if isinstance(key, tuple) else (key,)
+        for part in parts:
+            blob = self._encode_part(part)
+            hasher.update(len(blob).to_bytes(4, "big"))
+            hasher.update(blob)
+        return int.from_bytes(hasher.digest()[:8], "big") % self.num_shards
+
+    def shards_of(self, keys: Iterable[tuple]) -> set[int]:
+        return {self.shard_of(key) for key in keys}
+
+    def partition(self, rows: Mapping[tuple, int]) -> list[dict[tuple, int]]:
+        """Split a row mapping into per-shard mappings (index = shard)."""
+        parts: list[dict[tuple, int]] = [{} for _ in range(self.num_shards)]
+        for key, value in rows.items():
+            parts[self.shard_of(key)][key] = value
+        return parts
+
+
+def derive_apply_program(program: Program) -> Program:
+    """The read-free companion that applies *program*'s writes on a shard.
+
+    Same write-key templates in statement order, each value replaced by a
+    fresh parameter (``__w0``, ``__w1``, ...) the coordinator fills with
+    the *final* computed value of that statement's key — so statements
+    that write the same key all carry the same value and the application
+    is idempotent per key.  Pure function of the registered program, so
+    recovery re-derives it by name when replaying a shard's WAL.
+    """
+    writes = program.write_statements()
+    vparams = tuple(f"{_APPLY_PARAM_PREFIX}{i}" for i in range(len(writes)))
+    taken = set(program.params) & set(vparams)
+    if taken:
+        raise ReproError(
+            f"program {program.name!r} uses reserved parameter name(s) "
+            f"{sorted(taken)}; {_APPLY_PARAM_PREFIX}* is reserved for "
+            "cross-shard apply programs"
+        )
+    statements = tuple(
+        WriteStmt(stmt.key, Param(vparams[i])) for i, stmt in enumerate(writes)
+    )
+    return Program(
+        name=program.name + APPLY_SUFFIX,
+        params=tuple(program.params) + vparams,
+        statements=statements,
+    )
+
+
+def with_apply_programs(programs: Mapping[str, Program]) -> dict[str, Program]:
+    """A program map extended with every derivable apply companion."""
+    extended = dict(programs)
+    for program in list(programs.values()):
+        if program.name.endswith(APPLY_SUFFIX):
+            continue
+        companion = derive_apply_program(program)
+        extended.setdefault(companion.name, companion)
+    return extended
+
+
+class _PendingCall:
+    """One submitted call waiting for the next fan-out flush."""
+
+    __slots__ = ("ticket", "program", "params")
+
+    def __init__(self, ticket: UserTicket, program: Program, params: dict):
+        self.ticket = ticket
+        self.program = program
+        self.params = params
+
+
+class ShardedSession:
+    """S independently verified engines behind the one-session surface.
+
+    Satisfies :class:`~repro.core.api.VerifiedSession` exactly like
+    :class:`~repro.core.session.LitmusSession` does; the differences are
+    behind the surface — ``digest`` has S components, ``flush`` runs the
+    router, ``recover`` replays S WALs.
+    """
+
+    def __init__(
+        self,
+        shard_sessions: list[LitmusSession],
+        shard_map: ShardMap,
+        *,
+        max_batch: int = 1024,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        if not shard_sessions:
+            raise ReproError("a ShardedSession needs at least one shard")
+        if len(shard_sessions) != shard_map.num_shards:
+            raise ReproError(
+                f"shard map expects {shard_map.num_shards} shard(s) but "
+                f"{len(shard_sessions)} session(s) were supplied"
+            )
+        if max_batch < 1:
+            raise ReproError("batch capacity must be positive")
+        self.shards = list(shard_sessions)
+        self.shard_map = shard_map
+        self.max_batch = max_batch
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.registry = registry if registry is not None else get_metrics()
+        self.reserver = CrossShardReserver(
+            shard_map.shard_of, registry=self.registry
+        )
+        self._next_id = max(s._next_id for s in self.shards)
+        self._pending: list[_PendingCall] = []
+        self.last_result: BatchResult | None = None
+        # Aggregate program registry (apply companions included): what the
+        # service advertises and recovery replays against.
+        self._programs: dict[str, Program] = {}
+        for shard in self.shards:
+            self._programs.update(shard._programs)
+        # recover() fills this with the per-shard RecoveryReports.
+        self.recovery_reports = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        initial: Mapping[tuple, int] | None = None,
+        config: LitmusConfig | None = None,
+        *,
+        num_shards: int = 2,
+        group: RSAGroup | None = None,
+        invariants: tuple = (),
+        max_batch: int = 1024,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        checkpoint_every: int = 64,
+        durability: DurabilityConfig | None = None,
+    ) -> "ShardedSession":
+        """Build S fresh engines over a partitioned keyspace.
+
+        *durability.directory* (when given) is the parent: shard *i*
+        journals under ``<directory>/shard-NN/`` with the same fsync /
+        segment / checkpoint settings.  *group* is shared across shards
+        (one trusted setup); each shard's accumulator covers only its own
+        partition.  Per-shard invariants see only that shard's rows, so
+        only shard-local invariants belong here.
+        """
+        shard_map = ShardMap(num_shards)
+        tracer = tracer if tracer is not None else get_tracer()
+        parts = shard_map.partition(dict(initial or {}))
+        if group is None:
+            group = RSAGroup.generate(bits=512, seed=b"litmus-sharded")
+        sessions = []
+        for index in range(num_shards):
+            shard_durability = None
+            if durability is not None:
+                shard_durability = DurabilityConfig(
+                    directory=cls._shard_dir(durability.directory, index),
+                    **durability.settings(),
+                )
+            sessions.append(
+                LitmusSession.create(
+                    initial=parts[index],
+                    config=config,
+                    group=group,
+                    invariants=invariants,
+                    max_batch=max_batch,
+                    tracer=tracer,
+                    registry=registry,
+                    retry_policy=retry_policy,
+                    fault_plan=fault_plan,
+                    checkpoint_every=checkpoint_every,
+                    durability=shard_durability,
+                    shard_index=index,
+                )
+            )
+        return cls(
+            sessions,
+            shard_map,
+            max_batch=max_batch,
+            tracer=tracer,
+            registry=registry,
+        )
+
+    @staticmethod
+    def _shard_dir(parent: str, index: int) -> str:
+        return os.path.join(parent, f"shard-{index:02d}")
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        programs: Iterable[Program] | Mapping[str, Program] = (),
+        *,
+        group: RSAGroup | None = None,
+        invariants: tuple = (),
+        max_batch: int = 1024,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        checkpoint_every: int = 64,
+    ) -> "ShardedSession":
+        """Rebuild a sharded session: replay each shard's WAL independently.
+
+        Discovers the ``shard-NN`` subdirectories of *directory* (their
+        count fixes S — it must match the ShardMap the data was written
+        under), recovers every shard in parallel threads, and cross-checks
+        each shard's rebuilt digest against its own journaled history
+        exactly as unsharded recovery does.  *programs* needs only the
+        application's programs; the ``@apply`` companions the cross-shard
+        path journaled are re-derived automatically.
+        """
+        if isinstance(programs, Mapping):
+            program_map = dict(programs)
+        else:
+            program_map = {program.name: program for program in programs}
+        program_map = with_apply_programs(program_map)
+        shard_dirs = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith("shard-")
+            and os.path.isdir(os.path.join(directory, name))
+        )
+        if not shard_dirs:
+            raise ReproError(
+                f"{directory!r} holds no shard-NN subdirectories; was this "
+                "directory written by a ShardedSession?"
+            )
+        expected = [f"shard-{i:02d}" for i in range(len(shard_dirs))]
+        if shard_dirs != expected:
+            raise ReproError(
+                f"shard directories {shard_dirs} are not the contiguous "
+                f"set {expected}; refusing to recover a partial keyspace"
+            )
+        tracer = tracer if tracer is not None else get_tracer()
+        sessions: list[LitmusSession | None] = [None] * len(shard_dirs)
+        errors: dict[int, BaseException] = {}
+
+        def _recover_one(index: int) -> None:
+            try:
+                sessions[index] = LitmusSession.recover(
+                    os.path.join(directory, shard_dirs[index]),
+                    program_map,
+                    group=group,
+                    invariants=invariants,
+                    max_batch=max_batch,
+                    tracer=tracer,
+                    registry=registry,
+                    retry_policy=retry_policy,
+                    fault_plan=fault_plan,
+                    checkpoint_every=checkpoint_every,
+                    shard_index=index,
+                )
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors[index] = exc
+
+        threads = [
+            threading.Thread(target=_recover_one, args=(i,), daemon=True)
+            for i in range(len(shard_dirs))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[min(errors)]
+        session = cls(
+            [s for s in sessions if s is not None],
+            ShardMap(len(shard_dirs)),
+            max_batch=max_batch,
+            tracer=tracer,
+            registry=registry,
+        )
+        session._programs.update(program_map)
+        session.recovery_reports = tuple(s.recovery_report for s in session.shards)
+        return session
+
+    # -- user-facing API ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def digest(self) -> DigestVector:
+        """S constant-size verified digests, one per shard."""
+        return DigestVector(int(s.client.digest) for s in self.shards)
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)
+
+    @property
+    def batches_verified(self) -> int:
+        return sum(s.batches_verified for s in self.shards)
+
+    def submit(self, user: str, program: Program, **params: int) -> UserTicket:
+        """Enqueue one call; routing happens at flush time."""
+        if program.name.endswith(APPLY_SUFFIX):
+            raise ReproError(
+                f"{program.name!r} is an internal apply program; submit the "
+                "original program instead"
+            )
+        self._programs.setdefault(program.name, program)
+        ticket = UserTicket(user=user, txn_id=self._next_id)
+        self._next_id += 1
+        self._pending.append(_PendingCall(ticket, program, dict(params)))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    def flush(self, deadline: float | None = None) -> BatchResult:
+        """Route, fan out, verify, and merge one batch across the shards.
+
+        Single-shard calls go to their owner engines and all involved
+        shards flush in parallel threads; cross-shard calls then run
+        through reserve → execute → apply rounds (module docstring).  The
+        merged :class:`BatchResult` is accepted iff every involved shard
+        accepted every sub-batch; ``attempts`` is the worst shard's count
+        and ``timing`` is ``None`` (per-shard timing stays on the shard
+        sessions' ``last_result``).
+        """
+        if not self._pending:
+            return BatchResult.empty()
+        pending, self._pending = self._pending, []
+        start = perf_counter()
+        try:
+            with self.tracer.span(
+                "sharded_flush", num_txns=len(pending), shards=self.num_shards
+            ):
+                result = self._flush(pending, deadline)
+        except BaseException:
+            # A cancelled or crashed round must not leave sub-calls queued
+            # on the shards (the next flush would re-submit them): drop the
+            # shard-level copies — this session owns those queues outright —
+            # and re-queue the not-yet-resolved calls globally, in order.
+            for shard in self.shards:
+                shard._pending.clear()
+            self._pending = [
+                call for call in pending if not call.ticket.resolved
+            ] + self._pending
+            raise
+        self.registry.histogram("shard.flush_seconds").observe(
+            perf_counter() - start
+        )
+        self.last_result = result
+        return result
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    # -- the router --------------------------------------------------------------
+
+    def _flush(
+        self, pending: list[_PendingCall], deadline: float | None
+    ) -> BatchResult:
+        single: dict[int, list[_PendingCall]] = {}
+        cross: list[tuple[_PendingCall, CrossShardPlan]] = []
+        for call in pending:
+            reads = frozenset(call.program.read_keys(call.params))
+            writes = frozenset(call.program.write_keys(call.params))
+            shards = self.shard_map.shards_of(reads | writes)
+            if len(shards) <= 1:
+                home = next(iter(shards)) if shards else 0
+                single.setdefault(home, []).append(call)
+            else:
+                cross.append(
+                    (
+                        call,
+                        CrossShardPlan(
+                            txn_id=call.ticket.txn_id,
+                            priority=call.ticket.txn_id,
+                            read_keys=reads,
+                            write_keys=writes,
+                        ),
+                    )
+                )
+        self.registry.counter("shard.single_txns").inc(
+            sum(len(calls) for calls in single.values())
+        )
+        self.registry.counter("shard.cross_txns").inc(len(cross))
+
+        attempts = 1
+        accepted = True
+        reasons: list[str] = []
+        outputs: dict[int, tuple[int, ...]] = {}
+        user_outputs: dict[str, list[tuple[int, ...]]] = {}
+
+        # -- phase 1: single-shard calls, fanned out in parallel ------------
+        shard_tickets: dict[int, list[tuple[_PendingCall, UserTicket]]] = {}
+        for home, calls in single.items():
+            shard = self.shards[home]
+            for call in calls:
+                shard_ticket = shard.submit_call(
+                    call.ticket.user,
+                    call.program,
+                    call.params,
+                    txn_id=call.ticket.txn_id,
+                    auto_flush=False,
+                )
+                shard_tickets.setdefault(home, []).append((call, shard_ticket))
+        results = self._parallel_flush(sorted(single), deadline)
+        for home, shard_result in results.items():
+            attempts = max(attempts, shard_result.attempts)
+            if not shard_result.accepted:
+                accepted = False
+                reasons.append(f"shard {home}: {shard_result.reason}")
+            for call, shard_ticket in shard_tickets.get(home, []):
+                call.ticket._resolve(
+                    shard_ticket._accepted,
+                    shard_ticket._outputs,
+                    shard_ticket._reason,
+                )
+
+        # -- phase 2: cross-shard rounds ------------------------------------
+        if cross:
+            calls_by_id = {call.ticket.txn_id: call for call, _plan in cross}
+            rounds = self.reserver.plan_rounds([plan for _call, plan in cross])
+            for round_plans in rounds:
+                round_attempts, round_reasons = self._run_cross_round(
+                    [calls_by_id[plan.txn_id] for plan in round_plans], deadline
+                )
+                attempts = max(attempts, round_attempts)
+                if round_reasons:
+                    accepted = False
+                    reasons.extend(round_reasons)
+
+        for call in pending:
+            ticket = call.ticket
+            if ticket.resolved and ticket._accepted:
+                outputs[ticket.txn_id] = ticket._outputs
+                user_outputs.setdefault(ticket.user, []).append(ticket._outputs)
+
+        return BatchResult(
+            accepted=accepted,
+            reason="; ".join(reasons),
+            num_txns=len(pending),
+            attempts=attempts,
+            outputs=_frozen_mapping(outputs),
+            user_outputs=_frozen_mapping(
+                {user: tuple(values) for user, values in user_outputs.items()}
+            ),
+            tickets=tuple(call.ticket for call in pending),
+            timing=None,
+            metrics=_frozen_mapping(self.registry.snapshot()),
+        )
+
+    def _run_cross_round(
+        self, calls: list[_PendingCall], deadline: float | None
+    ) -> tuple[int, list[str]]:
+        """Execute one reservation round's winners and apply their writes."""
+        involved: set[int] = set()
+        per_call: list[tuple[_PendingCall, tuple[int, ...], dict, set[int]]] = []
+        for call in calls:
+            # Owner-routed execution against the current (pre-round) state:
+            # every read goes to the shard that owns the key.
+            result = call.program.execute(call.params, self._owner_read)
+            final_values = dict(result.writes)
+            apply_program = self._apply_program_for(call.program)
+            apply_params = dict(call.params)
+            for index, stmt in enumerate(call.program.write_statements()):
+                key = stmt.key.resolve(call.params)
+                apply_params[f"{_APPLY_PARAM_PREFIX}{index}"] = final_values[key]
+            shards = self.shard_map.shards_of(final_values)
+            involved |= shards
+            for shard_index in shards:
+                self.shards[shard_index].submit_call(
+                    call.ticket.user,
+                    apply_program,
+                    apply_params,
+                    txn_id=call.ticket.txn_id,
+                    auto_flush=False,
+                )
+            per_call.append((call, result.outputs, apply_params, shards))
+
+        results = self._parallel_flush(sorted(involved), deadline)
+        attempts = max([r.attempts for r in results.values()], default=1)
+        reasons: list[str] = []
+        failed_shards = {
+            index for index, r in results.items() if not r.accepted
+        }
+        for index in sorted(failed_shards):
+            reasons.append(f"shard {index}: {results[index].reason}")
+        for call, call_outputs, _apply_params, shards in per_call:
+            bad = shards & failed_shards
+            if bad:
+                call.ticket._resolve(
+                    False,
+                    (),
+                    "cross-shard apply rejected on shard(s) "
+                    + ", ".join(str(i) for i in sorted(bad)),
+                )
+            else:
+                call.ticket._resolve(True, call_outputs, "")
+        return attempts, reasons
+
+    def _owner_read(self, key: tuple) -> int:
+        return self.shards[self.shard_map.shard_of(key)].server.db.get(key)
+
+    def _apply_program_for(self, program: Program) -> Program:
+        name = program.name + APPLY_SUFFIX
+        apply_program = self._programs.get(name)
+        if apply_program is None:
+            apply_program = derive_apply_program(program)
+            self._programs[name] = apply_program
+        return apply_program
+
+    def _parallel_flush(
+        self, shard_indexes: list[int], deadline: float | None
+    ) -> dict[int, BatchResult]:
+        """Flush the given shards concurrently; one thread per shard.
+
+        Exceptions (SimulatedCrash, DeadlineExceeded, ...) re-raise in the
+        caller, lowest shard index first, after every thread has finished —
+        deterministic regardless of thread scheduling.
+        """
+        involved = [i for i in shard_indexes if self.shards[i].queued]
+        if not involved:
+            return {}
+        self.registry.counter("shard.flush_fanout").inc(len(involved))
+        results: dict[int, BatchResult] = {}
+        errors: dict[int, BaseException] = {}
+        if len(involved) == 1:
+            index = involved[0]
+            results[index] = self.shards[index].flush(deadline)
+            return results
+
+        def _flush_one(index: int) -> None:
+            try:
+                results[index] = self.shards[index].flush(deadline)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors[index] = exc
+
+        threads = [
+            threading.Thread(target=_flush_one, args=(i,), daemon=True)
+            for i in involved
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[min(errors)]
+        return results

@@ -39,10 +39,15 @@ class DurabilityManager:
         config: DurabilityConfig,
         registry: MetricsRegistry | None = None,
         fault_plan=None,
+        shard: int | None = None,
     ):
         self.config = config
         self.registry = registry if registry is not None else get_metrics()
         self.fault_plan = fault_plan
+        # Which shard of a sharded session this directory belongs to
+        # (None = unsharded); forwarded to every durability fault hook so
+        # CrashPoint(shard=...) can target a single engine.
+        self.shard = shard
         os.makedirs(config.directory, exist_ok=True)
         self.wal: WriteAheadLog | None = None
         self.last_seq = 0
@@ -131,4 +136,4 @@ class DurabilityManager:
 
     def _stage(self, name: str) -> None:
         if self.fault_plan is not None:
-            self.fault_plan.on_durability(name)
+            self.fault_plan.on_durability(name, shard=self.shard)

@@ -7,7 +7,12 @@ platter) a record is::
     | length  (u32)  | crc32   (u32)  | payload (length bytes)          |
     +----------------+----------------+---------------------------------+
 
-    payload := seq (u64) | digest_len (u16) | digest bytes | LCL1 log
+    payload := seq (u64) | version (u8) | versioned body
+
+    version 1 body := digest_len (u16) | digest bytes | LCL1 log
+    version 2 body := shard_count (u16)
+                      | shard_count x (digest_len (u16) | digest bytes)
+                      | LCL1 log
 
 - ``length`` frames the payload so records can be walked without parsing
   their contents;
@@ -17,7 +22,12 @@ platter) a record is::
 - ``seq`` is the batch sequence number (monotonically increasing by one),
   which recovery uses to skip checkpoint-covered records and to detect
   gaps that framing alone cannot see;
-- ``digest`` is the client-verified database digest *after* the batch —
+- ``version`` selects the digest encoding: version 1 journals a single
+  scalar digest (the unsharded case, and what each shard of a sharded
+  session writes to its own WAL); version 2 journals a
+  :class:`~repro.core.api.DigestVector` as an explicit list of per-shard
+  digests.  Unknown versions are *corrupt*, not guessed at;
+- the digest is the client-verified database digest *after* the batch —
   journaling it per record is what lets restart recovery cross-check the
   rebuilt authenticated-dictionary digest against a value the client
   actually accepted, record by record;
@@ -35,12 +45,16 @@ from __future__ import annotations
 
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["WalRecord", "decode_records", "encode_record"]
 
 _HEADER = struct.Struct(">II")  # payload length, crc32(payload)
-_PAYLOAD_PREFIX = struct.Struct(">QH")  # batch seq, digest byte length
+_PAYLOAD_PREFIX = struct.Struct(">QB")  # batch seq, record version
+_U16 = struct.Struct(">H")
+
+RECORD_VERSION_SCALAR = 1
+RECORD_VERSION_VECTOR = 2
 
 # Upper bound on a single record's payload; a length field beyond this is
 # treated as corruption rather than an instruction to wait for 4 GiB of
@@ -54,26 +68,64 @@ STATUS_CORRUPT = "corrupt"
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One decoded record: sequence, post-batch digest, command-log bytes."""
+    """One decoded record: sequence, post-batch digest(s), command log.
+
+    ``digest`` is the combined scalar (identical to the historical field);
+    ``digest_vector`` carries the per-shard components — length 1 for a
+    version-1 record, one entry per shard for version 2.
+    """
 
     seq: int
     digest: int
     command_log: bytes  # the LCL1-encoded batch, ready for decode_batch()
     offset: int  # byte offset of the record inside its segment
     size: int  # total framed size (header + payload)
+    digest_vector: tuple[int, ...] = field(default=())
+    version: int = RECORD_VERSION_SCALAR
+
+    def __post_init__(self):
+        if not self.digest_vector:
+            object.__setattr__(self, "digest_vector", (self.digest,))
 
     @property
     def end_offset(self) -> int:
         return self.offset + self.size
 
 
-def encode_record(seq: int, digest: int, command_log: bytes) -> bytes:
-    """Frame one verified batch as a durable record."""
-    digest_bytes = digest.to_bytes((digest.bit_length() + 7) // 8 or 1, "big")
-    payload = (
-        _PAYLOAD_PREFIX.pack(seq, len(digest_bytes)) + digest_bytes + command_log
-    )
+def _digest_bytes(digest: int) -> bytes:
+    return digest.to_bytes((digest.bit_length() + 7) // 8 or 1, "big")
+
+
+def encode_record(seq: int, digest, command_log: bytes) -> bytes:
+    """Frame one verified batch as a durable record.
+
+    *digest* may be a plain int (or a length-1 ``DigestVector``), encoded
+    as a version-1 scalar record, or a multi-shard ``DigestVector`` /
+    sequence of ints, encoded as a version-2 vector record.
+    """
+    shards = _shards_of(digest)
+    if len(shards) == 1:
+        blob = _digest_bytes(shards[0])
+        body = _U16.pack(len(blob)) + blob
+        version = RECORD_VERSION_SCALAR
+    else:
+        parts = [_U16.pack(len(shards))]
+        for shard_digest in shards:
+            blob = _digest_bytes(shard_digest)
+            parts.append(_U16.pack(len(blob)) + blob)
+        body = b"".join(parts)
+        version = RECORD_VERSION_VECTOR
+    payload = _PAYLOAD_PREFIX.pack(seq, version) + body + command_log
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _shards_of(digest) -> tuple[int, ...]:
+    shards = getattr(digest, "shards", None)
+    if shards is not None:
+        return tuple(int(s) for s in shards)
+    if isinstance(digest, int):
+        return (int(digest),)
+    return tuple(int(s) for s in digest)
 
 
 def decode_records(
@@ -85,8 +137,8 @@ def decode_records(
     truncating the file there removes exactly the torn or corrupt suffix.
     ``status`` is ``"clean"`` (ran off the end exactly), ``"torn"`` (a
     partial record at the tail — the expected shape after a crash mid
-    ``write``), or ``"corrupt"`` (CRC or framing violation — bit rot or a
-    mangled header).
+    ``write``), or ``"corrupt"`` (CRC or framing violation — bit rot, a
+    mangled header, or an unknown record version).
     """
     records: list[WalRecord] = []
     while True:
@@ -103,19 +155,60 @@ def decode_records(
         payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
         if zlib.crc32(payload) != crc:
             return records, offset, STATUS_CORRUPT
-        if length < _PAYLOAD_PREFIX.size:
+        record = _decode_payload(payload, offset, _HEADER.size + length)
+        if record is None:
             return records, offset, STATUS_CORRUPT
-        seq, digest_len = _PAYLOAD_PREFIX.unpack_from(payload, 0)
-        body = payload[_PAYLOAD_PREFIX.size :]
-        if len(body) < digest_len:
-            return records, offset, STATUS_CORRUPT
-        records.append(
-            WalRecord(
-                seq=seq,
-                digest=int.from_bytes(body[:digest_len], "big"),
-                command_log=bytes(body[digest_len:]),
-                offset=offset,
-                size=_HEADER.size + length,
-            )
-        )
+        records.append(record)
         offset += _HEADER.size + length
+
+
+def _decode_payload(payload: bytes, offset: int, size: int) -> WalRecord | None:
+    """Decode one CRC-validated payload; None on structural corruption."""
+    if len(payload) < _PAYLOAD_PREFIX.size:
+        return None
+    seq, version = _PAYLOAD_PREFIX.unpack_from(payload, 0)
+    pos = _PAYLOAD_PREFIX.size
+    if version == RECORD_VERSION_SCALAR:
+        if len(payload) < pos + _U16.size:
+            return None
+        (digest_len,) = _U16.unpack_from(payload, pos)
+        pos += _U16.size
+        if len(payload) < pos + digest_len:
+            return None
+        digest = int.from_bytes(payload[pos : pos + digest_len], "big")
+        pos += digest_len
+        shards = (digest,)
+    elif version == RECORD_VERSION_VECTOR:
+        if len(payload) < pos + _U16.size:
+            return None
+        (count,) = _U16.unpack_from(payload, pos)
+        pos += _U16.size
+        if count == 0:
+            return None
+        parts = []
+        for _ in range(count):
+            if len(payload) < pos + _U16.size:
+                return None
+            (digest_len,) = _U16.unpack_from(payload, pos)
+            pos += _U16.size
+            if len(payload) < pos + digest_len:
+                return None
+            parts.append(int.from_bytes(payload[pos : pos + digest_len], "big"))
+            pos += digest_len
+        shards = tuple(parts)
+        # The combined scalar of a multi-shard record matches
+        # DigestVector's fold, computed lazily to avoid a core import here.
+        from ...core.api import DigestVector
+
+        digest = int(DigestVector(shards))
+    else:
+        return None
+    return WalRecord(
+        seq=seq,
+        digest=digest,
+        command_log=bytes(payload[pos:]),
+        offset=offset,
+        size=size,
+        digest_vector=shards,
+        version=version,
+    )

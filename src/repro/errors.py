@@ -329,12 +329,3 @@ class TrajectoryError(BenchError):
     ``KeyError``, ``TypeError``, ``OSError``) are wrapped so callers never
     see an untyped internal error from a damaged trajectory.
     """
-
-
-class LitmusDeprecationWarning(DeprecationWarning):
-    """A deprecated repro API was used (e.g. ``ClientProxy``).
-
-    A dedicated subclass so CI can turn *our own* deprecations into errors
-    (pytest ``filterwarnings = error::repro.errors.LitmusDeprecationWarning``)
-    without being hostage to third-party DeprecationWarnings.
-    """

@@ -44,35 +44,52 @@ class CrashPoint(FaultInjector):
 
     ``skip`` ignores the first *n* times the stage is reached, so a test
     can let a few batches land before killing the process ("crash while
-    logging batch 3" is ``CrashPoint("after-log", skip=2)``).  One-shot by
-    default, like every injector: after firing once, later runs of the
-    same plan sail through — which is exactly what a restarted process
-    does.
+    logging batch 3" is ``CrashPoint("after-log", skip=2)``).  ``shard``
+    narrows the injector to one engine of a sharded session
+    (``CrashPoint("after-log", shard=2)`` only fires when shard 2's
+    durability manager reaches the stage; ``None`` matches any shard and
+    the unsharded session).  One-shot by default, like every injector:
+    after firing once, later runs of the same plan sail through — which is
+    exactly what a restarted process does.
     """
 
     kind = "crash_point"
 
-    def __init__(self, stage: str = "after-log", skip: int = 0, **kwargs):
+    def __init__(
+        self,
+        stage: str = "after-log",
+        skip: int = 0,
+        shard: int | None = None,
+        **kwargs,
+    ):
         super().__init__(**kwargs)
         if stage not in CRASH_STAGES:
             raise ValueError(f"unknown crash stage {stage!r} (want {CRASH_STAGES})")
         if skip < 0:
             raise ValueError("skip must be non-negative")
+        if shard is not None and shard < 0:
+            raise ValueError("shard must be a non-negative shard index")
         self.stage = stage
         self.skip = skip
+        self.shard = shard
         self._seen = 0
 
-    def on_durability(self, plan: FaultPlan, stage: str) -> None:
+    def on_durability(
+        self, plan: FaultPlan, stage: str, shard: int | None = None
+    ) -> None:
         if stage != self.stage:
+            return
+        if self.shard is not None and shard != self.shard:
             return
         self._seen += 1
         if self._seen <= self.skip or not self._take(plan):
             return
+        where = stage if shard is None else f"{stage} on shard {shard}"
         plan.record(
-            self, "durability", f"crash at {stage} (occurrence {self._seen})"
+            self, "durability", f"crash at {where} (occurrence {self._seen})"
         )
         raise SimulatedCrash(
-            f"injected crash at durability stage {stage!r} "
+            f"injected crash at durability stage {where!r} "
             f"(occurrence {self._seen})"
         )
 

@@ -96,8 +96,15 @@ class FaultInjector:
         or raises MessageDropped."""
         return response
 
-    def on_durability(self, plan: "FaultPlan", stage: str) -> None:
-        """A durability-layer stage boundary; may raise SimulatedCrash."""
+    def on_durability(
+        self, plan: "FaultPlan", stage: str, shard: int | None = None
+    ) -> None:
+        """A durability-layer stage boundary; may raise SimulatedCrash.
+
+        *shard* identifies which shard's durability manager reached the
+        stage (``None`` for an unsharded session), so shard-targeted
+        injectors can kill exactly one engine of a sharded deployment.
+        """
 
 
 class FaultPlan:
@@ -152,6 +159,6 @@ class FaultPlan:
             response = injector.on_response(self, response)
         return response
 
-    def on_durability(self, stage: str) -> None:
+    def on_durability(self, stage: str, shard: int | None = None) -> None:
         for injector in self.injectors:
-            injector.on_durability(self, stage)
+            injector.on_durability(self, stage, shard)

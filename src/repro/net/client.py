@@ -2,9 +2,12 @@
 
 The remote client mirrors the in-process facade — ``submit`` returns a
 :class:`~repro.core.session.UserTicket`, ``flush`` returns a
-:class:`~repro.core.session.BatchResult`, ``digest`` / ``queued`` /
-``last_result`` behave identically — so application code moves between
-the embedded and networked deployments by swapping the constructor.
+:class:`~repro.core.session.BatchResult`, ``digest`` is the same
+:class:`~repro.core.api.DigestVector` (per-shard components against a
+sharded service, length 1 otherwise), ``queued`` / ``last_result`` behave
+identically — so application code moves between the embedded, networked
+and sharded deployments by swapping the constructor: all three satisfy
+:class:`~repro.core.api.VerifiedSession`.
 
 What the wire adds is failure, and the client owns absorbing it:
 
@@ -46,6 +49,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
 
+from ..core.api import DigestVector
 from ..core.session import BatchResult, RetryPolicy, UserTicket
 from ..errors import (
     ConnectionLost,
@@ -71,6 +75,8 @@ from .codec import (
     MSG_HELLO_OK,
     MSG_PING,
     MSG_PONG,
+    MSG_RESOLVE,
+    MSG_RESOLVED,
     MSG_RESULT,
     MSG_STATUS,
     MSG_STATUS_OK,
@@ -155,7 +161,9 @@ class RemoteSession:
         self.registry = registry if registry is not None else get_metrics()
         self.channel = channel
         self.rng = rng
-        self.digest: int | None = None
+        # The latest server-verified digest this client observed; None
+        # until the first HELLO_OK arrives.
+        self.digest: DigestVector | None = None
         self.last_result: BatchResult | None = None
         self.reconnects = 0
         self._transport = None
@@ -239,6 +247,71 @@ class RemoteSession:
         self._ensure_connected()
         return self._roundtrip(MSG_STATUS, {}, MSG_STATUS_OK, None).payload
 
+    def recover(self, timeout: float | None = None) -> int:
+        """Reconnect and resolve outstanding work from the server journal.
+
+        The networked counterpart of ``LitmusSession.recover``: after a
+        suspected server restart (or any wedged connection) this drops the
+        socket, reconnects under the retry policy, and asks the server's
+        result journal about every outstanding txn id via ``RESOLVE``.
+        Journaled outcomes resolve their tickets exactly as a flush would;
+        ids the server genuinely never saw are recycled into the unsent
+        queue for the next :meth:`flush` (at-least-once for unacked work,
+        exactly-once for acked).  Returns how many calls were resolved
+        from the journal.
+        """
+        deadline = self._deadline_from(
+            timeout if timeout is not None else self.default_timeout
+        )
+        self._drop_connection()
+        resolved = 0
+
+        def _round() -> None:
+            nonlocal resolved
+            self._ensure_connected()
+            if not self._outstanding:
+                return
+            frame = self._roundtrip(
+                MSG_RESOLVE,
+                {
+                    "txns": sorted(self._outstanding),
+                    "timeout": self._remaining(deadline),
+                },
+                MSG_RESOLVED,
+                deadline,
+            )
+            payload = frame.payload
+            entries = payload.get("txns", {})
+            if not isinstance(entries, dict):
+                raise WireFormatError("resolved frame txns must be an object")
+            for key, entry in entries.items():
+                try:
+                    txn_id = int(key)
+                except (TypeError, ValueError) as exc:
+                    raise WireFormatError(
+                        f"non-integer txn id {key!r} in resolved frame"
+                    ) from exc
+                call = self._outstanding.pop(txn_id, None)
+                if call is None:
+                    continue
+                call.ticket._resolve(
+                    bool(entry.get("accepted")),
+                    tuple(entry.get("outputs") or ()),
+                    str(entry.get("reason", "")),
+                )
+                resolved += 1
+            for txn_id in payload.get("unknown", []):
+                call = self._outstanding.pop(txn_id, None)
+                if call is None:
+                    continue
+                self.registry.counter("net.client_resubmits").inc()
+                call.txn_id = None
+                call.submit_op = self._next_op()
+                self._unsent.append(call)
+
+        self._with_retries(_round, deadline)
+        return resolved
+
     def close(self) -> None:
         """Polite teardown: CLOSE/CLOSE_OK when possible, then disconnect."""
         transport = self._transport
@@ -313,9 +386,7 @@ class RemoteSession:
                 deadline,
             )
             payload = frame.payload
-            digest = payload.get("digest")
-            if isinstance(digest, int):
-                self.digest = digest
+            self._update_digest(payload)
             entries = payload.get("txns", {})
             if not isinstance(entries, dict):
                 raise WireFormatError("result frame txns must be an object")
@@ -414,9 +485,20 @@ class RemoteSession:
         except BaseException:
             self._drop_connection()
             raise
-        digest = frame.payload.get("digest")
+        self._update_digest(frame.payload)
+
+    def _update_digest(self, payload: Mapping) -> None:
+        """Prefer the versioned per-shard field; fall back to the scalar."""
+        vector = payload.get("digest_vector")
+        if isinstance(vector, dict):
+            try:
+                self.digest = DigestVector.from_wire(vector)
+                return
+            except (ValueError, TypeError):
+                pass  # unknown future version: the scalar still works
+        digest = payload.get("digest")
         if isinstance(digest, int):
-            self.digest = digest
+            self.digest = DigestVector.single(digest)
 
     def _drop_connection(self) -> None:
         transport, self._transport = self._transport, None

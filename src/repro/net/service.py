@@ -60,7 +60,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
+from ..core.api import DigestVector
 from ..core.session import LitmusSession
+from ..core.sharding import ShardedSession
 from ..errors import (
     ConnectionLost,
     DeadlineExceeded,
@@ -114,7 +116,13 @@ class ServiceConfig:
     - ``journal_size`` — resolved-txn results retained for idempotent
       replay (exactly-once acks across reconnects);
     - ``op_cache_size`` — per-process dedup window for submit op ids;
-    - ``retry_after_floor`` — minimum shed hint, so clients never spin.
+    - ``retry_after_floor`` — minimum shed hint, so clients never spin;
+    - ``num_shards`` — how many verified engines the wrapped session must
+      have (1 = an unsharded ``LitmusSession``).  Purely a configuration
+      cross-check: the session passed to the service carries the real
+      shard router, and a mismatch here fails fast at construction
+      instead of serving a differently partitioned keyspace than the
+      operator asked for.
     """
 
     host: str = "127.0.0.1"
@@ -127,6 +135,7 @@ class ServiceConfig:
     journal_size: int = 4096
     op_cache_size: int = 4096
     retry_after_floor: float = 0.05
+    num_shards: int = 1
 
 
 class _Op:
@@ -168,7 +177,7 @@ class LitmusService:
 
     def __init__(
         self,
-        session: LitmusSession,
+        session: LitmusSession | ShardedSession,
         programs: Iterable[Program] | Mapping[str, Program] = (),
         config: ServiceConfig | None = None,
         registry: MetricsRegistry | None = None,
@@ -177,6 +186,12 @@ class LitmusService:
     ):
         self.session = session
         self.config = config or ServiceConfig()
+        session_shards = getattr(session, "num_shards", 1)
+        if self.config.num_shards != session_shards:
+            raise ReproError(
+                f"ServiceConfig.num_shards={self.config.num_shards} but the "
+                f"wrapped session has {session_shards} shard(s)"
+            )
         self.registry = registry if registry is not None else get_metrics()
         self.channel = channel
         self.on_op = on_op
@@ -382,7 +397,8 @@ class LitmusService:
                 {
                     "server": "litmus",
                     "protocol": PROTOCOL_VERSION,
-                    "digest": self.session.digest,
+                    "digest": int(self.session.digest),
+                    "digest_vector": self._digest_wire(),
                 },
             )
             return client_id
@@ -555,7 +571,8 @@ class LitmusService:
             {
                 "txns": known,
                 "unknown": unknown,
-                "digest": self.session.digest,
+                "digest": int(self.session.digest),
+                "digest_vector": self._digest_wire(),
                 **batch,
             },
         )
@@ -572,7 +589,7 @@ class LitmusService:
         stays intact and nothing is journaled.
         """
         result = self.session.flush(deadline=deadline)
-        digest = self.session.digest
+        digest = int(self.session.digest)
         for client, items in self._staged.items():
             for txn_id, ticket in items:
                 accepted = bool(ticket.resolved and ticket._accepted)
@@ -632,13 +649,19 @@ class LitmusService:
                 1 for thread, _t in self._connections if thread.is_alive()
             )
         return {
-            "digest": self.session.digest,
+            "digest": int(self.session.digest),
+            "digest_vector": self._digest_wire(),
+            "shards": getattr(self.session, "num_shards", 1),
             "queued": self._queue.qsize(),
             "staged": sum(len(items) for items in self._staged.values()),
             "connections": connections,
             "draining": self._draining.is_set(),
             "batches_verified": self.session.batches_verified,
         }
+
+    def _digest_wire(self) -> dict:
+        """The versioned per-shard digest payload field (LNP1 additive)."""
+        return DigestVector.coerce(self.session.digest).to_wire()
 
     def _error(
         self, code: str, message: str, retry_after: float | None = None

@@ -1,0 +1,180 @@
+"""The VerifiedSession protocol and the DigestVector digest type.
+
+Every session implementation — the embedded :class:`LitmusSession`, the
+networked :class:`RemoteSession`, and the sharded
+:class:`ShardedSession` — must satisfy the same structural protocol, so
+application code moves between deployments by swapping the constructor.
+The conformance test is parametrized over real instances of all three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DigestVector,
+    LitmusConfig,
+    LitmusSession,
+    ShardedSession,
+    VerifiedSession,
+)
+from repro.core.api import DIGEST_VECTOR_WIRE_VERSION
+from repro.net import LitmusService, RemoteSession, ServiceConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.vc.program import (
+    Add,
+    Emit,
+    KeyTemplate,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+TRANSFER = Program(
+    name="api-transfer",
+    params=("src", "dst", "amount"),
+    statements=(
+        ReadStmt("s", KeyTemplate(("acct", Param("src")))),
+        ReadStmt("d", KeyTemplate(("acct", Param("dst")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("src"))), Sub(ReadVal("s"), Param("amount"))
+        ),
+        WriteStmt(
+            KeyTemplate(("acct", Param("dst"))), Add(ReadVal("d"), Param("amount"))
+        ),
+        Emit(Add(ReadVal("s"), ReadVal("d"))),
+    ),
+)
+
+CONFIG = LitmusConfig(
+    cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+)
+
+INITIAL = {("acct", i): 100 for i in range(8)}
+
+
+class TestDigestVector:
+    def test_single_is_bit_identical_to_the_scalar(self):
+        dv = DigestVector.single(0xDEADBEEF)
+        assert dv == 0xDEADBEEF
+        assert int(dv) == 0xDEADBEEF
+        assert len(dv) == 1 and dv.shards == (0xDEADBEEF,)
+        assert hash(dv) == hash(0xDEADBEEF)
+        assert f"{dv:#x}" == "0xdeadbeef"
+
+    def test_multi_shard_folds_deterministically(self):
+        a = DigestVector((1, 2, 3))
+        b = DigestVector((1, 2, 3))
+        assert a == b and int(a) == int(b)
+        assert len(a) == 3 and list(a) == [1, 2, 3] and a[1] == 2
+        # order matters: the fold is positional, not a set hash
+        assert int(DigestVector((3, 2, 1))) != int(a)
+        # and a multi-shard fold never equals a raw component
+        assert int(a) not in (1, 2, 3)
+
+    def test_wire_round_trip(self):
+        for shards in ((5,), (1, 2), ((1 << 512) - 3, 0, 7)):
+            dv = DigestVector(shards)
+            wire = dv.to_wire()
+            assert wire["v"] == DIGEST_VECTOR_WIRE_VERSION
+            back = DigestVector.from_wire(wire)
+            assert back == dv and back.shards == dv.shards
+
+    def test_from_wire_rejects_unknown_version(self):
+        wire = DigestVector((1, 2)).to_wire()
+        wire["v"] = 99
+        with pytest.raises(ValueError):
+            DigestVector.from_wire(wire)
+
+    def test_coerce(self):
+        dv = DigestVector((4, 5))
+        assert DigestVector.coerce(dv) is dv
+        assert DigestVector.coerce(7) == DigestVector.single(7)
+        assert DigestVector.coerce(dv.to_wire()) == dv
+        with pytest.raises(TypeError):
+            DigestVector.coerce("0x7")
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            DigestVector(())
+        with pytest.raises(ValueError):
+            DigestVector((1, -2))
+
+    def test_json_safe(self):
+        import json
+
+        assert json.loads(json.dumps({"d": DigestVector((1, 2))})) == {
+            "d": int(DigestVector((1, 2)))
+        }
+
+
+def _embedded(group):
+    session = LitmusSession.create(
+        initial=dict(INITIAL), config=CONFIG, group=group,
+        registry=MetricsRegistry(),
+    )
+    return session, session.close
+
+
+def _sharded(group):
+    session = ShardedSession.create(
+        initial=dict(INITIAL), config=CONFIG, num_shards=2, group=group,
+        registry=MetricsRegistry(),
+    )
+    return session, session.close
+
+
+def _remote(group):
+    registry = MetricsRegistry()
+    backing = LitmusSession.create(
+        initial=dict(INITIAL), config=CONFIG, group=group, registry=registry
+    )
+    service = LitmusService(
+        backing, programs=[TRANSFER], config=ServiceConfig(), registry=registry
+    )
+    host, port = service.start()
+    client = RemoteSession(host, port, registry=registry)
+
+    def teardown():
+        client.close()
+        service.shutdown()
+
+    return client, teardown
+
+
+@pytest.fixture(params=["embedded", "sharded", "remote"])
+def session_under_test(request, group):
+    factory = {"embedded": _embedded, "sharded": _sharded, "remote": _remote}[
+        request.param
+    ]
+    session, teardown = factory(group)
+    yield session
+    teardown()
+
+
+class TestVerifiedSessionConformance:
+    def test_satisfies_the_protocol(self, session_under_test):
+        assert isinstance(session_under_test, VerifiedSession)
+
+    def test_protocol_surface_behaves(self, session_under_test):
+        session = session_under_test
+        # RemoteSession submits by program name; the embedded ones take the
+        # Program object — the protocol is agnostic (``program`` parameter).
+        program = "api-transfer" if isinstance(session, RemoteSession) else TRANSFER
+        assert session.queued == 0
+        ticket = session.submit("alice", program, src=0, dst=1, amount=5)
+        assert session.queued == 1
+        result = session.flush()
+        assert result.accepted and ticket.accepted
+        assert session.queued == 0
+        digest = session.digest
+        assert isinstance(digest, DigestVector) and len(digest) >= 1
+        # recover is part of the surface on every implementation
+        assert callable(getattr(session, "recover"))
+
+    def test_non_sessions_are_rejected(self):
+        assert not isinstance(object(), VerifiedSession)
+        assert not isinstance(42, VerifiedSession)

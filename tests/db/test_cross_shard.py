@@ -1,0 +1,108 @@
+"""Cross-shard two-phase reserve/release (DESIGN.md §14).
+
+The regression this file pins: a transaction whose acquisition fails on
+shard *k* must release the reservations it already took on shards < k
+before re-queueing.  Without the release, a doomed reservation blocks
+same-round transactions out of keys nobody will write.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.detreserve import CrossShardPlan, CrossShardReserver
+from repro.errors import ConcurrencyError
+from repro.obs.metrics import MetricsRegistry
+
+
+def _shard_of(key):
+    # keys are ("acct", n): even accounts on shard 0, odd on shard 1
+    return key[1] % 2
+
+
+def _plan(txn_id, writes, reads=(), priority=0):
+    return CrossShardPlan(
+        txn_id=txn_id,
+        priority=priority,
+        read_keys=frozenset(reads),
+        write_keys=frozenset(writes),
+    )
+
+
+class TestCrossShardReserver:
+    def test_disjoint_plans_share_a_round(self):
+        reserver = CrossShardReserver(_shard_of, MetricsRegistry())
+        rounds = reserver.plan_rounds(
+            [
+                _plan(1, [("acct", 0), ("acct", 1)]),
+                _plan(2, [("acct", 2), ("acct", 3)]),
+            ]
+        )
+        assert [[p.txn_id for p in rnd] for rnd in rounds] == [[1, 2]]
+
+    def test_conflicting_plans_serialize_by_rank(self):
+        reserver = CrossShardReserver(_shard_of, MetricsRegistry())
+        rounds = reserver.plan_rounds(
+            [
+                _plan(2, [("acct", 0), ("acct", 1)]),
+                _plan(1, [("acct", 1), ("acct", 2)]),
+            ]
+        )
+        # txn 1 outranks txn 2; they share ("acct", 1)
+        assert [[p.txn_id for p in rnd] for rnd in rounds] == [[1], [2]]
+
+    def test_partial_release_frees_earlier_shards(self):
+        """The opposite-key-order regression.
+
+        T1 (rank 1) takes {a0 (shard 0), a1 (shard 1)}.  T2 wants
+        {a2 (shard 0), a1 (shard 1)}: ascending shard order means it
+        acquires a2 first, then collides with T1 on a1 — so it must give
+        a2 back.  T3 wants only {a2}: it can win in the SAME round iff T2
+        released.  A reserver that keeps T2's partial reservation pushes
+        T3 into round 2 for no reason.
+        """
+        registry = MetricsRegistry()
+        reserver = CrossShardReserver(_shard_of, registry)
+        a0, a1, a2 = ("acct", 0), ("acct", 1), ("acct", 2)
+        rounds = reserver.plan_rounds(
+            [
+                _plan(1, [a0, a1]),
+                _plan(2, [a2, a1]),  # loses on a1 after taking a2
+                _plan(3, [a2]),      # must still win round 1
+            ]
+        )
+        assert [[p.txn_id for p in rnd] for rnd in rounds] == [[1, 3], [2]]
+        assert registry.counter("shard.reserve_conflicts").value == 1
+        assert registry.counter("shard.partial_releases").value == 1
+        assert registry.counter("shard.cross_rounds").value == 2
+
+    def test_winner_may_not_read_another_winners_write(self):
+        reserver = CrossShardReserver(_shard_of, MetricsRegistry())
+        rounds = reserver.plan_rounds(
+            [
+                _plan(1, [("acct", 0)]),
+                _plan(2, [("acct", 2)], reads=[("acct", 0)]),
+            ]
+        )
+        # txn 2 writes a disjoint key but reads txn 1's write: round 2,
+        # where it observes the committed value instead of a stale one.
+        assert [[p.txn_id for p in rnd] for rnd in rounds] == [[1], [2]]
+
+    def test_priority_outranks_txn_id(self):
+        reserver = CrossShardReserver(_shard_of, MetricsRegistry())
+        rounds = reserver.plan_rounds(
+            [
+                _plan(9, [("acct", 0)], priority=0),
+                _plan(1, [("acct", 0)], priority=5),
+            ]
+        )
+        assert [[p.txn_id for p in rnd] for rnd in rounds] == [[9], [1]]
+
+    def test_duplicate_txn_ids_rejected(self):
+        reserver = CrossShardReserver(_shard_of, MetricsRegistry())
+        with pytest.raises(ConcurrencyError):
+            reserver.plan_rounds([_plan(1, [("acct", 0)]), _plan(1, [("acct", 2)])])
+
+    def test_empty_batch(self):
+        reserver = CrossShardReserver(_shard_of, MetricsRegistry())
+        assert reserver.plan_rounds([]) == []

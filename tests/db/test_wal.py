@@ -80,6 +80,64 @@ class TestRecordFraming:
         assert status == "corrupt"
 
 
+class TestRecordVersioning:
+    def test_scalar_digest_is_a_version_1_record(self):
+        records, _intact, status = decode_records(encode_record(1, 77, b"log"))
+        assert status == "clean"
+        record = records[0]
+        assert record.version == 1
+        assert record.digest == 77 and record.digest_vector == (77,)
+
+    def test_length_1_vector_stays_version_1(self):
+        from repro.core.api import DigestVector
+
+        records, _intact, _status = decode_records(
+            encode_record(1, DigestVector.single(77), b"log")
+        )
+        # bit-identical to the historical scalar encoding
+        assert records[0].version == 1 and records[0].digest == 77
+        assert encode_record(1, DigestVector.single(77), b"log") == encode_record(
+            1, 77, b"log"
+        )
+
+    def test_multi_shard_vector_round_trips_as_version_2(self):
+        from repro.core.api import DigestVector
+
+        vector = DigestVector(((1 << 512) - 3, 0, 42))
+        records, _intact, status = decode_records(
+            encode_record(5, vector, b"batch-log")
+        )
+        assert status == "clean"
+        record = records[0]
+        assert record.version == 2
+        assert record.digest_vector == vector.shards
+        # the combined scalar matches the DigestVector fold
+        assert record.digest == int(vector)
+        assert record.command_log == b"batch-log"
+
+    def test_plain_sequence_encodes_as_vector(self):
+        records, _intact, _status = decode_records(encode_record(2, [3, 4], b""))
+        assert records[0].version == 2 and records[0].digest_vector == (3, 4)
+
+    def test_unknown_version_is_corrupt_not_guessed_at(self):
+        import struct
+        import zlib
+
+        payload = struct.pack(">QB", 1, 99) + b"future-format"
+        data = struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+        records, intact, status = decode_records(data)
+        assert status == "corrupt" and records == [] and intact == 0
+
+    def test_zero_shard_vector_record_is_corrupt(self):
+        import struct
+        import zlib
+
+        payload = struct.pack(">QB", 1, 2) + struct.pack(">H", 0)
+        data = struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+        _records, _intact, status = decode_records(data)
+        assert status == "corrupt"
+
+
 class TestWriteAheadLog:
     def test_append_and_scan_round_trip(self, tmp_path):
         registry = MetricsRegistry()

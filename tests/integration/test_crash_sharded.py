@@ -1,0 +1,173 @@
+"""Sharded crash recovery: shards fail — and repair — independently.
+
+Marked ``@pytest.mark.crash`` (its own CI job runs ``pytest -m crash``).
+The scenario the ISSUE pins: a per-shard :class:`CrashPoint` kills the
+process after one shard's WAL append (ack never sent), a
+:class:`TornWrite` tears that shard's tail, every *other* shard's
+directory stays clean — and ``ShardedSession.recover`` must repair the
+torn shard alone, replay the rest untouched, and converge every shard's
+rebuilt digest onto the last acknowledged :class:`DigestVector`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import (
+    DigestVector,
+    DurabilityConfig,
+    LitmusConfig,
+    ShardedSession,
+)
+from repro.errors import SimulatedCrash
+from repro.faults import CrashPoint, FaultPlan, TornWrite
+from repro.obs.metrics import MetricsRegistry
+from repro.vc.program import (
+    Add,
+    Emit,
+    KeyTemplate,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+TRANSFER = Program(
+    name="crash-shard-transfer",
+    params=("src", "dst", "amount"),
+    statements=(
+        ReadStmt("s", KeyTemplate(("acct", Param("src")))),
+        ReadStmt("d", KeyTemplate(("acct", Param("dst")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("src"))), Sub(ReadVal("s"), Param("amount"))
+        ),
+        WriteStmt(
+            KeyTemplate(("acct", Param("dst"))), Add(ReadVal("d"), Param("amount"))
+        ),
+        Emit(Add(ReadVal("s"), ReadVal("d"))),
+    ),
+)
+
+NUM_ACCOUNTS = 16
+NUM_SHARDS = 4
+CONFIG = LitmusConfig(
+    cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+)
+
+
+@pytest.mark.crash
+def test_torn_shard_repairs_independently(group, tmp_path):
+    directory = str(tmp_path / "sharded")
+    initial = {("acct", i): 100 for i in range(NUM_ACCOUNTS)}
+
+    # Pick the crash-target shard and two accounts it owns, plus a pair of
+    # same-shard accounts elsewhere for the clean-shard traffic.
+    from repro.core import ShardMap
+
+    sm = ShardMap(NUM_SHARDS)
+    by_shard: dict[int, list[int]] = {}
+    for i in range(NUM_ACCOUNTS):
+        by_shard.setdefault(sm.shard_of(("acct", i)), []).append(i)
+    target = next(s for s, accts in sorted(by_shard.items()) if len(accts) >= 2)
+    other = next(
+        s for s, accts in sorted(by_shard.items()) if s != target and len(accts) >= 2
+    )
+    t_src, t_dst = by_shard[target][:2]
+    o_src, o_dst = by_shard[other][:2]
+
+    # The after-log crash on the target shard, third append there: the
+    # record hits the platter, the acknowledgement never happens.  Being
+    # shard-scoped, it must never fire on any other shard's durability.
+    plan = FaultPlan(CrashPoint("after-log", skip=2, shard=target), seed=11)
+    session = ShardedSession.create(
+        initial=initial,
+        config=CONFIG,
+        num_shards=NUM_SHARDS,
+        group=group,
+        registry=MetricsRegistry(),
+        fault_plan=plan,
+        durability=DurabilityConfig(directory=directory),
+    )
+    acked: list[DigestVector] = []
+    with pytest.raises(SimulatedCrash) as crash_info:
+        for _ in range(8):
+            # one single-shard txn on the target shard, one on a clean
+            # shard — so the doomed flush touches only the target shard
+            # and every acked vector component is genuinely acknowledged
+            session.submit("u", TRANSFER, src=t_src, dst=t_dst, amount=1)
+            assert session.flush().accepted
+            acked.append(DigestVector(session.digest.shards))
+            session.submit("u", TRANSFER, src=o_src, dst=o_dst, amount=1)
+            assert session.flush().accepted
+            acked.append(DigestVector(session.digest.shards))
+    assert f"shard {target}" in str(crash_info.value)
+    assert len(acked) >= 4, "crash fired before any acknowledged work"
+
+    # The torn tail lands on the crashed shard only; the others stay clean.
+    shard_dir = os.path.join(directory, f"shard-{target:02d}")
+    TornWrite().apply(shard_dir)
+
+    recovered = ShardedSession.recover(
+        directory, [TRANSFER], group=group, registry=MetricsRegistry()
+    )
+    try:
+        reports = recovered.recovery_reports
+        assert len(reports) == NUM_SHARDS
+        # independent repair: exactly the torn shard was truncated
+        assert reports[target].truncations >= 1
+        for index, report in enumerate(reports):
+            if index != target:
+                assert report.truncations == 0 and report.dropped_segments == 0
+
+        # per-shard digest cross-check: each rebuilt engine agrees with its
+        # own server, and the vector equals the last acknowledged one —
+        # the torn (never-acked) record was repaired away, nothing acked
+        # was lost.
+        for shard in recovered.shards:
+            assert int(shard.digest) == shard.server.digest
+        assert recovered.digest == acked[-1]
+
+        # conservation + liveness across the recovered fleet, including a
+        # cross-shard transfer
+        balance = sum(
+            recovered.shards[sm.shard_of(("acct", i))].server.db.get(("acct", i))
+            for i in range(NUM_ACCOUNTS)
+        )
+        assert balance == NUM_ACCOUNTS * 100
+        ticket = recovered.submit("u", TRANSFER, src=t_src, dst=o_dst, amount=2)
+        assert recovered.flush().accepted and ticket.accepted
+    finally:
+        recovered.close()
+
+
+@pytest.mark.crash
+def test_shard_scoped_crash_point_ignores_other_shards(group, tmp_path):
+    """A CrashPoint bound to shard k must not trip on shard j's appends."""
+    from repro.core import ShardMap
+
+    sm = ShardMap(2)
+    accounts = [i for i in range(NUM_ACCOUNTS)]
+    shard0 = [i for i in accounts if sm.shard_of(("acct", i)) == 0]
+    assert len(shard0) >= 2
+    plan = FaultPlan(CrashPoint("after-log", skip=0, shard=1), seed=3)
+    session = ShardedSession.create(
+        initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+        config=CONFIG,
+        num_shards=2,
+        group=group,
+        registry=MetricsRegistry(),
+        fault_plan=plan,
+        durability=DurabilityConfig(directory=str(tmp_path / "scoped")),
+    )
+    try:
+        # shard-0-only traffic never reaches the shard-1 crash point
+        for _ in range(3):
+            session.submit("u", TRANSFER, src=shard0[0], dst=shard0[1], amount=1)
+            assert session.flush().accepted
+        assert plan.injected == 0
+    finally:
+        session.close()

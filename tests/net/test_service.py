@@ -557,3 +557,144 @@ class TestProxyMode:
         assert client.digest == harness.session.digest
         assert channel.dropped >= 1  # the seed really exercised loss
         client.close()
+
+
+class TestRecover:
+    """``RemoteSession.recover``: the journal-backed resolve round.
+
+    The state under test is a client whose connection died mid-flush with
+    calls stranded in ``_outstanding`` — some the server journaled before
+    the loss, some it never saw.  The tests reconstruct that state
+    directly (white-box, since tearing a real socket at the exact frame
+    boundary is nondeterministic) and drive the public ``recover()``.
+    """
+
+    def _stranded_call(self, client, txn_id, **params):
+        from repro.core.session import UserTicket
+        from repro.net.client import _PendingCall
+
+        call = _PendingCall(
+            user="alice",
+            program="net-transfer",
+            params=params,
+            ticket=UserTicket(user="alice", txn_id=txn_id),
+            submit_op=client._next_op(),
+            txn_id=txn_id,
+        )
+        client._outstanding[txn_id] = call
+        return call
+
+    def test_recover_resolves_journaled_and_recycles_unknown(self, harness):
+        harness.start()
+        a = harness.client()
+        ticket = a.submit("alice", "net-transfer", src=0, dst=1, amount=5)
+        assert a.flush().accepted
+
+        # A second client that "died" holding two outstanding calls: one
+        # the server journaled (a's txn), one it never heard of.
+        b = harness.client(client_id="phoenix")
+        journaled = self._stranded_call(
+            b, ticket.txn_id, src=0, dst=1, amount=5
+        )
+        lost = self._stranded_call(b, 999_999, src=2, dst=3, amount=7)
+
+        assert b.recover() == 1
+        # journaled outcome resolved exactly as a flush would have
+        assert journaled.ticket.resolved and journaled.ticket.accepted
+        assert journaled.ticket.outputs == ticket.outputs
+        # the unknown id was recycled into the unsent queue for resubmission
+        assert not b._outstanding
+        assert lost.txn_id is None and lost in b._unsent
+        assert b.queued == 1
+        assert harness.registry.counter("net.client_resubmits").value == 1
+        # ... and the next flush commits the recycled call exactly once.
+        result = b.flush()
+        assert result.accepted and lost.ticket.accepted
+        assert b.digest == harness.session.digest
+        a.close()
+        b.close()
+
+    def test_recover_leaves_staged_work_outstanding(self, harness):
+        harness.start()
+        a = harness.client()
+        staged = a.submit("alice", "net-transfer", src=4, dst=5, amount=3)
+
+        # staged but never flushed: the server reports it pending, so
+        # recover() must neither resolve nor resubmit it.
+        b = harness.client(client_id="phoenix")
+        call = self._stranded_call(b, staged.txn_id, src=4, dst=5, amount=3)
+        assert b.recover() == 0
+        assert list(b._outstanding) == [staged.txn_id]
+        assert not b._unsent
+
+        # the next flush drains the staged batch and resolves the ticket
+        result = b.flush()
+        assert result.accepted and call.ticket.accepted
+        a.close()
+        b.close()
+
+    def test_recover_with_nothing_outstanding_is_a_no_op(self, harness):
+        harness.start()
+        client = harness.client()
+        assert client.recover() == 0
+        assert client.queued == 0
+        client.close()
+
+
+class TestShardedService:
+    """A sharded session behind the same wire protocol (DESIGN.md §14)."""
+
+    def _sharded(self, group, shards=2):
+        from repro.core import ShardedSession
+
+        return ShardedSession.create(
+            initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+            config=CONFIG,
+            num_shards=shards,
+            group=group,
+            registry=MetricsRegistry(),
+        )
+
+    def test_client_receives_the_full_digest_vector(self, group):
+        from repro.core import DigestVector
+
+        session = self._sharded(group)
+        service = LitmusService(
+            session,
+            programs=[TRANSFER],
+            config=ServiceConfig(num_shards=2),
+            registry=MetricsRegistry(),
+        )
+        host, port = service.start()
+        try:
+            client = RemoteSession(host, port, registry=MetricsRegistry())
+            client.submit("alice", "net-transfer", src=0, dst=1, amount=5)
+            assert client.flush().accepted
+            # the versioned wire field carried every per-shard component,
+            # and the fold stays comparable to the scalar digest
+            assert isinstance(client.digest, DigestVector)
+            assert client.digest.shards == session.digest.shards
+            assert len(client.digest.shards) == 2
+            assert client.digest == session.digest
+            status = client.status()
+            assert status["shards"] == 2
+            assert status["digest"] == int(session.digest)
+            client.close()
+        finally:
+            service.shutdown()
+            session.close()
+
+    def test_shard_count_mismatch_fails_fast(self, group):
+        from repro.errors import ReproError
+
+        session = self._sharded(group)
+        try:
+            with pytest.raises(ReproError, match="shard"):
+                LitmusService(
+                    session,
+                    programs=[TRANSFER],
+                    config=ServiceConfig(num_shards=4),
+                    registry=MetricsRegistry(),
+                )
+        finally:
+            session.close()
