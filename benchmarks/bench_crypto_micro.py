@@ -169,3 +169,106 @@ CRYPTO_TRIAL = register(
         description="AD lookup prove/verify microbenchmark plus one PoE round.",
     )
 )
+
+
+def run_poe_batch_trial(config: dict, seed: int) -> TrialMeasurement:
+    """Batched vs sequential PoE verification over one batch of instances.
+
+    Proofs are minted outside the timed region — the comparison is pure
+    verifier cost: k independent Wesolowski checks (one challenge prime and
+    two exponentiations each) against ONE random-linear-combination check
+    (one challenge prime and two multi-exponentiations total).  Runs on the
+    pure-python backend so the numbers are comparable across machines with
+    and without gmpy2.
+    """
+    import random
+    import time
+
+    from repro.crypto.backend import use_backend
+    from repro.crypto.cache import prime_product
+    from repro.crypto.poe import prove_poe_batch, verify_poe_batch
+    from repro.crypto.primes import hash_to_prime
+
+    rng = random.Random(seed)
+    with use_backend("python"):
+        grp = default_group(bits=config["group_bits"]).public_view()
+        instances = []
+        for i in range(config["batch_size"]):
+            exponent = prime_product(
+                hash_to_prime(b"bench-poe" + bytes([i, j]), 128)
+                for j in range(config["primes_per_instance"])
+            )
+            base = grp.power(grp.generator, rng.randrange(3, 1 << 64))
+            instances.append((base, exponent, grp.power(base, exponent)))
+
+        sequential_proofs = [
+            prove_exponentiation(grp, base, exponent)[1]
+            for base, exponent, _result in instances
+        ]
+        batch_proof = prove_poe_batch(grp, instances)
+
+        repeats = config["repeats"]
+        start = time.perf_counter()
+        for _ in range(repeats):
+            ok = all(
+                verify_exponentiation(grp, base, exponent, result, proof)
+                for (base, exponent, result), proof in zip(
+                    instances, sequential_proofs
+                )
+            )
+            if not ok:
+                raise AssertionError("sequential PoE verification rejected")
+        sequential_seconds = (time.perf_counter() - start) / repeats
+
+        start = time.perf_counter()
+        for _ in range(repeats):
+            if not verify_poe_batch(grp, instances, batch_proof):
+                raise AssertionError("batched PoE verification rejected")
+        batched_seconds = (time.perf_counter() - start) / repeats
+
+    speedup = sequential_seconds / batched_seconds
+    rows = (
+        {
+            "op": "poe_verify_sequential",
+            "batch": config["batch_size"],
+            "ms_per_batch": round(sequential_seconds * 1e3, 3),
+        },
+        {
+            "op": "poe_verify_batched",
+            "batch": config["batch_size"],
+            "ms_per_batch": round(batched_seconds * 1e3, 3),
+        },
+        {"op": "speedup", "batch": config["batch_size"], "x": round(speedup, 2)},
+    )
+    metrics = {
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": speedup,
+    }
+    counts = {
+        "instances": config["batch_size"],
+        "primes_per_instance": config["primes_per_instance"],
+    }
+    return TrialMeasurement(rows=rows, counts=counts, metrics=metrics)
+
+
+POE_BATCH_TRIAL = register(
+    TrialSpec(
+        name="crypto/poe_batch_verify",
+        area="crypto",
+        bench_file="bench_crypto_micro.py",
+        runner=run_poe_batch_trial,
+        config={
+            "batch_size": 16,
+            "primes_per_instance": 3,
+            "repeats": 5,
+            "group_bits": 512,
+        },
+        seed=11,
+        headline=("speedup", "batched_seconds"),
+        description=(
+            "Batched (random-linear-combination) vs sequential Wesolowski PoE "
+            "verification at batch 16, pure-python backend."
+        ),
+    )
+)

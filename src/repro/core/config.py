@@ -26,6 +26,11 @@ class LitmusConfig:
     prime_bits: int = 64  # AD prime size (lambda); tests use 64 for speed
     backend: str = "groth16"  # "groth16" (simulator) or "spotcheck" (real argument)
     use_poe: bool = True  # compress big-exponent checks with PoE
+    # With use_poe, aggregate all of a piece's read-lookup PoEs into ONE
+    # random-linear-combination Wesolowski proof verified by a single pair of
+    # multi-exponentiations (instead of one challenge prime + two
+    # exponentiations per certificate).  Disable for ablation.
+    batched_poe: bool = True
     # Run trusted setup once per circuit *structure* and reuse the key pair
     # for every piece with the same structural hash (sound: proofs commit to
     # their own public statement).  Disable for ablation.
@@ -49,3 +54,10 @@ class LitmusConfig:
     def aggregation_enabled(self) -> bool:
         """Proof aggregation requires non-conflicting batches (DR only)."""
         return self.cc == "dr"
+
+    @property
+    def poe_mode(self) -> bool | str:
+        """The provider's ``use_poe`` argument: False, True, or ``"batch"``."""
+        if not self.use_poe:
+            return False
+        return "batch" if self.batched_poe else True

@@ -22,11 +22,11 @@ is wrapped as a fixed-cost foreign gadget (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from ..crypto.authdict import AuthenticatedDictionary, LookupProof, NonMembershipProof
 from ..crypto.cache import prime_cache_stats
-from ..crypto.poe import PoEProof
+from ..crypto.poe import PoEBatchProof, PoEProof, prove_poe_batch, verify_poe_batch
 from ..crypto.rsa_group import RSAGroup
 from ..db.kvstore import INITIAL_VALUE
 from ..errors import IntegrityError
@@ -36,7 +36,12 @@ __all__ = [
     "WriteCertificate",
     "MemoryIntegrityProvider",
     "MemoryIntegrityChecker",
+    "POE_MODE_BATCH",
 ]
+
+# Provider `use_poe` mode attaching ONE aggregated PoE per piece instead of
+# one Wesolowski proof per read certificate (see certify_piece_poe).
+POE_MODE_BATCH = "batch"
 
 
 @dataclass(frozen=True)
@@ -88,8 +93,18 @@ class MemoryIntegrityProvider:
         group: RSAGroup,
         initial: Mapping[tuple, int] | None = None,
         prime_bits: int = 64,
-        use_poe: bool = False,
+        use_poe: bool | str = False,
     ):
+        """*use_poe* selects how lookup proofs are compressed:
+
+        - ``False`` — plain aggregated lookups, verified by full
+          exponentiation;
+        - ``True`` — one Wesolowski PoE per read certificate;
+        - :data:`POE_MODE_BATCH` — certificates carry no individual PoE;
+          the server mints one :class:`~repro.crypto.poe.PoEBatchProof`
+          per piece via :meth:`certify_piece_poe` and the checker verifies
+          all lookups with a single batched check.
+        """
         self._ad = AuthenticatedDictionary(group, initial=initial, prime_bits=prime_bits)
         self.use_poe = use_poe
 
@@ -165,9 +180,11 @@ class MemoryIntegrityProvider:
         lookup = None
         poe = None
         if present:
-            if self.use_poe:
+            if self.use_poe is True:
                 lookup, poe = self._ad.prove_lookup_with_poe(present)
             else:
+                # Plain mode and batch mode both mint a bare lookup; in
+                # batch mode the PoE arrives later, once per piece.
                 lookup = self._ad.prove_lookup(present)
         nokey = self._ad.prove_no_key(absent) if absent else None
         return ReadCertificate(
@@ -178,6 +195,32 @@ class MemoryIntegrityProvider:
             nokey=nokey,
             poe=poe,
         )
+
+    def certify_piece_poe(
+        self, certificates: Iterable[ReadCertificate | None]
+    ) -> PoEBatchProof | None:
+        """One aggregated PoE covering every bare lookup in *certificates*.
+
+        Collects each certificate whose lookup has no individual PoE into
+        the instance ``witness^(prod H(k, v)) == digest`` and proves all of
+        them at once (random-linear-combination Wesolowski, see
+        :func:`repro.crypto.poe.prove_poe_batch`).  Returns ``None`` when no
+        certificate needs covering.  The instance-selection rule here must
+        match the checker's deferral rule exactly — both take "present
+        pairs, bare lookup" — so the batch the server proves is the batch
+        the checker verifies.
+        """
+        instances: list[tuple[int, int, int]] = []
+        for certificate in certificates:
+            if certificate is None or not certificate.present:
+                continue
+            if certificate.lookup is None or certificate.poe is not None:
+                continue
+            exponent = self._ad.lookup_exponent(dict(certificate.present))
+            instances.append((certificate.lookup.witness, exponent, certificate.digest))
+        if not instances:
+            return None
+        return prove_poe_batch(self._ad.group, instances)
 
     def apply_writes(self, writes: Mapping[tuple, int]) -> WriteCertificate:
         """Apply *writes* to the dictionary, returning the roll-forward proof."""
@@ -211,9 +254,22 @@ class MemoryIntegrityChecker:
     def __init__(self, group: RSAGroup, initial_digest: int, prime_bits: int = 64):
         self._verifier = AuthenticatedDictionary(group, prime_bits=prime_bits)
         self.acc = initial_digest
+        self._deferred: list[tuple[int, int, int]] = []
 
-    def mem_check(self, certificate: ReadCertificate) -> bool:
-        """MemCheck: are the claimed read values consistent with ``acc``?"""
+    @property
+    def deferred_instances(self) -> int:
+        """How many lookup checks are queued for the final batched PoE."""
+        return len(self._deferred)
+
+    def mem_check(self, certificate: ReadCertificate, defer_poe: bool = False) -> bool:
+        """MemCheck: are the claimed read values consistent with ``acc``?
+
+        With *defer_poe*, a bare lookup (no individual PoE attached) is not
+        exponentiated here: its instance is queued and settled by one
+        batched Wesolowski check in :meth:`verify_deferred_poe`.  Everything
+        else — digest binding, canonical encodings, absence proofs — is
+        still enforced immediately.
+        """
         if certificate.digest != self.acc:
             return False
         if certificate.present:
@@ -225,6 +281,13 @@ class MemoryIntegrityChecker:
                     self.acc, pairs, certificate.lookup, certificate.poe
                 ):
                     return False
+            elif defer_poe:
+                witness = certificate.lookup.witness
+                modulus = self._verifier.group.modulus
+                if not (0 < witness < modulus and 0 < self.acc < modulus):
+                    return False
+                exponent = self._verifier.lookup_exponent(pairs)
+                self._deferred.append((witness, exponent, self.acc))
             elif not self._verifier.ver_lookup(self.acc, pairs, certificate.lookup):
                 return False
         if certificate.absent:
@@ -233,6 +296,21 @@ class MemoryIntegrityChecker:
             if not self._verifier.ver_no_key(self.acc, certificate.absent, certificate.nokey):
                 return False
         return True
+
+    def verify_deferred_poe(self, proof: PoEBatchProof | None) -> bool:
+        """Settle every lookup deferred by ``mem_check(..., defer_poe=True)``.
+
+        Drains the queue either way: a piece is accepted only if the single
+        batched check covers *exactly* the deferred instances (count is
+        bound into the proof and the transcript covers every witness,
+        exponent, and digest).
+        """
+        instances, self._deferred = self._deferred, []
+        if not instances:
+            return proof is None
+        if proof is None:
+            return False
+        return verify_poe_batch(self._verifier.group, instances, proof)
 
     def mem_update(self, certificate: WriteCertificate) -> bool:
         """MemUpdate: verify the old pairs against ``acc``, roll it forward."""

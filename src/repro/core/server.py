@@ -41,7 +41,7 @@ from ..vc.compiler import CircuitCompiler
 from ..vc.snark import Groth16Simulator, SetupCache
 from ..vc.spotcheck import SpotCheckBackend
 from .config import LitmusConfig
-from .memory_integrity import MemoryIntegrityProvider
+from .memory_integrity import POE_MODE_BATCH, MemoryIntegrityProvider
 from .protocol import (
     PieceResult,
     ServerResponse,
@@ -122,7 +122,7 @@ class LitmusServer:
             self.group,
             initial=initial,
             prime_bits=self.config.prime_bits,
-            use_poe=self.config.use_poe,
+            use_poe=self.config.poe_mode,
         )
         self.compiler = CircuitCompiler()
         self.backend = _make_backend(self.config.backend)
@@ -250,8 +250,19 @@ class LitmusServer:
                     nonlocal start_digest, dispatch_start
                     chunk = tuple(buffer)
                     buffer.clear()
+                    poe_batch = None
+                    if self.provider.use_poe == POE_MODE_BATCH:
+                        # One aggregated Wesolowski proof for every bare read
+                        # lookup in the piece; replay settles them all with a
+                        # single batched check instead of one PoE per unit.
+                        poe_batch = self.provider.certify_piece_poe(
+                            wrapped.read_certificate for wrapped in chunk
+                        )
                     piece = WrappedPiece(
-                        piece_index=len(pieces), units=chunk, start_digest=start_digest
+                        piece_index=len(pieces),
+                        units=chunk,
+                        start_digest=start_digest,
+                        poe_batch=poe_batch,
                     )
                     pieces.append(piece)
                     start_digest = _chunk_end_digest(chunk, start_digest)
@@ -441,9 +452,17 @@ class LitmusServer:
         size = self.config.batches_per_piece
         for index in range(0, len(wrapped_units), size):
             chunk = tuple(wrapped_units[index : index + size])
+            poe_batch = None
+            if self.provider.use_poe == POE_MODE_BATCH:
+                poe_batch = self.provider.certify_piece_poe(
+                    wrapped.read_certificate for wrapped in chunk
+                )
             pieces.append(
                 WrappedPiece(
-                    piece_index=len(pieces), units=chunk, start_digest=start_digest
+                    piece_index=len(pieces),
+                    units=chunk,
+                    start_digest=start_digest,
+                    poe_batch=poe_batch,
                 )
             )
             start_digest = _chunk_end_digest(chunk, start_digest)

@@ -26,6 +26,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..crypto.poe import PoEBatchProof
 from ..crypto.rsa_group import RSAGroup
 from ..db.executor import ScheduleUnit
 from ..db.txn import Transaction
@@ -64,11 +65,18 @@ class WrappedUnit:
 
 @dataclass(frozen=True)
 class WrappedPiece:
-    """A contiguous chunk of units proven by one prover thread (Fig 2)."""
+    """A contiguous chunk of units proven by one prover thread (Fig 2).
+
+    *poe_batch*, when set, is one aggregated Wesolowski proof covering every
+    bare read-lookup in the piece; replay then defers those exponentiations
+    to a single batched check.  It never enters the circuit label or the
+    statement hash — it is verification-acceleration data, not structure.
+    """
 
     piece_index: int
     units: tuple[WrappedUnit, ...]
     start_digest: int
+    poe_batch: PoEBatchProof | None = None
 
     def txn_ids(self) -> tuple[int, ...]:
         out: list[int] = []
@@ -127,6 +135,7 @@ def replay_piece(
     circuit (all R1CS constraints checked), and chains the digest forward.
     """
     checker = MemoryIntegrityChecker(group, piece.start_digest, prime_bits=prime_bits)
+    defer_poe = piece.poe_batch is not None
     all_commit = True
     outputs: list[tuple[int, tuple[int, ...]]] = []
     for wrapped in piece.units:
@@ -136,7 +145,7 @@ def replay_piece(
             if wrapped.read_certificate is None:
                 all_commit = False
                 break
-            if not checker.mem_check(wrapped.read_certificate):
+            if not checker.mem_check(wrapped.read_certificate, defer_poe=defer_poe):
                 all_commit = False
                 break
             certified = wrapped.read_certificate.values()
@@ -165,6 +174,11 @@ def replay_piece(
             if invariants and not all(inv.check_unit(cert) for inv in invariants):
                 all_commit = False
                 break
+    if all_commit and defer_poe:
+        # Settle every deferred lookup with the single batched Wesolowski
+        # check.  (If replay already failed there is nothing to settle — the
+        # piece is rejected regardless.)
+        all_commit = checker.verify_deferred_poe(piece.poe_batch)
     return ReplayOutcome(
         all_commit=all_commit,
         end_digest=checker.acc,

@@ -22,6 +22,15 @@ This package provides every primitive the paper's design relies on:
 
 from .accumulator import RSAAccumulator
 from .authdict import AuthenticatedDictionary, LookupProof, NonMembershipProof
+from .backend import (
+    CryptoBackend,
+    Gmpy2Backend,
+    PurePythonBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from .cache import (
     LRUCache,
     bump_prime_cache_epoch,
@@ -38,8 +47,16 @@ from .categorization import (
     verify_category,
 )
 from .merkle import MerkleTree
+from .multiexp import FixedBaseWindow, multiexp
 from .multiset_hash import MultisetHash
-from .poe import prove_exponentiation, verify_exponentiation
+from .poe import (
+    PoEBatchProof,
+    PoEProof,
+    prove_exponentiation,
+    prove_poe_batch,
+    verify_exponentiation,
+    verify_poe_batch,
+)
 from .pocklington import PocklingtonCertificate, build_certified_prime
 from .rsa_group import RSAGroup, bezout
 
@@ -48,23 +65,36 @@ __all__ = [
     "CATEGORY_KEY",
     "CATEGORY_RELATION",
     "CATEGORY_VALUE",
+    "CryptoBackend",
+    "FixedBaseWindow",
+    "Gmpy2Backend",
     "LRUCache",
     "LookupProof",
     "MerkleTree",
     "MultisetHash",
     "NonMembershipProof",
     "PocklingtonCertificate",
+    "PoEBatchProof",
+    "PoEProof",
+    "PurePythonBackend",
     "RSAAccumulator",
     "RSAGroup",
+    "available_backends",
     "bezout",
     "build_certified_prime",
     "bump_prime_cache_epoch",
     "clear_prime_caches",
+    "get_backend",
+    "multiexp",
     "prime_cache_stats",
     "prime_product",
     "product_tree",
     "prove_exponentiation",
+    "prove_poe_batch",
     "sample_category_prime",
+    "set_backend",
+    "use_backend",
     "verify_category",
     "verify_exponentiation",
+    "verify_poe_batch",
 ]

@@ -41,6 +41,15 @@ class NonMembershipWitness:
     b: int
 
 
+def _canonical(group: RSAGroup, element: int) -> bool:
+    """True iff *element* is a canonical group element in ``[1, N)``.
+
+    Verifiers reject anything else instead of silently reducing it into
+    range — an out-of-range or zero witness/digest is a malformed proof.
+    """
+    return 0 < element < group.modulus
+
+
 class RSAAccumulator:
     """Server-side accumulator state over prime representatives."""
 
@@ -91,7 +100,12 @@ class RSAAccumulator:
         """
         _WITNESSES.inc()
         with timed(_WITNESS_SECONDS):
-            total = prime_product(primes)
+            prime_list = list(primes)
+            if not prime_list:
+                # An empty query has exponent 1, making witness == digest a
+                # trivially "valid" proof of nothing — never mint one.
+                raise CryptoError("cannot build a membership witness for an empty set")
+            total = prime_product(prime_list)
             if total < 1 or self._product % total != 0:
                 raise CryptoError("a queried prime is not in the accumulator")
             return self.group.power(self.group.generator, self._product // total)
@@ -100,8 +114,17 @@ class RSAAccumulator:
     def verify_membership(
         group: RSAGroup, digest: int, primes: Iterable[int], witness: int
     ) -> bool:
-        """Check ``witness^(prod primes) == digest`` — one proof, many elements."""
-        return group.power(witness, prime_product(primes)) == digest % group.modulus
+        """Check ``witness^(prod primes) == digest`` — one proof, many elements.
+
+        Rejects empty query sets (exponent 1 would accept any
+        ``witness == digest``) and non-canonical witness/digest encodings.
+        """
+        prime_list = list(primes)
+        if not prime_list:
+            return False
+        if not (_canonical(group, witness) and _canonical(group, digest)):
+            return False
+        return group.power(witness, prime_product(prime_list)) == digest
 
     # -- non-membership ---------------------------------------------------------
 
@@ -124,6 +147,8 @@ class RSAAccumulator:
         witness: NonMembershipWitness,
     ) -> bool:
         """Check ``digest^a * g^(b * prod) == g`` (paper's VerNoKey)."""
+        if not _canonical(group, digest) or prime_product < 2:
+            return False
         lhs = group.mul(
             group.power(digest, witness.a),
             group.power(group.generator, witness.b * prime_product),
@@ -156,4 +181,9 @@ class RSAAccumulator:
         exponent: int,
         proof: PoEProof,
     ) -> bool:
+        # exponent == 1 is the empty query set in disguise: witness == digest
+        # would "verify" vacuously.  Accumulated primes are odd and >= 3, so
+        # any legitimate exponent is >= 3.
+        if exponent < 2:
+            return False
         return verify_exponentiation(group, witness, exponent, digest, proof)

@@ -204,17 +204,32 @@ class AuthenticatedDictionary:
                 witness=self.group.power(self.group.generator, remaining)
             )
 
+    def lookup_exponent(self, pairs: Mapping[object, object]) -> int:
+        """The aggregated exponent ``prod H(k, v)`` a lookup proof is checked
+        against — exposed so batch verifiers (the deferred-PoE path of the
+        memory-integrity checker) can restate ``VerLookup`` as the PoE
+        instance ``witness^exponent == digest``."""
+        return prime_product(self._h(key, value) for key, value in pairs.items())
+
     def ver_lookup(
         self,
         digest: int,
         pairs: Mapping[object, object],
         proof: LookupProof,
     ) -> bool:
-        """``VerLookup``: check ``witness^(prod H(k,v)) == digest``."""
-        exponent = prime_product(
-            self._h(key, value) for key, value in pairs.items()
-        )
-        return self.group.power(proof.witness, exponent) == digest % self.group.modulus
+        """``VerLookup``: check ``witness^(prod H(k,v)) == digest``.
+
+        Witness and digest must be canonical group elements in ``[1, N)`` —
+        out-of-range encodings are rejected, not reduced.  An empty *pairs*
+        mapping is legal (exponent 1): it asserts ``witness == digest``,
+        which is exactly the insert-only update case where no old pair is
+        removed from the digest.
+        """
+        if not 0 < proof.witness < self.group.modulus:
+            return False
+        if not 0 < digest < self.group.modulus:
+            return False
+        return self.group.power(proof.witness, self.lookup_exponent(pairs)) == digest
 
     # -- PoE-compressed lookup path (Section 6.1.1) -------------------------------
 
@@ -246,9 +261,7 @@ class AuthenticatedDictionary:
         poe: PoEProof,
     ) -> bool:
         """Constant-work ``VerLookup`` via the Wesolowski proof."""
-        exponent = prime_product(
-            self._h(key, value) for key, value in pairs.items()
-        )
+        exponent = self.lookup_exponent(pairs)
         return verify_exponentiation(self.group, proof.witness, exponent, digest, poe)
 
     # -- Update -----------------------------------------------------------------
@@ -290,10 +303,7 @@ class AuthenticatedDictionary:
         new_pairs: Mapping[object, object],
     ) -> int:
         """Client-side digest roll-forward: ``d' = witness^(prod H(k, v_new))``."""
-        exponent = prime_product(
-            self._h(key, value) for key, value in new_pairs.items()
-        )
-        return self.group.power(proof.witness, exponent)
+        return self.group.power(proof.witness, self.lookup_exponent(new_pairs))
 
     # -- ProveNoKey / VerNoKey ------------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Pluggable bignum backends for the crypto hot path.
+
+Every expensive integer operation in the substrate — modular
+exponentiation in :class:`repro.crypto.rsa_group.RSAGroup`, the modular
+multiplications of the multi-exponentiation kernels, the Miller–Rabin
+rounds and gcd prefilters of :mod:`repro.crypto.primes` — dispatches
+through one process-wide :class:`CryptoBackend`.  Two implementations
+exist:
+
+- :class:`PurePythonBackend` — CPython's built-in big integers.  Always
+  available; the reference implementation.
+- :class:`Gmpy2Backend` — the optional `gmpy2`_ bindings to GMP, which
+  accelerate 2048-bit exponentiation by roughly an order of magnitude.
+  Only constructed when ``gmpy2`` imports; otherwise selection falls
+  back to pure python.
+
+Backends implement the *same algorithms over the same operand streams* —
+they differ only in who multiplies the big integers — so primes, digests,
+certificates, and proofs are byte-identical across backends (pinned by
+the backend-equivalence property suite).
+
+Selection, in priority order:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call (tests,
+   embedding applications);
+2. the ``REPRO_CRYPTO_BACKEND`` environment variable (``auto``,
+   ``python``, or ``gmpy2``), read once on first use;
+3. the default ``auto``: gmpy2 when importable, pure python otherwise.
+
+.. _gmpy2: https://gmpy2.readthedocs.io/
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import CryptoError
+
+__all__ = [
+    "CryptoBackend",
+    "PurePythonBackend",
+    "Gmpy2Backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "BACKEND_ENV_VAR",
+]
+
+BACKEND_ENV_VAR = "REPRO_CRYPTO_BACKEND"
+
+
+class CryptoBackend:
+    """The integer kernel interface the crypto layer dispatches through.
+
+    All methods take and return built-in ``int`` — backends that compute
+    in a foreign representation (``gmpy2.mpz``) convert at the boundary,
+    so every caller sees identical Python objects regardless of backend.
+    """
+
+    name: str = "abstract"
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        """``base ** exponent % modulus`` (exponent >= 0)."""
+        raise NotImplementedError
+
+    def mulmod(self, a: int, b: int, modulus: int) -> int:
+        """``a * b % modulus``."""
+        raise NotImplementedError
+
+    def invert(self, a: int, modulus: int) -> int:
+        """The modular inverse of *a*; raises :class:`CryptoError` if none."""
+        raise NotImplementedError
+
+    def gcd(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<crypto backend {self.name!r}>"
+
+
+class PurePythonBackend(CryptoBackend):
+    """CPython big integers — the always-available reference kernel."""
+
+    name = "python"
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        return pow(base, exponent, modulus)
+
+    def mulmod(self, a: int, b: int, modulus: int) -> int:
+        return a * b % modulus
+
+    def invert(self, a: int, modulus: int) -> int:
+        try:
+            return pow(a, -1, modulus)
+        except ValueError as exc:
+            raise CryptoError(f"{a} is not invertible mod {modulus}") from exc
+
+    def gcd(self, a: int, b: int) -> int:
+        import math
+
+        return math.gcd(a, b)
+
+
+class Gmpy2Backend(CryptoBackend):
+    """GMP-backed kernel via ``gmpy2``; construction fails if absent."""
+
+    name = "gmpy2"
+
+    def __init__(self):
+        import gmpy2  # raises ImportError when the extra is not installed
+
+        self._gmpy2 = gmpy2
+        self._mpz = gmpy2.mpz
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        return int(self._gmpy2.powmod(self._mpz(base), self._mpz(exponent), self._mpz(modulus)))
+
+    def mulmod(self, a: int, b: int, modulus: int) -> int:
+        return int(self._mpz(a) * self._mpz(b) % self._mpz(modulus))
+
+    def invert(self, a: int, modulus: int) -> int:
+        try:
+            return int(self._gmpy2.invert(self._mpz(a), self._mpz(modulus)))
+        except ZeroDivisionError as exc:
+            raise CryptoError(f"{a} is not invertible mod {modulus}") from exc
+
+    def gcd(self, a: int, b: int) -> int:
+        return int(self._gmpy2.gcd(self._mpz(a), self._mpz(b)))
+
+
+def _gmpy2_importable() -> bool:
+    try:
+        import gmpy2  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> dict[str, bool]:
+    """Which backend names :func:`set_backend` would accept right now."""
+    return {"python": True, "gmpy2": _gmpy2_importable()}
+
+
+_LOCK = threading.Lock()
+_ACTIVE: CryptoBackend | None = None
+
+
+def _resolve(name: str) -> CryptoBackend:
+    if name == "python":
+        return PurePythonBackend()
+    if name == "gmpy2":
+        try:
+            return Gmpy2Backend()
+        except ImportError as exc:
+            raise CryptoError(
+                "crypto backend 'gmpy2' requested but gmpy2 is not installed "
+                "(pip install 'repro[native]')"
+            ) from exc
+    if name == "auto":
+        return Gmpy2Backend() if _gmpy2_importable() else PurePythonBackend()
+    raise CryptoError(
+        f"unknown crypto backend {name!r} (choose 'auto', 'python', or 'gmpy2')"
+    )
+
+
+def get_backend() -> CryptoBackend:
+    """The process-wide active backend, resolving the environment on first use."""
+    global _ACTIVE
+    backend = _ACTIVE
+    if backend is not None:
+        return backend
+    with _LOCK:
+        if _ACTIVE is None:
+            _ACTIVE = _resolve(os.environ.get(BACKEND_ENV_VAR, "auto").strip().lower())
+        return _ACTIVE
+
+
+def set_backend(backend: str | CryptoBackend | None) -> CryptoBackend | None:
+    """Install *backend* (a name or an instance); returns the previous one.
+
+    ``None`` resets to unresolved, so the next :func:`get_backend` re-reads
+    the environment — the hook test fixtures use to restore isolation.
+    Switching backends invalidates nothing: all backends compute identical
+    values, so caches and precomputed tables stay valid.
+    """
+    global _ACTIVE
+    with _LOCK:
+        previous = _ACTIVE
+        if backend is None:
+            _ACTIVE = None
+        elif isinstance(backend, CryptoBackend):
+            _ACTIVE = backend
+        else:
+            _ACTIVE = _resolve(str(backend).strip().lower())
+        return previous
+
+
+@contextmanager
+def use_backend(backend: str | CryptoBackend) -> Iterator[CryptoBackend]:
+    """Temporarily switch the active backend (tests, micro-benchmarks)."""
+    previous = set_backend(backend)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)

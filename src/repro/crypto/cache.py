@@ -48,6 +48,7 @@ __all__ = [
     "cached_certified_prime",
     "cached_pair_representative",
     "cached_key_prime",
+    "generator_fixed_base",
     "prime_cache_epoch",
     "bump_prime_cache_epoch",
     "clear_prime_caches",
@@ -190,21 +191,42 @@ _ALL_CACHES = (
 )
 
 
+def _current_epoch() -> int:
+    """The cache-key epoch, read under the epoch lock.
+
+    Every cache key must embed an epoch observed *under the lock*: an
+    unlocked read racing :func:`bump_prime_cache_epoch` could tear between
+    the bump and the insert, filing a fresh computation under a dead epoch
+    (or a stale value under the new one).
+    """
+    with _EPOCH_LOCK:
+        return _EPOCH
+
+
 def prime_cache_epoch() -> int:
-    return _EPOCH
+    return _current_epoch()
 
 
 def bump_prime_cache_epoch() -> int:
-    """Invalidate every memoized prime by moving to a fresh key epoch."""
+    """Invalidate every memoized prime by moving to a fresh key epoch.
+
+    All caches are also *cleared*: stale-epoch entries can never be hit
+    again (their keys embed the dead epoch), so leaving them resident only
+    lets garbage evict live entries under memory pressure.
+    """
     global _EPOCH
     with _EPOCH_LOCK:
         _EPOCH += 1
-        return _EPOCH
+        epoch = _EPOCH
+    clear_prime_caches()
+    return epoch
 
 
 def clear_prime_caches() -> None:
     for cache in _ALL_CACHES:
         cache.clear()
+    with _FIXED_BASE_LOCK:
+        _FIXED_BASE_REGISTRY.clear()
 
 
 def prime_cache_stats() -> dict[str, dict[str, int | float]]:
@@ -215,7 +237,7 @@ def cached_hash_to_prime(
     seed: bytes, bits: int, residue: int | None = None, modulus: int = 8
 ) -> int:
     """Memoized :func:`repro.crypto.primes.hash_to_prime`."""
-    key = (_EPOCH, seed, bits, residue, modulus)
+    key = (_current_epoch(), seed, bits, residue, modulus)
     return _HASH_TO_PRIME_CACHE.get_or_compute(
         key, lambda: hash_to_prime(seed, bits, residue=residue, modulus=modulus)
     )
@@ -231,7 +253,7 @@ def cached_certified_prime(
     boosting steps), and the same (key, value) pair recurs in every batch
     that touches it — the single most profitable memo in the pipeline.
     """
-    key = (_EPOCH, bits, seed, residue)
+    key = (_current_epoch(), bits, seed, residue)
     return _CERTIFIED_PRIME_CACHE.get_or_compute(
         key, lambda: build_certified_prime(bits, seed, residue=residue)
     )
@@ -249,11 +271,53 @@ def cached_pair_representative(
     not need to import the authenticated-dictionary encoding — keeping the
     dependency arrow pointing from ``authdict`` down to ``cache``.
     """
-    cache_key = (_EPOCH, bits, encode(key), encode(value))
+    cache_key = (_current_epoch(), bits, encode(key), encode(value))
     return _PAIR_CACHE.get_or_compute(cache_key, compute)
 
 
 def cached_key_prime(key: object, bits: int, compute: Callable[[], int]) -> int:
     """Memoized category-0 key prime keyed by ``(key, epoch)``."""
-    cache_key = (_EPOCH, bits, encode(key))
+    cache_key = (_current_epoch(), bits, encode(key))
     return _KEY_PRIME_CACHE.get_or_compute(cache_key, compute)
+
+
+# -- fixed-base window tables (one per RSA group generator) --------------------
+#
+# The generator's windowed-precomputation table (see
+# :class:`repro.crypto.multiexp.FixedBaseWindow`) is pure state derived from
+# (modulus, generator), shared by every group handle over the same modulus
+# (trapdoor holders and public views alike).  It lives here so the epoch
+# machinery can drop the tables together with every other derived artifact.
+
+_FIXED_BASE_REGISTRY: OrderedDict[tuple[int, int], object] = OrderedDict()
+_FIXED_BASE_LOCK = threading.Lock()
+_FIXED_BASE_MAX_GROUPS = 16
+
+
+def generator_fixed_base(
+    modulus: int, generator: int, factory: Callable[[], object]
+) -> object:
+    """The cached fixed-base window for ``generator`` mod ``modulus``.
+
+    *factory* builds the table on first use (the caller supplies it so this
+    module does not import :mod:`repro.crypto.multiexp`).  At most
+    ``_FIXED_BASE_MAX_GROUPS`` groups are retained (LRU); tables are cleared
+    on epoch bumps alongside the prime caches.
+    """
+    key = (modulus, generator)
+    with _FIXED_BASE_LOCK:
+        window = _FIXED_BASE_REGISTRY.get(key)
+        if window is not None:
+            _FIXED_BASE_REGISTRY.move_to_end(key)
+            return window
+    window = factory()
+    with _FIXED_BASE_LOCK:
+        # Two threads may race the build; first insert wins so both use one
+        # table (the loser's build is discarded, not wrong — pure function).
+        existing = _FIXED_BASE_REGISTRY.get(key)
+        if existing is not None:
+            return existing
+        _FIXED_BASE_REGISTRY[key] = window
+        while len(_FIXED_BASE_REGISTRY) > _FIXED_BASE_MAX_GROUPS:
+            _FIXED_BASE_REGISTRY.popitem(last=False)
+        return window

@@ -1,0 +1,153 @@
+"""Multi-exponentiation kernels for batch verification and fixed bases.
+
+Two classic algorithms, both dispatching their modular multiplications
+through the active :mod:`repro.crypto.backend`:
+
+- :func:`multiexp` — simultaneous multi-exponentiation (Straus's
+  interleaved windowed method): ``prod base_i ^ exp_i mod N`` with the
+  squaring chain *shared* across every base.  For the batched-PoE check
+  (k bases, 128-bit exponents) this replaces ``k`` independent
+  exponentiations (``~128·k`` squarings) with 128 shared squarings plus
+  one table multiply per non-zero window.
+- :class:`FixedBaseWindow` — fixed-base windowed precomputation
+  (Brickell et al. / Pippenger bucket evaluation).  The RSA group
+  generator is raised to *enormous* exponents (the accumulator product
+  over the whole dictionary) on every lookup-witness mint; caching
+  ``g^(2^(w·i))`` once per group turns each such exponentiation from
+  ``|e|`` squarings + ``|e|/5`` multiplies into ``~|e|/w`` multiplies
+  with **no** squarings at all.
+
+Both kernels are exact — they compute the same integer ``pow`` would —
+so digests and certificates are unchanged no matter which path runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from .backend import get_backend
+
+__all__ = ["multiexp", "FixedBaseWindow"]
+
+_WINDOW_BITS = 4
+_WINDOW_MASK = (1 << _WINDOW_BITS) - 1
+
+# A FixedBaseWindow stops extending its squaring table past this many
+# windows (2^20 exponent bits); higher bits fall back to one backend
+# powmod over the table's top element, keeping memory bounded while the
+# low, hot section of the exponent still hits the table.
+_MAX_TABLE_WINDOWS = 1 << 18
+
+
+def multiexp(pairs: Sequence[tuple[int, int]], modulus: int) -> int:
+    """``prod base^exponent mod modulus`` with one shared squaring chain.
+
+    Exponents must be non-negative.  Bases are reduced mod *modulus*;
+    zero exponents contribute nothing.
+    """
+    backend = get_backend()
+    live = [(base % modulus, exponent) for base, exponent in pairs if exponent > 0]
+    if not live:
+        return 1 % modulus
+    if len(live) == 1:
+        base, exponent = live[0]
+        return backend.powmod(base, exponent, modulus)
+    mulmod = backend.mulmod
+    # Per-base tables of base^1 .. base^(2^w - 1).
+    tables: list[list[int]] = []
+    for base, _exponent in live:
+        table = [1, base]
+        for _ in range(_WINDOW_MASK - 1):
+            table.append(mulmod(table[-1], base, modulus))
+        tables.append(table)
+    max_bits = max(exponent.bit_length() for _base, exponent in live)
+    num_windows = -(-max_bits // _WINDOW_BITS)
+    acc = 1
+    for window in reversed(range(num_windows)):
+        if acc != 1:
+            for _ in range(_WINDOW_BITS):
+                acc = mulmod(acc, acc, modulus)
+        shift = window * _WINDOW_BITS
+        for (_base, exponent), table in zip(live, tables):
+            digit = (exponent >> shift) & _WINDOW_MASK
+            if digit:
+                acc = mulmod(acc, table[digit], modulus)
+    return acc
+
+
+class FixedBaseWindow:
+    """Precomputed powers ``base^(2^(w·i))`` with bucketed evaluation.
+
+    The table grows lazily to the largest exponent seen (bounded by
+    ``_MAX_TABLE_WINDOWS``) and is safe to share across threads: growth
+    happens under a lock, evaluation reads an immutable prefix.
+    """
+
+    def __init__(self, base: int, modulus: int):
+        self.modulus = modulus
+        self.base = base % modulus
+        self._powers: list[int] = [self.base]  # powers[i] = base^(2^(w*i))
+        self._lock = threading.Lock()
+
+    def _ensure(self, num_windows: int) -> list[int]:
+        """Grow the table to *num_windows* entries; returns the live list."""
+        powers = self._powers
+        if len(powers) >= num_windows:
+            return powers
+        backend = get_backend()
+        with self._lock:
+            powers = self._powers
+            while len(powers) < num_windows:
+                top = powers[-1]
+                for _ in range(_WINDOW_BITS):
+                    top = backend.mulmod(top, top, self.modulus)
+                powers.append(top)
+            return powers
+
+    @property
+    def table_entries(self) -> int:
+        return len(self._powers)
+
+    def power(self, exponent: int) -> int:
+        """``base^exponent mod modulus`` — identical to ``pow``, fewer ops."""
+        backend = get_backend()
+        if exponent < 0:
+            return backend.invert(self.power(-exponent), self.modulus)
+        if exponent == 0:
+            return 1 % self.modulus
+        modulus = self.modulus
+        mulmod = backend.mulmod
+        num_windows = -(-exponent.bit_length() // _WINDOW_BITS)
+        high = 1
+        if num_windows > _MAX_TABLE_WINDOWS:
+            # Split: the table covers the low 2^20 bits; the remainder is
+            # one backend exponentiation over the table's top power.
+            powers = self._ensure(_MAX_TABLE_WINDOWS + 1)
+            split = _MAX_TABLE_WINDOWS * _WINDOW_BITS
+            high = backend.powmod(powers[_MAX_TABLE_WINDOWS], exponent >> split, modulus)
+            exponent &= (1 << split) - 1
+            num_windows = _MAX_TABLE_WINDOWS
+        powers = self._ensure(num_windows)
+        # Bucket the window digits by value (Pippenger): buckets[v] holds
+        # the product of every table power whose digit equals v; the final
+        # result is prod buckets[v]^v, folded with the running-sum trick.
+        buckets = [1] * (_WINDOW_MASK + 1)
+        for index in range(num_windows):
+            digit = (exponent >> (index * _WINDOW_BITS)) & _WINDOW_MASK
+            if digit:
+                if buckets[digit] == 1:
+                    buckets[digit] = powers[index]
+                else:
+                    buckets[digit] = mulmod(buckets[digit], powers[index], modulus)
+        acc = 1
+        running = 1
+        for value in range(_WINDOW_MASK, 0, -1):
+            bucket = buckets[value]
+            if bucket != 1:
+                running = bucket if running == 1 else mulmod(running, bucket, modulus)
+            if running != 1:
+                acc = running if acc == 1 else mulmod(acc, running, modulus)
+        if high != 1:
+            acc = mulmod(acc, high, modulus)
+        return acc

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 
 from ..errors import PrimalityError
+from .backend import get_backend
 from .hashing import expand_stream
 
 __all__ = [
@@ -61,6 +62,18 @@ _PREFILTER_BOUND = _PREFILTER_PRIMES[-1]
 _PREFILTER_SET = frozenset(_PREFILTER_PRIMES)
 del _p
 
+# Wheel-sieve extension of the prefilter: the remaining sieve primes, in
+# ascending chunks whose products are matched against the candidate by gcd.
+# Ordering matters — small factors are far more likely, so the first chunk
+# rejects most composites and the later (larger) products are rarely touched.
+# Only sound for candidates above every wheel prime: a smaller candidate
+# could *be* one of the chunk primes and would divide the product.
+_WHEEL_CHUNKS = tuple(
+    math.prod(SMALL_PRIMES[start:stop])
+    for start, stop in ((64, 256), (256, len(SMALL_PRIMES)))
+)
+_WHEEL_BOUND = SMALL_PRIMES[-1]
+
 
 def is_prime_trial(n: int) -> bool:
     """Provable primality by trial division (only sensible for n < ~10^12)."""
@@ -83,11 +96,12 @@ def miller_rabin_round(n: int, base: int) -> bool:
     while d % 2 == 0:
         d //= 2
         r += 1
-    x = pow(base, d, n)
+    backend = get_backend()
+    x = backend.powmod(base, d, n)
     if x in (1, n - 1):
         return True
     for _ in range(r - 1):
-        x = x * x % n
+        x = backend.mulmod(x, x, n)
         if x == n - 1:
             return True
     return False
@@ -100,8 +114,18 @@ def is_probable_prime(n: int) -> bool:
     if n <= _PREFILTER_BOUND:
         # The prefilter primes are exactly the primes up to the bound.
         return n in _PREFILTER_SET
-    if math.gcd(n, _PREFILTER_PRODUCT) != 1:
+    gcd = get_backend().gcd
+    if gcd(n, _PREFILTER_PRODUCT) != 1:
         return False
+    if n > _WHEEL_BOUND:
+        # Wheel fast path: one gcd per chunk rejects any candidate sharing a
+        # factor below 10^4 before the (much costlier) Miller–Rabin rounds.
+        # A hit is always a true composite — n exceeds every wheel prime, so
+        # a non-trivial gcd exhibits a proper factor — hence outputs are
+        # bit-identical with and without the wheel.
+        for chunk in _WHEEL_CHUNKS:
+            if gcd(n, chunk) != 1:
+                return False
     return _miller_rabin_all(n)
 
 

@@ -18,10 +18,18 @@ from __future__ import annotations
 from functools import lru_cache
 
 from ..errors import CryptoError
+from .backend import get_backend
+from .cache import generator_fixed_base
 from .hashing import expand_stream, hash_bytes_to_int
+from .multiexp import FixedBaseWindow
 from .primes import is_probable_prime
 
 __all__ = ["RSAGroup", "bezout", "default_group"]
+
+# Below this exponent size the plain backend powmod wins: the fixed-base
+# bucket evaluation only amortizes once the exponent is long enough that
+# skipping the squaring chain pays for the bucket bookkeeping.
+_FIXED_BASE_MIN_BITS = 192
 
 
 def bezout(x: int, y: int) -> tuple[int, int, int]:
@@ -92,17 +100,38 @@ class RSAGroup:
         """``base^exponent mod N`` without using the trapdoor.
 
         Negative exponents are supported via modular inversion (the bases we
-        use are units with overwhelming probability).
+        use are units with overwhelming probability).  Exponentiations of the
+        group generator route through a cached fixed-base window table (see
+        :mod:`repro.crypto.multiexp`) once the exponent is large enough for
+        the table to pay off; the result is bit-for-bit identical.
         """
+        backend = get_backend()
         if exponent < 0:
-            return pow(pow(base, -1, self.modulus), -exponent, self.modulus)
-        return pow(base, exponent, self.modulus)
+            return backend.powmod(
+                backend.invert(base, self.modulus), -exponent, self.modulus
+            )
+        if (
+            base == self.generator
+            and exponent.bit_length() >= _FIXED_BASE_MIN_BITS
+        ):
+            return self._generator_window().power(exponent)
+        return backend.powmod(base, exponent, self.modulus)
+
+    def _generator_window(self) -> FixedBaseWindow:
+        """The epoch-aware shared precomputation table for the generator."""
+        window = generator_fixed_base(
+            self.modulus,
+            self.generator,
+            lambda: FixedBaseWindow(self.generator, self.modulus),
+        )
+        assert isinstance(window, FixedBaseWindow)
+        return window
 
     def mul(self, a: int, b: int) -> int:
-        return a * b % self.modulus
+        return get_backend().mulmod(a, b, self.modulus)
 
     def inv(self, a: int) -> int:
-        return pow(a, -1, self.modulus)
+        return get_backend().invert(a, self.modulus)
 
     # -- honest-party trapdoor ------------------------------------------------
 
@@ -123,7 +152,7 @@ class RSAGroup:
         result is identical to :meth:`power` for bases coprime to N.
         """
         phi = self._order_hint()
-        return pow(base, exponent % phi, self.modulus)
+        return get_backend().powmod(base, exponent % phi, self.modulus)
 
     def public_view(self) -> "RSAGroup":
         """A handle without the trapdoor — what the untrusted server holds."""

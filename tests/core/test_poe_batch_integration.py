@@ -1,0 +1,163 @@
+"""Batched-PoE integration: provider piece proofs, checker deferral, server path."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import LitmusClient, LitmusConfig, LitmusServer
+from repro.core.memory_integrity import (
+    POE_MODE_BATCH,
+    MemoryIntegrityChecker,
+    MemoryIntegrityProvider,
+)
+from repro.crypto.poe import PoEBatchProof
+
+from ..db.helpers import increment, transfer
+
+PRIME_BITS = 64
+
+
+@pytest.fixture()
+def batch_provider(group) -> MemoryIntegrityProvider:
+    return MemoryIntegrityProvider(
+        group,
+        initial={("row", i): 10 * i for i in range(8)},
+        prime_bits=PRIME_BITS,
+        use_poe=POE_MODE_BATCH,
+    )
+
+
+class TestProviderBatchMode:
+    def test_batch_mode_mints_bare_lookups(self, batch_provider):
+        cert = batch_provider.certify_reads({("row", 1): 10})
+        assert cert.lookup is not None
+        assert cert.poe is None
+
+    def test_piece_proof_covers_all_certificates(self, group, batch_provider):
+        checker = MemoryIntegrityChecker(group, batch_provider.digest, PRIME_BITS)
+        certs = [
+            batch_provider.certify_reads({("row", 1): 10, ("row", 2): 20}),
+            batch_provider.certify_reads({("row", 3): 30}),
+            batch_provider.certify_reads({("row", 5): 50, ("row", 7): 70}),
+        ]
+        proof = batch_provider.certify_piece_poe(certs)
+        assert isinstance(proof, PoEBatchProof)
+        assert proof.count == 3
+        for cert in certs:
+            assert checker.mem_check(cert, defer_poe=True)
+        assert checker.deferred_instances == 3
+        assert checker.verify_deferred_poe(proof)
+        assert checker.deferred_instances == 0  # queue drained
+
+    def test_no_instances_yields_no_proof(self, batch_provider):
+        # Absent-only certificate: nothing to cover.
+        cert = batch_provider.certify_reads({("ghost", 1): 0})
+        assert batch_provider.certify_piece_poe([cert, None]) is None
+
+    def test_individual_poe_mode_unaffected(self, group):
+        provider = MemoryIntegrityProvider(
+            group,
+            initial={("row", 1): 10},
+            prime_bits=PRIME_BITS,
+            use_poe=True,
+        )
+        cert = provider.certify_reads({("row", 1): 10})
+        assert cert.poe is not None
+        # Certificates that already carry a PoE are excluded from batches.
+        assert provider.certify_piece_poe([cert]) is None
+
+
+class TestCheckerDeferral:
+    def test_deferred_tampered_value_fails_batch(self, group, batch_provider):
+        checker = MemoryIntegrityChecker(group, batch_provider.digest, PRIME_BITS)
+        good = batch_provider.certify_reads({("row", 1): 10})
+        forged = dataclasses.replace(good, present=((("row", 1), 11),))
+        proof = batch_provider.certify_piece_poe([good])
+        assert checker.mem_check(forged, defer_poe=True)  # deferred, not yet caught
+        assert not checker.verify_deferred_poe(proof)
+
+    def test_missing_batch_proof_rejected(self, group, batch_provider):
+        checker = MemoryIntegrityChecker(group, batch_provider.digest, PRIME_BITS)
+        cert = batch_provider.certify_reads({("row", 1): 10})
+        assert checker.mem_check(cert, defer_poe=True)
+        assert not checker.verify_deferred_poe(None)
+
+    def test_unexpected_batch_proof_rejected(self, group, batch_provider):
+        checker = MemoryIntegrityChecker(group, batch_provider.digest, PRIME_BITS)
+        cert = batch_provider.certify_reads({("row", 1): 10})
+        proof = batch_provider.certify_piece_poe([cert])
+        # Nothing was deferred — a stray proof must not be accepted.
+        assert not checker.verify_deferred_poe(proof)
+
+    def test_digest_binding_still_immediate(self, group, batch_provider):
+        checker = MemoryIntegrityChecker(group, batch_provider.digest + 1, PRIME_BITS)
+        cert = batch_provider.certify_reads({("row", 1): 10})
+        assert not checker.mem_check(cert, defer_poe=True)
+        assert checker.deferred_instances == 0
+
+    def test_non_canonical_witness_rejected_before_deferral(
+        self, group, batch_provider
+    ):
+        from repro.crypto.authdict import LookupProof
+
+        checker = MemoryIntegrityChecker(group, batch_provider.digest, PRIME_BITS)
+        cert = batch_provider.certify_reads({("row", 1): 10})
+        shifted = dataclasses.replace(
+            cert, lookup=LookupProof(witness=cert.lookup.witness + group.modulus)
+        )
+        assert not checker.mem_check(shifted, defer_poe=True)
+        assert checker.deferred_instances == 0
+
+
+class TestBatchedEndToEnd:
+    def _run(self, group, **overrides):
+        config = LitmusConfig(
+            cc="dr",
+            processing_batch_size=8,
+            prime_bits=PRIME_BITS,
+            use_poe=True,
+            **overrides,
+        )
+        initial = {("acct", i): 100 for i in range(4)}
+        server = LitmusServer(initial=initial, config=config, group=group)
+        client = LitmusClient(group, server.digest, config=config)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 9)]
+        txns += [increment(i, i) for i in range(9, 13)]
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        return server, response, verdict
+
+    def test_batched_poe_accepted_by_client(self, group):
+        server, _response, verdict = self._run(group, batched_poe=True)
+        assert server.provider.use_poe == POE_MODE_BATCH
+        assert verdict.accepted, verdict.reason
+
+    def test_batched_and_unbatched_digests_agree(self, group):
+        _s1, r1, v1 = self._run(group, batched_poe=True)
+        _s2, r2, v2 = self._run(group, batched_poe=False)
+        assert v1.accepted and v2.accepted
+        assert r1.final_digest == r2.final_digest
+
+    def test_tampered_certificate_rejected_under_batching(self, group):
+        from repro.faults.injectors import BitFlipWitness
+        from repro.faults.plan import FaultPlan
+
+        config = LitmusConfig(
+            cc="dr",
+            processing_batch_size=8,
+            prime_bits=PRIME_BITS,
+            use_poe=True,
+            batched_poe=True,
+        )
+        initial = {("acct", i): 100 for i in range(4)}
+        plan = FaultPlan(BitFlipWitness(unit=0, which="read"))
+        server = LitmusServer(
+            initial=initial, config=config, group=group, fault_plan=plan
+        )
+        client = LitmusClient(group, server.digest, config=config)
+        txns = [transfer(i, i % 4, (i + 1) % 4, 5) for i in range(1, 9)]
+        response = server.execute_batch(txns)
+        verdict = client.verify_response(txns, response)
+        assert not verdict.accepted

@@ -126,3 +126,61 @@ class TestNonMembership:
         outsider = hash_to_prime(b"outsider", 64)
         w = acc.nonmembership_witness(outsider)
         assert RSAAccumulator.verify_nonmembership(group, acc.value, outsider, w)
+
+
+class TestEmptyAndNonCanonical:
+    """Regressions for the empty-set and canonical-encoding verifier bugs.
+
+    Before the fix, an empty query set had exponent 1 so any
+    ``witness == digest`` "verified" a membership claim about nothing, and
+    out-of-range digests/witnesses were silently reduced modulo N.
+    """
+
+    def test_empty_membership_witness_refused(self, group):
+        acc = RSAAccumulator(group, primes_for(4))
+        with pytest.raises(CryptoError):
+            acc.membership_witness([])
+
+    def test_empty_membership_verification_rejected(self, group):
+        acc = RSAAccumulator(group, primes_for(4))
+        # The trivial "proof": witness equal to the digest, empty prime set.
+        assert not RSAAccumulator.verify_membership(group, acc.value, [], acc.value)
+
+    def test_empty_poe_membership_rejected(self, group):
+        from repro.crypto.poe import prove_exponentiation
+
+        acc = RSAAccumulator(group, primes_for(4))
+        # exponent 1 is the empty set in disguise on the PoE path.
+        _result, poe = prove_exponentiation(group, acc.value, 1)
+        assert not RSAAccumulator.verify_membership_with_poe(
+            group, acc.value, acc.value, 1, poe
+        )
+
+    def test_shifted_witness_rejected(self, group):
+        ps = primes_for(4)
+        acc = RSAAccumulator(group, ps)
+        witness = acc.membership_witness(ps[:2])
+        assert RSAAccumulator.verify_membership(group, acc.value, ps[:2], witness)
+        assert not RSAAccumulator.verify_membership(
+            group, acc.value, ps[:2], witness + group.modulus
+        )
+        assert not RSAAccumulator.verify_membership(group, acc.value, ps[:2], 0)
+
+    def test_shifted_digest_rejected(self, group):
+        ps = primes_for(4)
+        acc = RSAAccumulator(group, ps)
+        witness = acc.membership_witness(ps[:2])
+        assert not RSAAccumulator.verify_membership(
+            group, acc.value + group.modulus, ps[:2], witness
+        )
+
+    def test_nonmembership_shifted_digest_rejected(self, group):
+        ps = primes_for(4)
+        acc = RSAAccumulator(group, ps)
+        outsider = hash_to_prime(b"outsider-canon", 64)
+        w = acc.nonmembership_witness(outsider)
+        assert RSAAccumulator.verify_nonmembership(group, acc.value, outsider, w)
+        assert not RSAAccumulator.verify_nonmembership(
+            group, acc.value + group.modulus, outsider, w
+        )
+        assert not RSAAccumulator.verify_nonmembership(group, 0, outsider, w)

@@ -1,0 +1,128 @@
+"""Tests for the pluggable bignum backend layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.backend import (
+    BACKEND_ENV_VAR,
+    CryptoBackend,
+    Gmpy2Backend,
+    PurePythonBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.crypto.rsa_group import default_group
+from repro.errors import CryptoError
+
+GMPY2_AVAILABLE = available_backends()["gmpy2"]
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = set_backend(None)
+    yield
+    set_backend(previous)
+
+
+class TestSelection:
+    def test_python_backend_always_available(self):
+        assert available_backends()["python"] is True
+
+    def test_default_resolution_returns_a_backend(self):
+        backend = get_backend()
+        assert isinstance(backend, CryptoBackend)
+        assert backend.name in ("python", "gmpy2")
+
+    def test_env_var_selects_pure_python(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        set_backend(None)  # force re-resolution from the environment
+        assert get_backend().name == "python"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CryptoError):
+            set_backend("quantum")
+
+    def test_set_backend_returns_previous(self):
+        first = set_backend("python")
+        second = set_backend(None)
+        assert isinstance(second, PurePythonBackend)
+        del first
+
+    def test_use_backend_restores_on_exit(self):
+        outer = get_backend()
+        with use_backend("python") as inner:
+            assert inner.name == "python"
+            assert get_backend() is inner
+        assert get_backend() is outer
+
+    @pytest.mark.skipif(GMPY2_AVAILABLE, reason="gmpy2 is installed here")
+    def test_gmpy2_request_fails_cleanly_when_missing(self):
+        with pytest.raises(CryptoError, match="gmpy2"):
+            set_backend("gmpy2")
+
+
+class TestPurePythonKernel:
+    def test_powmod_matches_builtin(self):
+        backend = PurePythonBackend()
+        group = default_group(bits=512)
+        n = group.modulus
+        assert backend.powmod(group.generator, 12345, n) == pow(group.generator, 12345, n)
+
+    def test_mulmod_and_gcd(self):
+        backend = PurePythonBackend()
+        assert backend.mulmod(7, 9, 10) == 3
+        assert backend.gcd(84, 30) == 6
+
+    def test_invert_round_trips(self):
+        backend = PurePythonBackend()
+        group = default_group(bits=512)
+        n = group.modulus
+        inv = backend.invert(group.generator, n)
+        assert backend.mulmod(group.generator, inv, n) == 1
+
+    def test_invert_rejects_non_units(self):
+        backend = PurePythonBackend()
+        with pytest.raises(CryptoError):
+            backend.invert(6, 9)
+
+
+@pytest.mark.skipif(not GMPY2_AVAILABLE, reason="gmpy2 not installed")
+class TestBackendEquivalence:
+    """gmpy2 and pure python must be operation-for-operation identical."""
+
+    def test_kernels_agree_on_random_operands(self):
+        import random
+
+        python = PurePythonBackend()
+        native = Gmpy2Backend()
+        group = default_group(bits=512)
+        n = group.modulus
+        rng = random.Random(42)
+        for _ in range(50):
+            a = rng.randrange(2, n)
+            b = rng.randrange(2, n)
+            e = rng.getrandbits(256)
+            assert python.powmod(a, e, n) == native.powmod(a, e, n)
+            assert python.mulmod(a, b, n) == native.mulmod(a, b, n)
+            assert python.gcd(a, b) == native.gcd(a, b)
+
+    def test_primes_and_digests_identical_across_backends(self):
+        from repro.crypto.authdict import AuthenticatedDictionary
+        from repro.crypto.cache import clear_prime_caches
+        from repro.crypto.primes import hash_to_prime
+
+        results = {}
+        for name in ("python", "gmpy2"):
+            with use_backend(name):
+                clear_prime_caches()
+                primes = tuple(hash_to_prime(bytes([i]), 128) for i in range(8))
+                group = default_group(bits=512)
+                ad = AuthenticatedDictionary(
+                    group, initial={("k", i): i for i in range(8)}, prime_bits=64
+                )
+                results[name] = (primes, ad.digest)
+        clear_prime_caches()
+        assert results["python"] == results["gmpy2"]

@@ -98,3 +98,90 @@ class TestPrimeMemos:
         second = cached_hash_to_prime(seed, 64)
         assert second == first  # same deterministic function
         assert prime_cache_stats()["hash_to_prime"]["misses"] == misses_before + 1
+
+
+class TestEpochRace:
+    """Regression: cache keys must embed the epoch as read under the lock,
+    and bumping must clear every cache (stale-epoch entries can never be hit
+    again, so leaving them resident only evicts live entries)."""
+
+    def test_bump_clears_all_caches(self):
+        from repro.crypto.cache import _ALL_CACHES
+
+        cached_hash_to_prime(b"race-resident", 64)
+        cached_certified_prime(64, b"race-resident")
+        assert any(len(cache) for cache in _ALL_CACHES)
+        bump_prime_cache_epoch()
+        assert all(len(cache) == 0 for cache in _ALL_CACHES)
+
+    def test_epoch_reads_are_monotonic_under_concurrent_bumps(self):
+        from repro.crypto.cache import prime_cache_epoch
+
+        stop = threading.Event()
+        seen: list[list[int]] = [[] for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def reader(slot: int):
+            try:
+                while not stop.is_set():
+                    seen[slot].append(prime_cache_epoch())
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(50):
+            bump_prime_cache_epoch()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        for observations in seen:
+            assert observations == sorted(observations)
+
+    def test_concurrent_bump_and_lookup_stay_consistent(self):
+        """Lookups racing epoch bumps must always return the right prime and
+        never leave an entry filed under a dead epoch once the dust settles."""
+        from repro.crypto.cache import _HASH_TO_PRIME_CACHE, prime_cache_epoch
+
+        seeds = [b"race-%d" % i for i in range(8)]
+        expected = {seed: hash_to_prime(seed, 64) for seed in seeds}
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def lookup_worker():
+            try:
+                while not stop.is_set():
+                    for seed in seeds:
+                        assert cached_hash_to_prime(seed, 64) == expected[seed]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def bump_worker():
+            try:
+                for _ in range(30):
+                    bump_prime_cache_epoch()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=lookup_worker) for _ in range(3)]
+        bumper = threading.Thread(target=bump_worker)
+        for t in readers:
+            t.start()
+        bumper.start()
+        bumper.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        # Quiesced: one final bump leaves nothing resident, and re-lookups
+        # file everything under the current epoch only.
+        final_epoch = bump_prime_cache_epoch()
+        assert len(_HASH_TO_PRIME_CACHE) == 0
+        for seed in seeds:
+            assert cached_hash_to_prime(seed, 64) == expected[seed]
+        assert prime_cache_epoch() == final_epoch
+        with _HASH_TO_PRIME_CACHE._lock:
+            keys = list(_HASH_TO_PRIME_CACHE._data)
+        assert keys and all(key[0] == final_epoch for key in keys)

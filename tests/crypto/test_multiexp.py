@@ -1,0 +1,143 @@
+"""Tests for the multi-exponentiation and fixed-base window kernels."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cache import clear_prime_caches, generator_fixed_base
+from repro.crypto.multiexp import FixedBaseWindow, multiexp
+from repro.crypto.rsa_group import default_group
+
+
+def _reference(pairs, modulus):
+    out = 1
+    for base, exponent in pairs:
+        out = out * pow(base, exponent, modulus) % modulus
+    return out
+
+
+class TestMultiexp:
+    def test_empty_and_singleton(self, group):
+        n = group.modulus
+        assert multiexp([], n) == 1
+        assert multiexp([(group.generator, 0)], n) == 1
+        assert multiexp([(group.generator, 7)], n) == pow(group.generator, 7, n)
+
+    def test_matches_reference_on_random_batches(self, group):
+        n = group.modulus
+        rng = random.Random(11)
+        for size in (2, 3, 8, 16, 33):
+            pairs = [
+                (rng.randrange(2, n), rng.getrandbits(128) | 1) for _ in range(size)
+            ]
+            assert multiexp(pairs, n) == _reference(pairs, n)
+
+    def test_mixed_exponent_sizes(self, group):
+        n = group.modulus
+        rng = random.Random(13)
+        pairs = [
+            (rng.randrange(2, n), rng.getrandbits(bits) | 1)
+            for bits in (1, 8, 64, 128, 512, 1500)
+        ]
+        assert multiexp(pairs, n) == _reference(pairs, n)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(2, 2**64), st.integers(0, 2**130)), max_size=8))
+    def test_property_matches_reference(self, pairs):
+        n = default_group(bits=512).modulus
+        assert multiexp(pairs, n) == _reference(pairs, n)
+
+
+class TestFixedBaseWindow:
+    def test_matches_pow_across_exponent_sizes(self, group):
+        n = group.modulus
+        window = FixedBaseWindow(group.generator, n)
+        rng = random.Random(17)
+        for bits in (1, 4, 63, 128, 500, 3000, 12000):
+            e = rng.getrandbits(bits) | (1 << (bits - 1)) if bits > 1 else 1
+            assert window.power(e) == pow(group.generator, e, n)
+
+    def test_zero_and_negative_exponents(self, group):
+        n = group.modulus
+        window = FixedBaseWindow(group.generator, n)
+        assert window.power(0) == 1
+        e = 12345
+        expected = pow(pow(group.generator, -1, n), e, n)
+        assert window.power(-e) == expected
+
+    def test_table_grows_lazily(self, group):
+        window = FixedBaseWindow(group.generator, group.modulus)
+        assert window.table_entries == 1
+        window.power(1 << 100)
+        grown = window.table_entries
+        assert grown > 1
+        window.power(3)  # small exponent must not shrink or grow the table
+        assert window.table_entries == grown
+
+    def test_concurrent_evaluation_is_consistent(self, group):
+        n = group.modulus
+        window = FixedBaseWindow(group.generator, n)
+        rng = random.Random(23)
+        exponents = [rng.getrandbits(2048) for _ in range(16)]
+        expected = [pow(group.generator, e, n) for e in exponents]
+        results: dict[int, list[int]] = {}
+
+        def worker(tid: int):
+            results[tid] = [window.power(e) for e in exponents]
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for got in results.values():
+            assert got == expected
+
+
+class TestRegistry:
+    def test_registry_shares_one_window_per_group(self, group):
+        clear_prime_caches()
+        first = generator_fixed_base(
+            group.modulus,
+            group.generator,
+            lambda: FixedBaseWindow(group.generator, group.modulus),
+        )
+        second = generator_fixed_base(
+            group.modulus,
+            group.generator,
+            lambda: FixedBaseWindow(group.generator, group.modulus),
+        )
+        assert first is second
+
+    def test_group_power_routes_through_registry(self, group):
+        clear_prime_caches()
+        e = (1 << 300) + 12345
+        expected = pow(group.generator, e, group.modulus)
+        assert group.power(group.generator, e) == expected
+        window = generator_fixed_base(
+            group.modulus,
+            group.generator,
+            lambda: FixedBaseWindow(group.generator, group.modulus),
+        )
+        # The large generator power above must have populated the shared table.
+        assert window.table_entries > 1
+
+    def test_epoch_bump_drops_windows(self, group):
+        from repro.crypto.cache import bump_prime_cache_epoch
+
+        first = generator_fixed_base(
+            group.modulus,
+            group.generator,
+            lambda: FixedBaseWindow(group.generator, group.modulus),
+        )
+        bump_prime_cache_epoch()
+        second = generator_fixed_base(
+            group.modulus,
+            group.generator,
+            lambda: FixedBaseWindow(group.generator, group.modulus),
+        )
+        assert first is not second

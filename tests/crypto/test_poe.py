@@ -44,3 +44,47 @@ class TestPoE:
         base = group.power(group.generator, 7)
         result, proof = prove_exponentiation(group, base, exponent)
         assert verify_exponentiation(group, base, exponent, result, proof)
+
+
+class TestCanonicalBoundary:
+    """Regressions: malformed group elements must be rejected, not reduced.
+
+    Before the fix, ``verify_exponentiation`` compared against
+    ``result % modulus``, so ``result + N`` (a non-canonical encoding of the
+    same element) verified, and a zero or out-of-range quotient power was
+    silently reduced into range instead of failing.
+    """
+
+    def test_result_shifted_by_modulus_rejected(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        assert not verify_exponentiation(
+            group, group.generator, 98765, result + group.modulus, proof
+        )
+
+    def test_zero_and_negative_result_rejected(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        assert not verify_exponentiation(group, group.generator, 98765, 0, proof)
+        assert not verify_exponentiation(
+            group, group.generator, 98765, result - group.modulus, proof
+        )
+
+    def test_non_canonical_base_rejected(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        assert not verify_exponentiation(
+            group, group.generator + group.modulus, 98765, result, proof
+        )
+        assert not verify_exponentiation(group, 0, 98765, result, proof)
+
+    def test_degenerate_quotient_power_rejected(self, group):
+        from repro.crypto.poe import PoEProof
+
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        for bad in (0, -1, group.modulus, proof.quotient_power + group.modulus):
+            assert not verify_exponentiation(
+                group, group.generator, 98765, result, PoEProof(quotient_power=bad)
+            )
+
+    def test_non_positive_exponent_rejected(self, group):
+        result, proof = prove_exponentiation(group, group.generator, 98765)
+        assert not verify_exponentiation(group, group.generator, 0, result, proof)
+        assert not verify_exponentiation(group, group.generator, -98765, result, proof)

