@@ -207,3 +207,74 @@ FAULTS_TRIAL = register(
         description="Fault-injection rounds: detection and recovery per class.",
     )
 )
+
+
+def run_nemesis_trial(config: dict, seed: int) -> TrialMeasurement:
+    """Seeded chaos episodes against durable sharded sessions; not gated.
+
+    Each configured seed generates its own schedule (crash steps targeting
+    real cross-shard rounds, paired WAL corruption, retryable faults), runs
+    it in a throwaway directory, and records the referee's verdict.  Every
+    episode must end with ``ok=True`` — the sweep doubles as a slow-path
+    atomicity/durability check inside the bench matrix.
+    """
+    import tempfile
+
+    from repro.faults import generate_schedule, run_nemesis
+    from repro.obs.metrics import MetricsRegistry
+
+    rows = []
+    for run_seed in config["seeds"]:
+        registry = MetricsRegistry()
+        with tempfile.TemporaryDirectory(prefix="bench-nemesis-") as directory:
+            report = run_nemesis(
+                generate_schedule(
+                    seed=run_seed,
+                    steps=config["steps"],
+                    num_shards=config["shards"],
+                ),
+                directory=directory,
+                seed=run_seed,
+                num_shards=config["shards"],
+                registry=registry,
+            )
+        rows.append(
+            {
+                "seed": run_seed,
+                "ops": report.ops,
+                "crashes": report.crashes,
+                "recoveries": report.recoveries,
+                "injected": report.injected,
+                "in_doubt_resolved": report.in_doubt_resolved,
+                "compensations": report.compensations,
+                "ok": report.ok,
+                "seconds": round(report.duration_seconds, 3),
+            }
+        )
+    counts = {
+        "seeds": len(rows),
+        "ops": sum(row["ops"] for row in rows),
+        "crashes": sum(row["crashes"] for row in rows),
+        "recoveries": sum(row["recoveries"] for row in rows),
+        "in_doubt_resolved": sum(row["in_doubt_resolved"] for row in rows),
+        "clean": sum(1 for row in rows if row["ok"]),
+    }
+    metrics = {"chaos_seconds_total": sum(row["seconds"] for row in rows)}
+    return TrialMeasurement(rows=tuple(rows), counts=counts, metrics=metrics)
+
+
+NEMESIS_TRIAL = register(
+    TrialSpec(
+        name="faults/nemesis_chaos",
+        area="faults",
+        bench_file="bench_faults.py",
+        runner=run_nemesis_trial,
+        config={"seeds": [0, 1, 2], "steps": 8, "shards": 3},
+        seed=SEED,
+        headline=(),
+        description=(
+            "Seeded nemesis chaos episodes: shard-targeted crashes mid "
+            "cross-shard round with in-doubt recovery after each."
+        ),
+    )
+)

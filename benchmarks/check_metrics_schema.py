@@ -25,7 +25,12 @@ the fault/recovery names (``faults.injected``, ``server.rollbacks``,
 ``shard.*`` family of the sharded engine (``shard.single_txns``,
 ``shard.cross_txns``, ``shard.flush_fanout``, ``shard.flush_seconds``,
 ``shard.cross_rounds``, ``shard.reserve_conflicts``,
-``shard.partial_releases``).
+``shard.partial_releases``), the ``xshard.*`` family of the atomic
+cross-shard commit protocol (``xshard.intents``, ``xshard.commits``,
+``xshard.compensations``, ``xshard.in_doubt_resolved``), and the
+``nemesis.*`` family of the seeded chaos harness (``nemesis.steps``,
+``nemesis.ops``, ``nemesis.crashes``, ``nemesis.recoveries``,
+``nemesis.invariant_failures``).
 
 ``--bench PATH`` (repeatable) validates an orchestrated ``BENCH_<area>.json``
 trajectory instead: the file is loaded through

@@ -61,6 +61,13 @@ attempts a real recovery of that deployment and prints the report; a
 missing directory or an unrecoverable (corrupt) one exits non-zero with
 a one-line diagnosis, never a traceback.
 
+The nemesis chaos demo composes crashes, WAL corruption and retryable
+faults into one seeded schedule against a durable *sharded* deployment
+(:mod:`repro.faults.nemesis`), recovering after every kill and checking
+the ACID invariants — exiting non-zero on any violation::
+
+    python -m repro --chaos [--seed 7] [--shards 3]
+
 The networked deployment (DESIGN.md §12)::
 
     python -m repro --serve 127.0.0.1:7433 [--data-dir DIR] [--shards S]
@@ -432,6 +439,49 @@ def _recover_demo(directory: str, seed: int) -> tuple[str, bool]:
     return "\n".join(lines), verdict
 
 
+def _chaos_demo(seed: int, shards: int) -> tuple[str, int]:
+    """One seeded nemesis run against a durable sharded deployment."""
+    import tempfile
+
+    from .faults.nemesis import generate_schedule, run_nemesis
+    from .obs.metrics import get_metrics
+
+    shards = shards if shards > 1 else 3
+    steps = generate_schedule(seed=seed, steps=12, num_shards=shards)
+    lines = [
+        f"Nemesis chaos run — seed {seed}, {shards} shards, "
+        f"{len(steps)} steps"
+    ]
+    for index, step in enumerate(steps):
+        detail = ""
+        if step.kind == "crash":
+            detail = f" [shard {step.shard}, {step.stage}" + (
+                f", +{step.corruption}]" if step.corruption else "]"
+            )
+        lines.append(f"  step {index:2d} : {step.kind}{detail}")
+    with tempfile.TemporaryDirectory(prefix="litmus-nemesis-") as directory:
+        report = run_nemesis(
+            steps,
+            directory=directory,
+            seed=seed,
+            num_shards=shards,
+            registry=get_metrics(),
+        )
+    lines.append(
+        f"  outcome : {report.ops} ops ({report.acked} acked), "
+        f"{report.crashes} crash(es), {report.recoveries} recover(ies), "
+        f"{report.injected} fault(s) injected, "
+        f"{report.in_doubt_resolved} in-doubt cross-shard round(s) resolved"
+    )
+    for failure in report.invariant_failures:
+        lines.append(f"  FAILED  : {failure}")
+    lines.append(
+        "  verdict : "
+        + ("ALL INVARIANTS HELD" if report.ok else "INVARIANT VIOLATION")
+    )
+    return "\n".join(lines), 0 if report.ok else 1
+
+
 def _bench_cmd(areas: list[str] | None, bless: bool) -> int:
     """Run the orchestrated trial matrix and append the trajectories."""
     from .bench.experiment import discover, run_areas
@@ -674,10 +724,17 @@ def main(argv: list[str] | None = None) -> int:
         "torn WAL tail, restart + recover) in a fresh directory DIR",
     )
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run a seeded nemesis chaos schedule against a durable sharded "
+        "session (crashes mid cross-shard round, WAL corruption, recovery "
+        "+ ACID invariant checks); exits non-zero on any violation",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=7,
-        help="seed of the --faults / --recover demo's fault plan",
+        help="seed of the --faults / --recover / --chaos fault schedule",
     )
     parser.add_argument(
         "--serve",
@@ -775,6 +832,11 @@ def main(argv: list[str] | None = None) -> int:
         print(transcript, file=sys.stderr if code == 2 else sys.stdout)
         _export_observability(args.metrics_out, args.trace_out)
         return code
+    if args.chaos:
+        transcript, code = _chaos_demo(args.seed, args.shards)
+        print(transcript)
+        _export_observability(args.metrics_out, args.trace_out)
+        return code
     if args.serve:
         return _serve(args.serve, args.data_dir, args.shards)
     if args.connect:
@@ -784,7 +846,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment is None:
         parser.error(
             "an experiment (or --bench / --bench-gate / --faults / --recover "
-            "/ --serve / --connect) is required"
+            "/ --chaos / --serve / --connect) is required"
         )
     if args.experiment == "all":
         for name in ("constants", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "elle"):

@@ -52,7 +52,7 @@ from .session import (
     RetryPolicy,
     UserTicket,
 )
-from .sharding import ShardMap, ShardedSession
+from .sharding import ShardMap, ShardedSession, XShardRecoveryReport
 from .snapshot import restore_server, snapshot_server
 
 __all__ = [
@@ -87,4 +87,5 @@ __all__ = [
     "UserTicket",
     "VerifiedSession",
     "WriteCertificate",
+    "XShardRecoveryReport",
 ]

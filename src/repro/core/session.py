@@ -93,6 +93,7 @@ from ..db.wal import (
 )
 from ..errors import (
     BatchRejectedError,
+    ClientAPIError,
     DeadlineExceeded,
     MessageDropped,
     ProofCorruptionDetected,
@@ -374,6 +375,7 @@ class LitmusSession:
         self.batches_rejected = 0
         self.retries = 0
         self.resyncs = 0
+        self.compensations = 0
         # The most recent non-empty flush's result; the only way to observe
         # a rejected auto-flush triggered by submit() reaching max_batch.
         self.last_result: BatchResult | None = None
@@ -784,6 +786,63 @@ class LitmusSession:
                 )
         self.server = rebuilt
         return rebuilt.digest
+
+    def compensate_last_batch(self, reason: str = "") -> int:
+        """Undo the most recently accepted batch (cross-shard compensation).
+
+        The sharded router's two-phase apply calls this when *another*
+        shard failed its half of a cross-shard round: this shard verified
+        and journaled its apply batch, but atomicity demands the round
+        land on every participant or on none.  The undo:
+
+        1. rolls the server back to its pre-batch snapshot (held until the
+           next ``execute_batch``), restoring store and provider digest;
+        2. rewinds the client digest to the previous chain entry.  The
+           chain itself stays append-only — a zero-transaction entry
+           re-recording the prior digest marks the compensation instead of
+           rewriting history;
+        3. re-anchors the recovery state (base snapshot + empty command
+           log) and, with durability on, writes a checkpoint at the *same*
+           sequence the compensated batch journaled.  The atomic rewrite
+           replaces any applied-state checkpoint at that sequence and the
+           post-checkpoint WAL reset retires the applied record, so a
+           crash at any instant recovers to either the applied state
+           (which the coordinator's intent journal then resolves) or the
+           compensated one — never a half state.
+
+        Returns the restored digest.  Raises
+        :class:`~repro.errors.ClientAPIError` when there is no batch to
+        compensate and :class:`~repro.errors.ServerDesyncError` when the
+        rollback snapshot disagrees with the verified digest chain.
+        """
+        if self.server._pre_batch is None:
+            raise ClientAPIError(
+                "no accepted batch to compensate: the server holds no "
+                "pre-batch snapshot (nothing flushed since the last "
+                "rollback/compensation)"
+            )
+        entries = self.digest_log.entries()
+        if len(entries) < 2:
+            raise ClientAPIError(
+                "the digest chain holds no state prior to the last batch"
+            )
+        previous = entries[-2].digest
+        with self.tracer.span("compensate", reason=reason):
+            self.server.rollback()
+            if self.server.digest != previous:
+                raise ServerDesyncError(
+                    "compensation rollback does not reproduce the previously "
+                    f"verified digest (got {self.server.digest:#x}, expected "
+                    f"{previous:#x}); refusing to rewind the client"
+                )
+            self.client.digest = previous
+            self.digest_log.record(previous, 0)
+            self._base_state = self.server.db.snapshot()
+            self._command_log.clear()
+            self._write_durable_checkpoint()
+        self.compensations += 1
+        self.registry.counter("session.compensations").inc()
+        return previous
 
     # -- the per-attempt round ---------------------------------------------------
 

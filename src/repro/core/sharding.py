@@ -44,6 +44,35 @@ A **cross-shard** transaction goes through two phases:
    derived deterministically from the registered program, so WAL replay
    at recovery re-derives them by name.
 
+Atomic cross-shard commit
+-------------------------
+
+The apply fan-out is a two-phase commit with the coordinator's
+**cross-shard intent journal** (:class:`~repro.db.wal.IntentJournal`,
+``xshard-intents.log`` in the parent durability directory) as the
+commit-decision log:
+
+- **prepare** — before any shard flushes, the round's full apply plan
+  (txn ids, apply parameters, participant shards) plus each participant's
+  pre-round watermark (batch seq + verified digest) is made durable;
+- **commit** — every participant accepted its apply batch: a ``commit``
+  resolution is appended and the round is done;
+- **compensate** — some participant rejected or errored while others
+  accepted: the accepted shards are rolled back to their watermarks via
+  :meth:`LitmusSession.compensate_last_batch` (server snapshot rollback +
+  digest rewind + a same-sequence checkpoint rewrite), every transaction
+  touching a failed-or-compensated shard is rejected (a transitive
+  closure, because compensation is batch-granular), and an ``abort``
+  resolution is appended;
+- **in doubt** — a crash (:class:`~repro.errors.SimulatedCrash`) leaves
+  the intent unresolved.  :meth:`ShardedSession.recover` scans the journal
+  before shard replay and resolves each pending round from the durable
+  evidence: applied everywhere → commit; applied nowhere → abort; applied
+  somewhere → physically truncate the apply record off the applied WAL
+  tails when possible (abort), otherwise re-apply the journaled writes on
+  the missing participants (roll forward, then commit).  Aborted rounds
+  are digest-checked against the journaled watermarks afterwards.
+
 Every shard involved in a cross-shard apply journals the *entire* write
 set; keys a shard does not own become stale copies in its store, which is
 harmless because no read ever consults a non-owner: single-shard
@@ -61,13 +90,28 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Mapping
 
 from ..crypto.rsa_group import RSAGroup
 from ..db.detreserve import CrossShardPlan, CrossShardReserver
+from ..db.wal import (
+    INTENT_JOURNAL_NAME,
+    IntentJournal,
+    IntentTxn,
+    list_segments,
+    load_latest_checkpoint,
+    scan_wal,
+    segment_records,
+)
 from ..db.wal.config import DurabilityConfig
-from ..errors import ReproError
+from ..errors import (
+    DeadlineExceeded,
+    RecoveryError,
+    ReproError,
+    SimulatedCrash,
+)
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.spans import Tracer, get_tracer
 from ..vc.program import Param, Program, WriteStmt
@@ -81,7 +125,12 @@ from .session import (
     _frozen_mapping,
 )
 
-__all__ = ["ShardMap", "ShardedSession", "derive_apply_program"]
+__all__ = [
+    "ShardMap",
+    "ShardedSession",
+    "XShardRecoveryReport",
+    "derive_apply_program",
+]
 
 APPLY_SUFFIX = "@apply"
 _APPLY_PARAM_PREFIX = "__w"
@@ -188,6 +237,30 @@ class _PendingCall:
         self.params = params
 
 
+@dataclass(frozen=True)
+class XShardRecoveryReport:
+    """What ``ShardedSession.recover`` found in the cross-shard intent journal.
+
+    - ``rounds`` — intents scanned (resolved and pending);
+    - ``in_doubt`` — rounds with no durable resolution at scan time;
+    - ``committed`` — in-doubt rounds found durably applied on every
+      participant (forward-completed with a ``commit`` record);
+    - ``aborted`` — in-doubt rounds resolved by abort: applied nowhere, or
+      undone by truncating the apply record off the applied WAL tails;
+    - ``rolled_forward`` — in-doubt rounds whose apply survived somewhere
+      beyond physical undo and was re-applied on the missing participants;
+    - ``truncated_records`` — per-shard WAL records physically removed by
+      abort resolutions.
+    """
+
+    rounds: int = 0
+    in_doubt: int = 0
+    committed: int = 0
+    aborted: int = 0
+    rolled_forward: int = 0
+    truncated_records: int = 0
+
+
 class ShardedSession:
     """S independently verified engines behind the one-session surface.
 
@@ -205,6 +278,7 @@ class ShardedSession:
         max_batch: int = 1024,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        intent_journal: IntentJournal | None = None,
     ):
         if not shard_sessions:
             raise ReproError("a ShardedSession needs at least one shard")
@@ -231,8 +305,15 @@ class ShardedSession:
         self._programs: dict[str, Program] = {}
         for shard in self.shards:
             self._programs.update(shard._programs)
-        # recover() fills this with the per-shard RecoveryReports.
+        # The cross-shard intent journal (None without durability): every
+        # cross-round's apply plan is made durable here before any shard
+        # flushes it, which is what makes cross-shard atomicity survive a
+        # coordinator crash.
+        self._intents = intent_journal
+        # recover() fills these: the per-shard RecoveryReports and the
+        # cross-shard in-doubt resolution summary.
         self.recovery_reports = None
+        self.xshard_report: XShardRecoveryReport | None = None
 
     # -- construction ------------------------------------------------------------
 
@@ -291,12 +372,22 @@ class ShardedSession:
                     shard_index=index,
                 )
             )
+        intent_journal = None
+        if durability is not None:
+            os.makedirs(durability.directory, exist_ok=True)
+            intent_journal = IntentJournal(
+                os.path.join(durability.directory, INTENT_JOURNAL_NAME),
+                num_shards=num_shards,
+                fsync=durability.fsync != "never",
+                registry=registry,
+            )
         return cls(
             sessions,
             shard_map,
             max_batch=max_batch,
             tracer=tracer,
             registry=registry,
+            intent_journal=intent_journal,
         )
 
     @staticmethod
@@ -322,12 +413,21 @@ class ShardedSession:
 
         Discovers the ``shard-NN`` subdirectories of *directory* (their
         count fixes S — it must match the ShardMap the data was written
-        under), recovers every shard in parallel threads, and cross-checks
-        each shard's rebuilt digest against its own journaled history
-        exactly as unsharded recovery does.  *programs* needs only the
-        application's programs; the ``@apply`` companions the cross-shard
-        path journaled are re-derived automatically.
+        under), resolves every in-doubt cross-shard round recorded in the
+        intent journal (module docstring: commit / abort / truncate-undo /
+        roll-forward), recovers every shard in parallel threads, and
+        cross-checks each shard's rebuilt digest against its own journaled
+        history exactly as unsharded recovery does.  *programs* needs only
+        the application's programs; the ``@apply`` companions the
+        cross-shard path journaled are re-derived automatically.
+
+        Layout damage (a missing or renamed ``shard-NN`` directory, an
+        intent journal naming more shards than the directory holds) and
+        untyped per-shard replay failures raise
+        :class:`~repro.errors.RecoveryError` naming the shard.  The
+        in-doubt resolution summary lands on ``session.xshard_report``.
         """
+        registry = registry if registry is not None else get_metrics()
         if isinstance(programs, Mapping):
             program_map = dict(programs)
         else:
@@ -340,16 +440,115 @@ class ShardedSession:
             and os.path.isdir(os.path.join(directory, name))
         )
         if not shard_dirs:
-            raise ReproError(
+            raise RecoveryError(
                 f"{directory!r} holds no shard-NN subdirectories; was this "
                 "directory written by a ShardedSession?"
             )
         expected = [f"shard-{i:02d}" for i in range(len(shard_dirs))]
         if shard_dirs != expected:
-            raise ReproError(
+            missing = sorted(set(expected) - set(shard_dirs))
+            raise RecoveryError(
                 f"shard directories {shard_dirs} are not the contiguous "
-                f"set {expected}; refusing to recover a partial keyspace"
+                f"set {expected}"
+                + (
+                    f"; missing or renamed: {', '.join(missing)}"
+                    if missing
+                    else ""
+                )
+                + "; refusing to recover a partial keyspace"
             )
+
+        # -- in-doubt cross-shard resolution (before any shard replays) ------
+        journal_path = os.path.join(directory, INTENT_JOURNAL_NAME)
+        intents, _journal_scan = IntentJournal.scan(journal_path, repair=True)
+        for record in intents:
+            if record.num_shards != len(shard_dirs):
+                lost = [
+                    f"shard-{i:02d}"
+                    for i in range(len(shard_dirs), record.num_shards)
+                ]
+                raise RecoveryError(
+                    f"intent journal round {record.round_id} was written by "
+                    f"a {record.num_shards}-shard deployment but "
+                    f"{directory!r} holds {len(shard_dirs)} shard "
+                    "directories"
+                    + (f"; missing: {', '.join(lost)}" if lost else "")
+                )
+        pending = [r for r in intents if r.state == "pending"]
+        resolutions: list[tuple[int, str, str]] = []
+        aborted_rounds = []
+        roll_forward = []  # (record, {shard: applied?})
+        committed = aborted = truncated_records = 0
+        for record in pending:
+            applied = {
+                index: cls._participant_applied(
+                    cls._shard_dir(directory, index),
+                    record.pre_seqs[index],
+                    record.pre_digests[index],
+                )
+                for index in record.participants
+            }
+            if all(applied.values()):
+                committed += 1
+                resolutions.append(
+                    (
+                        record.round_id,
+                        "committed",
+                        "in-doubt round found durably applied on every "
+                        "participant",
+                    )
+                )
+            elif not any(applied.values()):
+                aborted += 1
+                aborted_rounds.append(record)
+                resolutions.append(
+                    (
+                        record.round_id,
+                        "aborted",
+                        "in-doubt round applied on no participant",
+                    )
+                )
+            else:
+                # Partial apply.  Undo is preferred (the round was never
+                # acknowledged), but only possible while every applied
+                # copy is still a bare WAL tail record; once any copy was
+                # consolidated into a checkpoint the round must roll
+                # forward instead.
+                applied_on = sorted(i for i, a in applied.items() if a)
+                if all(
+                    cls._tail_record_truncatable(
+                        cls._shard_dir(directory, i), record.pre_seqs[i]
+                    )
+                    for i in applied_on
+                ):
+                    for i in applied_on:
+                        cls._truncate_tail_record(
+                            cls._shard_dir(directory, i),
+                            record.pre_seqs[i] + 1,
+                        )
+                        truncated_records += 1
+                    aborted += 1
+                    aborted_rounds.append(record)
+                    resolutions.append(
+                        (
+                            record.round_id,
+                            "aborted",
+                            "partial apply undone by truncating the WAL "
+                            f"tail of shard(s) {applied_on}",
+                        )
+                    )
+                else:
+                    roll_forward.append((record, applied))
+        journal = IntentJournal(
+            journal_path,
+            num_shards=len(shard_dirs),
+            fsync=True,
+            registry=registry,
+        )
+        for round_id, state, reason in resolutions:
+            journal.log_resolution(round_id, state, reason)
+
+        # -- per-shard replay -------------------------------------------------
         tracer = tracer if tracer is not None else get_tracer()
         sessions: list[LitmusSession | None] = [None] * len(shard_dirs)
         errors: dict[int, BaseException] = {}
@@ -381,17 +580,171 @@ class ShardedSession:
         for thread in threads:
             thread.join()
         if errors:
-            raise errors[min(errors)]
+            index = min(errors)
+            primary = errors[index]
+            if isinstance(primary, ReproError):
+                raise primary
+            raise RecoveryError(
+                f"shard {index} replay failed with an internal error: "
+                f"{type(primary).__name__}: {primary}"
+            ) from primary
         session = cls(
             [s for s in sessions if s is not None],
             ShardMap(len(shard_dirs)),
             max_batch=max_batch,
             tracer=tracer,
             registry=registry,
+            intent_journal=journal,
         )
         session._programs.update(program_map)
         session.recovery_reports = tuple(s.recovery_report for s in session.shards)
+
+        # -- roll-forward + cross-checks (needs the live shards) --------------
+        rolled_forward = 0
+        for record, applied in roll_forward:
+            session._roll_forward_round(record, applied, program_map)
+            journal.log_resolution(
+                record.round_id,
+                "committed",
+                "partial apply rolled forward on the missing participants",
+            )
+            rolled_forward += 1
+        for record in aborted_rounds:
+            for index in record.participants:
+                report = session.shards[index].recovery_report
+                recovered_digest = int(session.shards[index].client.digest)
+                if (
+                    report is not None
+                    and report.last_seq == record.pre_seqs[index]
+                    and recovered_digest != record.pre_digests[index]
+                ):
+                    raise RecoveryError(
+                        f"shard {index} recovered digest "
+                        f"{recovered_digest:#x} does not match the "
+                        "journaled pre-round watermark "
+                        f"{record.pre_digests[index]:#x} of aborted "
+                        f"cross-shard round {record.round_id}"
+                    )
+        registry.counter("xshard.in_doubt_resolved").inc(len(pending))
+        session.xshard_report = XShardRecoveryReport(
+            rounds=len(intents),
+            in_doubt=len(pending),
+            committed=committed,
+            aborted=aborted,
+            rolled_forward=rolled_forward,
+            truncated_records=truncated_records,
+        )
         return session
+
+    # -- in-doubt resolution helpers ------------------------------------------
+
+    @staticmethod
+    def _participant_applied(
+        shard_dir: str, pre_seq: int, pre_digest: int
+    ) -> bool:
+        """Did this shard durably apply its batch of the journaled round?
+
+        The round's apply batch, when it reached this shard's durability
+        barrier, is the record at ``pre_seq + 1`` — either still a WAL
+        record or already consolidated into a checkpoint at that sequence.
+        A live compensation rewrites the same-sequence checkpoint with the
+        *pre-round* digest, so "durably applied" is: the durable tip moved
+        past the watermark **and** its digest differs from the watermark
+        digest.  (An apply whose writes change nothing leaves the digest
+        unchanged; classifying it as not-applied is harmless because both
+        resolutions produce identical state.)
+
+        The scan runs with ``repair=False`` and a throwaway registry: the
+        per-shard ``LitmusSession.recover`` that follows owns the repair
+        and its reporting.
+        """
+        checkpoint = load_latest_checkpoint(shard_dir)
+        records, _report = scan_wal(
+            shard_dir, registry=MetricsRegistry(), repair=False
+        )
+        tip_seq, tip_digest = checkpoint.seq, checkpoint.digest
+        for record in records:
+            if record.seq > tip_seq:
+                tip_seq, tip_digest = record.seq, record.digest
+        return tip_seq > pre_seq and tip_digest != pre_digest
+
+    @staticmethod
+    def _tail_record_truncatable(shard_dir: str, pre_seq: int) -> bool:
+        """Can the record at ``pre_seq + 1`` be physically removed?
+
+        Only while it is the *last* durable record and no checkpoint has
+        consolidated it — then truncating the segment at its offset is
+        indistinguishable from the crash having happened one write
+        earlier, which per-shard recovery absorbs natively.
+        """
+        checkpoint = load_latest_checkpoint(shard_dir)
+        if checkpoint.seq > pre_seq:
+            return False
+        records, _report = scan_wal(
+            shard_dir, registry=MetricsRegistry(), repair=False
+        )
+        live = [r for r in records if r.seq > checkpoint.seq]
+        return bool(live) and live[-1].seq == pre_seq + 1
+
+    @staticmethod
+    def _truncate_tail_record(shard_dir: str, seq: int) -> None:
+        """Physically drop the WAL tail record with sequence *seq*."""
+        for path in reversed(list_segments(shard_dir)):
+            records, _intact, _status = segment_records(path)
+            target = next((r for r in records if r.seq == seq), None)
+            if target is None:
+                continue
+            with open(path, "r+b") as handle:
+                handle.truncate(target.offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return
+        raise RecoveryError(
+            f"cannot undo cross-shard apply: record seq {seq} not found "
+            f"in {shard_dir!r}"
+        )
+
+    def _roll_forward_round(
+        self, record, applied: dict, program_map: Mapping[str, Program]
+    ) -> None:
+        """Re-apply a partially applied round on its missing participants."""
+        targets = sorted(
+            {
+                index
+                for txn in record.txns
+                for index in txn.shards
+                if not applied.get(index, False)
+            }
+        )
+        for txn in record.txns:
+            base = program_map.get(txn.program)
+            apply_program = program_map.get(txn.program + APPLY_SUFFIX)
+            if apply_program is None and base is not None:
+                apply_program = derive_apply_program(base)
+            if apply_program is None:
+                raise RecoveryError(
+                    f"cannot roll forward cross-shard round "
+                    f"{record.round_id}: program {txn.program!r} was not "
+                    "supplied to recover()"
+                )
+            for index in txn.shards:
+                if applied.get(index, False):
+                    continue
+                self.shards[index].submit_call(
+                    txn.user,
+                    apply_program,
+                    txn.params,
+                    txn_id=txn.txn_id,
+                    auto_flush=False,
+                )
+        results = self._parallel_flush(targets, None)
+        rejected = sorted(i for i, r in results.items() if not r.accepted)
+        if rejected:
+            raise RecoveryError(
+                f"roll-forward of cross-shard round {record.round_id} was "
+                f"rejected on shard(s) {rejected}; the durable history "
+                "cannot be made atomic"
+            )
 
     # -- user-facing API ---------------------------------------------------------
 
@@ -467,6 +820,8 @@ class ShardedSession:
     def close(self) -> None:
         for shard in self.shards:
             shard.close()
+        if self._intents is not None:
+            self._intents.close()
 
     # -- the router --------------------------------------------------------------
 
@@ -518,7 +873,35 @@ class ShardedSession:
                     auto_flush=False,
                 )
                 shard_tickets.setdefault(home, []).append((call, shard_ticket))
-        results = self._parallel_flush(sorted(single), deadline)
+        try:
+            results = self._parallel_flush(sorted(single), deadline)
+        except BaseException as exc:
+            # Salvage what finished: shards that completed resolve their
+            # outer tickets from the shard tickets (an accepted shard's
+            # work is verified and durably journaled — discarding it here
+            # is what used to double-submit it on retry).  For failures
+            # other than a cancellation or a crash, the failing and
+            # never-flushed shards' tickets resolve as rejected so callers
+            # see a typed failure instead of TicketUnresolvedError later.
+            completed = getattr(exc, "shard_outcomes", {})
+            for home in completed:
+                for call, shard_ticket in shard_tickets.get(home, []):
+                    if shard_ticket.resolved:
+                        call.ticket._resolve(
+                            shard_ticket._accepted,
+                            shard_ticket._outputs,
+                            shard_ticket._reason,
+                        )
+            if not isinstance(exc, (DeadlineExceeded, SimulatedCrash)):
+                for home, ticket_pairs in shard_tickets.items():
+                    for call, _shard_ticket in ticket_pairs:
+                        if not call.ticket.resolved:
+                            call.ticket._resolve(
+                                False,
+                                (),
+                                f"shard {home} flush failed: {exc}",
+                            )
+            raise
         for home, shard_result in results.items():
             attempts = max(attempts, shard_result.attempts)
             if not shard_result.accepted:
@@ -567,9 +950,19 @@ class ShardedSession:
     def _run_cross_round(
         self, calls: list[_PendingCall], deadline: float | None
     ) -> tuple[int, list[str]]:
-        """Execute one reservation round's winners and apply their writes."""
+        """Execute one reservation round's winners and apply their writes.
+
+        The two-phase commit of the module docstring: the round's full
+        apply plan is journaled durably (*prepare*) before any shard sees
+        a byte of it, then the apply batches fan out and the outcome is
+        resolved — *commit* when every participant accepted, compensation
+        plus *abort* on any partial outcome, and a deliberately unresolved
+        (in-doubt) intent when a crash killed the fan-out mid-flight.
+        """
         involved: set[int] = set()
-        per_call: list[tuple[_PendingCall, tuple[int, ...], dict, set[int]]] = []
+        per_call: list[
+            tuple[_PendingCall, tuple[int, ...], Program, dict, set[int]]
+        ] = []
         for call in calls:
             # Owner-routed execution against the current (pre-round) state:
             # every read goes to the shard that owns the key.
@@ -582,7 +975,36 @@ class ShardedSession:
                 apply_params[f"{_APPLY_PARAM_PREFIX}{index}"] = final_values[key]
             shards = self.shard_map.shards_of(final_values)
             involved |= shards
-            for shard_index in shards:
+            per_call.append(
+                (call, result.outputs, apply_program, apply_params, shards)
+            )
+
+        # Phase 1 (prepare): make the intent durable before any shard
+        # flush.  After this write a crash anywhere in the fan-out leaves
+        # enough on disk for recover() to finish or undo the round.
+        round_id = None
+        if self._intents is not None:
+            round_id = self._intents.begin_round()
+            participants = tuple(sorted(involved))
+            self._intents.log_intent(
+                round_id,
+                tuple(
+                    IntentTxn(
+                        txn_id=call.ticket.txn_id,
+                        user=call.ticket.user,
+                        program=call.program.name,
+                        params=apply_params,
+                        shards=tuple(sorted(shards)),
+                    )
+                    for call, _outputs, _program, apply_params, shards in per_call
+                ),
+                participants,
+                {i: self.shards[i]._batch_seq for i in participants},
+                {i: int(self.shards[i].client.digest) for i in participants},
+            )
+
+        for call, _outputs, apply_program, apply_params, shards in per_call:
+            for shard_index in sorted(shards):
                 self.shards[shard_index].submit_call(
                     call.ticket.user,
                     apply_program,
@@ -590,28 +1012,89 @@ class ShardedSession:
                     txn_id=call.ticket.txn_id,
                     auto_flush=False,
                 )
-            per_call.append((call, result.outputs, apply_params, shards))
 
-        results = self._parallel_flush(sorted(involved), deadline)
+        # Phase 2 (commit/compensate): fan out, then resolve the intent.
+        try:
+            results = self._parallel_flush(sorted(involved), deadline)
+        except SimulatedCrash:
+            # Process death: no live compensation is possible — the intent
+            # deliberately stays in doubt for recover() to resolve from
+            # the durable evidence.
+            raise
+        except BaseException as exc:
+            outcomes = getattr(exc, "shard_outcomes", {})
+            self._compensate(
+                [i for i in sorted(outcomes) if outcomes[i].accepted]
+            )
+            self._resolve_round(
+                round_id, "aborted", f"{type(exc).__name__}: {exc}"
+            )
+            if isinstance(exc, DeadlineExceeded):
+                # Cancelled, not failed: tickets stay unresolved so the
+                # outer flush() re-queues the calls for a later retry.
+                raise
+            for call, _outputs, _program, _params, _shards in per_call:
+                if not call.ticket.resolved:
+                    call.ticket._resolve(
+                        False, (), f"cross-shard round failed: {exc}"
+                    )
+            raise
+
         attempts = max([r.attempts for r in results.values()], default=1)
-        reasons: list[str] = []
-        failed_shards = {
-            index for index, r in results.items() if not r.accepted
-        }
-        for index in sorted(failed_shards):
-            reasons.append(f"shard {index}: {results[index].reason}")
-        for call, call_outputs, _apply_params, shards in per_call:
-            bad = shards & failed_shards
+        failed = {index for index, r in results.items() if not r.accepted}
+        # Compensation is batch-granular (a shard's whole apply batch rolls
+        # back together), so the failure taint spreads transitively: a call
+        # touching a failed shard must be undone on its *other* shards,
+        # whose batches may carry further calls, and so on to a fixpoint.
+        tainted = set(failed)
+        while True:
+            grown = {
+                index
+                for _call, _o, _p, _ap, shards in per_call
+                if shards & tainted
+                for index in shards
+            }
+            if grown <= tainted:
+                break
+            tainted |= grown
+        self._compensate(sorted(tainted - failed))
+
+        reasons = [f"shard {i}: {results[i].reason}" for i in sorted(failed)]
+        for call, call_outputs, _program, _params, shards in per_call:
+            bad = shards & tainted
             if bad:
+                direct = shards & failed
                 call.ticket._resolve(
                     False,
                     (),
                     "cross-shard apply rejected on shard(s) "
-                    + ", ".join(str(i) for i in sorted(bad)),
+                    + ", ".join(str(i) for i in sorted(direct or bad))
+                    + (
+                        ""
+                        if direct
+                        else " (compensated: a sibling call's shard failed)"
+                    ),
                 )
             else:
                 call.ticket._resolve(True, call_outputs, "")
+        if failed:
+            self._resolve_round(round_id, "aborted", "; ".join(reasons))
+        else:
+            self._resolve_round(round_id, "committed")
+            self.registry.counter("xshard.commits").inc()
         return attempts, reasons
+
+    def _compensate(self, shard_indexes: Iterable[int]) -> None:
+        """Roll the given shards back to their pre-round verified state."""
+        for index in shard_indexes:
+            self.shards[index].compensate_last_batch()
+            self.registry.counter("xshard.compensations").inc()
+
+    def _resolve_round(
+        self, round_id: int | None, state: str, reason: str = ""
+    ) -> None:
+        if self._intents is not None and round_id is not None:
+            self._intents.log_resolution(round_id, state, reason)
 
     def _owner_read(self, key: tuple) -> int:
         return self.shards[self.shard_map.shard_of(key)].server.db.get(key)
@@ -631,7 +1114,12 @@ class ShardedSession:
 
         Exceptions (SimulatedCrash, DeadlineExceeded, ...) re-raise in the
         caller, lowest shard index first, after every thread has finished —
-        deterministic regardless of thread scheduling.
+        deterministic regardless of thread scheduling.  The raised error
+        carries the shards that *did* finish: ``shard_outcomes`` maps
+        shard index → :class:`BatchResult` for every flush that completed,
+        and ``shard_errors`` maps shard index → exception for every one
+        that did not, so a failing shard no longer silently discards its
+        siblings' verified (and durably journaled) outcomes.
         """
         involved = [i for i in shard_indexes if self.shards[i].queued]
         if not involved:
@@ -639,10 +1127,6 @@ class ShardedSession:
         self.registry.counter("shard.flush_fanout").inc(len(involved))
         results: dict[int, BatchResult] = {}
         errors: dict[int, BaseException] = {}
-        if len(involved) == 1:
-            index = involved[0]
-            results[index] = self.shards[index].flush(deadline)
-            return results
 
         def _flush_one(index: int) -> None:
             try:
@@ -650,14 +1134,20 @@ class ShardedSession:
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 errors[index] = exc
 
-        threads = [
-            threading.Thread(target=_flush_one, args=(i,), daemon=True)
-            for i in involved
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        if len(involved) == 1:
+            _flush_one(involved[0])
+        else:
+            threads = [
+                threading.Thread(target=_flush_one, args=(i,), daemon=True)
+                for i in involved
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         if errors:
-            raise errors[min(errors)]
+            primary = errors[min(errors)]
+            primary.shard_outcomes = dict(results)
+            primary.shard_errors = dict(errors)
+            raise primary
         return results

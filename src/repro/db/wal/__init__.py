@@ -38,8 +38,21 @@ from .checkpoints import (
     write_checkpoint,
 )
 from .config import DurabilityConfig
+from .intents import (
+    INTENT_JOURNAL_NAME,
+    IntentJournal,
+    IntentRecord,
+    IntentScanReport,
+    IntentTxn,
+)
 from .manager import DurabilityManager
-from .records import WalRecord, decode_records, encode_record
+from .records import (
+    WalRecord,
+    decode_frames,
+    decode_records,
+    encode_frame,
+    encode_record,
+)
 from .segments import (
     SEGMENT_MAGIC,
     WalScanReport,
@@ -53,12 +66,19 @@ __all__ = [
     "Checkpoint",
     "DurabilityConfig",
     "DurabilityManager",
+    "INTENT_JOURNAL_NAME",
+    "IntentJournal",
+    "IntentRecord",
+    "IntentScanReport",
+    "IntentTxn",
     "SEGMENT_MAGIC",
     "WalRecord",
     "WalScanReport",
     "WriteAheadLog",
     "checkpoint_path",
+    "decode_frames",
     "decode_records",
+    "encode_frame",
     "encode_record",
     "list_checkpoints",
     "list_segments",

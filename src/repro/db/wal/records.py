@@ -47,7 +47,13 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
-__all__ = ["WalRecord", "decode_records", "encode_record"]
+__all__ = [
+    "WalRecord",
+    "decode_frames",
+    "decode_records",
+    "encode_frame",
+    "encode_record",
+]
 
 _HEADER = struct.Struct(">II")  # payload length, crc32(payload)
 _PAYLOAD_PREFIX = struct.Struct(">QB")  # batch seq, record version
@@ -96,6 +102,46 @@ def _digest_bytes(digest: int) -> bytes:
     return digest.to_bytes((digest.bit_length() + 7) // 8 or 1, "big")
 
 
+def encode_frame(payload: bytes) -> bytes:
+    """CRC32-frame one opaque payload (the shared on-disk framing).
+
+    Used for WAL batch records and reused verbatim by the cross-shard
+    intent journal (:mod:`repro.db.wal.intents`) so both artifacts share
+    one torn/corrupt-tail detection story.
+    """
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frames(
+    data: bytes, offset: int = 0
+) -> tuple[list[tuple[int, bytes]], int, str]:
+    """Walk CRC frames; return ``([(offset, payload), ...], intact, status)``.
+
+    The payload-agnostic half of :func:`decode_records`: framing and CRC
+    are checked here, payload interpretation is the caller's job.  Never
+    raises on bad bytes — damage ends the walk with ``"torn"`` (bytes ran
+    out mid-frame) or ``"corrupt"`` (CRC/length violation) and ``intact``
+    marks the byte up to which the data is undamaged.
+    """
+    frames: list[tuple[int, bytes]] = []
+    while True:
+        remaining = len(data) - offset
+        if remaining == 0:
+            return frames, offset, STATUS_CLEAN
+        if remaining < _HEADER.size:
+            return frames, offset, STATUS_TORN
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            return frames, offset, STATUS_CORRUPT
+        if remaining < _HEADER.size + length:
+            return frames, offset, STATUS_TORN
+        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        if zlib.crc32(payload) != crc:
+            return frames, offset, STATUS_CORRUPT
+        frames.append((offset, bytes(payload)))
+        offset += _HEADER.size + length
+
+
 def encode_record(seq: int, digest, command_log: bytes) -> bytes:
     """Frame one verified batch as a durable record.
 
@@ -116,7 +162,7 @@ def encode_record(seq: int, digest, command_log: bytes) -> bytes:
         body = b"".join(parts)
         version = RECORD_VERSION_VECTOR
     payload = _PAYLOAD_PREFIX.pack(seq, version) + body + command_log
-    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    return encode_frame(payload)
 
 
 def _shards_of(digest) -> tuple[int, ...]:
@@ -141,25 +187,15 @@ def decode_records(
     mangled header, or an unknown record version).
     """
     records: list[WalRecord] = []
-    while True:
-        remaining = len(data) - offset
-        if remaining == 0:
-            return records, offset, STATUS_CLEAN
-        if remaining < _HEADER.size:
-            return records, offset, STATUS_TORN
-        length, crc = _HEADER.unpack_from(data, offset)
-        if length > MAX_RECORD_BYTES:
-            return records, offset, STATUS_CORRUPT
-        if remaining < _HEADER.size + length:
-            return records, offset, STATUS_TORN
-        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
-        if zlib.crc32(payload) != crc:
-            return records, offset, STATUS_CORRUPT
-        record = _decode_payload(payload, offset, _HEADER.size + length)
+    frames, intact, status = decode_frames(data, offset)
+    for frame_offset, payload in frames:
+        record = _decode_payload(
+            payload, frame_offset, _HEADER.size + len(payload)
+        )
         if record is None:
-            return records, offset, STATUS_CORRUPT
+            return records, frame_offset, STATUS_CORRUPT
         records.append(record)
-        offset += _HEADER.size + length
+    return records, intact, status
 
 
 def _decode_payload(payload: bytes, offset: int, size: int) -> WalRecord | None:

@@ -102,6 +102,19 @@ class CheckpointError(WalError):
     """
 
 
+class RecoveryError(ReproError):
+    """Restart recovery of a sharded deployment failed in a typed way.
+
+    Raised by :meth:`repro.core.sharding.ShardedSession.recover` when the
+    durable layout is unusable (a ``shard-NN`` directory is missing or
+    renamed, or the cross-shard intent journal names more shards than the
+    directory holds), when a shard's replay dies with an untyped internal
+    error (wrapped here, naming the shard), or when in-doubt cross-shard
+    resolution cannot reconcile a participant's digest with the journaled
+    watermark.  Always carries enough context to name the offending shard.
+    """
+
+
 class FaultInjected(ReproError):
     """Base class for failures raised *by* the fault-injection layer.
 

@@ -17,6 +17,13 @@ at named WAL/checkpoint stage boundaries, while :class:`TornWrite`,
 between a crash and a recovery — ``LitmusSession.recover`` must absorb all
 of them.
 
+:mod:`repro.faults.nemesis` composes all of the above into seeded chaos
+schedules against a live :class:`~repro.core.ShardedSession`:
+:func:`generate_schedule` / :func:`run_nemesis` drive crash + corruption +
+retryable-fault episodes with ACID invariant checks after every recovery,
+and :func:`minimize_schedule` shrinks a failing seed's schedule to a
+minimal reproduction.
+
 Quickstart::
 
     from repro.core import LitmusSession, RetryPolicy
@@ -44,6 +51,13 @@ from .injectors import (
     TamperEndDigest,
     TamperPublicStatement,
 )
+from .nemesis import (
+    NemesisReport,
+    NemesisStep,
+    generate_schedule,
+    minimize_schedule,
+    run_nemesis,
+)
 from .plan import FaultEvent, FaultInjector, FaultPlan
 
 __all__ = [
@@ -57,10 +71,15 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "KillProver",
+    "NemesisReport",
+    "NemesisStep",
     "NetworkFault",
     "ReorderPieces",
     "TamperEndDigest",
     "TamperPublicStatement",
     "TornWrite",
     "TruncateSegment",
+    "generate_schedule",
+    "minimize_schedule",
+    "run_nemesis",
 ]

@@ -1,0 +1,521 @@
+"""Seeded nemesis: composed chaos schedules against a live sharded session.
+
+The injectors in this package each model *one* fault in isolation; real
+outages compose them — a prover dies, the retry lands, then a shard's
+process is killed mid cross-shard apply and its WAL tail is torn by the
+same power cut.  This module is the Jepsen-style harness that drives such
+compositions deterministically:
+
+- :func:`generate_schedule` — expand a seed into a replayable list of
+  :class:`NemesisStep`\\ s: seeded transfers interleaved with fault
+  episodes (retryable prover kills / message drops, and shard-targeted
+  :class:`~repro.faults.CrashPoint` crashes, optionally paired with
+  post-crash :class:`~repro.faults.TornWrite` / :class:`~repro.faults.
+  BitRotSegment` damage on the crashed shard).  Corruption is only ever
+  paired with an ``after-log`` crash on the *same* shard, so the damage
+  lands on the one record whose acknowledgement the crash swallowed —
+  never on acked history, which recovery must preserve bit-for-bit;
+- :func:`run_nemesis` — drive a durable :class:`~repro.core.sharding.
+  ShardedSession` through a schedule, recovering from every crash and
+  checking the ACID invariants after each episode against a client-side
+  oracle (see :class:`NemesisReport`);
+- :func:`minimize_schedule` — shrink a failing schedule to a (locally)
+  minimal failing subsequence by chunked bisection, the standard
+  delta-debugging loop.
+
+Invariants checked after every recovery (and once more at the end):
+
+1. **conservation** — the total balance equals the initial total;
+2. **atomicity + durability** — the recovered state equals the oracle
+   either *without* the in-flight transfer (the crashed round aborted
+   everywhere) or *with* it (it committed everywhere).  Any other state
+   is a torn cross-shard transaction or a lost acked flush;
+3. **digest convergence** — every shard's client and server digests
+   agree after replay;
+4. **resolution** — the intent journal holds no pending rounds;
+5. **liveness** — a probe transfer is accepted post-recovery.
+
+Quickstart::
+
+    from repro.faults.nemesis import generate_schedule, run_nemesis
+
+    steps = generate_schedule(seed=7, steps=12, num_shards=3)
+    report = run_nemesis(steps, directory=tmpdir, seed=7, num_shards=3)
+    assert report.ok, report.invariant_failures
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Sequence
+
+from ..core.config import LitmusConfig
+from ..core.session import DurabilityConfig, RetryPolicy
+from ..core.sharding import ShardMap, ShardedSession
+from ..crypto.rsa_group import RSAGroup
+from ..errors import ReproError, SimulatedCrash, WalError
+from ..obs.metrics import MetricsRegistry
+from ..vc.program import (
+    Add,
+    KeyTemplate,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+from .durability import BitRotSegment, CrashPoint, TornWrite
+from .injectors import DropMessage, KillProver
+from .plan import FaultPlan
+
+__all__ = [
+    "NemesisReport",
+    "NemesisStep",
+    "generate_schedule",
+    "minimize_schedule",
+    "run_nemesis",
+]
+
+INITIAL_BALANCE = 100
+
+# The workload: the canonical two-account transfer, cross-shard whenever
+# src and dst land on different shards.
+TRANSFER = Program(
+    name="nemesis-transfer",
+    params=("src", "dst", "amount"),
+    statements=(
+        ReadStmt("s", KeyTemplate(("acct", Param("src")))),
+        ReadStmt("d", KeyTemplate(("acct", Param("dst")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("src"))), Sub(ReadVal("s"), Param("amount"))
+        ),
+        WriteStmt(
+            KeyTemplate(("acct", Param("dst"))), Add(ReadVal("d"), Param("amount"))
+        ),
+    ),
+)
+
+# Fast-but-real pipeline settings for chaos runs: every batch still goes
+# through certification, proving and client verification.
+NEMESIS_CONFIG = LitmusConfig(
+    cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+)
+
+_CORRUPTIONS = ("", "torn", "bitrot")
+
+
+@dataclass(frozen=True)
+class NemesisStep:
+    """One deterministic step of a chaos schedule.
+
+    ``kind`` is ``"transfer"`` (a plain op), ``"kill-prover"`` /
+    ``"drop-message"`` (a retryable fault injected around the op), or
+    ``"crash"`` (a :class:`CrashPoint` targeted at ``shard`` fires at
+    ``stage`` while the op — always a cross-shard transfer touching that
+    shard — is in flight; ``corruption`` optionally damages the crashed
+    shard's WAL tail before recovery).  Every step carries its own
+    transfer so a schedule replays identically regardless of which prefix
+    of it runs.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    amount: int
+    shard: int | None = None
+    stage: str = "after-log"
+    corruption: str = ""
+
+
+def generate_schedule(
+    seed: int,
+    *,
+    steps: int = 12,
+    num_accounts: int = 16,
+    num_shards: int = 3,
+    crash_fraction: float = 0.25,
+    fault_fraction: float = 0.25,
+) -> list[NemesisStep]:
+    """Expand *seed* into a replayable chaos schedule.
+
+    Roughly ``crash_fraction`` of the steps are shard-targeted crashes
+    (each with a cross-shard transfer guaranteed to involve the target
+    shard, so the kill lands mid cross-round), ``fault_fraction`` are
+    retryable prover/message faults, and the rest are plain transfers.
+    Deterministic: the same arguments produce the same schedule.
+    """
+    if steps < 1:
+        raise ReproError("a nemesis schedule needs at least one step")
+    rng = random.Random(seed)
+    shard_map = ShardMap(num_shards)
+    owners: dict[int, list[int]] = {}
+    for acct in range(num_accounts):
+        owners.setdefault(shard_map.shard_of(("acct", acct)), []).append(acct)
+    # A shard is a viable crash target iff it owns an account and some
+    # other shard does too (we need a cross-shard pair through it).
+    targets = [s for s in sorted(owners) if len(owners) > 1]
+
+    def _any_transfer() -> tuple[int, int, int]:
+        src = rng.randrange(num_accounts)
+        dst = rng.randrange(num_accounts)
+        while dst == src:
+            dst = rng.randrange(num_accounts)
+        return src, dst, rng.randint(1, 5)
+
+    schedule: list[NemesisStep] = []
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < crash_fraction and targets:
+            shard = rng.choice(targets)
+            src = rng.choice(owners[shard])
+            other = rng.choice([s for s in targets if s != shard])
+            dst = rng.choice(owners[other])
+            stage = rng.choice(("before-log", "after-log"))
+            # Post-crash corruption only composes with after-log: the torn
+            # or rotted record is then exactly the un-acked one.
+            corruption = (
+                rng.choice(_CORRUPTIONS) if stage == "after-log" else ""
+            )
+            schedule.append(
+                NemesisStep(
+                    kind="crash",
+                    src=src,
+                    dst=dst,
+                    amount=rng.randint(1, 5),
+                    shard=shard,
+                    stage=stage,
+                    corruption=corruption,
+                )
+            )
+        elif roll < crash_fraction + fault_fraction:
+            kind = rng.choice(("kill-prover", "drop-message"))
+            src, dst, amount = _any_transfer()
+            schedule.append(
+                NemesisStep(kind=kind, src=src, dst=dst, amount=amount)
+            )
+        else:
+            src, dst, amount = _any_transfer()
+            schedule.append(
+                NemesisStep(kind="transfer", src=src, dst=dst, amount=amount)
+            )
+    return schedule
+
+
+@dataclass(frozen=True)
+class NemesisReport:
+    """What one nemesis run did and whether the invariants held.
+
+    ``invariant_failures`` is empty on a clean run (``ok``); each entry
+    names the violated invariant and the evidence.  ``acked`` counts
+    transfers the session acknowledged (they are in the oracle and must
+    survive every later crash); ``crashes``/``recoveries`` count the
+    episodes; ``injected`` counts every fault the plan applied, including
+    the retryable ones the :class:`~repro.core.session.RetryPolicy`
+    absorbed.
+    """
+
+    seed: int
+    steps: int
+    ops: int
+    acked: int
+    rejected: int
+    crashes: int
+    recoveries: int
+    injected: int
+    compensations: int
+    in_doubt_resolved: int
+    invariant_failures: tuple[str, ...]
+    final_balance: int
+    duration_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_failures
+
+
+def _read_state(session: ShardedSession, num_accounts: int) -> dict:
+    return {
+        ("acct", i): session.shards[
+            session.shard_map.shard_of(("acct", i))
+        ].server.db.get(("acct", i))
+        for i in range(num_accounts)
+    }
+
+
+def _check_episode(
+    session: ShardedSession,
+    model: dict,
+    inflight: NemesisStep | None,
+    num_accounts: int,
+    failures: list[str],
+) -> dict:
+    """Post-recovery invariant checks; returns the reconciled oracle."""
+    state = _read_state(session, num_accounts)
+    total = sum(state.values())
+    expected_total = num_accounts * INITIAL_BALANCE
+    if total != expected_total:
+        failures.append(
+            f"conservation: total balance {total} != {expected_total}"
+        )
+    candidates = [("aborted everywhere", dict(model))]
+    if inflight is not None:
+        committed = dict(model)
+        committed[("acct", inflight.src)] -= inflight.amount
+        committed[("acct", inflight.dst)] += inflight.amount
+        candidates.append(("committed everywhere", committed))
+    for _label, candidate in candidates:
+        if state == candidate:
+            model = candidate
+            break
+    else:
+        diff = sorted(
+            key for key in state if state[key] != candidates[0][1][key]
+        )
+        failures.append(
+            "atomicity/durability: recovered state matches neither the "
+            "all-aborted nor the all-committed oracle (torn cross-shard "
+            f"transaction or lost acked flush); divergent keys: {diff}"
+        )
+    for index, shard in enumerate(session.shards):
+        if int(shard.client.digest) != int(shard.server.digest):
+            failures.append(
+                f"digest convergence: shard {index} client and server "
+                "digests disagree after recovery"
+            )
+    if session._intents is not None and session._intents.pending_rounds:
+        failures.append(
+            "resolution: intent journal still holds pending round(s) "
+            f"{sorted(session._intents.pending_rounds)} after recovery"
+        )
+    return model
+
+
+def run_nemesis(
+    schedule: Sequence[NemesisStep],
+    *,
+    directory: str,
+    seed: int = 0,
+    num_accounts: int = 16,
+    num_shards: int = 3,
+    config: LitmusConfig | None = None,
+    group: RSAGroup | None = None,
+    registry: MetricsRegistry | None = None,
+) -> NemesisReport:
+    """Drive a durable sharded session through *schedule* and referee it.
+
+    Builds the session under *directory* with a retrying
+    :class:`~repro.core.session.RetryPolicy` (so the retryable fault
+    steps are absorbed in-band), executes the steps, and on every
+    :class:`~repro.errors.SimulatedCrash` abandons the session, applies
+    the step's paired corruption (if any) to the crashed shard's WAL,
+    recovers via :meth:`ShardedSession.recover`, and runs the module
+    docstring's invariant checks against the client-side oracle.  The
+    first invariant failure stops the run (the oracle is no longer
+    trustworthy); a clean run executes every step.
+
+    Deterministic end to end: the schedule is data, the workload seeds
+    are in the steps, and all fault randomness flows through the plan's
+    seeded stream.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    config = config if config is not None else NEMESIS_CONFIG
+    if group is None:
+        group = RSAGroup.generate(bits=512, seed=b"litmus-nemesis")
+    retry = RetryPolicy(max_attempts=4, backoff=0.0)
+    plan = FaultPlan(seed=seed).bind_registry(registry)
+    start = perf_counter()
+    session = ShardedSession.create(
+        initial={("acct", i): INITIAL_BALANCE for i in range(num_accounts)},
+        config=config,
+        num_shards=num_shards,
+        group=group,
+        registry=registry,
+        retry_policy=retry,
+        fault_plan=plan,
+        durability=DurabilityConfig(directory=directory),
+    )
+    model = {("acct", i): INITIAL_BALANCE for i in range(num_accounts)}
+    ops = acked = rejected = crashes = recoveries = 0
+    failures: list[str] = []
+
+    def _apply(step: NemesisStep) -> None:
+        model[("acct", step.src)] -= step.amount
+        model[("acct", step.dst)] += step.amount
+
+    try:
+        for step in schedule:
+            registry.counter("nemesis.steps").inc()
+            if step.kind in ("transfer", "kill-prover", "drop-message"):
+                injector = None
+                if step.kind == "kill-prover":
+                    injector = KillProver(piece=0)
+                elif step.kind == "drop-message":
+                    injector = DropMessage(direction="response")
+                if injector is not None:
+                    plan.injectors.append(injector)
+                try:
+                    ticket = session.submit(
+                        "nemesis",
+                        TRANSFER,
+                        src=step.src,
+                        dst=step.dst,
+                        amount=step.amount,
+                    )
+                    session.flush()
+                finally:
+                    if injector is not None and injector in plan.injectors:
+                        plan.injectors.remove(injector)
+                ops += 1
+                registry.counter("nemesis.ops").inc()
+                if ticket.accepted:
+                    acked += 1
+                    _apply(step)
+                else:
+                    rejected += 1
+            elif step.kind == "crash":
+                crash = CrashPoint(step.stage, shard=step.shard)
+                plan.injectors.append(crash)
+                crashed = False
+                try:
+                    ticket = session.submit(
+                        "nemesis",
+                        TRANSFER,
+                        src=step.src,
+                        dst=step.dst,
+                        amount=step.amount,
+                    )
+                    session.flush()
+                except SimulatedCrash:
+                    crashed = True
+                finally:
+                    if crash in plan.injectors:
+                        plan.injectors.remove(crash)
+                ops += 1
+                registry.counter("nemesis.ops").inc()
+                if not crashed:
+                    # The targeted stage was never reached (e.g. the round
+                    # resolved before the shard logged); a plain op, then.
+                    if ticket.accepted:
+                        acked += 1
+                        _apply(step)
+                    else:
+                        rejected += 1
+                    continue
+                crashes += 1
+                registry.counter("nemesis.crashes").inc()
+                try:  # release handles; a real crash would not even do this
+                    session.close()
+                except BaseException:
+                    pass
+                if step.corruption:
+                    corruptor = (
+                        TornWrite()
+                        if step.corruption == "torn"
+                        else BitRotSegment()
+                    )
+                    try:
+                        corruptor.apply(
+                            os.path.join(directory, f"shard-{step.shard:02d}")
+                        )
+                    except WalError:
+                        pass  # nothing durable on that shard yet
+                session = ShardedSession.recover(
+                    directory,
+                    [TRANSFER],
+                    group=group,
+                    registry=registry,
+                    retry_policy=retry,
+                    fault_plan=plan,
+                )
+                recoveries += 1
+                registry.counter("nemesis.recoveries").inc()
+                model = _check_episode(
+                    session, model, step, num_accounts, failures
+                )
+                if failures:
+                    break
+                # Liveness probe: the recovered deployment must take work.
+                probe = session.submit(
+                    "nemesis", TRANSFER, src=step.src, dst=step.dst, amount=1
+                )
+                session.flush()
+                ops += 1
+                registry.counter("nemesis.ops").inc()
+                if probe.accepted:
+                    acked += 1
+                    model[("acct", step.src)] -= 1
+                    model[("acct", step.dst)] += 1
+                else:
+                    failures.append(
+                        "liveness: post-recovery probe transfer was "
+                        f"rejected: {probe._reason}"
+                    )
+                    break
+            else:
+                raise ReproError(f"unknown nemesis step kind {step.kind!r}")
+        if not failures:
+            model = _check_episode(session, model, None, num_accounts, failures)
+        final_balance = sum(_read_state(session, num_accounts).values())
+    finally:
+        try:
+            session.close()
+        except BaseException:
+            pass
+    if failures:
+        registry.counter("nemesis.invariant_failures").inc(len(failures))
+    return NemesisReport(
+        seed=seed,
+        steps=len(schedule),
+        ops=ops,
+        acked=acked,
+        rejected=rejected,
+        crashes=crashes,
+        recoveries=recoveries,
+        injected=plan.injected,
+        compensations=registry.counter("xshard.compensations").value,
+        in_doubt_resolved=registry.counter("xshard.in_doubt_resolved").value,
+        invariant_failures=tuple(failures),
+        final_balance=final_balance,
+        duration_seconds=perf_counter() - start,
+    )
+
+
+def minimize_schedule(
+    steps: Sequence[NemesisStep],
+    fails: Callable[[list[NemesisStep]], bool],
+) -> list[NemesisStep]:
+    """Shrink a failing schedule to a locally minimal failing subsequence.
+
+    *fails* must be a pure predicate — typically a closure that replays
+    the candidate schedule with :func:`run_nemesis` against a fresh
+    directory and returns ``not report.ok``.  Chunked bisection (the
+    ddmin loop): repeatedly try dropping contiguous chunks, halving the
+    chunk size until single-step removal no longer shrinks the schedule.
+    Raises :class:`~repro.errors.ReproError` if the full schedule does
+    not fail (there is nothing to minimize).
+    """
+    current = list(steps)
+    if not fails(list(current)):
+        raise ReproError(
+            "the full schedule does not fail; nothing to minimize"
+        )
+    chunk = max(1, len(current) // 2)
+    while True:
+        index = 0
+        shrunk = False
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk :]
+            if candidate and fails(list(candidate)):
+                current = candidate
+                shrunk = True
+            else:
+                index += chunk
+        if chunk == 1:
+            if not shrunk:
+                return current
+        else:
+            chunk = max(1, chunk // 2)

@@ -18,7 +18,15 @@ Metric naming taxonomy (dotted, lowercase):
 - ``accumulator.witness_seconds`` / ``authdict.{lookup,update}_seconds``;
 - ``db.{committed,aborted_retries}`` — CC-layer outcomes per batch;
 - ``server.{batches,pieces}`` / ``client.{batches_accepted,batches_rejected}``;
-- ``session.{deadline_aborts,...}`` — facade-level round outcomes;
+- ``session.{deadline_aborts,...}`` — facade-level round outcomes,
+  including ``session.compensations`` (verified batches rolled back by
+  the cross-shard coordinator);
+- ``xshard.*`` — the atomic cross-shard commit protocol:
+  ``xshard.intents`` (prepare records made durable), ``xshard.commits``,
+  ``xshard.compensations`` (per-shard batch rollbacks during an abort)
+  and ``xshard.in_doubt_resolved`` (pending rounds settled at recovery);
+- ``nemesis.{steps,ops,crashes,recoveries,invariant_failures}`` — the
+  seeded chaos harness (:mod:`repro.faults.nemesis`);
 - ``net.*`` — the socket service and remote client (``repro.net``):
   ``net.{bytes,frames}_{sent,received}``, ``net.connections_{active,total,
   refused}`` (active is a gauge), ``net.{requests,errors,op_replays}``,

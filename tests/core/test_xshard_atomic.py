@@ -1,0 +1,308 @@
+"""Atomic cross-shard commit: compensation, in-doubt recovery, typed errors.
+
+The 2PC of DESIGN.md §16: every cross-shard apply round journals a durable
+intent before fan-out, partial outcomes are compensated live (accepted
+shards roll back to their pre-round verified watermarks), and a crash
+mid-round leaves an in-doubt intent that ``ShardedSession.recover``
+resolves from the durable evidence — commit-forward, truncate-abort, or
+roll-forward.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import (
+    DigestVector,
+    DurabilityConfig,
+    LitmusConfig,
+    ShardedSession,
+)
+from repro.core.sharding import ShardMap
+from repro.db.wal import INTENT_JOURNAL_NAME, IntentJournal
+from repro.errors import RecoveryError, SimulatedCrash
+from repro.faults import CorruptProofPiece, CrashPoint, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.vc.program import (
+    Add,
+    KeyTemplate,
+    Param,
+    Program,
+    ReadStmt,
+    ReadVal,
+    Sub,
+    WriteStmt,
+)
+
+TRANSFER = Program(
+    name="xa-transfer",
+    params=("src", "dst", "amount"),
+    statements=(
+        ReadStmt("s", KeyTemplate(("acct", Param("src")))),
+        ReadStmt("d", KeyTemplate(("acct", Param("dst")))),
+        WriteStmt(
+            KeyTemplate(("acct", Param("src"))), Sub(ReadVal("s"), Param("amount"))
+        ),
+        WriteStmt(
+            KeyTemplate(("acct", Param("dst"))), Add(ReadVal("d"), Param("amount"))
+        ),
+    ),
+)
+
+NUM_ACCOUNTS = 16
+CONFIG = LitmusConfig(
+    cc="dr", processing_batch_size=2, batches_per_piece=2, prime_bits=64
+)
+
+
+def _initial():
+    return {("acct", i): 100 for i in range(NUM_ACCOUNTS)}
+
+
+def _read(session, acct):
+    return session.shards[session.shard_map.shard_of(("acct", acct))].server.db.get(
+        ("acct", acct)
+    )
+
+
+def _balance(session):
+    return sum(_read(session, i) for i in range(NUM_ACCOUNTS))
+
+
+def _cross_pair(num_shards: int) -> tuple[int, int]:
+    """A (src, dst) account pair whose owners are two different shards."""
+    sm = ShardMap(num_shards)
+    for src in range(NUM_ACCOUNTS):
+        for dst in range(NUM_ACCOUNTS):
+            if sm.shard_of(("acct", src)) != sm.shard_of(("acct", dst)):
+                return src, dst
+    raise AssertionError("no cross-shard pair in the test keyspace")
+
+
+def _abandon(session) -> None:
+    """Drop a crashed session like a dead process would (best effort)."""
+    try:
+        session.close()
+    except BaseException:
+        pass
+
+
+class TestLiveCompensation:
+    def test_partial_apply_compensates_accepted_shards(self, group):
+        """One participant rejects its apply: the other must be undone.
+
+        The victim shard gets a private fault plan that corrupts its proof,
+        so its apply batch fails client verification while the sibling
+        shard's batch verifies and journals.  Pre-compensation code left
+        the sibling's writes applied — half a transfer.
+        """
+        registry = MetricsRegistry()
+        session = ShardedSession.create(
+            initial=_initial(), config=CONFIG, num_shards=2, group=group,
+            registry=registry,
+        )
+        try:
+            src, dst = _cross_pair(2)
+            victim = session.shard_map.shard_of(("acct", dst))
+            baseline = DigestVector(session.digest.shards)
+            session.shards[victim].fault_plan = FaultPlan(
+                CorruptProofPiece(piece=0)
+            )
+            ticket = session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+            result = session.flush()
+            assert not result.accepted
+            assert not ticket.accepted
+            assert f"shard(s) {victim}" in ticket._reason
+            # the never-applied baseline: balances and per-shard digests
+            assert all(_read(session, i) == 100 for i in range(NUM_ACCOUNTS))
+            assert session.digest == baseline
+            assert registry.counter("xshard.compensations").value == 1
+            assert registry.counter("xshard.commits").value == 0
+            # the compensated deployment keeps taking (cross-shard) work
+            session.shards[victim].fault_plan = None
+            retry = session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+            assert session.flush().accepted and retry.accepted
+            assert _read(session, src) == 95 and _read(session, dst) == 105
+            assert _balance(session) == NUM_ACCOUNTS * 100
+        finally:
+            session.close()
+
+
+class TestInDoubtRecovery:
+    def _crash_session(self, group, directory, stage, target, **create_kwargs):
+        plan = FaultPlan(CrashPoint(stage, shard=target))
+        return ShardedSession.create(
+            initial=_initial(),
+            config=CONFIG,
+            num_shards=3,
+            group=group,
+            registry=MetricsRegistry(),
+            fault_plan=plan,
+            durability=DurabilityConfig(directory=directory),
+            **create_kwargs,
+        )
+
+    def test_crash_after_log_commits_forward(self, group, tmp_path):
+        """Every participant journaled before the kill: recovery commits."""
+        directory = str(tmp_path / "fwd")
+        src, dst = _cross_pair(3)
+        target = ShardMap(3).shard_of(("acct", src))
+        session = self._crash_session(group, directory, "after-log", target)
+        session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+        with pytest.raises(SimulatedCrash):
+            session.flush()
+        _abandon(session)
+
+        recovered = ShardedSession.recover(
+            directory, [TRANSFER], group=group, registry=MetricsRegistry()
+        )
+        try:
+            report = recovered.xshard_report
+            assert report.rounds == 1 and report.in_doubt == 1
+            assert report.committed == 1
+            assert report.aborted == 0 and report.rolled_forward == 0
+            assert _read(recovered, src) == 95 and _read(recovered, dst) == 105
+            assert _balance(recovered) == NUM_ACCOUNTS * 100
+            assert recovered._intents.pending_rounds == ()
+            # the resolution is durable: a journal scan agrees
+            records, _ = IntentJournal.scan(
+                os.path.join(directory, INTENT_JOURNAL_NAME), repair=False
+            )
+            assert [r.state for r in records] == ["committed"]
+            # liveness, including another cross-shard round
+            probe = recovered.submit("u", TRANSFER, src=src, dst=dst, amount=1)
+            assert recovered.flush().accepted and probe.accepted
+        finally:
+            recovered.close()
+
+    def test_crash_before_log_truncates_partial_apply(self, group, tmp_path):
+        """The killed shard never journaled: the sibling's record is undone.
+
+        The sibling's apply is a bare WAL tail record, so recovery aborts
+        the round by physically truncating it — indistinguishable from the
+        crash having happened one write earlier.
+        """
+        directory = str(tmp_path / "undo")
+        src, dst = _cross_pair(3)
+        target = ShardMap(3).shard_of(("acct", src))
+        session = self._crash_session(group, directory, "before-log", target)
+        digest_before = DigestVector(session.digest.shards)
+        session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+        with pytest.raises(SimulatedCrash):
+            session.flush()
+        _abandon(session)
+
+        recovered = ShardedSession.recover(
+            directory, [TRANSFER], group=group, registry=MetricsRegistry()
+        )
+        try:
+            report = recovered.xshard_report
+            assert report.rounds == 1 and report.in_doubt == 1
+            assert report.aborted == 1 and report.truncated_records == 1
+            assert report.committed == 0 and report.rolled_forward == 0
+            # the never-applied baseline, bit for bit
+            assert all(_read(recovered, i) == 100 for i in range(NUM_ACCOUNTS))
+            assert recovered.digest == digest_before
+            probe = recovered.submit("u", TRANSFER, src=src, dst=dst, amount=2)
+            assert recovered.flush().accepted and probe.accepted
+        finally:
+            recovered.close()
+
+    def test_consolidated_partial_rolls_forward(self, group, tmp_path):
+        """A checkpointed sibling cannot be truncated: recovery re-applies.
+
+        ``checkpoint_every=1`` makes the surviving shard consolidate the
+        apply record into a checkpoint immediately, so undo is off the
+        table — the journaled writes must be re-driven on the killed shard.
+        """
+        directory = str(tmp_path / "roll")
+        src, dst = _cross_pair(3)
+        target = ShardMap(3).shard_of(("acct", src))
+        session = self._crash_session(
+            group, directory, "before-log", target, checkpoint_every=1
+        )
+        session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+        with pytest.raises(SimulatedCrash):
+            session.flush()
+        _abandon(session)
+
+        recovered = ShardedSession.recover(
+            directory,
+            [TRANSFER],
+            group=group,
+            registry=MetricsRegistry(),
+            checkpoint_every=1,
+        )
+        try:
+            report = recovered.xshard_report
+            assert report.rounds == 1 and report.in_doubt == 1
+            assert report.rolled_forward == 1
+            assert report.aborted == 0 and report.committed == 0
+            assert _read(recovered, src) == 95 and _read(recovered, dst) == 105
+            assert _balance(recovered) == NUM_ACCOUNTS * 100
+        finally:
+            recovered.close()
+        # Idempotence: the resolution is durable, so a second recovery
+        # finds nothing in doubt and the state stays put.
+        again = ShardedSession.recover(
+            directory,
+            [TRANSFER],
+            group=group,
+            registry=MetricsRegistry(),
+            checkpoint_every=1,
+        )
+        try:
+            assert again.xshard_report.in_doubt == 0
+            assert _read(again, src) == 95 and _read(again, dst) == 105
+        finally:
+            again.close()
+
+    def test_clean_cross_round_journals_commit(self, group, tmp_path):
+        directory = str(tmp_path / "clean")
+        registry = MetricsRegistry()
+        session = ShardedSession.create(
+            initial=_initial(), config=CONFIG, num_shards=3, group=group,
+            registry=registry,
+            durability=DurabilityConfig(directory=directory),
+        )
+        src, dst = _cross_pair(3)
+        ticket = session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+        assert session.flush().accepted and ticket.accepted
+        session.close()
+        assert registry.counter("xshard.intents").value == 1
+        assert registry.counter("xshard.commits").value == 1
+        records, scan = IntentJournal.scan(
+            os.path.join(directory, INTENT_JOURNAL_NAME), repair=False
+        )
+        assert scan.pending == 0
+        assert [r.state for r in records] == ["committed"]
+        (record,) = records
+        assert record.num_shards == 3
+        assert record.txns[0].program == TRANSFER.name
+        assert set(record.participants) == {
+            ShardMap(3).shard_of(("acct", src)),
+            ShardMap(3).shard_of(("acct", dst)),
+        }
+
+    def test_recover_missing_shard_dir_raises_typed_error(self, group, tmp_path):
+        directory = str(tmp_path / "lost")
+        session = ShardedSession.create(
+            initial=_initial(), config=CONFIG, num_shards=3, group=group,
+            registry=MetricsRegistry(),
+            durability=DurabilityConfig(directory=directory),
+        )
+        src, dst = _cross_pair(3)
+        session.submit("u", TRANSFER, src=src, dst=dst, amount=5)
+        assert session.flush().accepted
+        session.close()
+        os.rename(
+            os.path.join(directory, "shard-01"),
+            os.path.join(directory, "shard-01-gone"),
+        )
+        with pytest.raises(RecoveryError) as excinfo:
+            ShardedSession.recover(
+                directory, [TRANSFER], group=group, registry=MetricsRegistry()
+            )
+        assert "shard-01" in str(excinfo.value)

@@ -1,0 +1,155 @@
+"""The cross-shard intent journal: framing, repair, pending detection.
+
+Unit coverage for :mod:`repro.db.wal.intents` — the coordinator-side 2PC
+decision log.  The integration story (how ``ShardedSession`` drives it)
+lives in ``tests/core/test_xshard_atomic.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.db.wal import IntentJournal, IntentTxn, encode_frame
+from repro.db.wal.intents import JOURNAL_MAGIC
+from repro.errors import WalError
+
+
+def _txn(txn_id=1, shards=(0, 1)):
+    return IntentTxn(
+        txn_id=txn_id,
+        user="alice",
+        program="transfer",
+        params={"src": 0, "dst": 1, "amount": 5, "__w0": 95, "__w1": 105},
+        shards=tuple(shards),
+    )
+
+
+def _journal(tmp_path, **kwargs) -> tuple[IntentJournal, str]:
+    path = str(tmp_path / "xshard-intents.log")
+    kwargs.setdefault("num_shards", 2)
+    kwargs.setdefault("fsync", False)
+    return IntentJournal(path, **kwargs), path
+
+
+class TestRoundTrip:
+    def test_intent_then_commit(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        round_id = journal.begin_round()
+        journal.log_intent(
+            round_id, (_txn(),), (0, 1), {0: 3, 1: 7}, {0: 0xAB, 1: 0xCD}
+        )
+        assert journal.pending_rounds == (round_id,)
+        journal.log_resolution(round_id, "committed")
+        assert journal.pending_rounds == ()
+        journal.close()
+
+        records, report = IntentJournal.scan(path, repair=False)
+        assert report.records == 1 and report.pending == 0
+        (record,) = records
+        assert record.round_id == round_id
+        assert record.state == "committed"
+        assert record.num_shards == 2
+        assert record.participants == (0, 1)
+        assert record.pre_seqs == {0: 3, 1: 7}
+        assert record.pre_digests == {0: 0xAB, 1: 0xCD}
+        assert record.txns == (_txn(),)
+
+    def test_abort_carries_reason(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        round_id = journal.begin_round()
+        journal.log_intent(round_id, (_txn(),), (0, 1), {0: 0, 1: 0}, {0: 1, 1: 2})
+        journal.log_resolution(round_id, "aborted", "shard 1 rejected")
+        journal.close()
+        records, _ = IntentJournal.scan(path)
+        assert records[0].state == "aborted"
+        assert records[0].reason == "shard 1 rejected"
+
+    def test_unresolved_intent_is_pending(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        round_id = journal.begin_round()
+        journal.log_intent(round_id, (_txn(),), (0, 1), {0: 0, 1: 0}, {0: 1, 1: 2})
+        journal.close()
+        records, report = IntentJournal.scan(path)
+        assert report.pending == 1
+        assert records[0].state == "pending"
+
+    def test_round_ids_continue_across_reopen(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        first = journal.begin_round()
+        journal.log_intent(first, (_txn(),), (0, 1), {0: 0, 1: 0}, {0: 1, 1: 2})
+        journal.close()
+        reopened = IntentJournal(path, num_shards=2, fsync=False)
+        assert reopened.pending_rounds == (first,)
+        assert reopened.begin_round() == first + 1
+        reopened.close()
+
+    def test_rejects_bad_inputs(self, tmp_path):
+        with pytest.raises(WalError):
+            IntentJournal(str(tmp_path / "j.log"), num_shards=0)
+        journal, _ = _journal(tmp_path)
+        with pytest.raises(WalError):
+            journal.log_resolution(0, "bogus-state")
+        journal.close()
+        with pytest.raises(WalError):
+            journal.log_resolution(0, "committed")  # closed
+
+
+class TestDamage:
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        round_id = journal.begin_round()
+        journal.log_intent(round_id, (_txn(),), (0, 1), {0: 0, 1: 0}, {0: 1, 1: 2})
+        journal.close()
+        clean_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(encode_frame(b'{"type": "commit"')[:9])  # torn frame
+        assert os.path.getsize(path) > clean_size
+
+        reopened = IntentJournal(path, num_shards=2, fsync=False)
+        assert os.path.getsize(path) == clean_size
+        assert reopened.pending_rounds == (round_id,)
+        # the repaired journal appends cleanly past the truncation point
+        reopened.log_resolution(round_id, "committed")
+        reopened.close()
+        records, report = IntentJournal.scan(path)
+        assert report.status == "clean"
+        assert [r.state for r in records] == ["committed"]
+
+    def test_non_json_frame_truncates_as_corrupt(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        round_id = journal.begin_round()
+        journal.log_intent(round_id, (_txn(),), (0, 1), {0: 0, 1: 0}, {0: 1, 1: 2})
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(encode_frame(b"\xff\xfe not json"))
+        records, report = IntentJournal.scan(path, repair=True)
+        assert report.status == "corrupt" and report.truncated_bytes > 0
+        assert [r.round_id for r in records] == [round_id]
+
+    def test_resolution_without_intent_is_ignored(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(
+                encode_frame(b'{"type": "commit", "round": 99, "reason": ""}')
+            )
+        records, report = IntentJournal.scan(path)
+        assert records == [] and report.records == 0
+
+    def test_missing_magic_discards_file(self, tmp_path):
+        path = str(tmp_path / "foreign.log")
+        with open(path, "wb") as handle:
+            handle.write(b"not an intent journal at all")
+        records, report = IntentJournal.scan(path, repair=True)
+        assert records == [] and report.status == "corrupt"
+        assert not os.path.exists(path)
+
+    def test_magic_survives_empty_journal(self, tmp_path):
+        journal, path = _journal(tmp_path)
+        journal.close()
+        with open(path, "rb") as handle:
+            assert handle.read() == JOURNAL_MAGIC
+        records, report = IntentJournal.scan(path)
+        assert records == [] and report.status == "clean"

@@ -1,0 +1,165 @@
+"""The seeded nemesis chaos harness (repro.faults.nemesis).
+
+Schedule generation is pure and deterministic; the run tests drive real
+durable sharded sessions through crash + corruption episodes and assert
+the referee found nothing.  The ``chaos`` mark (excluded by default, like
+``faults``/``crash``/``soak``) gates the wider seed sweep::
+
+    pytest -m chaos
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sharding import ShardMap
+from repro.errors import ReproError
+from repro.faults import (
+    NemesisStep,
+    generate_schedule,
+    minimize_schedule,
+    run_nemesis,
+)
+from repro.obs.metrics import MetricsRegistry
+
+NUM_ACCOUNTS = 16
+
+
+def _owners(num_shards: int) -> dict[int, list[int]]:
+    sm = ShardMap(num_shards)
+    owners: dict[int, list[int]] = {}
+    for acct in range(NUM_ACCOUNTS):
+        owners.setdefault(sm.shard_of(("acct", acct)), []).append(acct)
+    return owners
+
+
+class TestGenerateSchedule:
+    def test_deterministic_per_seed(self):
+        a = generate_schedule(seed=11, steps=20, num_shards=3)
+        b = generate_schedule(seed=11, steps=20, num_shards=3)
+        assert a == b and len(a) == 20
+        assert generate_schedule(seed=12, steps=20, num_shards=3) != a
+
+    def test_crash_steps_target_real_cross_pairs(self):
+        sm = ShardMap(3)
+        for seed in range(10):
+            for step in generate_schedule(seed=seed, steps=20, num_shards=3):
+                if step.kind != "crash":
+                    continue
+                src_shard = sm.shard_of(("acct", step.src))
+                dst_shard = sm.shard_of(("acct", step.dst))
+                assert src_shard == step.shard  # the kill lands mid-round
+                assert dst_shard != src_shard  # and the round is cross-shard
+
+    def test_corruption_only_pairs_with_after_log(self):
+        """Damage may only land on the un-acked record of the crashed shard."""
+        for seed in range(20):
+            for step in generate_schedule(seed=seed, steps=30, num_shards=3):
+                if step.kind == "crash" and step.corruption:
+                    assert step.stage == "after-log"
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ReproError):
+            generate_schedule(seed=0, steps=0)
+
+
+class TestRunNemesis:
+    def test_mid_cross_round_kill_leaves_no_torn_transactions(
+        self, group, tmp_path
+    ):
+        """The acceptance run: kill a shard mid cross-shard round (twice,
+        once per 2PC leg, one with a torn WAL on top) and verify that after
+        recovery every acked cross-shard transfer is applied on all
+        participants or none."""
+        owners = _owners(3)
+        shards = sorted(owners)
+        target, other = shards[0], shards[1]
+        src, dst = owners[target][0], owners[other][0]
+        steps = [
+            NemesisStep(kind="transfer", src=src, dst=dst, amount=5),
+            NemesisStep(
+                kind="crash", src=src, dst=dst, amount=4,
+                shard=target, stage="after-log", corruption="torn",
+            ),
+            NemesisStep(
+                kind="crash", src=src, dst=dst, amount=3,
+                shard=other, stage="before-log",
+            ),
+            NemesisStep(kind="transfer", src=dst, dst=src, amount=2),
+        ]
+        registry = MetricsRegistry()
+        report = run_nemesis(
+            steps,
+            directory=str(tmp_path / "nemesis"),
+            seed=5,
+            group=group,
+            registry=registry,
+        )
+        assert report.ok, report.invariant_failures
+        assert report.crashes == 2 and report.recoveries == 2
+        assert report.in_doubt_resolved == 2
+        assert report.final_balance == NUM_ACCOUNTS * 100
+        assert registry.counter("nemesis.crashes").value == 2
+        assert registry.counter("nemesis.recoveries").value == 2
+        assert registry.counter("nemesis.invariant_failures").value == 0
+
+    def test_generated_schedule_survives(self, group, tmp_path):
+        steps = generate_schedule(seed=7, steps=8, num_shards=3)
+        report = run_nemesis(
+            steps, directory=str(tmp_path / "gen"), seed=7, group=group
+        )
+        assert report.ok, report.invariant_failures
+        assert report.steps == 8
+        assert report.crashes >= 1  # seed 7's schedule includes crash steps
+        assert report.recoveries == report.crashes
+
+
+class TestMinimizeSchedule:
+    def test_shrinks_to_the_culprit(self):
+        steps = [f"pre{i}" for i in range(9)] + ["bad"] + [
+            f"post{i}" for i in range(6)
+        ]
+        probes: list[int] = []
+
+        def fails(candidate):
+            probes.append(len(candidate))
+            return "bad" in candidate
+
+        assert minimize_schedule(steps, fails) == ["bad"]
+        assert probes[0] == len(steps)  # the full schedule is checked first
+
+    def test_keeps_coupled_steps(self):
+        """Failures needing two steps keep both (1-minimality, not global)."""
+
+        def fails(candidate):
+            return "a" in candidate and "b" in candidate
+
+        assert sorted(minimize_schedule(list("xaybz"), fails)) == ["a", "b"]
+
+    def test_raises_when_the_full_schedule_passes(self):
+        with pytest.raises(ReproError):
+            minimize_schedule(["fine"], lambda candidate: False)
+
+
+@pytest.mark.chaos
+class TestChaosSweep:
+    def test_seed_sweep_holds_all_invariants(self, group, tmp_path):
+        for seed in range(6):
+            report = run_nemesis(
+                generate_schedule(seed=seed, steps=10, num_shards=3),
+                directory=str(tmp_path / f"seed-{seed}"),
+                seed=seed,
+                group=group,
+            )
+            assert report.ok, (seed, report.invariant_failures)
+            assert report.recoveries == report.crashes
+
+    def test_two_shard_deployment(self, group, tmp_path):
+        report = run_nemesis(
+            generate_schedule(seed=3, steps=10, num_shards=2),
+            directory=str(tmp_path / "two"),
+            seed=3,
+            num_shards=2,
+            group=group,
+        )
+        assert report.ok, report.invariant_failures
