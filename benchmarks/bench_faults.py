@@ -278,3 +278,80 @@ NEMESIS_TRIAL = register(
         ),
     )
 )
+
+
+def run_disk_nemesis_trial(config: dict, seed: int) -> TrialMeasurement:
+    """Chaos episodes where the disk misbehaves too; not gated.
+
+    Same referee as ``faults/nemesis_chaos``, but the generated schedules
+    interleave disk-fault steps (fsync failures that down the deployment,
+    absorbed write EIO/ENOSPC/short writes) and checkpoint rot with the
+    crash steps.  Every episode must still end with ``ok=True`` — zero
+    acked-data loss with a hostile disk under the deployment.
+    """
+    import tempfile
+
+    from repro.faults import generate_schedule, run_nemesis
+    from repro.obs.metrics import MetricsRegistry
+
+    rows = []
+    for run_seed in config["seeds"]:
+        registry = MetricsRegistry()
+        with tempfile.TemporaryDirectory(prefix="bench-disknem-") as directory:
+            report = run_nemesis(
+                generate_schedule(
+                    seed=run_seed,
+                    steps=config["steps"],
+                    num_shards=config["shards"],
+                    disk_fault_fraction=config["disk_fault_fraction"],
+                ),
+                directory=directory,
+                seed=run_seed,
+                num_shards=config["shards"],
+                registry=registry,
+            )
+        rows.append(
+            {
+                "seed": run_seed,
+                "ops": report.ops,
+                "crashes": report.crashes,
+                "disk_faults": report.disk_faults,
+                "recoveries": report.recoveries,
+                "in_doubt_resolved": report.in_doubt_resolved,
+                "ok": report.ok,
+                "seconds": round(report.duration_seconds, 3),
+            }
+        )
+    counts = {
+        "seeds": len(rows),
+        "ops": sum(row["ops"] for row in rows),
+        "crashes": sum(row["crashes"] for row in rows),
+        "disk_faults": sum(row["disk_faults"] for row in rows),
+        "recoveries": sum(row["recoveries"] for row in rows),
+        "clean": sum(1 for row in rows if row["ok"]),
+    }
+    metrics = {"disk_chaos_seconds_total": sum(row["seconds"] for row in rows)}
+    return TrialMeasurement(rows=tuple(rows), counts=counts, metrics=metrics)
+
+
+DISK_NEMESIS_TRIAL = register(
+    TrialSpec(
+        name="faults/disk_nemesis",
+        area="faults",
+        bench_file="bench_faults.py",
+        runner=run_disk_nemesis_trial,
+        config={
+            "seeds": [3, 11],
+            "steps": 10,
+            "shards": 3,
+            "disk_fault_fraction": 0.25,
+        },
+        seed=SEED,
+        headline=(),
+        description=(
+            "Disk-fault nemesis: chaos schedules with injected fsync "
+            "failures, write errors, and checkpoint rot; referee demands "
+            "zero acked-data loss."
+        ),
+    )
+)

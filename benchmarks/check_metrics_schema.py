@@ -30,7 +30,14 @@ cross-shard commit protocol (``xshard.intents``, ``xshard.commits``,
 ``xshard.compensations``, ``xshard.in_doubt_resolved``), and the
 ``nemesis.*`` family of the seeded chaos harness (``nemesis.steps``,
 ``nemesis.ops``, ``nemesis.crashes``, ``nemesis.recoveries``,
-``nemesis.invariant_failures``).
+``nemesis.disk_faults``, ``nemesis.invariant_failures``), the
+``storage.*`` family of the hostile-disk survival layer
+(``storage.write_errors``, ``storage.rescue_rotations``,
+``storage.fsync_failures``, ``storage.mirror_writes``,
+``storage.mirror_write_failures``, ``storage.mirror_repairs``), and the
+``scrub.*`` family of the scrub/repair pass (``scrub.runs``,
+``scrub.files_scanned``, ``scrub.records_verified``,
+``scrub.damage_found``, ``scrub.repairs``, ``scrub.quarantined``).
 
 ``--bench PATH`` (repeatable) validates an orchestrated ``BENCH_<area>.json``
 trajectory instead: the file is loaded through

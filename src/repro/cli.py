@@ -61,6 +61,16 @@ attempts a real recovery of that deployment and prints the report; a
 missing directory or an unrecoverable (corrupt) one exits non-zero with
 a one-line diagnosis, never a traceback.
 
+The scrubber audits a durability directory proactively::
+
+    python -m repro --scrub /var/lib/litmus [--audit-only]
+
+It re-verifies every checkpoint checksum (primary *and* mirror) and every
+sealed segment's CRC framing (:mod:`repro.db.scrub`), repairs rotted
+checkpoints from their healthy twins, quarantines doubly-damaged pairs,
+and exits 1 when unrepaired damage remains — the signal to schedule a
+restart so recovery can truncate it.
+
 The nemesis chaos demo composes crashes, WAL corruption and retryable
 faults into one seeded schedule against a durable *sharded* deployment
 (:mod:`repro.faults.nemesis`), recovering after every kill and checking
@@ -369,6 +379,38 @@ def _recover_existing(directory: str) -> tuple[str, int]:
         f"  duration   : {report.duration_seconds:.3f}s",
     ]
     return "\n".join(lines), 0
+
+
+def _scrub_cmd(directory: str, repair: bool = True) -> tuple[str, int]:
+    """Dispatch ``--scrub``: verify (and repair) a durability directory.
+
+    Exit codes mirror ``--recover``: 2 for a missing directory, 1 when
+    damage remains in place after the pass (an unrepairable checkpoint
+    pair, segment/journal corruption that recovery must truncate), 0 for
+    a clean or fully healed directory.
+    """
+    import os
+
+    from .db.scrub import scrub_directory
+
+    if not os.path.isdir(directory):
+        return (
+            f"error: --scrub directory {directory!r} does not exist; "
+            "point at a durable deployment's directory",
+            2,
+        )
+    report = scrub_directory(directory, repair=repair)
+    lines = [
+        f"Scrubbed durability directory {directory!r}"
+        + ("" if repair else " (audit only)"),
+        f"  {report.summary()}",
+    ]
+    for finding in report.findings:
+        lines.append(
+            f"  [{finding.action}] {finding.kind} "
+            f"{os.path.basename(finding.path)}: {finding.problem}"
+        )
+    return "\n".join(lines), 0 if report.ok else 1
 
 
 def _recover_demo(directory: str, seed: int) -> tuple[str, bool]:
@@ -724,6 +766,21 @@ def main(argv: list[str] | None = None) -> int:
         "torn WAL tail, restart + recover) in a fresh directory DIR",
     )
     parser.add_argument(
+        "--scrub",
+        metavar="DIR",
+        default=None,
+        help="scrub the durability directory DIR: re-verify every "
+        "checkpoint checksum and sealed-segment CRC, repair rotted "
+        "checkpoints from their mirrors, quarantine doubly-damaged "
+        "pairs; exits 1 when unrepaired damage remains",
+    )
+    parser.add_argument(
+        "--audit-only",
+        action="store_true",
+        help="make --scrub report damage without repairing or "
+        "quarantining anything",
+    )
+    parser.add_argument(
         "--chaos",
         action="store_true",
         help="run a seeded nemesis chaos schedule against a durable sharded "
@@ -829,6 +886,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if recovered else 1
     if args.recover:
         transcript, code = _recover_cmd(args.recover, args.seed)
+        print(transcript, file=sys.stderr if code == 2 else sys.stdout)
+        _export_observability(args.metrics_out, args.trace_out)
+        return code
+    if args.scrub:
+        transcript, code = _scrub_cmd(args.scrub, repair=not args.audit_only)
         print(transcript, file=sys.stderr if code == 2 else sys.stdout)
         _export_observability(args.metrics_out, args.trace_out)
         return code

@@ -88,8 +88,8 @@ from ..db.txn import Transaction
 from ..db.wal import (
     DurabilityConfig,
     DurabilityManager,
-    load_latest_checkpoint,
     scan_wal,
+    select_checkpoint,
 )
 from ..errors import (
     BatchRejectedError,
@@ -306,7 +306,14 @@ class RecoveryReport:
     - ``digest`` — the journaled client digest the rebuilt state matched;
     - ``truncations`` / ``truncated_bytes`` / ``dropped_segments`` — tail
       damage the scan repaired (torn writes, bit rot) instead of raising;
-    - ``duration_seconds`` — wall-clock of the whole recovery.
+    - ``duration_seconds`` — wall-clock of the whole recovery;
+    - ``checkpoint_path`` — the checkpoint file the recovery actually
+      loaded (a ``.ckpt.mirror`` when the primary was rotted and the
+      mirror saved the day);
+    - ``checkpoint_from_mirror`` — True iff the loaded copy was a mirror;
+    - ``checkpoint_rejected`` — ``"filename: reason"`` for every newer
+      candidate (primary or mirror) that failed validation and was
+      skipped on the way to the loaded one.
     """
 
     checkpoint_seq: int
@@ -317,6 +324,9 @@ class RecoveryReport:
     truncated_bytes: int
     dropped_segments: int
     duration_seconds: float
+    checkpoint_path: str = ""
+    checkpoint_from_mirror: bool = False
+    checkpoint_rejected: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -528,7 +538,8 @@ class LitmusSession:
             program_map = dict(programs)
         else:
             program_map = {program.name: program for program in programs}
-        checkpoint = load_latest_checkpoint(directory)
+        selection = select_checkpoint(directory)
+        checkpoint = selection.checkpoint
         records, scan = scan_wal(directory, registry=registry, repair=True)
         replay = [record for record in records if record.seq > checkpoint.seq]
         if replay and replay[0].seq != checkpoint.seq + 1:
@@ -620,6 +631,9 @@ class LitmusSession:
             truncated_bytes=scan.truncated_bytes,
             dropped_segments=scan.dropped_segments,
             duration_seconds=duration,
+            checkpoint_path=selection.loaded_path,
+            checkpoint_from_mirror=selection.used_mirror,
+            checkpoint_rejected=selection.rejected,
         )
         return session
 

@@ -105,9 +105,11 @@ from ..db.wal import (
     scan_wal,
     segment_records,
 )
+from ..db.fsio import OS_FILESYSTEM, FaultyFileSystem
 from ..db.wal.config import DurabilityConfig
 from ..errors import (
     DeadlineExceeded,
+    DurabilityError,
     RecoveryError,
     ReproError,
     SimulatedCrash,
@@ -375,11 +377,20 @@ class ShardedSession:
         intent_journal = None
         if durability is not None:
             os.makedirs(durability.directory, exist_ok=True)
+            # The coordinator journal gets the same faultable filesystem
+            # the shard engines run on (shard=None targets the coordinator
+            # in disk-fault schedules).
+            journal_fs = (
+                FaultyFileSystem(fault_plan, OS_FILESYSTEM, shard=None)
+                if fault_plan is not None
+                else OS_FILESYSTEM
+            )
             intent_journal = IntentJournal(
                 os.path.join(durability.directory, INTENT_JOURNAL_NAME),
                 num_shards=num_shards,
                 fsync=durability.fsync != "never",
                 registry=registry,
+                fs=journal_fs,
             )
         return cls(
             sessions,
@@ -544,6 +555,11 @@ class ShardedSession:
             num_shards=len(shard_dirs),
             fsync=True,
             registry=registry,
+            fs=(
+                FaultyFileSystem(fault_plan, OS_FILESYSTEM, shard=None)
+                if fault_plan is not None
+                else OS_FILESYSTEM
+            ),
         )
         for round_id, state, reason in resolutions:
             journal.log_resolution(round_id, state, reason)
@@ -892,7 +908,9 @@ class ShardedSession:
                             shard_ticket._outputs,
                             shard_ticket._reason,
                         )
-            if not isinstance(exc, (DeadlineExceeded, SimulatedCrash)):
+            if not isinstance(
+                exc, (DeadlineExceeded, SimulatedCrash, DurabilityError)
+            ):
                 for home, ticket_pairs in shard_tickets.items():
                     for call, _shard_ticket in ticket_pairs:
                         if not call.ticket.resolved:
@@ -1016,10 +1034,12 @@ class ShardedSession:
         # Phase 2 (commit/compensate): fan out, then resolve the intent.
         try:
             results = self._parallel_flush(sorted(involved), deadline)
-        except SimulatedCrash:
-            # Process death: no live compensation is possible — the intent
-            # deliberately stays in doubt for recover() to resolve from
-            # the durable evidence.
+        except (SimulatedCrash, DurabilityError):
+            # Process death — or a disk that refused an acknowledged-path
+            # write (failed fsync poisons the engine: fsyncgate semantics
+            # forbid retry-and-pretend).  Either way no live compensation
+            # is possible; the intent deliberately stays in doubt for
+            # recover() to resolve from the durable evidence.
             raise
         except BaseException as exc:
             outcomes = getattr(exc, "shard_outcomes", {})

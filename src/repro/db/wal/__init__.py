@@ -32,9 +32,12 @@ authenticated-dictionary digest against the journaled client digest
 
 from .checkpoints import (
     Checkpoint,
+    CheckpointSelection,
     checkpoint_path,
     list_checkpoints,
     load_latest_checkpoint,
+    mirror_path,
+    select_checkpoint,
     write_checkpoint,
 )
 from .config import DurabilityConfig
@@ -64,6 +67,7 @@ from .segments import (
 
 __all__ = [
     "Checkpoint",
+    "CheckpointSelection",
     "DurabilityConfig",
     "DurabilityManager",
     "INTENT_JOURNAL_NAME",
@@ -83,7 +87,9 @@ __all__ = [
     "list_checkpoints",
     "list_segments",
     "load_latest_checkpoint",
+    "mirror_path",
     "scan_wal",
+    "select_checkpoint",
     "segment_records",
     "write_checkpoint",
 ]

@@ -12,16 +12,29 @@ without replaying history from genesis:
   parameters, durability settings, and the next transaction id.
 
 Write protocol (the atomicity story): serialize to ``<name>.tmp`` in the
-same directory, ``fsync`` the temp file, then ``os.replace`` onto the
+same directory, ``fsync`` the temp file, then rename atomically onto the
 final name and ``fsync`` the directory.  POSIX rename atomicity means a
 reader sees either the whole new checkpoint or none of it — a crash
 between the two steps leaves a ``.tmp`` file that loaders ignore and the
 next writer garbage-collects.  A SHA-256 checksum over the canonical body
 catches bit rot that rename atomicity cannot.
 
+Every checkpoint also gets a **mirror** (``<name>.ckpt.mirror``), written
+atomically right after the primary with the same temp-fsync-rename
+protocol.  The mirror is byte-identical redundancy against at-rest rot:
+loading falls back primary → mirror → older checkpoint, and the scrubber
+(:mod:`repro.db.scrub`) repairs a rotted primary from its mirror (or
+vice versa).  A mirror write failure is degraded redundancy, not a
+durability failure — it is counted (``storage.mirror_write_failures``)
+and survived, because the fsynced primary already anchors recovery.
+
 Loading walks candidates newest-first and returns the first one that
-validates, so one rotted checkpoint degrades recovery to the previous
-checkpoint plus more WAL replay instead of failing it.
+validates; :func:`select_checkpoint` additionally reports *which* file
+was loaded and which candidates were rejected and why, so recovery can
+surface the fallback decision instead of taking it silently.
+
+All I/O goes through a :class:`~repro.db.fsio.FileSystem` so the disk
+fault injectors reach checkpoints too.
 """
 
 from __future__ import annotations
@@ -34,19 +47,25 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ...errors import CheckpointError, ReproError
+from ...obs.metrics import MetricsRegistry, get_metrics
 from ...serialization import encode
+from ..fsio import OS_FILESYSTEM, FileSystem
 from .segments import _fsync_directory
 
 __all__ = [
     "Checkpoint",
+    "CheckpointSelection",
     "checkpoint_path",
     "list_checkpoints",
     "load_latest_checkpoint",
+    "mirror_path",
+    "select_checkpoint",
     "write_checkpoint",
 ]
 
 _FORMAT = "litmus-wal-checkpoint-v1"
 _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{16})\.ckpt$")
+MIRROR_SUFFIX = ".mirror"
 
 
 @dataclass(frozen=True)
@@ -73,14 +92,39 @@ class Checkpoint:
         return dict(self.provider_store), self.provider_product, self.provider_digest
 
 
+@dataclass(frozen=True)
+class CheckpointSelection:
+    """Which checkpoint recovery anchored on, and what it passed over.
+
+    - ``checkpoint`` — the validated winner;
+    - ``loaded_path`` — the actual file read (a ``.ckpt`` primary, or its
+      ``.ckpt.mirror`` when the primary was damaged);
+    - ``used_mirror`` — True iff the winner came from a mirror;
+    - ``rejected`` — every candidate file that failed validation before
+      the winner, newest-first, as ``"name: reason"`` strings.  Empty on
+      the happy path (the newest primary validated).
+    """
+
+    checkpoint: Checkpoint
+    loaded_path: str
+    used_mirror: bool
+    rejected: tuple[str, ...]
+
+
 def checkpoint_path(directory: str, seq: int) -> str:
     return os.path.join(directory, f"checkpoint-{seq:016d}.ckpt")
 
 
-def list_checkpoints(directory: str) -> list[str]:
-    """Checkpoint files (no temps), newest sequence first."""
+def mirror_path(primary: str) -> str:
+    """The mirror twin of a checkpoint primary path."""
+    return primary + MIRROR_SUFFIX
+
+
+def list_checkpoints(directory: str, fs: FileSystem | None = None) -> list[str]:
+    """Checkpoint files (no temps, no mirrors), newest sequence first."""
+    fs = fs if fs is not None else OS_FILESYSTEM
     try:
-        names = os.listdir(directory)
+        names = fs.listdir(directory)
     except FileNotFoundError:
         return []
     found = []
@@ -115,6 +159,21 @@ def _canonical(body: dict) -> bytes:
     return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
 
 
+def _write_atomic(
+    fs: FileSystem, directory: str, final: str, data: bytes, fsync: bool
+) -> None:
+    """temp → fsync → rename → fsync-dir; the one true publication dance."""
+    temp = final + ".tmp"
+    with fs.open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            handle.fsync()
+    fs.replace(temp, final)
+    if fsync:
+        _fsync_directory(directory, fs)
+
+
 def write_checkpoint(
     directory: str,
     *,
@@ -131,14 +190,18 @@ def write_checkpoint(
     fsync: bool = True,
     on_stage: Callable[[str], None] | None = None,
     keep: int = 2,
+    fs: FileSystem | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> str:
-    """Write one checkpoint atomically; returns the final path.
+    """Write one checkpoint (and its mirror) atomically; returns the path.
 
     *on_stage* is the durability fault hook: it fires with
     ``"after-checkpoint-temp"`` once the temp file is durable (before the
     rename) and ``"after-checkpoint"`` once the rename is — the two
     crash points the recovery story must survive.
     """
+    fs = fs if fs is not None else OS_FILESYSTEM
+    registry = registry if registry is not None else get_metrics()
     provider_store, provider_product, provider_digest = provider_state
     body = {
         "format": _FORMAT,
@@ -157,33 +220,61 @@ def write_checkpoint(
         "digest_log": json.loads(digest_log_json),
     }
     body["checksum"] = hashlib.sha256(_canonical(body)).hexdigest()
+    data = json.dumps(body).encode("utf-8")
     final = checkpoint_path(directory, seq)
     temp = final + ".tmp"
-    with open(temp, "w", encoding="utf-8") as handle:
-        json.dump(body, handle)
+    with fs.open(temp, "wb") as handle:
+        handle.write(data)
         handle.flush()
         if fsync:
-            os.fsync(handle.fileno())
+            handle.fsync()
     if on_stage is not None:
         on_stage("after-checkpoint-temp")
-    os.replace(temp, final)
+    fs.replace(temp, final)
     if fsync:
-        _fsync_directory(directory)
+        _fsync_directory(directory, fs)
     if on_stage is not None:
         on_stage("after-checkpoint")
-    # Garbage-collect: stale temps from old crashes and checkpoints beyond
-    # the retention window (the newest `keep` stay as rot fallbacks).
-    for name in os.listdir(directory):
-        if name.endswith(".ckpt.tmp") and os.path.join(directory, name) != temp:
-            os.unlink(os.path.join(directory, name))
-    for old in list_checkpoints(directory)[max(keep, 1) :]:
-        os.unlink(old)
+    # The mirror: byte-identical redundancy against at-rest rot, published
+    # with the same atomic dance.  Failure here is degraded redundancy,
+    # never a durability failure — the fsynced primary already anchors
+    # recovery — so it is counted and survived, not raised.
+    mirror = mirror_path(final)
+    try:
+        _write_atomic(fs, directory, mirror, data, fsync)
+        registry.counter("storage.mirror_writes").inc()
+    except OSError:
+        registry.counter("storage.mirror_write_failures").inc()
+        try:
+            if fs.exists(mirror + ".tmp"):
+                fs.unlink(mirror + ".tmp")
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    # Garbage-collect: stale temps from old crashes, checkpoints beyond
+    # the retention window (the newest `keep` stay as rot fallbacks), and
+    # mirrors whose primary is gone.
+    for name in fs.listdir(directory):
+        path = os.path.join(directory, name)
+        if name.endswith((".ckpt.tmp", MIRROR_SUFFIX + ".tmp")) and path != temp:
+            fs.unlink(path)
+    keepers = list_checkpoints(directory, fs)[: max(keep, 1)]
+    for old in list_checkpoints(directory, fs)[max(keep, 1) :]:
+        fs.unlink(old)
+        if fs.exists(mirror_path(old)):
+            fs.unlink(mirror_path(old))
+    for name in fs.listdir(directory):
+        if name.endswith(".ckpt" + MIRROR_SUFFIX):
+            path = os.path.join(directory, name)
+            if path[: -len(MIRROR_SUFFIX)] not in keepers and not fs.exists(
+                path[: -len(MIRROR_SUFFIX)]
+            ):
+                fs.unlink(path)
     return final
 
 
-def _load_one(path: str) -> Checkpoint:
-    with open(path, "r", encoding="utf-8") as handle:
-        raw = json.load(handle)
+def _load_one(path: str, fs: FileSystem | None = None) -> Checkpoint:
+    fs = fs if fs is not None else OS_FILESYSTEM
+    raw = json.loads(fs.read_bytes(path).decode("utf-8"))
     if not isinstance(raw, dict) or raw.get("format") != _FORMAT:
         raise CheckpointError(f"{path}: not a Litmus WAL checkpoint")
     body = dict(raw)
@@ -215,20 +306,53 @@ def _load_one(path: str) -> Checkpoint:
     return checkpoint
 
 
-def load_latest_checkpoint(directory: str) -> Checkpoint:
+_LOAD_FAILURES = (CheckpointError, OSError, ValueError, KeyError, TypeError)
+
+
+def select_checkpoint(
+    directory: str, fs: FileSystem | None = None
+) -> CheckpointSelection:
+    """The newest checkpoint that validates, with the fallback trail.
+
+    Candidates are walked newest-first; for each, the primary is tried
+    before its mirror.  Invalid candidates (truncated JSON, checksum
+    mismatch, foreign format) are collected into ``rejected`` rather than
+    silently skipped.  Raises :class:`~repro.errors.CheckpointError` only
+    when *nothing* — no primary, no mirror — validates.
+    """
+    fs = fs if fs is not None else OS_FILESYSTEM
+    failures: list[str] = []
+    for path in list_checkpoints(directory, fs):
+        try:
+            return CheckpointSelection(
+                checkpoint=_load_one(path, fs),
+                loaded_path=path,
+                used_mirror=False,
+                rejected=tuple(failures),
+            )
+        except _LOAD_FAILURES as exc:
+            failures.append(f"{os.path.basename(path)}: {exc}")
+        mirror = mirror_path(path)
+        if fs.exists(mirror):
+            try:
+                return CheckpointSelection(
+                    checkpoint=_load_one(mirror, fs),
+                    loaded_path=mirror,
+                    used_mirror=True,
+                    rejected=tuple(failures),
+                )
+            except _LOAD_FAILURES as exc:
+                failures.append(f"{os.path.basename(mirror)}: {exc}")
+    detail = "; ".join(failures) if failures else "no checkpoint files present"
+    raise CheckpointError(f"no valid checkpoint in {directory!r} ({detail})")
+
+
+def load_latest_checkpoint(
+    directory: str, fs: FileSystem | None = None
+) -> Checkpoint:
     """The newest checkpoint that validates; raises :class:`CheckpointError`.
 
-    Invalid candidates (truncated JSON, checksum mismatch, foreign format)
-    are skipped in favour of older ones — recovery then simply replays
-    more WAL.  Only when *no* candidate validates does this raise.
+    Thin wrapper over :func:`select_checkpoint` for callers that do not
+    need the fallback trail.
     """
-    failures: list[str] = []
-    for path in list_checkpoints(directory):
-        try:
-            return _load_one(path)
-        except (CheckpointError, OSError, ValueError, KeyError, TypeError) as exc:
-            failures.append(f"{os.path.basename(path)}: {exc}")
-    detail = "; ".join(failures) if failures else "no checkpoint files present"
-    raise CheckpointError(
-        f"no valid checkpoint in {directory!r} ({detail})"
-    )
+    return select_checkpoint(directory, fs=fs).checkpoint

@@ -23,7 +23,12 @@ class DurabilityConfig:
     - ``segment_max_bytes`` — rotate the active segment beyond this size;
     - ``sync_every`` — the ``"batch"`` policy's sync window, in records;
     - ``checkpoint_keep`` — how many old checkpoints to retain as bit-rot
-      fallbacks (the newest is always kept).
+      fallbacks (the newest is always kept);
+    - ``scrub_interval`` — seconds between background scrub passes over
+      the directory (``0.0``, the default, disables the scrubber).  The
+      scrubber verifies checkpoint checksums and sealed-segment CRCs while
+      the session runs and repairs rotted checkpoints from their mirrors;
+      see :mod:`repro.db.scrub`.
     """
 
     directory: str
@@ -31,6 +36,7 @@ class DurabilityConfig:
     segment_max_bytes: int = 1 << 20
     sync_every: int = 8
     checkpoint_keep: int = 2
+    scrub_interval: float = 0.0
 
     def __post_init__(self):
         if not self.directory:
@@ -43,6 +49,8 @@ class DurabilityConfig:
             raise WalError("segment_max_bytes must be at least 64 bytes")
         if self.sync_every < 1 or self.checkpoint_keep < 1:
             raise WalError("sync_every and checkpoint_keep must be positive")
+        if self.scrub_interval < 0:
+            raise WalError("scrub_interval must be non-negative")
 
     def settings(self) -> dict:
         """The journal-able fields (everything but the directory), for
@@ -52,4 +60,5 @@ class DurabilityConfig:
             "segment_max_bytes": self.segment_max_bytes,
             "sync_every": self.sync_every,
             "checkpoint_keep": self.checkpoint_keep,
+            "scrub_interval": self.scrub_interval,
         }

@@ -38,8 +38,9 @@ import json
 import os
 from dataclasses import dataclass, field
 
-from ...errors import WalError
+from ...errors import DurabilityError, WalError
 from ...obs.metrics import MetricsRegistry, get_metrics
+from ..fsio import OS_FILESYSTEM, FileSystem
 from .records import STATUS_CLEAN, decode_frames, encode_frame
 from .segments import _fsync_directory
 
@@ -173,6 +174,7 @@ class IntentJournal:
         num_shards: int,
         fsync: bool = True,
         registry: MetricsRegistry | None = None,
+        fs: FileSystem | None = None,
     ):
         if num_shards < 1:
             raise WalError("an intent journal needs a positive shard count")
@@ -180,20 +182,22 @@ class IntentJournal:
         self.num_shards = num_shards
         self.fsync = fsync
         self.registry = registry if registry is not None else get_metrics()
+        self.fs = fs if fs is not None else OS_FILESYSTEM
+        self._poisoned: DurabilityError | None = None
         # Reopening after a crash: truncate any torn/corrupt tail first so
         # appends never land after damaged bytes, then continue the round
         # id sequence past everything already journaled.
-        records, _report = self.scan(path, repair=True)
+        records, _report = self.scan(path, repair=True, fs=self.fs)
         self.next_round = max((r.round_id for r in records), default=-1) + 1
         self._pending: set[int] = {
             r.round_id for r in records if r.state == STATE_PENDING
         }
-        fresh = not os.path.exists(path)
-        self._file = open(path, "ab")
+        fresh = not self.fs.exists(path)
+        self._file = self.fs.open(path, "ab")
         if fresh:
             self._file.write(JOURNAL_MAGIC)
             self._flush()
-            _fsync_directory(os.path.dirname(path) or ".")
+            _fsync_directory(os.path.dirname(path) or ".", self.fs)
 
     # -- appending ---------------------------------------------------------------
 
@@ -249,6 +253,13 @@ class IntentJournal:
             self._file = None
 
     def _append(self, payload: bytes) -> None:
+        if self._poisoned is not None:
+            raise DurabilityError(
+                f"intent journal is poisoned by an earlier durability "
+                f"failure: {self._poisoned}",
+                op=self._poisoned.op,
+                path=self.path,
+            )
         if self._file is None:
             raise WalError("intent journal is closed")
         self._file.write(encode_frame(payload))
@@ -257,13 +268,32 @@ class IntentJournal:
     def _flush(self) -> None:
         self._file.flush()
         if self.fsync:
-            os.fsync(self._file.fileno())
+            try:
+                self._file.fsync()
+            except OSError as exc:
+                # fsyncgate, journal edition: the unsynced tail can no
+                # longer be trusted.  Poison the journal — the coordinator
+                # must abandon the deployment and recover, which truncates
+                # the untrusted tail and re-resolves any in-doubt round.
+                self.registry.counter("storage.fsync_failures").inc()
+                error = DurabilityError(
+                    f"fsync failed on intent journal {self.path}: {exc}",
+                    op="fsync",
+                    path=self.path,
+                )
+                self._poisoned = error
+                try:
+                    self._file.close()
+                except OSError:  # pragma: no cover - close errors are moot
+                    pass
+                self._file = None
+                raise error from exc
 
     # -- scanning ----------------------------------------------------------------
 
     @staticmethod
     def scan(
-        path: str, repair: bool = True
+        path: str, repair: bool = True, fs: FileSystem | None = None
     ) -> tuple[list[IntentRecord], IntentScanReport]:
         """Read every intact round back, newest resolution wins.
 
@@ -272,10 +302,10 @@ class IntentJournal:
         physically truncated away, mirroring :func:`scan_wal`.  A
         resolution whose intent was lost with the damaged tail is ignored.
         """
+        fs = fs if fs is not None else OS_FILESYSTEM
         report = IntentScanReport()
         try:
-            with open(path, "rb") as handle:
-                data = handle.read()
+            data = fs.read_bytes(path)
         except FileNotFoundError:
             return [], report
         if data[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
@@ -284,7 +314,7 @@ class IntentJournal:
             report.truncated_bytes = len(data)
             report.details.append("journal magic missing; discarded entirely")
             if repair:
-                os.unlink(path)
+                fs.unlink(path)
             return [], report
         frames, intact, status = decode_frames(data, offset=len(JOURNAL_MAGIC))
         rounds: dict[int, IntentRecord] = {}
@@ -332,9 +362,8 @@ class IntentJournal:
                 f"{intact} (was {len(data)})"
             )
             if repair:
-                with open(path, "r+b") as handle:
-                    handle.truncate(intact)
-                _fsync_directory(os.path.dirname(path) or ".")
+                fs.truncate(path, intact)
+                _fsync_directory(os.path.dirname(path) or ".", fs)
         records = [rounds[k] for k in sorted(rounds)]
         report.records = len(records)
         report.pending = sum(1 for r in records if r.state == STATE_PENDING)

@@ -7,6 +7,23 @@ records (:mod:`repro.db.wal.records`).  :class:`WriteAheadLog` appends;
 truncating a torn or corrupt suffix in place instead of raising, which is
 what lets ``LitmusSession.recover`` absorb a crash mid-write.
 
+All I/O goes through a :class:`~repro.db.fsio.FileSystem`, so a seeded
+:class:`~repro.db.fsio.FaultyFileSystem` can make the disk itself
+misbehave.  The failure semantics are fsyncgate-correct:
+
+- a failed **write** never acknowledged anything, so the record is
+  re-attempted once, whole, in a freshly rotated segment (the torn bytes
+  in the abandoned segment are repaired by the next scan).  If the rescue
+  rotation also fails the log raises :class:`~repro.errors.DurabilityError`
+  — ENOSPC is "rotate or fail", never "pretend";
+- a failed **fsync** permanently poisons the log: the kernel may have
+  dropped the dirty pages and cleared the error, so retrying the fsync
+  and trusting its success would acknowledge bytes that are gone.  The
+  in-flight append raises :class:`~repro.errors.DurabilityError` (before
+  any ticket resolves — see ``LitmusSession._finish_accepted``) and every
+  later append re-raises it.  Recovery treats the never-synced tail as
+  untrusted: it is torn/corrupt to the scanner and truncated away.
+
 fsync policy (the durability/throughput dial):
 
 - ``"always"`` — ``fsync`` after every append; an acknowledged batch is on
@@ -19,7 +36,8 @@ fsync policy (the durability/throughput dial):
 
 Metrics: ``wal.records``, ``wal.bytes``, ``wal.fsyncs``, ``wal.rotations``
 (counters) on every writer; ``wal.torn_tail_truncated`` when a scan had to
-repair a tail.
+repair a tail; ``storage.write_errors`` / ``storage.rescue_rotations`` /
+``storage.fsync_failures`` when the disk misbehaved underneath.
 """
 
 from __future__ import annotations
@@ -28,8 +46,9 @@ import os
 import re
 from dataclasses import dataclass, field
 
-from ...errors import WalError
+from ...errors import DurabilityError, WalError
 from ...obs.metrics import MetricsRegistry, get_metrics
+from ..fsio import OS_FILESYSTEM, FileSystem
 from .records import (
     STATUS_CLEAN,
     WalRecord,
@@ -51,15 +70,18 @@ _SEGMENT_RE = re.compile(r"^wal-(\d{8})\.seg$")
 
 FSYNC_POLICIES = ("always", "batch", "never")
 
+_STATUS_RANK = {STATUS_CLEAN: 0, "torn": 1, "corrupt": 2}
+
 
 def _segment_name(index: int) -> str:
     return f"wal-{index:08d}.seg"
 
 
-def list_segments(directory: str) -> list[str]:
+def list_segments(directory: str, fs: FileSystem | None = None) -> list[str]:
     """Absolute paths of every segment file, in index order."""
+    fs = fs if fs is not None else OS_FILESYSTEM
     try:
-        names = os.listdir(directory)
+        names = fs.listdir(directory)
     except FileNotFoundError:
         return []
     found = []
@@ -70,18 +92,9 @@ def list_segments(directory: str) -> list[str]:
     return [path for _index, path in sorted(found)]
 
 
-def _fsync_directory(directory: str) -> None:
+def _fsync_directory(directory: str, fs: FileSystem | None = None) -> None:
     """Make a rename/create/unlink in *directory* itself durable (POSIX)."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # platforms without directory fds
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+    (fs if fs is not None else OS_FILESYSTEM).fsync_dir(directory)
 
 
 class WriteAheadLog:
@@ -94,6 +107,7 @@ class WriteAheadLog:
         segment_max_bytes: int = 1 << 20,
         sync_every: int = 8,
         registry: MetricsRegistry | None = None,
+        fs: FileSystem | None = None,
     ):
         if fsync not in FSYNC_POLICIES:
             raise WalError(f"unknown fsync policy {fsync!r} (want {FSYNC_POLICIES})")
@@ -106,8 +120,9 @@ class WriteAheadLog:
         self.segment_max_bytes = segment_max_bytes
         self.sync_every = sync_every
         self.registry = registry if registry is not None else get_metrics()
-        os.makedirs(directory, exist_ok=True)
-        existing = list_segments(directory)
+        self.fs = fs if fs is not None else OS_FILESYSTEM
+        self.fs.makedirs(directory)
+        existing = list_segments(directory, self.fs)
         # Never append to a pre-existing segment: its tail may be torn from
         # a previous crash.  A fresh segment keeps old bytes immutable and
         # lets scan_wal repair them independently.
@@ -119,20 +134,36 @@ class WriteAheadLog:
         self._file = None
         self._size = 0
         self._unsynced = 0
+        self._poisoned: DurabilityError | None = None
         self._open_segment()
 
     # -- appending ---------------------------------------------------------------
 
     def append(self, seq: int, digest: int, command_log: bytes) -> None:
-        """Frame and append one verified batch; durable per the policy."""
+        """Frame and append one verified batch; durable per the policy.
+
+        Raises :class:`~repro.errors.DurabilityError` when the disk could
+        not honestly take the record — and never acknowledges via a lying
+        fsync (see the module docstring for the exact failure semantics).
+        """
+        self._check_poisoned()
         record = encode_record(seq, digest, command_log)
-        if (
-            self._size + len(record) > self.segment_max_bytes
-            and self._size > len(SEGMENT_MAGIC)
-        ):
-            self.rotate()
-        self._file.write(record)
-        self._file.flush()
+        try:
+            if (
+                self._size + len(record) > self.segment_max_bytes
+                and self._size > len(SEGMENT_MAGIC)
+            ):
+                self.rotate()
+            self._file.write(record)
+            self._file.flush()
+        except OSError as exc:
+            # The write failed (EIO / ENOSPC / short write).  Nothing was
+            # acknowledged, so retrying the whole record in a fresh segment
+            # is honest; the abandoned segment's torn tail is repaired by
+            # the next scan.  Only if the rescue rotation fails too does
+            # the log give up.
+            self.registry.counter("storage.write_errors").inc()
+            self._rescue_rotate(record, exc)
         self._size += len(record)
         self.registry.counter("wal.records").inc()
         self.registry.counter("wal.bytes").inc(len(record))
@@ -145,6 +176,7 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Force everything appended so far onto stable storage."""
+        self._check_poisoned()
         if self._file is not None and self.fsync != "never":
             self._fsync_file()
 
@@ -167,16 +199,19 @@ class WriteAheadLog:
         """
         current = os.path.join(self.directory, _segment_name(self._index))
         self.rotate()
-        for path in list_segments(self.directory):
+        for path in list_segments(self.directory, self.fs):
             if path != os.path.join(self.directory, _segment_name(self._index)):
-                os.unlink(path)
+                self.fs.unlink(path)
         if self.fsync != "never":
-            _fsync_directory(self.directory)
+            _fsync_directory(self.directory, self.fs)
         # The pre-reset segment must be gone; guard against name races.
-        if os.path.exists(current):  # pragma: no cover - defensive
+        if self.fs.exists(current):  # pragma: no cover - defensive
             raise WalError(f"failed to retire WAL segment {current}")
 
     def close(self) -> None:
+        if self._poisoned is not None:
+            self._abandon_segment()
+            return
         self._close_segment()
 
     # -- internals ---------------------------------------------------------------
@@ -185,16 +220,67 @@ class WriteAheadLog:
     def active_segment(self) -> str:
         return os.path.join(self.directory, _segment_name(self._index))
 
+    @property
+    def poisoned(self) -> bool:
+        """True once a failed fsync (or failed rescue) killed this log."""
+        return self._poisoned is not None
+
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None:
+            raise DurabilityError(
+                f"WAL is poisoned by an earlier durability failure: "
+                f"{self._poisoned}",
+                op=self._poisoned.op,
+                path=self._poisoned.path,
+            )
+
+    def _poison(self, error: DurabilityError) -> None:
+        self._poisoned = error
+        self._abandon_segment()
+
+    def _abandon_segment(self) -> None:
+        """Drop the handle without trusting it (no fsync, errors ignored)."""
+        if self._file is None:
+            return
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - close errors are moot here
+            pass
+        self._file = None
+
+    def _rescue_rotate(self, record: bytes, cause: OSError) -> None:
+        """Re-attempt a failed append, whole, in a fresh segment."""
+        self._abandon_segment()
+        self._index += 1
+        try:
+            self._open_segment()
+            self._file.write(record)
+            self._file.flush()
+        except OSError as exc:
+            error = DurabilityError(
+                f"WAL append failed ({cause}) and the rescue rotation "
+                f"failed too ({exc}); no segment can take the record",
+                op="write",
+                path=self.active_segment,
+            )
+            self._poison(error)
+            raise error from exc
+        # The rescue segment starts fresh: its magic + this record are the
+        # only unsynced bytes; _size is re-based by _open_segment.
+        self._size = len(SEGMENT_MAGIC)
+        self.registry.counter("storage.rescue_rotations").inc()
+        self.registry.counter("wal.rotations").inc()
+
     def _open_segment(self) -> None:
         path = self.active_segment
-        self._file = open(path, "xb")
+        self._file = self.fs.open(path, "xb")
         self._file.write(SEGMENT_MAGIC)
         self._file.flush()
         self._size = len(SEGMENT_MAGIC)
         self._unsynced = 0
         if self.fsync != "never":
             self._fsync_file()
-            _fsync_directory(self.directory)
+            _fsync_directory(self.directory, self.fs)
 
     def _close_segment(self) -> None:
         if self._file is None:
@@ -204,7 +290,22 @@ class WriteAheadLog:
         self._file = None
 
     def _fsync_file(self) -> None:
-        os.fsync(self._file.fileno())
+        try:
+            self._file.fsync()
+        except OSError as exc:
+            # fsyncgate: the kernel may have dropped the dirty pages and
+            # cleared the error — a second fsync would "succeed" without
+            # the bytes ever reaching the platter.  Poison the log; the
+            # unsynced tail is untrusted and recovery truncates it.
+            self.registry.counter("storage.fsync_failures").inc()
+            error = DurabilityError(
+                f"fsync failed on {self._file.path}: {exc}; the segment is "
+                "poisoned and its unsynced tail must not be trusted",
+                op="fsync",
+                path=self._file.path,
+            )
+            self._poison(error)
+            raise error from exc
         self._unsynced = 0
         self.registry.counter("wal.fsyncs").inc()
 
@@ -219,16 +320,19 @@ class WalScanReport:
     truncations: int = 0  # torn/corrupt tails truncated away
     truncated_bytes: int = 0
     dropped_segments: int = 0  # whole segments discarded past the damage
+    resumed_segments: int = 0  # segments kept past damage (chain resumed)
     details: list[str] = field(default_factory=list)
 
 
-def segment_records(path: str) -> tuple[list[WalRecord], int, str]:
+def segment_records(
+    path: str, fs: FileSystem | None = None
+) -> tuple[list[WalRecord], int, str]:
     """Decode one segment file: ``(records, intact_bytes, status)``.
 
     A missing or mangled magic marks the whole file corrupt at offset 0.
     """
-    with open(path, "rb") as handle:
-        data = handle.read()
+    fs = fs if fs is not None else OS_FILESYSTEM
+    data = fs.read_bytes(path)
     if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
         return [], 0, "corrupt"
     return decode_records(data, offset=len(SEGMENT_MAGIC))
@@ -238,26 +342,50 @@ def scan_wal(
     directory: str,
     registry: MetricsRegistry | None = None,
     repair: bool = True,
+    fs: FileSystem | None = None,
 ) -> tuple[list[WalRecord], WalScanReport]:
     """Read every intact record back, repairing tail damage in place.
 
     Walks segments in index order, enforcing that batch sequence numbers
-    increase by exactly one across the whole log.  The first torn or
-    corrupt record ends the scan: with ``repair=True`` (the recovery
-    default) the damaged suffix is physically truncated away and any later
-    segment files are deleted — they are unreachable past a broken chain —
-    so the next writer starts from a self-consistent directory.  Nothing
-    here raises on bad bytes; damage becomes a smaller log plus a loud
-    :class:`WalScanReport`, never an exception escaping recovery.
+    increase by exactly one across the whole log.  A torn or corrupt
+    record ends that segment: with ``repair=True`` (the recovery default)
+    the damaged suffix is physically truncated away.  A *later* segment is
+    kept only if its first record resumes the sequence chain exactly where
+    the damage cut it — the shape a rescue rotation leaves behind (the
+    failed record re-written whole in the next segment), where every
+    surviving byte is still CRC-checked and seq-contiguous.  Any other
+    later segment is unreachable past a broken chain and is deleted.
+    Nothing here raises on bad bytes; damage becomes a smaller log plus a
+    loud :class:`WalScanReport`, never an exception escaping recovery.
     """
     registry = registry if registry is not None else get_metrics()
+    fs = fs if fs is not None else OS_FILESYSTEM
     report = WalScanReport()
     records: list[WalRecord] = []
-    segments = list_segments(directory)
+    segments = list_segments(directory, fs)
     report.segments = len(segments)
     prev_seq: int | None = None
-    for position, path in enumerate(segments):
-        segment_recs, intact, status = segment_records(path)
+    damaged = False
+    repaired_any = False
+    for path in segments:
+        segment_recs, intact, status = segment_records(path, fs)
+        if damaged:
+            first = segment_recs[0].seq if segment_recs else None
+            if first is None or (prev_seq is not None and first != prev_seq + 1):
+                report.dropped_segments += 1
+                report.details.append(
+                    f"{os.path.basename(path)}: unreachable past the damage"
+                )
+                if repair:
+                    fs.unlink(path)
+                    repaired_any = True
+                continue
+            report.resumed_segments += 1
+            report.details.append(
+                f"{os.path.basename(path)}: chain resumes at seq {first} "
+                "past the damage (rescue rotation)"
+            )
+            damaged = False
         kept: list[WalRecord] = []
         for record in segment_recs:
             if prev_seq is not None and record.seq != prev_seq + 1:
@@ -272,10 +400,11 @@ def scan_wal(
         records.extend(kept)
         if status == STATUS_CLEAN:
             continue
-        # Damage: truncate this file at the last intact byte and drop every
-        # later segment — records past a broken chain are unreplayable.
-        report.status = status
-        size = os.path.getsize(path)
+        # Damage: truncate this file at the last intact byte.  Whether any
+        # later segment survives is decided above, by chain resumption.
+        if _STATUS_RANK[status] > _STATUS_RANK[report.status]:
+            report.status = status
+        size = fs.getsize(path)
         report.truncations += 1
         report.truncated_bytes += size - intact
         report.details.append(
@@ -284,20 +413,13 @@ def scan_wal(
         )
         if repair:
             if intact == 0:
-                os.unlink(path)
+                fs.unlink(path)
             else:
-                with open(path, "r+b") as handle:
-                    handle.truncate(intact)
-        for later in segments[position + 1 :]:
-            report.dropped_segments += 1
-            report.details.append(
-                f"{os.path.basename(later)}: unreachable past the damage"
-            )
-            if repair:
-                os.unlink(later)
-        if repair:
-            _fsync_directory(directory)
+                fs.truncate(path, intact)
+            repaired_any = True
         registry.counter("wal.torn_tail_truncated").inc()
-        break
+        damaged = True
+    if repair and repaired_any:
+        _fsync_directory(directory, fs)
     report.records = len(records)
     return records, report

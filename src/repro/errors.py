@@ -89,6 +89,32 @@ class WalError(ReproError):
     """
 
 
+class DurabilityError(WalError):
+    """The storage layer could not make a write durable — and said so.
+
+    Raised by the WAL / checkpoint / intent-journal writers when the
+    filesystem refuses an operation in a way retrying cannot honestly fix:
+    a failed ``fsync`` (after which the kernel may have dropped the dirty
+    pages *and cleared the error* — the fsyncgate lesson, so re-running
+    fsync and believing its success would acknowledge data that never
+    reached the platter), an ``ENOSPC``/``EIO`` write that a rescue
+    rotation could not absorb, or a failed checkpoint rename.  The failing
+    handle is *poisoned*: every later append through it raises this same
+    error instead of pretending.
+
+    Always raised **before** any user ticket resolves, so an acknowledged
+    batch is never behind a lying disk.  Like
+    :class:`SimulatedCrash`, this is session-fatal: callers must abandon
+    the session object and drive ``recover()`` against the directory —
+    which treats the never-synced tail as untrusted and truncates it.
+    """
+
+    def __init__(self, message: str, *, op: str = "", path: str = ""):
+        super().__init__(message)
+        self.op = op
+        self.path = path
+
+
 class CheckpointError(WalError):
     """No valid checkpoint could be loaded from a durability directory.
 

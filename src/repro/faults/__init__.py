@@ -39,6 +39,15 @@ Quickstart::
     assert result.accepted and plan.injected == 1
 """
 
+from .disk import (
+    CheckpointRot,
+    DiskFull,
+    FsyncFailure,
+    RenameFailure,
+    RotOnWrite,
+    ShortWrite,
+    WriteError,
+)
 from .durability import BitRotSegment, CrashPoint, TornWrite, TruncateSegment
 from .injectors import (
     BitFlipWitness,
@@ -63,10 +72,13 @@ from .plan import FaultEvent, FaultInjector, FaultPlan
 __all__ = [
     "BitFlipWitness",
     "BitRotSegment",
+    "CheckpointRot",
     "CorruptProofPiece",
     "CrashPoint",
+    "DiskFull",
     "DropMessage",
     "DropPiece",
+    "FsyncFailure",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
@@ -74,11 +86,15 @@ __all__ = [
     "NemesisReport",
     "NemesisStep",
     "NetworkFault",
+    "RenameFailure",
     "ReorderPieces",
+    "RotOnWrite",
+    "ShortWrite",
     "TamperEndDigest",
     "TamperPublicStatement",
     "TornWrite",
     "TruncateSegment",
+    "WriteError",
     "generate_schedule",
     "minimize_schedule",
     "run_nemesis",

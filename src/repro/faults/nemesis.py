@@ -14,11 +14,16 @@ compositions deterministically:
   BitRotSegment` damage on the crashed shard).  Corruption is only ever
   paired with an ``after-log`` crash on the *same* shard, so the damage
   lands on the one record whose acknowledgement the crash swallowed —
-  never on acked history, which recovery must preserve bit-for-bit;
+  never on acked history, which recovery must preserve bit-for-bit.
+  With ``disk_fault_fraction > 0`` schedules also carry **disk-fault**
+  steps — failed fsyncs, EIO/ENOSPC writes, short writes aimed at one
+  shard's WAL (:mod:`repro.faults.disk`) — and crash steps may pair with
+  ``"ckpt-rot"`` at-rest checkpoint damage the mirror must cover;
 - :func:`run_nemesis` — drive a durable :class:`~repro.core.sharding.
-  ShardedSession` through a schedule, recovering from every crash and
-  checking the ACID invariants after each episode against a client-side
-  oracle (see :class:`NemesisReport`);
+  ShardedSession` through a schedule, recovering from every crash (and
+  from every fsync failure, which downs the engine the same way —
+  fsyncgate semantics) and checking the ACID invariants after each
+  episode against a client-side oracle (see :class:`NemesisReport`);
 - :func:`minimize_schedule` — shrink a failing schedule to a (locally)
   minimal failing subsequence by chunked bisection, the standard
   delta-debugging loop.
@@ -56,7 +61,7 @@ from ..core.config import LitmusConfig
 from ..core.session import DurabilityConfig, RetryPolicy
 from ..core.sharding import ShardMap, ShardedSession
 from ..crypto.rsa_group import RSAGroup
-from ..errors import ReproError, SimulatedCrash, WalError
+from ..errors import DurabilityError, ReproError, SimulatedCrash, WalError
 from ..obs.metrics import MetricsRegistry
 from ..vc.program import (
     Add,
@@ -67,6 +72,13 @@ from ..vc.program import (
     ReadVal,
     Sub,
     WriteStmt,
+)
+from .disk import (
+    CheckpointRot,
+    DiskFull,
+    FsyncFailure,
+    ShortWrite,
+    WriteError,
 )
 from .durability import BitRotSegment, CrashPoint, TornWrite
 from .injectors import DropMessage, KillProver
@@ -107,17 +119,32 @@ NEMESIS_CONFIG = LitmusConfig(
 
 _CORRUPTIONS = ("", "torn", "bitrot")
 
+# The disk misbehaviors a "disk-fault" step can name; all target the WAL
+# segment files of one shard.  "fsync-failure" downs the deployment
+# (fsyncgate: the engine poisons itself), the write-error trio is
+# absorbed in-band by a rescue rotation.
+_DISK_FAULTS = {
+    "fsync-failure": lambda shard: FsyncFailure(shard=shard, path_contains="wal-"),
+    "write-eio": lambda shard: WriteError(shard=shard, path_contains="wal-"),
+    "enospc": lambda shard: DiskFull(shard=shard, path_contains="wal-"),
+    "short-write": lambda shard: ShortWrite(shard=shard, path_contains="wal-"),
+}
+
 
 @dataclass(frozen=True)
 class NemesisStep:
     """One deterministic step of a chaos schedule.
 
     ``kind`` is ``"transfer"`` (a plain op), ``"kill-prover"`` /
-    ``"drop-message"`` (a retryable fault injected around the op), or
+    ``"drop-message"`` (a retryable fault injected around the op),
     ``"crash"`` (a :class:`CrashPoint` targeted at ``shard`` fires at
     ``stage`` while the op — always a cross-shard transfer touching that
     shard — is in flight; ``corruption`` optionally damages the crashed
-    shard's WAL tail before recovery).  Every step carries its own
+    shard's durability directory before recovery: its WAL tail
+    (``"torn"`` / ``"bitrot"``) or its newest checkpoint primary
+    (``"ckpt-rot"``, which the mirror must cover)), or ``"disk-fault"``
+    (``disk`` names a :data:`_DISK_FAULTS` injector armed at ``shard``
+    while the transfer is in flight).  Every step carries its own
     transfer so a schedule replays identically regardless of which prefix
     of it runs.
     """
@@ -129,6 +156,7 @@ class NemesisStep:
     shard: int | None = None
     stage: str = "after-log"
     corruption: str = ""
+    disk: str = ""
 
 
 def generate_schedule(
@@ -139,13 +167,20 @@ def generate_schedule(
     num_shards: int = 3,
     crash_fraction: float = 0.25,
     fault_fraction: float = 0.25,
+    disk_fault_fraction: float = 0.0,
 ) -> list[NemesisStep]:
     """Expand *seed* into a replayable chaos schedule.
 
     Roughly ``crash_fraction`` of the steps are shard-targeted crashes
     (each with a cross-shard transfer guaranteed to involve the target
     shard, so the kill lands mid cross-round), ``fault_fraction`` are
-    retryable prover/message faults, and the rest are plain transfers.
+    retryable prover/message faults, ``disk_fault_fraction`` are
+    shard-targeted disk faults (failed fsyncs, EIO/ENOSPC writes, short
+    writes — see :data:`_DISK_FAULTS`), and the rest are plain transfers.
+    A non-zero ``disk_fault_fraction`` also adds ``"ckpt-rot"`` to the
+    crash steps' corruption choices (at-rest checkpoint rot the mirror
+    must cover); at the default ``0.0`` the schedules are byte-identical
+    to what this function generated before disk faults existed.
     Deterministic: the same arguments produce the same schedule.
     """
     if steps < 1:
@@ -166,6 +201,9 @@ def generate_schedule(
             dst = rng.randrange(num_accounts)
         return src, dst, rng.randint(1, 5)
 
+    corruptions = (
+        _CORRUPTIONS + ("ckpt-rot",) if disk_fault_fraction > 0 else _CORRUPTIONS
+    )
     schedule: list[NemesisStep] = []
     for _ in range(steps):
         roll = rng.random()
@@ -176,9 +214,11 @@ def generate_schedule(
             dst = rng.choice(owners[other])
             stage = rng.choice(("before-log", "after-log"))
             # Post-crash corruption only composes with after-log: the torn
-            # or rotted record is then exactly the un-acked one.
+            # or rotted record is then exactly the un-acked one (ckpt-rot
+            # is at-rest damage, safe either way, but kept to the same arm
+            # for schedule stability).
             corruption = (
-                rng.choice(_CORRUPTIONS) if stage == "after-log" else ""
+                rng.choice(corruptions) if stage == "after-log" else ""
             )
             schedule.append(
                 NemesisStep(
@@ -191,7 +231,22 @@ def generate_schedule(
                     corruption=corruption,
                 )
             )
-        elif roll < crash_fraction + fault_fraction:
+        elif roll < crash_fraction + disk_fault_fraction and targets:
+            shard = rng.choice(targets)
+            src = rng.choice(owners[shard])
+            other = rng.choice([s for s in targets if s != shard])
+            dst = rng.choice(owners[other])
+            schedule.append(
+                NemesisStep(
+                    kind="disk-fault",
+                    src=src,
+                    dst=dst,
+                    amount=rng.randint(1, 5),
+                    shard=shard,
+                    disk=rng.choice(sorted(_DISK_FAULTS)),
+                )
+            )
+        elif roll < crash_fraction + disk_fault_fraction + fault_fraction:
             kind = rng.choice(("kill-prover", "drop-message"))
             src, dst, amount = _any_transfer()
             schedule.append(
@@ -215,7 +270,8 @@ class NemesisReport:
     survive every later crash); ``crashes``/``recoveries`` count the
     episodes; ``injected`` counts every fault the plan applied, including
     the retryable ones the :class:`~repro.core.session.RetryPolicy`
-    absorbed.
+    absorbed; ``disk_faults`` counts the disk-fault steps that armed an
+    injector (recoveries they forced are in ``recoveries`` too).
     """
 
     seed: int
@@ -231,6 +287,7 @@ class NemesisReport:
     invariant_failures: tuple[str, ...]
     final_balance: int
     duration_seconds: float
+    disk_faults: int = 0
 
     @property
     def ok(self) -> bool:
@@ -339,12 +396,63 @@ def run_nemesis(
         durability=DurabilityConfig(directory=directory),
     )
     model = {("acct", i): INITIAL_BALANCE for i in range(num_accounts)}
-    ops = acked = rejected = crashes = recoveries = 0
+    ops = acked = rejected = crashes = recoveries = disk_faults = 0
     failures: list[str] = []
 
     def _apply(step: NemesisStep) -> None:
         model[("acct", step.src)] -= step.amount
         model[("acct", step.dst)] += step.amount
+
+    def _recover_and_referee(step: NemesisStep) -> bool:
+        """Abandon the downed session, apply the step's at-rest damage,
+        recover, and referee the episode.  False stops the run."""
+        nonlocal session, model, recoveries, ops, acked
+        try:  # release handles; a real crash would not even do this
+            session.close()
+        except BaseException:
+            pass
+        if step.corruption:
+            corruptor = {
+                "torn": TornWrite,
+                "bitrot": BitRotSegment,
+                "ckpt-rot": CheckpointRot,
+            }[step.corruption]()
+            try:
+                corruptor.apply(
+                    os.path.join(directory, f"shard-{step.shard:02d}")
+                )
+            except WalError:
+                pass  # nothing durable on that shard yet
+        session = ShardedSession.recover(
+            directory,
+            [TRANSFER],
+            group=group,
+            registry=registry,
+            retry_policy=retry,
+            fault_plan=plan,
+        )
+        recoveries += 1
+        registry.counter("nemesis.recoveries").inc()
+        model = _check_episode(session, model, step, num_accounts, failures)
+        if failures:
+            return False
+        # Liveness probe: the recovered deployment must take work.
+        probe = session.submit(
+            "nemesis", TRANSFER, src=step.src, dst=step.dst, amount=1
+        )
+        session.flush()
+        ops += 1
+        registry.counter("nemesis.ops").inc()
+        if probe.accepted:
+            acked += 1
+            model[("acct", step.src)] -= 1
+            model[("acct", step.dst)] += 1
+            return True
+        failures.append(
+            "liveness: post-recovery probe transfer was "
+            f"rejected: {probe._reason}"
+        )
+        return False
 
     try:
         for step in schedule:
@@ -407,53 +515,43 @@ def run_nemesis(
                     continue
                 crashes += 1
                 registry.counter("nemesis.crashes").inc()
-                try:  # release handles; a real crash would not even do this
-                    session.close()
-                except BaseException:
-                    pass
-                if step.corruption:
-                    corruptor = (
-                        TornWrite()
-                        if step.corruption == "torn"
-                        else BitRotSegment()
-                    )
-                    try:
-                        corruptor.apply(
-                            os.path.join(directory, f"shard-{step.shard:02d}")
-                        )
-                    except WalError:
-                        pass  # nothing durable on that shard yet
-                session = ShardedSession.recover(
-                    directory,
-                    [TRANSFER],
-                    group=group,
-                    registry=registry,
-                    retry_policy=retry,
-                    fault_plan=plan,
-                )
-                recoveries += 1
-                registry.counter("nemesis.recoveries").inc()
-                model = _check_episode(
-                    session, model, step, num_accounts, failures
-                )
-                if failures:
+                if not _recover_and_referee(step):
                     break
-                # Liveness probe: the recovered deployment must take work.
-                probe = session.submit(
-                    "nemesis", TRANSFER, src=step.src, dst=step.dst, amount=1
-                )
-                session.flush()
-                ops += 1
-                registry.counter("nemesis.ops").inc()
-                if probe.accepted:
-                    acked += 1
-                    model[("acct", step.src)] -= 1
-                    model[("acct", step.dst)] += 1
-                else:
-                    failures.append(
-                        "liveness: post-recovery probe transfer was "
-                        f"rejected: {probe._reason}"
+            elif step.kind == "disk-fault":
+                injector = _DISK_FAULTS[step.disk](step.shard)
+                plan.injectors.append(injector)
+                died = False
+                try:
+                    ticket = session.submit(
+                        "nemesis",
+                        TRANSFER,
+                        src=step.src,
+                        dst=step.dst,
+                        amount=step.amount,
                     )
+                    session.flush()
+                except DurabilityError:
+                    died = True
+                finally:
+                    if injector in plan.injectors:
+                        plan.injectors.remove(injector)
+                ops += 1
+                disk_faults += 1
+                registry.counter("nemesis.ops").inc()
+                registry.counter("nemesis.disk_faults").inc()
+                if not died:
+                    # Absorbed in-band (rescue rotation) or never reached
+                    # the disk — an ordinary op either way.
+                    if ticket.accepted:
+                        acked += 1
+                        _apply(step)
+                    else:
+                        rejected += 1
+                    continue
+                # fsyncgate: the shard poisoned itself before any
+                # acknowledgement escaped — the deployment is down exactly
+                # as if the process had died mid-round.
+                if not _recover_and_referee(step):
                     break
             else:
                 raise ReproError(f"unknown nemesis step kind {step.kind!r}")
@@ -481,6 +579,7 @@ def run_nemesis(
         invariant_failures=tuple(failures),
         final_balance=final_balance,
         duration_seconds=perf_counter() - start,
+        disk_faults=disk_faults,
     )
 
 

@@ -15,7 +15,10 @@ owns a list of :class:`FaultInjector` instances and is consulted by the
   (``before-log``, ``after-log``, ``after-checkpoint-temp``,
   ``after-checkpoint``; see :mod:`repro.db.wal.manager`), where a
   :class:`~repro.faults.CrashPoint` can simulate process death at the
-  exact boundary being tested.
+  exact boundary being tested;
+- ``on_fs`` — every filesystem write/fsync/rename the durability stack
+  performs (via :class:`~repro.db.fsio.FaultyFileSystem`), where the disk
+  injectors of :mod:`repro.faults.disk` make the storage itself lie.
 
 Determinism contract: a plan constructed with the same injectors and seed
 injects the same faults at the same points on every run.  All randomness
@@ -106,6 +109,19 @@ class FaultInjector:
         injectors can kill exactly one engine of a sharded deployment.
         """
 
+    def on_fs(
+        self, plan: "FaultPlan", op: str, path: str, shard: int | None = None
+    ) -> tuple | None:
+        """A filesystem operation (``write``/``fsync``/``replace``/``open``)
+        inside the durability stack, routed through a
+        :class:`~repro.db.fsio.FaultyFileSystem`.
+
+        Return a fault directive tuple (see :mod:`repro.db.fsio`) to make
+        the disk misbehave, or ``None`` to pass the operation through.
+        The first injector returning a directive wins.
+        """
+        return None
+
 
 class FaultPlan:
     """A deterministic, seedable schedule of injected faults."""
@@ -162,3 +178,10 @@ class FaultPlan:
     def on_durability(self, stage: str, shard: int | None = None) -> None:
         for injector in self.injectors:
             injector.on_durability(self, stage, shard)
+
+    def on_fs(self, op: str, path: str, shard: int | None = None) -> tuple | None:
+        for injector in self.injectors:
+            directive = injector.on_fs(self, op, path, shard)
+            if directive is not None:
+                return directive
+        return None

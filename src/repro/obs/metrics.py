@@ -25,8 +25,17 @@ Metric naming taxonomy (dotted, lowercase):
   ``xshard.intents`` (prepare records made durable), ``xshard.commits``,
   ``xshard.compensations`` (per-shard batch rollbacks during an abort)
   and ``xshard.in_doubt_resolved`` (pending rounds settled at recovery);
-- ``nemesis.{steps,ops,crashes,recoveries,invariant_failures}`` — the
-  seeded chaos harness (:mod:`repro.faults.nemesis`);
+- ``nemesis.{steps,ops,crashes,recoveries,disk_faults,
+  invariant_failures}`` — the seeded chaos harness
+  (:mod:`repro.faults.nemesis`);
+- ``storage.*`` — the hostile-disk survival layer (DESIGN.md §17):
+  ``storage.{write_errors,rescue_rotations}`` (absorbed write faults),
+  ``storage.fsync_failures`` (fsyncgate poisonings — each one downs a
+  deployment), ``storage.mirror_{writes,write_failures,repairs}`` for
+  the checkpoint mirror twins;
+- ``scrub.*`` — the scrub/repair pass (:mod:`repro.db.scrub`):
+  ``scrub.{runs,files_scanned,records_verified,damage_found,repairs,
+  quarantined,errors}``;
 - ``net.*`` — the socket service and remote client (``repro.net``):
   ``net.{bytes,frames}_{sent,received}``, ``net.connections_{active,total,
   refused}`` (active is a gauge), ``net.{requests,errors,op_replays}``,

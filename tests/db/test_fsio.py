@@ -1,0 +1,278 @@
+"""The hostile disk: FaultyFileSystem directives and fsyncgate-correct WAL.
+
+Covers the fsio layer in isolation (each directive does exactly what the
+table in :mod:`repro.db.fsio` promises) and the WriteAheadLog's failure
+semantics on top of it: write errors are absorbed by a rescue rotation
+(nothing was acknowledged, so the honest retry is a whole-record rewrite
+in a fresh segment), failed fsyncs poison the log permanently (the
+fsyncgate lesson — never retry-and-pretend), and a session propagates the
+typed :class:`~repro.errors.DurabilityError` before any ticket resolves.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.core import DurabilityConfig, LitmusConfig, LitmusSession
+from repro.db.fsio import OS_FILESYSTEM, FaultyFileSystem, rot_file
+from repro.db.wal import WriteAheadLog, list_segments, scan_wal
+from repro.errors import DurabilityError
+from repro.faults import (
+    DiskFull,
+    FaultPlan,
+    FsyncFailure,
+    RenameFailure,
+    ShortWrite,
+    WriteError,
+)
+from repro.obs.metrics import MetricsRegistry
+
+from ..integration.test_fault_recovery import CONFIG, NUM_ACCOUNTS, TRANSFER
+
+
+def _faulty(tmp_path, *injectors, seed=7):
+    plan = FaultPlan(*injectors, seed=seed)
+    plan.bind_registry(MetricsRegistry())
+    return FaultyFileSystem(plan, OS_FILESYSTEM), plan
+
+
+class TestDirectives:
+    def test_write_error_reaches_the_caller_untouched(self, tmp_path):
+        fs, _plan = _faulty(tmp_path, WriteError(path_contains=".seg"))
+        path = os.path.join(str(tmp_path), "wal-00000001.seg")
+        with fs.open(path, "xb") as handle:
+            with pytest.raises(OSError) as excinfo:
+                handle.write(b"payload")
+        assert excinfo.value.errno == errno.EIO
+        assert os.path.getsize(path) == 0  # no bytes reached the file
+
+    def test_enospc_is_a_distinct_errno(self, tmp_path):
+        fs, _plan = _faulty(tmp_path, DiskFull())
+        with fs.open(os.path.join(str(tmp_path), "a.seg"), "xb") as handle:
+            with pytest.raises(OSError) as excinfo:
+                handle.write(b"payload")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_short_write_persists_a_strict_prefix(self, tmp_path):
+        fs, _plan = _faulty(tmp_path, ShortWrite(fraction=0.5))
+        path = os.path.join(str(tmp_path), "a.seg")
+        with fs.open(path, "xb") as handle:
+            with pytest.raises(OSError):
+                handle.write(b"0123456789")
+        landed = open(path, "rb").read()
+        assert 0 < len(landed) < 10
+        assert b"0123456789".startswith(landed)
+
+    def test_fsync_failure_drops_the_unsynced_tail(self, tmp_path):
+        fs, _plan = _faulty(tmp_path, FsyncFailure())
+        path = os.path.join(str(tmp_path), "a.seg")
+        handle = fs.open(path, "xb")
+        handle.write(b"durable")
+        # No injected fault on a plain fsync-after-write... the injector
+        # fires on the *first* fsync, so this one fails and the tail is
+        # physically gone — the pessimistic page-cache-loss model.
+        with pytest.raises(OSError):
+            handle.fsync()
+        handle.close()
+        assert open(path, "rb").read() == b""
+
+    def test_fsync_failure_spares_already_synced_bytes(self, tmp_path):
+        # Fire on the second fsync only: bytes covered by the first
+        # (successful) fsync must survive the injected failure.
+        injector = FsyncFailure()
+        fs, plan = _faulty(tmp_path, injector)
+        plan.injectors.clear()
+        path = os.path.join(str(tmp_path), "a.seg")
+        handle = fs.open(path, "xb")
+        handle.write(b"durable|")
+        handle.fsync()
+        plan.injectors.append(injector)
+        handle.write(b"doomed")
+        with pytest.raises(OSError):
+            handle.fsync()
+        handle.close()
+        assert open(path, "rb").read() == b"durable|"
+
+    def test_rename_failure_leaves_the_target_untouched(self, tmp_path):
+        fs, _plan = _faulty(tmp_path, RenameFailure(path_contains=".ckpt"))
+        src = os.path.join(str(tmp_path), "new.ckpt.tmp")
+        dst = os.path.join(str(tmp_path), "old.ckpt")
+        open(src, "w").write("new")
+        open(dst, "w").write("old")
+        with pytest.raises(OSError):
+            fs.replace(src, dst)
+        assert open(dst).read() == "old"
+        assert os.path.exists(src)
+
+    def test_rot_on_write_is_silent_and_seeded(self, tmp_path):
+        from repro.faults import RotOnWrite
+
+        payload = bytes(range(64))
+        written = []
+        for _ in range(2):
+            fs, _plan = _faulty(tmp_path, RotOnWrite(), seed=13)
+            path = os.path.join(str(tmp_path), f"r{len(written)}.seg")
+            with fs.open(path, "xb") as handle:
+                handle.write(payload)  # no exception: rot is silent
+            written.append(open(path, "rb").read())
+        assert written[0] != payload  # one bit flipped
+        assert written[0] == written[1]  # deterministically so
+
+
+class TestRotFile:
+    def test_position_wraps_modulo_size(self, tmp_path):
+        path = os.path.join(str(tmp_path), "f")
+        open(path, "wb").write(b"abcd")
+        rot_file(path, 5, mask=0x01)  # 5 % 4 == 1
+        assert open(path, "rb").read() == b"a" + bytes([ord("b") ^ 1]) + b"cd"
+
+    def test_zero_mask_rejected(self, tmp_path):
+        path = os.path.join(str(tmp_path), "f")
+        open(path, "wb").write(b"abcd")
+        with pytest.raises(ValueError):
+            rot_file(path, 0, mask=0x100)
+
+
+class TestWalRescueRotation:
+    def _wal(self, tmp_path, *injectors, fsync="always"):
+        # Arm the injectors only after construction: the fault should hit
+        # an append, not the magic header of the very first segment.
+        plan = FaultPlan(seed=3)
+        registry = MetricsRegistry()
+        plan.bind_registry(registry)
+        wal = WriteAheadLog(
+            str(tmp_path),
+            fsync=fsync,
+            registry=registry,
+            fs=FaultyFileSystem(plan, OS_FILESYSTEM),
+        )
+        plan.injectors.extend(injectors)
+        return wal, registry
+
+    def test_eio_write_is_absorbed_by_a_rescue_rotation(self, tmp_path):
+        wal, registry = self._wal(
+            tmp_path, WriteError(path_contains="wal-")
+        )
+        for seq in (1, 2, 3):
+            wal.append(seq, seq * 11, b"payload-%d" % seq)
+        wal.close()
+        records, report = scan_wal(str(tmp_path), registry=registry)
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert registry.counter("storage.write_errors").value == 1
+        assert registry.counter("storage.rescue_rotations").value == 1
+
+    def test_enospc_rotates_or_fails_never_pretends(self, tmp_path):
+        wal, registry = self._wal(tmp_path, DiskFull(path_contains="wal-"))
+        wal.append(1, 11, b"first")
+        wal.close()
+        records, _report = scan_wal(str(tmp_path), registry=registry)
+        assert [r.seq for r in records] == [1]
+        assert registry.counter("storage.rescue_rotations").value == 1
+
+    def test_short_write_tail_is_repaired_and_chain_resumes(self, tmp_path):
+        wal, registry = self._wal(
+            tmp_path, ShortWrite(fraction=0.5, path_contains="wal-")
+        )
+        wal.append(1, 11, b"x" * 64)
+        wal.append(2, 22, b"y" * 64)
+        wal.close()
+        records, report = scan_wal(str(tmp_path), registry=registry)
+        assert [r.seq for r in records] == [1, 2]
+        assert report.truncations == 1  # the torn prefix in the abandoned segment
+        assert report.dropped_segments == 0
+
+    def test_double_write_failure_poisons_the_log(self, tmp_path):
+        wal, registry = self._wal(
+            tmp_path, WriteError(path_contains="wal-", times=2)
+        )
+        with pytest.raises(DurabilityError) as excinfo:
+            wal.append(1, 11, b"doomed")
+        assert excinfo.value.op == "write"
+        assert wal.poisoned
+        with pytest.raises(DurabilityError):
+            wal.append(2, 22, b"after-poison")
+        wal.close()
+
+
+class TestWalFsyncgate:
+    def test_failed_fsync_poisons_and_never_acks(self, tmp_path):
+        plan = FaultPlan(seed=3)
+        registry = MetricsRegistry()
+        plan.bind_registry(registry)
+        wal = WriteAheadLog(
+            str(tmp_path),
+            fsync="always",
+            registry=registry,
+            fs=FaultyFileSystem(plan, OS_FILESYSTEM),
+        )
+        wal.append(1, 11, b"acked")
+        plan.injectors.append(FsyncFailure(path_contains="wal-"))
+        with pytest.raises(DurabilityError) as excinfo:
+            wal.append(2, 22, b"never-acked")
+        assert excinfo.value.op == "fsync"
+        assert wal.poisoned
+        assert registry.counter("storage.fsync_failures").value == 1
+        # Sticky: the log never takes another record.
+        with pytest.raises(DurabilityError):
+            wal.append(3, 33, b"later")
+        wal.close()
+        # The unsynced tail is untrusted AND physically gone: recovery
+        # sees exactly the acknowledged prefix.
+        records, _report = scan_wal(str(tmp_path), registry=registry)
+        assert [r.seq for r in records] == [1]
+
+
+class TestSessionDurabilityBarrier:
+    def test_fsync_failure_escapes_before_any_ticket_resolves(
+        self, group, tmp_path
+    ):
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=3).bind_registry(registry)
+        session = LitmusSession.create(
+            initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+            config=CONFIG,
+            group=group,
+            registry=registry,
+            fault_plan=plan,
+            durability=DurabilityConfig(directory=str(tmp_path)),
+        )
+        session.submit("alice", TRANSFER, src=0, dst=1, amount=5)
+        assert session.flush().accepted  # a healthy acknowledged batch
+        plan.injectors.append(FsyncFailure(path_contains="wal-"))
+        ticket = session.submit("alice", TRANSFER, src=1, dst=2, amount=5)
+        with pytest.raises(DurabilityError):
+            session.flush()
+        assert not ticket.resolved  # the ack never escaped
+        session.close()
+        # Recovery finds exactly the acknowledged history.
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        assert recovered.server.db.get(("acct", 0)) == 95
+        assert recovered.server.db.get(("acct", 1)) == 105
+        assert recovered.server.db.get(("acct", 2)) == 100
+        recovered.close()
+
+    def test_write_errors_are_invisible_to_the_application(
+        self, group, tmp_path
+    ):
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=3).bind_registry(registry)
+        session = LitmusSession.create(
+            initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+            config=CONFIG,
+            group=group,
+            registry=registry,
+            fault_plan=plan,
+            durability=DurabilityConfig(directory=str(tmp_path)),
+        )
+        plan.injectors.append(WriteError(path_contains="wal-"))
+        ticket = session.submit("alice", TRANSFER, src=0, dst=1, amount=5)
+        assert session.flush().accepted
+        assert ticket.accepted
+        assert registry.counter("storage.rescue_rotations").value == 1
+        session.close()
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        assert recovered.server.db.get(("acct", 0)) == 95
+        recovered.close()

@@ -22,8 +22,10 @@ from repro.db.wal import (
     list_checkpoints,
     list_segments,
     load_latest_checkpoint,
+    mirror_path,
     scan_wal,
     segment_records,
+    select_checkpoint,
     write_checkpoint,
 )
 from repro.errors import CheckpointError, WalError
@@ -308,22 +310,40 @@ class TestCheckpoints:
         _write_ckpt(tmp_path, seq=4, digest=4)
         assert load_latest_checkpoint(str(tmp_path)).seq == 4
 
-    def test_bit_rot_falls_back_to_older(self, tmp_path):
+    def test_bit_rot_falls_back_to_mirror_then_older(self, tmp_path):
+        def _rot(path):
+            with open(path, "r+b") as handle:
+                handle.seek(30)
+                byte = handle.read(1)
+                handle.seek(30)
+                handle.write(bytes([byte[0] ^ 0x01]))
+
         _write_ckpt(tmp_path, seq=1, digest=1)
         newest = _write_ckpt(tmp_path, seq=2, digest=2)
-        with open(newest, "r+b") as handle:
-            handle.seek(30)
-            byte = handle.read(1)
-            handle.seek(30)
-            handle.write(bytes([byte[0] ^ 0x01]))
+        # A rotted primary is covered by its byte-identical mirror twin.
+        _rot(newest)
+        selection = select_checkpoint(str(tmp_path))
+        assert selection.checkpoint.seq == 2
+        assert selection.used_mirror
+        assert selection.loaded_path == mirror_path(newest)
+        assert selection.rejected and "checkpoint-0000000000000002.ckpt" in (
+            selection.rejected[0]
+        )
+        # Both copies rotted: fall back to the older checkpoint pair.
+        _rot(mirror_path(newest))
+        selection = select_checkpoint(str(tmp_path))
+        assert selection.checkpoint.seq == 1
+        assert not selection.used_mirror
+        assert len(selection.rejected) == 2
         assert load_latest_checkpoint(str(tmp_path)).seq == 1
 
     def test_no_valid_checkpoint_raises(self, tmp_path):
         with pytest.raises(CheckpointError):
             load_latest_checkpoint(str(tmp_path))
         newest = _write_ckpt(tmp_path, seq=1)
-        with open(newest, "w") as handle:
-            handle.write("not json at all")
+        for path in (newest, mirror_path(newest)):
+            with open(path, "w") as handle:
+                handle.write("not json at all")
         with pytest.raises(CheckpointError):
             load_latest_checkpoint(str(tmp_path))
 

@@ -193,6 +193,71 @@ class TestAcceptance:
         assert recovered.flush().accepted
         recovered.close()
 
+    def test_recovery_report_surfaces_the_checkpoint_decision(
+        self, group, tmp_path
+    ):
+        """A checkpoint fallback is an observable event, not a silent one:
+        the report names what loaded, whether it was the mirror, and every
+        newer candidate rejected (with the reason)."""
+        from repro.db.wal import list_checkpoints
+        from repro.faults import CheckpointRot
+
+        session = _durable_session(group, tmp_path)
+        for i in range(4):  # checkpoint_every=2: at least one checkpoint
+            session.submit("alice", TRANSFER, src=i, dst=i + 1, amount=5)
+            assert session.flush().accepted
+        session.close()
+
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        report = recovered.recovery_report
+        assert report.checkpoint_path == list_checkpoints(str(tmp_path))[0]
+        assert not report.checkpoint_from_mirror
+        assert report.checkpoint_rejected == ()
+        recovered.close()
+
+        rotted = CheckpointRot().apply(str(tmp_path))
+        recovered = LitmusSession.recover(str(tmp_path), [TRANSFER], group=group)
+        report = recovered.recovery_report
+        assert report.checkpoint_from_mirror
+        assert report.checkpoint_path == rotted + ".mirror"
+        assert len(report.checkpoint_rejected) == 1
+        assert os.path.basename(rotted) in report.checkpoint_rejected[0]
+        _assert_recovered(recovered, [])
+
+    def test_sharded_recovery_reports_carry_the_decision_per_shard(
+        self, group, tmp_path
+    ):
+        from repro.core.sharding import ShardedSession
+        from repro.faults import CheckpointRot
+
+        session = ShardedSession.create(
+            initial={("acct", i): 100 for i in range(NUM_ACCOUNTS)},
+            config=CONFIG,
+            group=group,
+            num_shards=2,
+            durability=DurabilityConfig(directory=str(tmp_path)),
+            checkpoint_every=1,
+        )
+        for i in range(3):
+            session.submit(
+                f"user{i}", TRANSFER, src=i, dst=(i + 1) % NUM_ACCOUNTS, amount=5
+            )
+            session.flush()
+        session.close()
+        rotted = CheckpointRot().apply(str(tmp_path / "shard-01"))
+
+        recovered = ShardedSession.recover(
+            str(tmp_path), [TRANSFER], group=group
+        )
+        by_mirror = {
+            r.checkpoint_from_mirror: r for r in recovered.recovery_reports
+        }
+        assert set(by_mirror) == {False, True}
+        assert by_mirror[True].checkpoint_path == rotted + ".mirror"
+        assert os.path.basename(rotted) in by_mirror[True].checkpoint_rejected[0]
+        assert by_mirror[False].checkpoint_rejected == ()
+        recovered.close()
+
 
 @pytest.mark.crash
 class TestCrashMatrix:
